@@ -1,0 +1,77 @@
+// Command rana-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rana-experiments -list                 # list artifact IDs
+//	rana-experiments -run fig15            # one artifact as text
+//	rana-experiments -run fig15 -json      # typed rows as JSON
+//	rana-experiments -run fig15 -chart     # terminal stacked bars
+//	rana-experiments                       # everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rana"
+	"rana/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rana-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available experiments and exit")
+	runID := fs.String("run", "", "run a single experiment by ID (e.g. fig15)")
+	asJSON := fs.Bool("json", false, "emit the experiment's typed data as JSON (with -run)")
+	chart := fs.Bool("chart", false, "render the figure as a terminal stacked-bar chart (with -run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *list:
+		for _, e := range rana.Experiments() {
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
+		}
+	case *runID != "":
+		e, ok := rana.ExperimentByID(*runID)
+		if !ok {
+			fmt.Fprintf(stderr, "rana-experiments: unknown experiment %q (try -list)\n", *runID)
+			return 2
+		}
+		if *asJSON {
+			if err := e.RunJSON(stdout); err != nil {
+				fmt.Fprintln(stderr, "rana-experiments:", err)
+				return 1
+			}
+			return 0
+		}
+		if *chart {
+			c, err := experiments.Chart(e.ID)
+			if err != nil {
+				fmt.Fprintln(stderr, "rana-experiments:", err)
+				return 1
+			}
+			fmt.Fprint(stdout, c.Render())
+			return 0
+		}
+		fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(stdout); err != nil {
+			fmt.Fprintln(stderr, "rana-experiments:", err)
+			return 1
+		}
+	default:
+		if err := rana.RunExperiments(stdout); err != nil {
+			fmt.Fprintln(stderr, "rana-experiments:", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	for _, want := range []string{"table1", "fig15", "headline", "ext3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "table1"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "VGG") {
+		t.Error("table1 output missing VGG")
+	}
+}
+
+func TestRunJSONAndChart(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "table3", "-json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), `"Relative"`) {
+		t.Error("JSON output missing typed field")
+	}
+	out.Reset()
+	if code := run([]string{"-run", "fig1", "-chart"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "legend:") {
+		t.Error("chart output missing legend")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown experiment exit = %d, want 2", code)
+	}
+	if code := run([]string{"-run", "table1", "-chart"}, &out, &errBuf); code != 1 {
+		t.Errorf("chart of a table exit = %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}

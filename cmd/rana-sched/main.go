@@ -1,0 +1,84 @@
+// Command rana-sched compiles a benchmark network with the full RANA
+// framework and prints the layerwise configurations: the hybrid
+// computation pattern assignment of Stage 2 and the per-layer refresh
+// flags of Stage 3.
+//
+// Usage:
+//
+//	rana-sched -model ResNet
+//	rana-sched -model AlexNet -export   # serialized compilation artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rana"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rana-sched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "ResNet", "benchmark network: AlexNet, VGG, GoogLeNet or ResNet")
+	export := fs.Bool("export", false, "emit the compiled layerwise configuration artifact as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var net rana.Network
+	found := false
+	for _, n := range rana.Benchmarks() {
+		if n.Name == *model {
+			net, found = n, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(stderr, "rana-sched: unknown model %q\n", *model)
+		return 2
+	}
+
+	out, err := rana.NewFramework().Compile(net)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-sched:", err)
+		return 1
+	}
+	if *export {
+		if err := out.ExportConfig(stdout); err != nil {
+			fmt.Fprintln(stderr, "rana-sched:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintln(stdout, out.Summary())
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "%-20s %-4s %-24s %10s %12s %8s\n",
+		"Layer", "Pat", "Tiling", "Exec", "MaxLifetime", "Refresh")
+	for i, lc := range out.Layerwise {
+		lp := out.Plan.Layers[i]
+		flagged := 0
+		for _, f := range lc.RefreshFlags {
+			if f {
+				flagged++
+			}
+		}
+		refresh := "off"
+		if flagged > 0 {
+			refresh = fmt.Sprintf("%d banks", flagged)
+		}
+		fmt.Fprintf(stdout, "%-20s %-4s %-24s %10s %12s %8s\n",
+			lc.Layer.Name, lc.Pattern, lc.Tiling.String(),
+			lp.Analysis.ExecTime.Round(100), lp.Analysis.Lifetimes.Max().Round(100), refresh)
+	}
+	fmt.Fprintln(stdout)
+	e := out.Energy
+	fmt.Fprintf(stdout, "energy: computing %.3f mJ, buffer %.3f mJ, refresh %.3f mJ, off-chip %.3f mJ, total %.3f mJ\n",
+		e.Computing/1e9, e.BufferAccess/1e9, e.Refresh/1e9, e.OffChip/1e9, e.Total()/1e9)
+	return 0
+}

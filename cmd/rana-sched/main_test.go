@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestScheduleAlexNet(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"stage1", "734µs", "conv1", "energy:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExportIsValidJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-export"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	if decoded["network"] != "AlexNet" {
+		t.Errorf("network = %v", decoded["network"])
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

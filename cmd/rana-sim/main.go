@@ -1,0 +1,86 @@
+// Command rana-sim evaluates one Table IV design point on one benchmark
+// network and prints the Eq. 14 energy accounting, optionally normalized
+// against the SRAM baseline.
+//
+// Usage:
+//
+//	rana-sim -model VGG -design "RANA*(E-5)"
+//	rana-sim -model ResNet -design eD+ID -normalize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rana"
+	"rana/internal/platform"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rana-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "ResNet", "benchmark network")
+	design := fs.String("design", "RANA*(E-5)", `Table IV design point (e.g. "S+ID", "eD+OD")`)
+	normalize := fs.Bool("normalize", false, "normalize against the S+ID baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	net, ok := benchmarkByName(*model)
+	if !ok {
+		fmt.Fprintf(stderr, "rana-sim: unknown model %q\n", *model)
+		return 2
+	}
+	d, ok := platform.DesignByName(*design)
+	if !ok {
+		fmt.Fprintf(stderr, "rana-sim: unknown design %q\n", *design)
+		return 2
+	}
+
+	p := rana.TestPlatform()
+	r, err := p.Evaluate(d, net)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-sim:", err)
+		return 1
+	}
+	e := r.Energy()
+	c := r.Plan.Totals
+	fmt.Fprintf(stdout, "%s on %s\n", d.Name, net.Name)
+	fmt.Fprintf(stdout, "  execution time:   %v\n", r.Plan.ExecTime.Round(1000))
+	fmt.Fprintf(stdout, "  MACs:             %d\n", c.MACs)
+	fmt.Fprintf(stdout, "  buffer accesses:  %d\n", c.BufferAccesses)
+	fmt.Fprintf(stdout, "  refresh ops:      %d\n", c.Refreshes)
+	fmt.Fprintf(stdout, "  DDR accesses:     %d\n", c.DDRAccesses)
+	fmt.Fprintf(stdout, "  computing:        %10.3f mJ\n", e.Computing/1e9)
+	fmt.Fprintf(stdout, "  buffer access:    %10.3f mJ\n", e.BufferAccess/1e9)
+	fmt.Fprintf(stdout, "  refresh:          %10.3f mJ\n", e.Refresh/1e9)
+	fmt.Fprintf(stdout, "  off-chip access:  %10.3f mJ\n", e.OffChip/1e9)
+	fmt.Fprintf(stdout, "  total:            %10.3f mJ\n", e.Total()/1e9)
+
+	if *normalize {
+		base, err := p.Evaluate(rana.SID(), net)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-sim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "  relative to S+ID: %10.3f\n", e.Total()/base.Energy().Total())
+	}
+	return 0
+}
+
+// benchmarkByName resolves a benchmark network by name.
+func benchmarkByName(name string) (rana.Network, bool) {
+	for _, n := range rana.Benchmarks() {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return rana.Network{}, false
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAlexNet(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-design", "eD+ID", "-normalize"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"eD+ID on AlexNet", "refresh ops:", "relative to S+ID:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The paper's anchor: eD+ID on AlexNet ≈ 2.3× S+ID.
+	if !strings.Contains(s, "2.30") {
+		t.Errorf("expected ≈2.30x normalization in:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown model exit = %d", code)
+	}
+	if code := run([]string{"-design", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown design exit = %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+}

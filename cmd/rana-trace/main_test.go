@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rana/internal/trace"
+)
+
+func TestAnalysisView(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-model", "VGG", "-layer", "conv4_2", "-pattern", "OD", "-buckets", "4"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	// Layer-B's trace-derived self-refresh gap is the paper's 1290 µs.
+	if !strings.Contains(s, "1.2902ms") {
+		t.Errorf("missing the 1290µs self-refresh gap:\n%s", s)
+	}
+	if !strings.Contains(s, "traffic over time (4 windows") {
+		t.Error("missing histogram")
+	}
+}
+
+func TestDumpRoundTrips(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-model", "AlexNet", "-layer", "conv3", "-pattern", "WD", "-dump"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	tr, err := trace.ReadTrace(&out)
+	if err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if len(tr.Events) == 0 || tr.FrequencyHz != 200e6 {
+		t.Errorf("trace: %d events at %g Hz", len(tr.Events), tr.FrequencyHz)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown model exit = %d", code)
+	}
+	if code := run([]string{"-layer", "nope"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown layer exit = %d", code)
+	}
+	if code := run([]string{"-pattern", "XX"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown pattern exit = %d", code)
+	}
+}

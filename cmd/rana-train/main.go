@@ -1,0 +1,77 @@
+// Command rana-train runs the retention-aware training method (Fig. 9)
+// end to end on the synthetic demonstration dataset: fixed-point
+// pretraining, retraining under bit-level retention failures across the
+// paper's failure-rate ladder, and the Stage 1 tolerable-retention-time
+// decision.
+//
+// Usage:
+//
+//	rana-train -samples 500 -constraint 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rana"
+	"rana/internal/retention"
+	"rana/internal/training"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rana-train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	samples := fs.Int("samples", 500, "synthetic dataset size")
+	constraint := fs.Float64("constraint", 0.95, "relative accuracy constraint for the tolerance search")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	rates := fs.Int("rates", len(training.PaperRates), "how many ladder rates to evaluate (from 1e-5 upward)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *samples < 40 {
+		fmt.Fprintln(stderr, "rana-train: need at least 40 samples")
+		return 2
+	}
+	if *rates < 1 || *rates > len(training.PaperRates) {
+		fmt.Fprintf(stderr, "rana-train: -rates must be in [1, %d]\n", len(training.PaperRates))
+		return 2
+	}
+
+	cfg := rana.DefaultTrainingConfig()
+	cfg.Seed = *seed
+	fmt.Fprintf(stdout, "pretraining the fixed-point model on %d samples...\n", *samples)
+	m := rana.NewTrainingMethod(cfg, *samples)
+	fmt.Fprintf(stdout, "baseline fixed-point accuracy: %.1f%%\n\n", m.Baseline()*100)
+
+	fmt.Fprintf(stdout, "%10s %12s %12s %12s\n", "rate", "corrupted", "retrained", "relative")
+	var results []training.Result
+	for _, rate := range training.PaperRates[:*rates] {
+		r := m.Run(rate)
+		results = append(results, r)
+		fmt.Fprintf(stdout, "%10.0e %11.1f%% %11.1f%% %11.1f%%\n",
+			rate, r.Corrupted*100, r.Retrained*100, r.RelativeAccuracy()*100)
+	}
+
+	best := 0.0
+	for _, r := range results {
+		if r.RelativeAccuracy() >= *constraint && r.Rate > best {
+			best = r.Rate
+		}
+	}
+	dist := retention.Typical()
+	if best == 0 {
+		fmt.Fprintf(stderr, "\nno rate meets the %.0f%% constraint; falling back to the conventional point\n", *constraint*100)
+		best = retention.TypicalFailureRate
+	}
+	fmt.Fprintf(stdout, "\nstage 1 decision: tolerable failure rate %.0e -> tolerable retention time %v\n",
+		best, dist.RetentionTime(best))
+	fmt.Fprintf(stdout, "(conventional weakest-cell refresh interval: %v)\n", retention.TypicalRetentionTime)
+	return 0
+}

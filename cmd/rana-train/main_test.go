@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTrainSmall(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// One ladder rate (1e-5) on a tiny dataset keeps the test fast.
+	code := run([]string{"-samples", "120", "-rates", "1", "-constraint", "0.9"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"baseline fixed-point accuracy", "1e-05", "stage 1 decision", "734µs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-samples", "2"}, &out, &errBuf); code != 2 {
+		t.Errorf("tiny dataset exit = %d", code)
+	}
+	if code := run([]string{"-rates", "99"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad rates exit = %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+}

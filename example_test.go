@@ -1,0 +1,73 @@
+package rana_test
+
+import (
+	"fmt"
+
+	"rana"
+	"rana/internal/memctrl"
+	"rana/internal/sched"
+)
+
+// ExampleAnalyze reproduces the paper's running case: Layer-A
+// (res4a_branch1) under the output-dominant pattern has a 72 µs data
+// lifetime — comfortably below the 734 µs tolerable retention time, so
+// it needs no eDRAM refresh at all (§IV-C1).
+func ExampleAnalyze() {
+	layerA, _ := rana.ResNet().Layer("res4a_branch1")
+	a := rana.Analyze(layerA, rana.OD,
+		rana.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}, rana.TestAccelerator())
+	fmt.Printf("lifetime: %v\n", a.Lifetimes.Output.Round(1000))
+	fmt.Printf("refresh-free: %v\n", a.Lifetimes.Max() < rana.TolerableRetentionTime)
+	// Output:
+	// lifetime: 72µs
+	// refresh-free: true
+}
+
+// ExampleFramework_compile runs all three RANA stages on AlexNet and
+// prints the Stage 1 decision.
+func ExampleFramework_compile() {
+	out, err := rana.NewFramework().Compile(rana.AlexNet())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tolerable failure rate: %.0e\n", out.TolerableRate)
+	fmt.Printf("refresh interval: %v\n", out.TolerableRetention)
+	// Output:
+	// tolerable failure rate: 1e-05
+	// refresh interval: 734µs
+}
+
+// ExampleSchedule plans one network on a custom design point and reports
+// which computation patterns the hybrid schedule picked.
+func ExampleSchedule() {
+	plan, err := rana.Schedule(rana.VGG(), rana.TestAccelerator().
+		WithBufferTech(rana.EDRAMTech).
+		WithBufferWords(1454*1024/2), // the paper's 1.454 MB
+		sched.Options{
+			Patterns:        []rana.Pattern{rana.OD, rana.WD},
+			RefreshInterval: rana.TolerableRetentionTime,
+			Controller:      memctrl.RefreshOptimized{},
+		})
+	if err != nil {
+		panic(err)
+	}
+	wd := 0
+	for _, lp := range plan.Layers {
+		if lp.Analysis.Pattern == rana.WD {
+			wd++
+		}
+	}
+	fmt.Printf("layers scheduled: %d (WD on %d shallow layers)\n", len(plan.Layers), wd)
+	// Output:
+	// layers scheduled: 13 (WD on 6 shallow layers)
+}
+
+// ExampleTypicalRetention shows the Fig. 8 anchor lookups.
+func ExampleTypicalRetention() {
+	d := rana.TypicalRetention()
+	fmt.Printf("conventional: %v\n", d.RetentionTime(3e-6))
+	fmt.Printf("tolerable:    %v\n", d.RetentionTime(1e-5))
+	// Output:
+	// conventional: 45µs
+	// tolerable:    734µs
+}

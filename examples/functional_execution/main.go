@@ -1,0 +1,89 @@
+// Functional execution: run a small network word-by-word through the
+// decaying eDRAM model under three refresh regimes, demonstrating the
+// physics RANA exploits — data whose lifetime beats retention needs no
+// refresh; data that lingers either decays or must be refreshed.
+//
+//	go run ./examples/functional_execution
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rana"
+	"rana/internal/bits"
+	"rana/internal/energy"
+	"rana/internal/exec"
+	"rana/internal/fixed"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/pattern"
+	"rana/internal/sched"
+)
+
+func main() {
+	net := rana.Network{Name: "demo", Layers: []rana.ConvLayer{
+		{Name: "l0", Stage: "s", N: 2, H: 8, L: 8, M: 4, K: 3, S: 1, P: 1},
+		{Name: "l1", Stage: "s", N: 4, H: 8, L: 8, M: 6, K: 1, S: 1, P: 0},
+		{Name: "l2", Stage: "s", N: 6, H: 8, L: 8, M: 4, K: 3, S: 2, P: 1},
+	}}
+
+	cfg := hw.Config{
+		Name: "demo-accelerator", ArrayM: 2, ArrayN: 2,
+		FrequencyHz: 20e3, // deliberately slow: data lingers for ~100 model-ms
+		LocalInput:  512, LocalOutput: 256, LocalWeight: 512,
+		BufferWords: 4 * 512, BufferTech: energy.EDRAM, BankWords: 512,
+	}
+
+	rng := bits.NewSplitMix64(1)
+	input := randWords(rng, int(net.Layers[0].InputWords()))
+	var weights [][]fixed.Word
+	for _, l := range net.Layers {
+		weights = append(weights, randWords(rng, int(l.WeightWords())))
+	}
+
+	run := func(label string, interval time.Duration) {
+		plan, err := rana.Schedule(net, cfg, sched.Options{
+			Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
+			RefreshInterval: interval,
+			Controller:      memctrl.RefreshOptimized{},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := exec.New(cfg)
+		rep, err := engine.Run(plan, input, weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s exec=%8v  refresh ops=%7d  corrupted outputs=%d/%d\n",
+			label, rep.ExecTime.Round(time.Millisecond), rep.Counts.Refreshes,
+			rep.WordErrors, len(rep.Output))
+	}
+
+	fmt.Println("executing a 3-layer network word-by-word through decaying eDRAM")
+	fmt.Println("(clock slowed to 20 kHz so the whole run takes ~0.2 model-seconds,")
+	fmt.Println("far beyond every cell's retention time):")
+	fmt.Println()
+	// Interval longer than the run: no pulse ever fires → decay.
+	run("no refresh (interval 1s)", time.Second)
+	// Tight interval below the weakest cell: always safe, very costly.
+	run("conservative (50us)", 50*time.Microsecond)
+
+	fmt.Println()
+	fmt.Println("at deployment speed (200 MHz) the same network finishes in ~1 ms of")
+	fmt.Println("model time per layer window; every lifetime beats the 734us tolerable")
+	fmt.Println("retention and RANA's compiled schedule disables refresh entirely:")
+	fmt.Println()
+	cfg.FrequencyHz = 200e6
+	run("RANA schedule @200MHz (734us)", rana.TolerableRetentionTime)
+}
+
+func randWords(rng *bits.SplitMix64, n int) []fixed.Word {
+	out := make([]fixed.Word, n)
+	for i := range out {
+		out[i] = fixed.Q88.FromFloat(rng.NormFloat64() * 0.25)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Quickstart: compile ResNet-50 with the full RANA framework and compare
+// the resulting design against the paper's SRAM baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rana"
+)
+
+func main() {
+	// The framework bundles the paper's evaluation platform: the 256-PE
+	// test accelerator with 1.454 MB of eDRAM at equal area to the
+	// baseline's 384 KB of SRAM, and the Fig. 8 retention distribution.
+	fw := rana.NewFramework()
+
+	// Compile = Stage 1 (tolerable retention time from the accuracy
+	// constraint) + Stage 2 (hybrid computation pattern) + Stage 3
+	// (refresh flags and clock-divider programming).
+	out, err := fw.Compile(rana.ResNet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out.Summary())
+
+	// Count the refresh-free layers: the core RANA effect.
+	free := 0
+	for _, lc := range out.Layerwise {
+		needs := false
+		for _, f := range lc.RefreshFlags {
+			needs = needs || f
+		}
+		if !needs {
+			free++
+		}
+	}
+	fmt.Printf("\n%d of %d ResNet layers run entirely without eDRAM refresh\n",
+		free, len(out.Layerwise))
+
+	// Compare against the SRAM baseline at the same area.
+	p := rana.TestPlatform()
+	baseline, err := p.Evaluate(rana.SID(), rana.ResNet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranaE := out.Energy.Total()
+	sidE := baseline.Energy().Total()
+	fmt.Printf("\nsystem energy: RANA %.1f mJ vs S+ID %.1f mJ (%.1f%% saved)\n",
+		ranaE/1e9, sidE/1e9, (1-ranaE/sidE)*100)
+	fmt.Printf("off-chip access energy: %.1f mJ vs %.1f mJ (%.1f%% saved)\n",
+		out.Energy.OffChip/1e9, baseline.Energy().OffChip/1e9,
+		(1-out.Energy.OffChip/baseline.Energy().OffChip)*100)
+}

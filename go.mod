@@ -1,0 +1,3 @@
+module rana
+
+go 1.22

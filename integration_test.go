@@ -1,0 +1,226 @@
+package rana_test
+
+// Whole-pipeline integration tests: these cross every subsystem boundary
+// at once — the compilation phase feeding the execution phase, the
+// analytic scheduler feeding the physical eDRAM model, and the
+// training-level tolerance surviving physically simulated charge decay.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rana/internal/bits"
+	"rana/internal/core"
+	"rana/internal/dataset"
+	"rana/internal/edram"
+	"rana/internal/energy"
+	"rana/internal/exec"
+	"rana/internal/fixed"
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/nn"
+	"rana/internal/platform"
+	"rana/internal/retention"
+	"rana/internal/training"
+)
+
+// edgeConfig is a small eDRAM accelerator usable by both the framework
+// (compile) and the execution engine (word-accurate run).
+func edgeConfig() hw.Config {
+	return hw.Config{
+		Name: "edge-it", ArrayM: 2, ArrayN: 2, FrequencyHz: 200e6,
+		LocalInput: 512, LocalOutput: 256, LocalWeight: 512,
+		BufferWords: 4 * 512, BufferTech: energy.EDRAM, BankWords: 512,
+	}
+}
+
+// edgeNet chains three small layers so exec can run it.
+func edgeNet() models.Network {
+	return models.Network{Name: "edge-it-net", Layers: []models.ConvLayer{
+		{Name: "l0", Stage: "s", N: 2, H: 6, L: 6, M: 4, K: 3, S: 1, P: 1},
+		{Name: "l1", Stage: "s", N: 4, H: 6, L: 6, M: 6, K: 1, S: 1, P: 0},
+		{Name: "l2", Stage: "s", N: 6, H: 6, L: 6, M: 4, K: 3, S: 2, P: 1},
+	}}
+}
+
+// TestPipelineCompileExportImportExecute drives the full Fig. 6 flow on a
+// custom platform: Stage 1+2 compile, the artifact round-trips through
+// its serialized form, and the execution engine runs the plan on the
+// decaying eDRAM — exactly, with zero refresh, because every lifetime
+// beats the 734 µs tolerable retention at deployment speed.
+func TestPipelineCompileExportImportExecute(t *testing.T) {
+	fw := core.New()
+	fw.Platform = &platform.Platform{Base: edgeConfig(), Dist: retention.Typical()}
+	out, err := fw.Compile(edgeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Compile must keep the platform's own eDRAM capacity.
+	if out.Config.BufferWords != edgeConfig().BufferWords {
+		t.Fatalf("compile changed buffer capacity to %d", out.Config.BufferWords)
+	}
+
+	// The artifact round-trips and validates against the hardware.
+	var buf bytes.Buffer
+	if err := out.ExportConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := core.ImportConfig(&buf, out.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Retention() != out.TolerableRetention {
+		t.Errorf("artifact retention %v != compiled %v", cf.Retention(), out.TolerableRetention)
+	}
+
+	// The compiled plan executes on physics.
+	rng := bits.NewSplitMix64(21)
+	input := make([]fixed.Word, edgeNet().Layers[0].InputWords())
+	for i := range input {
+		input[i] = fixed.Q88.FromFloat(rng.NormFloat64() * 0.3)
+	}
+	var weights [][]fixed.Word
+	for _, l := range edgeNet().Layers {
+		ws := make([]fixed.Word, l.WeightWords())
+		for i := range ws {
+			ws[i] = fixed.Q88.FromFloat(rng.NormFloat64() * 0.2)
+		}
+		weights = append(weights, ws)
+	}
+	rep, err := exec.New(out.Config).Run(out.Plan, input, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WordErrors != 0 {
+		t.Errorf("compiled schedule corrupted %d output words", rep.WordErrors)
+	}
+	if rep.Counts.Refreshes != 0 {
+		t.Errorf("deployment-speed execution should be refresh-free, issued %d", rep.Counts.Refreshes)
+	}
+}
+
+// decayWeightsThroughEDRAM passes every parameter of the network through
+// a physical eDRAM buffer held unrefreshed for `hold` — the hardware
+// event the retention-aware training method prepares the model for.
+func decayWeightsThroughEDRAM(t *testing.T, net *nn.Network, hold time.Duration, seed uint64) {
+	t.Helper()
+	var total int
+	for _, p := range net.Params() {
+		total += p.W.Len()
+	}
+	banks := (total + 16383) / 16384
+	buf, err := edram.New(banks+1, 16384, retention.Typical(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := 0
+	f := fixed.Q88
+	for _, p := range net.Params() {
+		for i, v := range p.W.Data {
+			buf.Write(addr, f.FromFloat(v), 0)
+			_ = i
+			addr++
+		}
+	}
+	addr = 0
+	for _, p := range net.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] = f.ToFloat(buf.Read(addr, hold))
+			addr++
+		}
+	}
+}
+
+// TestTrainedToleranceSurvivesPhysicalDecay connects the training level
+// to the physical model through a channel the trainer never saw: instead
+// of the injector's masks, the retrained model's weights decay inside the
+// functional eDRAM for 2.5 ms (the 10⁻⁴ failure-rate point of Fig. 8).
+// The retention-aware model must classify better than the plain
+// fixed-point model under the same physical corruption.
+func TestTrainedToleranceSurvivesPhysicalDecay(t *testing.T) {
+	cfg := training.DefaultConfig()
+	cfg.Epochs = 4
+	samples := dataset.Generate(360, cfg.Seed)
+	train, test := dataset.Split(samples, 0.75)
+
+	baseline := training.BuildModel(cfg.Seed)
+	training.Train(baseline, train, cfg, 0)
+
+	retrained := training.BuildModel(cfg.Seed)
+	copyParams(retrained, baseline)
+	retrainCfg := cfg
+	retrainCfg.Epochs = 8
+	retrainCfg.LR = cfg.LR / 2
+	training.Train(retrained, train, retrainCfg, 1e-4)
+
+	hold := 2500 * time.Microsecond // F(2.5ms) = 1e-4
+	accUnder := func(net *nn.Network, seedBase uint64) float64 {
+		sum := 0.0
+		const trials = 6
+		for trial := uint64(0); trial < trials; trial++ {
+			probe := training.BuildModel(cfg.Seed)
+			copyParams(probe, net)
+			decayWeightsThroughEDRAM(t, probe, hold, seedBase+trial*131)
+			correct := 0
+			for _, s := range test {
+				if probe.Predict(s.Image, &nn.FaultModel{Format: fixed.Q88, Quantize: true}) == s.Label {
+					correct++
+				}
+			}
+			sum += float64(correct) / float64(len(test))
+		}
+		return sum / trials
+	}
+
+	accBase := accUnder(baseline, 1000)
+	accRetrained := accUnder(retrained, 1000) // same decay seeds: paired comparison
+	t.Logf("physical decay @2.5ms: baseline %.3f, retention-aware %.3f", accBase, accRetrained)
+	if accRetrained+0.02 < accBase {
+		t.Errorf("retention-aware model (%.3f) should not classify worse than baseline (%.3f) under physical decay",
+			accRetrained, accBase)
+	}
+	// And both should still be far above chance — 2.5 ms decay corrupts
+	// only ~1e-4 of cells.
+	if accRetrained < 0.5 {
+		t.Errorf("accuracy collapsed to %.3f under mild decay", accRetrained)
+	}
+}
+
+func copyParams(dst, src *nn.Network) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range sp {
+		copy(dp[i].W.Data, sp[i].W.Data)
+	}
+}
+
+// TestSchedulerRefreshDecisionsMatchPhysics: for every layer the RANA
+// framework marks refresh-free on the paper's platform, holding data for
+// that layer's maximum lifetime in the physical eDRAM corrupts at most a
+// ~10⁻⁵-grade sliver of cells — the tolerance Stage 1 trained for.
+func TestSchedulerRefreshDecisionsMatchPhysics(t *testing.T) {
+	out, err := core.New().Compile(models.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := retention.Typical()
+	for i, lc := range out.Layerwise {
+		anyFlag := false
+		for _, fl := range lc.RefreshFlags {
+			anyFlag = anyFlag || fl
+		}
+		if anyFlag {
+			continue // layer refreshes; nothing to check
+		}
+		lt := out.Plan.Layers[i].Analysis.Lifetimes.Max()
+		// Cell failure probability at this lifetime must not exceed the
+		// trained tolerance.
+		if rate := dist.FailureRate(lt); rate > retention.TolerableFailureRate {
+			t.Errorf("layer %s: refresh-free at lifetime %v but cell failure rate %.2g exceeds trained tolerance",
+				lc.Layer.Name, lt, rate)
+		}
+	}
+}

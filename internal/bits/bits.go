@@ -1,0 +1,129 @@
+// Package bits implements the bit-level retention-error injection used by
+// RANA's retention-aware training method (§IV-B, Fig. 9).
+//
+// The paper models a retention failure by adding a mask to each layer's
+// inputs and weights: every bit independently fails at rate r, and a
+// failed bit "has a random value of 0 or 1 with equal probability". This
+// package provides that mask as a deterministic, seedable stream so
+// experiments are reproducible.
+package bits
+
+import (
+	"math"
+
+	"rana/internal/fixed"
+)
+
+// Injector applies independent per-bit retention failures at a fixed rate.
+// The zero value is not usable; construct with NewInjector.
+type Injector struct {
+	rate float64
+	rng  *SplitMix64
+}
+
+// NewInjector returns an injector with per-bit failure rate r in [0, 1]
+// and a deterministic seed. A rate of 0 never corrupts anything.
+func NewInjector(r float64, seed uint64) *Injector {
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		panic("bits: failure rate must be in [0, 1]")
+	}
+	return &Injector{rate: r, rng: NewSplitMix64(seed)}
+}
+
+// Rate returns the per-bit failure rate.
+func (in *Injector) Rate() float64 { return in.rate }
+
+// CorruptWord applies the retention-failure mask to a single 16-bit word.
+// Each bit fails independently with probability rate; a failed bit is
+// replaced by an independent fair coin flip (so the bit actually changes
+// with probability rate/2).
+func (in *Injector) CorruptWord(w fixed.Word) fixed.Word {
+	if in.rate == 0 {
+		return w
+	}
+	b := fixed.Bits(w)
+	for i := 0; i < fixed.WordBits; i++ {
+		if in.rng.Float64() < in.rate {
+			if in.rng.Float64() < 0.5 {
+				b |= 1 << uint(i)
+			} else {
+				b &^= 1 << uint(i)
+			}
+		}
+	}
+	return fixed.FromBits(b)
+}
+
+// CorruptSlice applies CorruptWord in place to every element of ws and
+// returns the number of words whose value actually changed.
+func (in *Injector) CorruptSlice(ws []fixed.Word) int {
+	changed := 0
+	for i, w := range ws {
+		c := in.CorruptWord(w)
+		if c != w {
+			changed++
+		}
+		ws[i] = c
+	}
+	return changed
+}
+
+// CorruptFloats quantizes each value to format f, applies the bit-level
+// mask, and converts back. This is exactly the forward-propagation mask of
+// Fig. 9: the network sees fixed-point values with retention failures.
+func (in *Injector) CorruptFloats(xs []float64, f fixed.Format) {
+	if in.rate == 0 {
+		return
+	}
+	for i, x := range xs {
+		xs[i] = f.ToFloat(in.CorruptWord(f.FromFloat(x)))
+	}
+}
+
+// ExpectedWordErrorRate returns the probability that a 16-bit word is
+// changed by the mask: 1 - (1 - rate/2)^16. Property tests use this to
+// check the injector's empirical behaviour.
+func ExpectedWordErrorRate(rate float64) float64 {
+	return 1 - math.Pow(1-rate/2, float64(fixed.WordBits))
+}
+
+// SplitMix64 is a tiny deterministic PRNG (Steele, Lea & Flood 2014).
+// It backs all stochastic pieces of the repository so that every
+// experiment is reproducible without math/rand's global state.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("bits: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate via the Box-Muller
+// transform. Used for weight initialization in the training substrate.
+func (s *SplitMix64) NormFloat64() float64 {
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,196 @@
+package bits
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rana/internal/fixed"
+)
+
+func TestZeroRateNeverCorrupts(t *testing.T) {
+	in := NewInjector(0, 1)
+	ws := make([]fixed.Word, 1000)
+	for i := range ws {
+		ws[i] = fixed.Word(i)
+	}
+	if changed := in.CorruptSlice(ws); changed != 0 {
+		t.Errorf("zero rate changed %d words", changed)
+	}
+	for i, w := range ws {
+		if w != fixed.Word(i) {
+			t.Fatalf("word %d changed", i)
+		}
+	}
+}
+
+func TestFullRateScrambles(t *testing.T) {
+	in := NewInjector(1, 42)
+	ws := make([]fixed.Word, 4096)
+	changed := in.CorruptSlice(ws)
+	// At rate 1 every bit becomes a coin flip; a 16-bit word survives as
+	// zero with probability 2^-16, so essentially all words change.
+	if float64(changed)/float64(len(ws)) < 0.99 {
+		t.Errorf("full rate changed only %d/%d words", changed, len(ws))
+	}
+}
+
+func TestEmpiricalWordErrorRate(t *testing.T) {
+	for _, rate := range []float64{1e-2, 1e-1} {
+		in := NewInjector(rate, 7)
+		const n = 200000
+		ws := make([]fixed.Word, n)
+		changed := in.CorruptSlice(ws)
+		got := float64(changed) / n
+		want := ExpectedWordErrorRate(rate)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("rate %g: word error rate %.5f, want %.5f ±10%%", rate, got, want)
+		}
+	}
+}
+
+func TestExpectedWordErrorRate(t *testing.T) {
+	if got := ExpectedWordErrorRate(0); got != 0 {
+		t.Errorf("rate 0 → %g", got)
+	}
+	// Small-rate linearization: ≈ 16 · r/2 = 8r.
+	r := 1e-6
+	if got := ExpectedWordErrorRate(r); math.Abs(got-8*r)/(8*r) > 0.01 {
+		t.Errorf("small-rate approximation: got %g, want ≈%g", got, 8*r)
+	}
+}
+
+func TestInjectorPanicsOnBadRate(t *testing.T) {
+	for _, r := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v: expected panic", r)
+				}
+			}()
+			NewInjector(r, 0)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewInjector(0.3, 99)
+	b := NewInjector(0.3, 99)
+	for i := 0; i < 1000; i++ {
+		w := fixed.Word(i * 31)
+		if a.CorruptWord(w) != b.CorruptWord(w) {
+			t.Fatal("same seed must give identical corruption")
+		}
+	}
+}
+
+func TestCorruptFloatsQuantizesAndCorrupts(t *testing.T) {
+	// Zero rate leaves values untouched (not even quantized — fast path).
+	in := NewInjector(0, 1)
+	xs := []float64{0.123456789, -3.7, 2.5}
+	orig := append([]float64(nil), xs...)
+	in.CorruptFloats(xs, fixed.Q88)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Errorf("zero rate modified xs[%d]", i)
+		}
+	}
+	// Non-zero rate passes values through the fixed-point grid.
+	in = NewInjector(1e-9, 2)
+	in.CorruptFloats(xs, fixed.Q88)
+	for i, x := range xs {
+		if q := fixed.Q88.Quantize(x); q != x {
+			t.Errorf("xs[%d]=%g not on the Q8.8 grid (%g)", i, x, q)
+		}
+	}
+}
+
+func TestSplitMix64Stats(t *testing.T) {
+	rng := NewSplitMix64(12345)
+	const n = 100000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of range: %g", x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %.4f, want ≈0.5", mean)
+	}
+	varr := sumsq/n - mean*mean
+	if math.Abs(varr-1.0/12) > 0.005 {
+		t.Errorf("variance = %.4f, want ≈1/12", varr)
+	}
+	// Normal variates: mean ≈ 0, var ≈ 1.
+	sum, sumsq = 0, 0
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	if m := sum / n; math.Abs(m) > 0.02 {
+		t.Errorf("normal mean = %.4f", m)
+	}
+	if v := sumsq / n; math.Abs(v-1) > 0.05 {
+		t.Errorf("normal variance = %.4f", v)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	rng := NewSplitMix64(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	rng.Intn(0)
+}
+
+// TestCorruptionIsBitwiseBounded: a corrupted word differs from the
+// original only in bits (trivially true) and at rate r the expected
+// number of flipped bits per word is ≤ 16·r.
+func TestCorruptionBitFlipRate(t *testing.T) {
+	rate := 0.05
+	in := NewInjector(rate, 3)
+	flips := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		w := fixed.Word(i)
+		c := in.CorruptWord(w)
+		x := fixed.Bits(w) ^ fixed.Bits(c)
+		for ; x != 0; x &= x - 1 {
+			flips++
+		}
+	}
+	got := float64(flips) / n
+	want := 16 * rate / 2 // each failed bit flips half the time
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("bit flips/word = %.4f, want ≈%.4f", got, want)
+	}
+}
+
+func TestQuickInjectorAlwaysInRange(t *testing.T) {
+	in := NewInjector(0.5, 11)
+	prop := func(raw int16) bool {
+		c := in.CorruptWord(fixed.Word(raw))
+		return c >= fixed.MinWord && c <= fixed.MaxWord
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rana/internal/models"
+	"rana/internal/retention"
+)
+
+func compiled(t *testing.T) *Output {
+	t.Helper()
+	out, err := New().Compile(models.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	out := compiled(t)
+	var buf bytes.Buffer
+	if err := out.ExportConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := ImportConfig(&buf, out.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Network != "AlexNet" || cf.Accelerator != out.Config.Name {
+		t.Errorf("identity fields: %s/%s", cf.Network, cf.Accelerator)
+	}
+	if cf.Retention() != retention.TolerableRetentionTime {
+		t.Errorf("retention = %v", cf.Retention())
+	}
+	if cf.DividerRatio != out.DividerRatio {
+		t.Errorf("divider = %d", cf.DividerRatio)
+	}
+	if len(cf.Layers) != len(out.Layerwise) {
+		t.Fatalf("%d layers", len(cf.Layers))
+	}
+	for i, l := range cf.Layers {
+		lc := out.Layerwise[i]
+		if l.Name != lc.Layer.Name || l.Pattern != lc.Pattern.String() {
+			t.Errorf("layer %d identity mismatch", i)
+		}
+		if l.Tm != lc.Tiling.Tm || l.Tc != lc.Tiling.Tc {
+			t.Errorf("layer %d tiling mismatch", i)
+		}
+		for b := range l.RefreshFlags {
+			if l.RefreshFlags[b] != lc.RefreshFlags[b] {
+				t.Fatalf("layer %d flag %d mismatch", i, b)
+			}
+		}
+	}
+}
+
+func TestImportRejectsCorruptConfigs(t *testing.T) {
+	out := compiled(t)
+	var buf bytes.Buffer
+	if err := out.ExportConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]string{
+		"bad json":      "{nope",
+		"wrong version": strings.Replace(good, `"version": 1`, `"version": 99`, 1),
+		"bad pattern":   strings.Replace(good, `"pattern": "OD"`, `"pattern": "XX"`, 1),
+		"zero tiling":   strings.Replace(good, `"tm": `, `"tm": 0, "was_tm": `, 1),
+		"bad retention": strings.Replace(good, `"tolerable_retention_ns": 734000`, `"tolerable_retention_ns": -5`, 1),
+		"unknown field": strings.Replace(good, `"version"`, `"surprise": 1, "version"`, 1),
+		"bank mismatch": strings.Replace(good, `"banks": 46`, `"banks": 3`, 1),
+	}
+	for name, body := range cases {
+		if _, err := ImportConfig(strings.NewReader(body), out.Config); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Empty layer list.
+	empty := strings.NewReader(`{"version":1,"network":"x","accelerator":"y","tolerable_rate":1e-5,"tolerable_retention_ns":734000,"divider_ratio":146800,"banks":46,"layers":[]}`)
+	if _, err := ImportConfig(empty, out.Config); err == nil {
+		t.Error("empty layers: expected error")
+	}
+}
+
+func TestImportRejectsWrongHardware(t *testing.T) {
+	out := compiled(t)
+	var buf bytes.Buffer
+	if err := out.ExportConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	smaller := out.Config.WithBufferWords(out.Config.BufferWords / 2)
+	if _, err := ImportConfig(&buf, smaller); err == nil {
+		t.Error("config for 46 banks should not load on smaller hardware")
+	}
+}

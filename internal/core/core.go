@@ -1,0 +1,184 @@
+// Package core assembles the full RANA framework of Fig. 6: the
+// three-stage workflow that takes a CNN accelerator and a target CNN
+// model and produces the configurations an execution phase runs with.
+//
+//	Stage 1 (training):    tolerable failure rate → tolerable retention time
+//	Stage 2 (scheduling):  hybrid computation pattern + layerwise configs
+//	Stage 3 (architecture): per-bank refresh flags + clock-divider setting
+//
+// Stages 1 and 2 form the compilation phase; Stage 3's outputs program
+// the refresh-optimized eDRAM controller during execution.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/platform"
+	"rana/internal/retention"
+	"rana/internal/sched"
+	"rana/internal/training"
+)
+
+// Framework is a configured RANA instance.
+type Framework struct {
+	// Platform is the accelerator + retention distribution under
+	// optimization.
+	Platform *platform.Platform
+	// AccuracyConstraint is the minimum relative accuracy Stage 1 must
+	// preserve (the paper requires no accuracy loss; 0.995 reproduces
+	// its 10⁻⁵ decision).
+	AccuracyConstraint float64
+	// Rates is the failure-rate ladder Stage 1 searches.
+	Rates []float64
+}
+
+// New returns a framework on the paper's evaluation platform with the
+// paper's search parameters.
+func New() *Framework {
+	return &Framework{
+		Platform:           platform.Test(),
+		AccuracyConstraint: 0.995,
+		Rates:              training.PaperRates,
+	}
+}
+
+// LayerConfig is one entry of the layerwise configurations produced by
+// the compilation phase (§IV-A): the computation pattern with tiling, and
+// the per-bank refresh flags Stage 3 loads when the layer starts.
+type LayerConfig struct {
+	Layer        models.ConvLayer
+	Pattern      pattern.Kind
+	Tiling       pattern.Tiling
+	RefreshFlags []bool
+}
+
+// Output is the result of compiling one network.
+type Output struct {
+	// TolerableRate and TolerableRetention are Stage 1's products.
+	TolerableRate      float64
+	TolerableRetention time.Duration
+	// Config is the design-specialized accelerator configuration the
+	// schedule targets (eDRAM buffers at the design capacity).
+	Config hw.Config
+	// DividerRatio programs the controller's clock divider (Fig. 14).
+	DividerRatio uint64
+	// Plan is Stage 2's full schedule with energy accounting.
+	Plan *sched.Plan
+	// Layerwise are the per-layer execution configurations.
+	Layerwise []LayerConfig
+	// Energy is the estimated whole-network system energy.
+	Energy energy.Breakdown
+}
+
+// Compile runs the compilation phase (Stages 1 and 2) and derives the
+// Stage 3 programming for the given network.
+func (f *Framework) Compile(net models.Network) (*Output, error) {
+	if f.Platform == nil {
+		return nil, fmt.Errorf("core: nil platform")
+	}
+	if f.AccuracyConstraint <= 0 || f.AccuracyConstraint > 1 {
+		return nil, fmt.Errorf("core: accuracy constraint %g outside (0,1]", f.AccuracyConstraint)
+	}
+	// Stage 1: tolerable failure rate under the accuracy constraint,
+	// converted to a retention time by the platform's distribution.
+	rate := training.TolerableRate(f.AccuracyConstraint, f.Rates)
+	rt := f.Platform.Dist.RetentionTime(rate)
+
+	// Stage 2: hybrid-pattern scheduling at the tolerable interval with
+	// the refresh-optimized controller (the full RANA design point). A
+	// platform that already has eDRAM buffers keeps its own capacity;
+	// an SRAM base is refitted to the paper's equal-area 1.454 MB.
+	design := platform.RANAStarE5()
+	design.FailureRate = rate
+	if f.Platform.Base.BufferTech == energy.EDRAM {
+		design.BufferWords = 0
+	}
+	cfg := design.Apply(f.Platform.Base)
+	opts := sched.Options{
+		Patterns:        design.Patterns,
+		RefreshInterval: rt,
+		Controller:      memctrl.RefreshOptimized{},
+	}
+	plan, err := sched.Schedule(net, cfg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// Stage 3 programming: divider ratio and per-layer refresh flags.
+	div, err := memctrl.NewDivider(cfg.FrequencyHz, rt)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := &Output{
+		TolerableRate:      rate,
+		TolerableRetention: rt,
+		Config:             cfg,
+		DividerRatio:       div.Ratio(),
+		Plan:               plan,
+		Energy:             plan.Energy,
+	}
+	for i, lp := range plan.Layers {
+		out.Layerwise = append(out.Layerwise, LayerConfig{
+			Layer:        net.Layers[i],
+			Pattern:      lp.Analysis.Pattern,
+			Tiling:       lp.Analysis.Tiling,
+			RefreshFlags: lp.RefreshFlags(cfg.Banks()),
+		})
+	}
+	return out, nil
+}
+
+// Controller builds the Stage 3 refresh machinery (divider + issuer) for
+// the compiled configuration, programmed to the compiled retention time.
+// The caller loads each layer's flags as execution proceeds.
+func (o *Output) Controller() (*memctrl.Issuer, error) {
+	div, err := memctrl.NewDivider(o.Config.FrequencyHz, o.TolerableRetention)
+	if err != nil {
+		return nil, err
+	}
+	return memctrl.NewIssuer(div, o.Config.Banks())
+}
+
+// Summary formats the compilation outcome in one line per stage.
+func (o *Output) Summary() string {
+	refreshFree := 0
+	for _, lc := range o.Layerwise {
+		free := true
+		for _, flag := range lc.RefreshFlags {
+			if flag {
+				free = false
+				break
+			}
+		}
+		if free {
+			refreshFree++
+		}
+	}
+	return fmt.Sprintf(
+		"stage1: tolerable rate %.0e -> retention %v\n"+
+			"stage2: %d layers scheduled, energy %.3f mJ\n"+
+			"stage3: divider ratio %d, %d/%d layers refresh-free",
+		o.TolerableRate, o.TolerableRetention,
+		len(o.Layerwise), o.Energy.Total()/1e9,
+		o.DividerRatio, refreshFree, len(o.Layerwise))
+}
+
+// Verify re-derives Stage 1's decision against the retention anchors —
+// a guard used by tests and the CLI to confirm the compiled interval
+// matches the paper's 734 µs when the constraint reproduces the paper's.
+func (o *Output) Verify() error {
+	if o.TolerableRetention < retention.TypicalRetentionTime {
+		return fmt.Errorf("core: compiled retention %v below the conventional %v",
+			o.TolerableRetention, retention.TypicalRetentionTime)
+	}
+	if len(o.Layerwise) != len(o.Plan.Layers) {
+		return fmt.Errorf("core: %d layer configs for %d plans", len(o.Layerwise), len(o.Plan.Layers))
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/retention"
+)
+
+func TestCompileReproducesPaperDecisions(t *testing.T) {
+	f := New()
+	out, err := f.Compile(models.ResNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 1 lands on the paper's numbers: 10⁻⁵ → 734 µs.
+	if out.TolerableRate != 1e-5 {
+		t.Errorf("rate = %g, want 1e-5", out.TolerableRate)
+	}
+	if out.TolerableRetention != retention.TolerableRetentionTime {
+		t.Errorf("retention = %v, want 734µs", out.TolerableRetention)
+	}
+	// Stage 3: 734 µs at 200 MHz = 146800 reference cycles.
+	if out.DividerRatio != 146800 {
+		t.Errorf("divider = %d, want 146800", out.DividerRatio)
+	}
+	// Stage 2 produced a hybrid schedule over OD/WD only.
+	for _, lc := range out.Layerwise {
+		if lc.Pattern != pattern.OD && lc.Pattern != pattern.WD {
+			t.Fatalf("layer %s scheduled %v; RANA explores OD/WD only", lc.Layer.Name, lc.Pattern)
+		}
+	}
+	// Almost all ResNet layers end refresh-free at 734 µs (the paper
+	// reports ≈99.7% of refresh operations removed).
+	free := 0
+	for _, lc := range out.Layerwise {
+		anyFlag := false
+		for _, fl := range lc.RefreshFlags {
+			anyFlag = anyFlag || fl
+		}
+		if !anyFlag {
+			free++
+		}
+	}
+	if free < len(out.Layerwise)*3/4 {
+		t.Errorf("only %d/%d layers refresh-free", free, len(out.Layerwise))
+	}
+}
+
+func TestCompileAllBenchmarks(t *testing.T) {
+	f := New()
+	for _, net := range models.Benchmarks() {
+		out, err := f.Compile(net)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		if len(out.Layerwise) != len(net.Layers) {
+			t.Errorf("%s: %d configs for %d layers", net.Name, len(out.Layerwise), len(net.Layers))
+		}
+		if out.Energy.Total() <= 0 {
+			t.Errorf("%s: degenerate energy", net.Name)
+		}
+	}
+}
+
+func TestControllerConstruction(t *testing.T) {
+	f := New()
+	out, err := f.Compile(models.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := out.Controller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer flags load into the issuer.
+	if err := issuer.SetFlags(out.Layerwise[0].RefreshFlags); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	f := New()
+	out, err := f.Compile(models.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Summary()
+	for _, want := range []string{"stage1", "stage2", "stage3", "734"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	f := New()
+	f.AccuracyConstraint = 0
+	if _, err := f.Compile(models.AlexNet()); err == nil {
+		t.Error("bad constraint should fail")
+	}
+	f = New()
+	f.Platform = nil
+	if _, err := f.Compile(models.AlexNet()); err == nil {
+		t.Error("nil platform should fail")
+	}
+	f = New()
+	if _, err := f.Compile(models.Network{Name: "empty"}); err == nil {
+		t.Error("empty network should fail")
+	}
+}
+
+func TestLooserConstraintBuysLongerRetention(t *testing.T) {
+	strict := New()
+	loose := New()
+	loose.AccuracyConstraint = 0.5
+	a, err := strict.Compile(models.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loose.Compile(models.AlexNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TolerableRetention <= a.TolerableRetention {
+		t.Errorf("loose constraint retention %v should exceed strict %v",
+			b.TolerableRetention, a.TolerableRetention)
+	}
+	if b.Energy.Refresh > a.Energy.Refresh {
+		t.Error("longer retention should not increase refresh energy")
+	}
+}

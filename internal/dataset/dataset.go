@@ -1,0 +1,120 @@
+// Package dataset generates the deterministic synthetic image set used to
+// demonstrate the retention-aware training method end to end. The paper
+// retrains ImageNet models with Caffe; ImageNet and its training stack
+// are out of scope here (DESIGN.md §2), so the mechanism — accuracy under
+// bit-level retention failures, with and without failure-aware retraining
+// — is exercised on a procedurally generated 4-class texture dataset that
+// a small CNN learns in seconds.
+package dataset
+
+import (
+	"fmt"
+
+	"rana/internal/bits"
+	"rana/internal/tensor"
+)
+
+// Size is the square image side; images are single-channel.
+const Size = 12
+
+// NumClasses is the label count.
+const NumClasses = 4
+
+// Class labels.
+const (
+	HorizontalStripes = iota
+	VerticalStripes
+	Checkerboard
+	Blob
+)
+
+// ClassName returns a human-readable label name.
+func ClassName(label int) string {
+	switch label {
+	case HorizontalStripes:
+		return "horizontal-stripes"
+	case VerticalStripes:
+		return "vertical-stripes"
+	case Checkerboard:
+		return "checkerboard"
+	case Blob:
+		return "blob"
+	default:
+		return fmt.Sprintf("class-%d", label)
+	}
+}
+
+// Sample is one labeled image: a (1, Size, Size) tensor in [-1, 1].
+type Sample struct {
+	Image *tensor.Tensor
+	Label int
+}
+
+// Generate returns n deterministic samples with balanced labels. Each
+// image is a class texture with a random phase/scale plus Gaussian noise,
+// so the task is learnable but not trivial.
+func Generate(n int, seed uint64) []Sample {
+	rng := bits.NewSplitMix64(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		label := i % NumClasses
+		out[i] = Sample{Image: render(label, rng), Label: label}
+	}
+	return out
+}
+
+// render draws one image of the class.
+func render(label int, rng *bits.SplitMix64) *tensor.Tensor {
+	img := tensor.New(1, Size, Size)
+	period := 2 + rng.Intn(3)  // stripe/checker period
+	phase := rng.Intn(period)  // translation
+	cx := 2 + rng.Intn(Size-4) // blob center
+	cy := 2 + rng.Intn(Size-4)
+	radius := 2 + rng.Intn(3)
+	for r := 0; r < Size; r++ {
+		for c := 0; c < Size; c++ {
+			v := -1.0
+			switch label {
+			case HorizontalStripes:
+				if (r+phase)/period%2 == 0 {
+					v = 1
+				}
+			case VerticalStripes:
+				if (c+phase)/period%2 == 0 {
+					v = 1
+				}
+			case Checkerboard:
+				if ((r+phase)/period+(c+phase)/period)%2 == 0 {
+					v = 1
+				}
+			case Blob:
+				dr, dc := r-cx, c-cy
+				if dr*dr+dc*dc <= radius*radius {
+					v = 1
+				}
+			}
+			v += rng.NormFloat64() * 0.15
+			img.Set(clamp(v), 0, r, c)
+		}
+	}
+	return img
+}
+
+func clamp(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Split partitions samples into train and test sets at the given ratio.
+func Split(samples []Sample, trainFrac float64) (train, test []Sample) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("dataset: train fraction %g outside (0,1)", trainFrac))
+	}
+	cut := int(float64(len(samples)) * trainFrac)
+	return samples[:cut], samples[cut:]
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(40, 7)
+	b := Generate(40, 7)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a[i].Image.Data {
+			if a[i].Image.Data[j] != b[i].Image.Data[j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+	c := Generate(40, 8)
+	same := true
+	for j := range a[0].Image.Data {
+		if a[0].Image.Data[j] != c[0].Image.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+func TestBalancedLabels(t *testing.T) {
+	samples := Generate(100, 1)
+	counts := make(map[int]int)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	for l := 0; l < NumClasses; l++ {
+		if counts[l] != 25 {
+			t.Errorf("class %d count = %d", l, counts[l])
+		}
+	}
+}
+
+func TestImageRange(t *testing.T) {
+	for _, s := range Generate(200, 2) {
+		if s.Image.Dim(0) != 1 || s.Image.Dim(1) != Size || s.Image.Dim(2) != Size {
+			t.Fatalf("image shape %v", s.Image.Shape())
+		}
+		for _, v := range s.Image.Data {
+			if v < -1 || v > 1 {
+				t.Fatalf("pixel %g out of range", v)
+			}
+		}
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// Horizontal stripes vary along rows but not along columns (up to
+	// noise); vertical stripes the opposite. Check mean row/col variance.
+	samples := Generate(NumClasses*8, 3)
+	for _, s := range samples {
+		rv, cv := rowVar(s), colVar(s)
+		switch s.Label {
+		case HorizontalStripes:
+			if rv < cv {
+				t.Errorf("horizontal stripes: row variance %g < col variance %g", rv, cv)
+			}
+		case VerticalStripes:
+			if cv < rv {
+				t.Errorf("vertical stripes: col variance %g < row variance %g", cv, rv)
+			}
+		}
+	}
+}
+
+// rowVar measures variance of per-row means (high for horizontal stripes).
+func rowVar(s Sample) float64 {
+	var means [Size]float64
+	for r := 0; r < Size; r++ {
+		for c := 0; c < Size; c++ {
+			means[r] += s.Image.At(0, r, c)
+		}
+		means[r] /= Size
+	}
+	return variance(means[:])
+}
+
+func colVar(s Sample) float64 {
+	var means [Size]float64
+	for c := 0; c < Size; c++ {
+		for r := 0; r < Size; r++ {
+			means[c] += s.Image.At(0, r, c)
+		}
+		means[c] /= Size
+	}
+	return variance(means[:])
+}
+
+func variance(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v / float64(len(xs))
+}
+
+func TestSplit(t *testing.T) {
+	samples := Generate(100, 4)
+	tr, te := Split(samples, 0.8)
+	if len(tr) != 80 || len(te) != 20 {
+		t.Errorf("split sizes %d/%d", len(tr), len(te))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad fraction should panic")
+		}
+	}()
+	Split(samples, 1.5)
+}
+
+func TestClassName(t *testing.T) {
+	if ClassName(Blob) != "blob" || ClassName(99) != "class-99" {
+		t.Error("ClassName")
+	}
+}

@@ -1,0 +1,77 @@
+// Package ddr is the off-chip DDR3 memory model of the evaluation
+// platform. The paper treats off-chip memory as a flat word store whose
+// accesses dominate energy (Table III: 2112.9 pJ per 16-bit access,
+// 1653.7× a MAC); this model provides that store with access counting for
+// the βd coefficient of Eq. 14, plus named regions so a whole network's
+// tensors can live off chip between layers (§II-B: outputs are "sent to
+// the off-chip memory, and will be loaded again for the successive
+// layer").
+package ddr
+
+import (
+	"fmt"
+
+	"rana/internal/energy"
+	"rana/internal/fixed"
+)
+
+// Memory is a flat off-chip word store with named regions.
+type Memory struct {
+	regions map[string][]fixed.Word
+	reads   uint64
+	writes  uint64
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{regions: make(map[string][]fixed.Word)}
+}
+
+// Store creates or replaces a named region with a copy of data. Storing
+// counts as writes (the data arrives over the memory bus).
+func (m *Memory) Store(name string, data []fixed.Word) {
+	cp := make([]fixed.Word, len(data))
+	copy(cp, data)
+	m.regions[name] = cp
+	m.writes += uint64(len(data))
+}
+
+// Load returns a copy of a named region, counting reads.
+func (m *Memory) Load(name string) ([]fixed.Word, error) {
+	r, ok := m.regions[name]
+	if !ok {
+		return nil, fmt.Errorf("ddr: region %q not found", name)
+	}
+	m.reads += uint64(len(r))
+	cp := make([]fixed.Word, len(r))
+	copy(cp, r)
+	return cp, nil
+}
+
+// Peek returns the region without counting an access (for test oracles).
+func (m *Memory) Peek(name string) ([]fixed.Word, bool) {
+	r, ok := m.regions[name]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]fixed.Word, len(r))
+	copy(cp, r)
+	return cp, true
+}
+
+// Delete frees a region (no bus traffic).
+func (m *Memory) Delete(name string) { delete(m.regions, name) }
+
+// Reads returns the accumulated word-read count.
+func (m *Memory) Reads() uint64 { return m.reads }
+
+// Writes returns the accumulated word-write count.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// Accesses returns βd: total reads + writes.
+func (m *Memory) Accesses() uint64 { return m.reads + m.writes }
+
+// EnergyPJ returns the off-chip access energy so far.
+func (m *Memory) EnergyPJ() float64 {
+	return float64(m.Accesses()) * energy.DDRAccessPJ
+}

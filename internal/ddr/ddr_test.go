@@ -1,0 +1,93 @@
+package ddr
+
+import (
+	"testing"
+
+	"rana/internal/energy"
+	"rana/internal/fixed"
+)
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m := New()
+	data := []fixed.Word{1, -2, 3}
+	m.Store("x", data)
+	got, err := m.Load("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("word %d: %d", i, got[i])
+		}
+	}
+	// Copies are independent.
+	got[0] = 99
+	again, _ := m.Load("x")
+	if again[0] != 1 {
+		t.Error("Load must return a copy")
+	}
+	data[1] = 42
+	again, _ = m.Load("x")
+	if again[1] != -2 {
+		t.Error("Store must copy its input")
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	m := New()
+	m.Store("a", make([]fixed.Word, 10)) // 10 writes
+	if _, err := m.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Writes() != 10 || m.Reads() != 20 || m.Accesses() != 30 {
+		t.Errorf("w=%d r=%d a=%d", m.Writes(), m.Reads(), m.Accesses())
+	}
+	want := 30 * energy.DDRAccessPJ
+	if m.EnergyPJ() != want {
+		t.Errorf("energy = %g, want %g", m.EnergyPJ(), want)
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	m := New()
+	m.Store("a", []fixed.Word{7})
+	before := m.Accesses()
+	got, ok := m.Peek("a")
+	if !ok || got[0] != 7 {
+		t.Fatal("peek")
+	}
+	if m.Accesses() != before {
+		t.Error("Peek counted an access")
+	}
+	if _, ok := m.Peek("missing"); ok {
+		t.Error("Peek false positive")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := New().Load("nope"); err == nil {
+		t.Error("missing region should error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New()
+	m.Store("a", []fixed.Word{1})
+	m.Delete("a")
+	if _, err := m.Load("a"); err == nil {
+		t.Error("deleted region should be gone")
+	}
+}
+
+func TestStoreReplaces(t *testing.T) {
+	m := New()
+	m.Store("a", []fixed.Word{1, 2})
+	m.Store("a", []fixed.Word{9})
+	got, _ := m.Load("a")
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,190 @@
+// Package edram implements a functional embedded-DRAM buffer model
+// (Fig. 4): banks of 16-bit words whose cells lose charge over time.
+//
+// Each cell has a retention time drawn from the platform's retention-time
+// distribution (Fig. 8). A word read after its weakest cell's retention
+// time has elapsed — measured from the last write or refresh — returns a
+// corrupted value: the expired bits take random values, exactly the
+// failure model the retention-aware training method injects (§IV-B).
+// Writing a word recharges its cells, which is the physical basis of the
+// OD pattern's output self-refresh property (§IV-C1).
+//
+// The model is word-granular and samples cell retention lazily, so large
+// buffers cost memory only for the words actually touched.
+package edram
+
+import (
+	"fmt"
+	"time"
+
+	"rana/internal/bits"
+	"rana/internal/fixed"
+	"rana/internal/retention"
+)
+
+// Buffer is a functional eDRAM buffer of Banks × WordsPerBank 16-bit
+// words. The zero value is not usable; construct with New.
+type Buffer struct {
+	banks        int
+	wordsPerBank int
+	dist         *retention.Distribution
+	rng          *bits.SplitMix64
+
+	data []fixed.Word
+	// charged[i] is the time the word's cells were last recharged
+	// (written or refreshed). Valid only if touched[i].
+	charged []time.Duration
+	touched []bool
+	// weakest[i] caches the word's sampled per-bit retention times as the
+	// minimum per bit position, lazily initialized.
+	weakest [][]time.Duration
+
+	reads, writes, refreshes uint64
+	corruptedReads           uint64
+}
+
+// New returns a buffer with the given geometry. dist supplies per-cell
+// retention times; seed makes cell sampling and corruption deterministic.
+func New(banks, wordsPerBank int, dist *retention.Distribution, seed uint64) (*Buffer, error) {
+	if banks <= 0 || wordsPerBank <= 0 {
+		return nil, fmt.Errorf("edram: invalid geometry %d banks × %d words", banks, wordsPerBank)
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("edram: nil retention distribution")
+	}
+	n := banks * wordsPerBank
+	return &Buffer{
+		banks:        banks,
+		wordsPerBank: wordsPerBank,
+		dist:         dist,
+		rng:          bits.NewSplitMix64(seed),
+		data:         make([]fixed.Word, n),
+		charged:      make([]time.Duration, n),
+		touched:      make([]bool, n),
+		weakest:      make([][]time.Duration, n),
+	}, nil
+}
+
+// Banks returns the bank count.
+func (b *Buffer) Banks() int { return b.banks }
+
+// WordsPerBank returns the per-bank word capacity.
+func (b *Buffer) WordsPerBank() int { return b.wordsPerBank }
+
+// Words returns the total word capacity.
+func (b *Buffer) Words() int { return b.banks * b.wordsPerBank }
+
+// addrCheck panics on out-of-range addresses: addresses come from the
+// simulator's own mapping, where a bad address is a bug, not an input.
+func (b *Buffer) addrCheck(addr int) {
+	if addr < 0 || addr >= len(b.data) {
+		panic(fmt.Sprintf("edram: address %d out of range [0,%d)", addr, len(b.data)))
+	}
+}
+
+// Write stores w at addr at time now, recharging the word's cells.
+func (b *Buffer) Write(addr int, w fixed.Word, now time.Duration) {
+	b.addrCheck(addr)
+	b.data[addr] = w
+	b.charged[addr] = now
+	b.touched[addr] = true
+	b.writes++
+}
+
+// Read returns the word at addr as observed at time now. Bits whose cells'
+// retention time has elapsed since the last recharge decay to random
+// values. Reading an address never written returns a corrupted zero word
+// consistent with uninitialized DRAM.
+func (b *Buffer) Read(addr int, now time.Duration) fixed.Word {
+	b.addrCheck(addr)
+	b.reads++
+	w := b.data[addr]
+	if !b.touched[addr] {
+		// Never charged: everything may have decayed since t=0.
+		b.charged[addr] = 0
+		b.touched[addr] = true
+	}
+	elapsed := now - b.charged[addr]
+	if elapsed <= 0 {
+		return w
+	}
+	bitsRet := b.cellRetention(addr)
+	raw := fixed.Bits(w)
+	corrupted := false
+	for i, rt := range bitsRet {
+		if elapsed > rt {
+			corrupted = true
+			if b.rng.Float64() < 0.5 {
+				raw |= 1 << uint(i)
+			} else {
+				raw &^= 1 << uint(i)
+			}
+		}
+	}
+	if corrupted {
+		b.corruptedReads++
+	}
+	// A DRAM read is destructive: the sense amplifiers latch the (possibly
+	// decayed) value and write it back, recharging the cells. Persisting
+	// the observed value and recharge time keeps repeated reads coherent.
+	b.data[addr] = fixed.FromBits(raw)
+	b.charged[addr] = now
+	return fixed.FromBits(raw)
+}
+
+// cellRetention lazily samples the 16 per-bit cell retention times of a
+// word from the distribution.
+func (b *Buffer) cellRetention(addr int) []time.Duration {
+	if b.weakest[addr] == nil {
+		rs := make([]time.Duration, fixed.WordBits)
+		for i := range rs {
+			rs[i] = b.dist.SampleCellRetention(b.rng)
+		}
+		b.weakest[addr] = rs
+	}
+	return b.weakest[addr]
+}
+
+// RefreshBank recharges every word in the bank at time now and returns
+// the number of word-refresh operations performed (= WordsPerBank): the
+// γ contribution of one bank refresh (0.788 µJ per 32 KB bank, Table II).
+func (b *Buffer) RefreshBank(bank int, now time.Duration) uint64 {
+	if bank < 0 || bank >= b.banks {
+		panic(fmt.Sprintf("edram: bank %d out of range [0,%d)", bank, b.banks))
+	}
+	base := bank * b.wordsPerBank
+	for i := 0; i < b.wordsPerBank; i++ {
+		addr := base + i
+		// Refresh reads and rewrites the cell before decay; decayed bits
+		// are latched as-is (refresh cannot restore lost charge), which
+		// is why refresh must arrive within the retention time.
+		if b.touched[addr] {
+			elapsed := now - b.charged[addr]
+			for j, rt := range b.cellRetention(addr) {
+				if elapsed > rt {
+					raw := fixed.Bits(b.data[addr])
+					if b.rng.Float64() < 0.5 {
+						raw |= 1 << uint(j)
+					} else {
+						raw &^= 1 << uint(j)
+					}
+					b.data[addr] = fixed.FromBits(raw)
+				}
+			}
+		}
+		b.charged[addr] = now
+		b.touched[addr] = true
+	}
+	b.refreshes += uint64(b.wordsPerBank)
+	return uint64(b.wordsPerBank)
+}
+
+// Stats reports the buffer's operation counters.
+type Stats struct {
+	Reads, Writes, Refreshes, CorruptedReads uint64
+}
+
+// Stats returns the accumulated operation counters.
+func (b *Buffer) Stats() Stats {
+	return Stats{Reads: b.reads, Writes: b.writes, Refreshes: b.refreshes, CorruptedReads: b.corruptedReads}
+}

@@ -1,0 +1,209 @@
+package edram
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rana/internal/fixed"
+	"rana/internal/retention"
+)
+
+func newTestBuffer(t *testing.T, banks, words int) *Buffer {
+	t.Helper()
+	b, err := New(banks, words, retention.Typical(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGeometry(t *testing.T) {
+	b := newTestBuffer(t, 4, 128)
+	if b.Banks() != 4 || b.WordsPerBank() != 128 || b.Words() != 512 {
+		t.Errorf("geometry: %d banks × %d = %d", b.Banks(), b.WordsPerBank(), b.Words())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10, retention.Typical(), 1); err == nil {
+		t.Error("zero banks should fail")
+	}
+	if _, err := New(1, 0, retention.Typical(), 1); err == nil {
+		t.Error("zero words should fail")
+	}
+	if _, err := New(1, 1, nil, 1); err == nil {
+		t.Error("nil distribution should fail")
+	}
+}
+
+func TestReadBeforeRetentionTimeIsClean(t *testing.T) {
+	b := newTestBuffer(t, 1, 1024)
+	for i := 0; i < 1024; i++ {
+		b.Write(i, fixed.Word(i), 0)
+	}
+	// 10 µs < every cell's retention time (first anchor): no corruption.
+	for i := 0; i < 1024; i++ {
+		if got := b.Read(i, 9*time.Microsecond); got != fixed.Word(i) {
+			t.Fatalf("word %d corrupted before retention time: %d", i, got)
+		}
+	}
+	if b.Stats().CorruptedReads != 0 {
+		t.Errorf("corrupted reads = %d", b.Stats().CorruptedReads)
+	}
+}
+
+func TestDecayAfterLongIdle(t *testing.T) {
+	b := newTestBuffer(t, 1, 4096)
+	for i := 0; i < 4096; i++ {
+		b.Write(i, 0x5A5A, 0)
+	}
+	// 200 ms exceeds the last anchor (100 ms): every cell decays.
+	corrupted := 0
+	for i := 0; i < 4096; i++ {
+		if b.Read(i, 200*time.Millisecond) != 0x5A5A {
+			corrupted++
+		}
+	}
+	// Each of 16 bits becomes a coin flip: nearly all words change.
+	if float64(corrupted)/4096 < 0.99 {
+		t.Errorf("only %d/4096 words decayed after 200ms", corrupted)
+	}
+}
+
+func TestDecayRateMatchesDistribution(t *testing.T) {
+	dist := retention.Typical()
+	b, err := New(1, 60000, dist, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60000; i++ {
+		b.Write(i, 0x0F0F, 0)
+	}
+	// At t = 25 ms the cell failure rate is 1e-2; with 16 cells/word the
+	// expected fraction of corrupted READS is ≈ 16 · 1e-2 / 2 = 8%
+	// observable flips... we check corrupted *words* instead: a word is
+	// corrupted if any of its 16 cells expired AND the coin flip changed
+	// the bit: 1-(1-p/2)^16 with p = rate(25ms).
+	at := 25 * time.Millisecond
+	p := dist.FailureRate(at)
+	want := 1.0
+	for i := 0; i < 16; i++ {
+		want *= 1 - p/2
+	}
+	want = 1 - want
+	corrupted := 0
+	for i := 0; i < 60000; i++ {
+		if b.Read(i, at) != 0x0F0F {
+			corrupted++
+		}
+	}
+	got := float64(corrupted) / 60000
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("corrupted word fraction = %.4f, want ≈%.4f", got, want)
+	}
+}
+
+func TestWriteRecharges(t *testing.T) {
+	b := newTestBuffer(t, 1, 16)
+	b.Write(3, 123, 0)
+	// Rewrite at 50 ms recharges; a read shortly after is clean even
+	// though 50 ms from t=0 would have decayed many cells.
+	b.Write(3, 456, 50*time.Millisecond)
+	if got := b.Read(3, 50*time.Millisecond+time.Microsecond); got != 456 {
+		t.Errorf("recharged word reads %d, want 456", got)
+	}
+}
+
+func TestRefreshBankMaintainsData(t *testing.T) {
+	b := newTestBuffer(t, 2, 256)
+	for i := 0; i < 512; i++ {
+		b.Write(i, fixed.Word(i), 0)
+	}
+	// Refresh bank 0 every 40 µs out to 4 ms; bank 1 never.
+	var now time.Duration
+	for now = 0; now < 4*time.Millisecond; now += 40 * time.Microsecond {
+		if words := b.RefreshBank(0, now); words != 256 {
+			t.Fatalf("RefreshBank returned %d words", words)
+		}
+	}
+	clean, dirty := 0, 0
+	for i := 0; i < 256; i++ {
+		if b.Read(i, now) == fixed.Word(i) {
+			clean++
+		}
+		if b.Read(256+i, now) != fixed.Word(256+i) {
+			dirty++
+		}
+	}
+	if clean != 256 {
+		t.Errorf("refreshed bank: %d/256 clean", clean)
+	}
+	// 4 ms sits between the 1e-3 (8ms) and 1e-4 (2.5ms) anchors; with
+	// 256 words × 16 cells ≈ 4096 cells at ~5e-4, a couple of words in
+	// the unrefreshed bank may decay — but it must not be refreshed-clean
+	// by accident. We only require the refresh counter to be correct.
+	_ = dirty
+	if got := b.Stats().Refreshes; got != 256*100 {
+		t.Errorf("refresh ops = %d, want %d", got, 256*100)
+	}
+}
+
+func TestRepeatedDecayedReadsAgree(t *testing.T) {
+	b := newTestBuffer(t, 1, 64)
+	b.Write(0, 0x1234, 0)
+	at := 300 * time.Millisecond
+	first := b.Read(0, at)
+	for i := 0; i < 10; i++ {
+		if got := b.Read(0, at); got != first {
+			t.Fatalf("read %d: %d != first %d", i, got, first)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := newTestBuffer(t, 1, 8)
+	for _, fn := range []func(){
+		func() { b.Read(8, 0) },
+		func() { b.Read(-1, 0) },
+		func() { b.Write(99, 0, 0) },
+		func() { b.RefreshBank(1, 0) },
+		func() { b.RefreshBank(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestWriteReadRoundTripProperty: any word written and read back within
+// the safe window is returned verbatim.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	b := newTestBuffer(t, 2, 512)
+	f := func(raw int16, addr uint16, dtUS uint8) bool {
+		a := int(addr) % b.Words()
+		now := time.Duration(dtUS%100) * time.Millisecond * 10 // arbitrary base
+		b.Write(a, fixed.Word(raw), now)
+		return b.Read(a, now+5*time.Microsecond) == fixed.Word(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	b := newTestBuffer(t, 1, 16)
+	b.Write(0, 1, 0)
+	b.Write(1, 2, 0)
+	b.Read(0, time.Microsecond)
+	b.RefreshBank(0, time.Microsecond)
+	s := b.Stats()
+	if s.Writes != 2 || s.Reads != 1 || s.Refreshes != 16 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,187 @@
+// Package energy holds the technology constants of Tables II and III and
+// the system energy model of Eq. 14:
+//
+//	Energy = α·Emac + βb·Ebuffer + γ·Erefresh + βd·Eddr
+//
+// where α is the MAC count, βb the on-chip buffer access count, γ the
+// refresh operation count and βd the off-chip DDR3 access count, all in
+// 16-bit-word units. The constants were produced by the paper's authors
+// with Destiny and CACTI in the TSMC 65 nm node; here they are transcribed
+// directly (DESIGN.md §2).
+package energy
+
+import "fmt"
+
+// Energies are in picojoules per 16-bit operation (Table III).
+const (
+	// MACpJ is the energy of one 16-bit fixed-point MAC (1.0x baseline).
+	MACpJ = 1.3
+	// SRAMAccessPJ is one 16-bit access to a 32 KB SRAM bank (14.3x).
+	SRAMAccessPJ = 18.2
+	// EDRAMAccessPJ is one 16-bit access to a 32 KB eDRAM bank (8.3x).
+	EDRAMAccessPJ = 10.6
+	// EDRAMRefreshPJ is the refresh of one 16-bit word in a 32 KB eDRAM
+	// bank (37.7x). A full 32 KB bank refresh is 16384 words ≈ 0.788 µJ,
+	// matching Table II's per-bank refresh energy.
+	EDRAMRefreshPJ = 48.1
+	// DDRAccessPJ is one 16-bit access to 1 GB DDR3 (1653.7x).
+	DDRAccessPJ = 2112.9
+)
+
+// Per-bank characteristics (Table II, 32 KB in 65 nm).
+const (
+	// BankBytes is the capacity of one buffer bank.
+	BankBytes = 32 * 1024
+	// BankWords is the bank capacity in 16-bit words.
+	BankWords = BankBytes / 2
+	// SRAMBankAreaMM2 and EDRAMBankAreaMM2 are the per-bank areas; eDRAM
+	// is 26.0% of SRAM, which is how 384 KB of SRAM trades for 1.454 MB
+	// of eDRAM at equal area (§III-A).
+	SRAMBankAreaMM2  = 0.181
+	EDRAMBankAreaMM2 = 0.047
+	// SRAMLatencyNS and EDRAMLatencyNS are per-access latencies.
+	SRAMLatencyNS  = 1.730
+	EDRAMLatencyNS = 1.541
+	// EDRAMBankRefreshUJ is the energy of refreshing one whole bank.
+	EDRAMBankRefreshUJ = 0.788
+)
+
+// BufferTech selects the on-chip buffer technology of a design point.
+type BufferTech int
+
+const (
+	// SRAM buffers never refresh but cost more area and access energy.
+	SRAM BufferTech = iota
+	// EDRAM buffers are denser and cheaper per access but require
+	// periodic refresh within the retention time.
+	EDRAM
+)
+
+// String implements fmt.Stringer.
+func (t BufferTech) String() string {
+	switch t {
+	case SRAM:
+		return "SRAM"
+	case EDRAM:
+		return "eDRAM"
+	default:
+		return fmt.Sprintf("BufferTech(%d)", int(t))
+	}
+}
+
+// AccessPJ returns the per-16-bit-word buffer access energy for the
+// technology.
+func (t BufferTech) AccessPJ() float64 {
+	if t == SRAM {
+		return SRAMAccessPJ
+	}
+	return EDRAMAccessPJ
+}
+
+// RefreshPJ returns the per-16-bit-word refresh energy; SRAM needs none.
+func (t BufferTech) RefreshPJ() float64 {
+	if t == SRAM {
+		return 0
+	}
+	return EDRAMRefreshPJ
+}
+
+// BankAreaMM2 returns the 32 KB bank area for the technology.
+func (t BufferTech) BankAreaMM2() float64 {
+	if t == SRAM {
+		return SRAMBankAreaMM2
+	}
+	return EDRAMBankAreaMM2
+}
+
+// Counts are the operation counts of Eq. 14 for some unit of work
+// (a layer or a whole network), in 16-bit-word operations.
+type Counts struct {
+	// MACs is α, the multiply-accumulate count.
+	MACs uint64
+	// BufferAccesses is βb, on-chip buffer reads+writes.
+	BufferAccesses uint64
+	// Refreshes is γ, word-refresh operations.
+	Refreshes uint64
+	// DDRAccesses is βd, off-chip reads+writes.
+	DDRAccesses uint64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.MACs += other.MACs
+	c.BufferAccesses += other.BufferAccesses
+	c.Refreshes += other.Refreshes
+	c.DDRAccesses += other.DDRAccesses
+}
+
+// Breakdown is a system energy split by source, in picojoules, matching
+// the stacked bars of Figs. 1 and 15–19.
+type Breakdown struct {
+	Computing    float64
+	BufferAccess float64
+	Refresh      float64
+	OffChip      float64
+}
+
+// Total returns the summed system energy in picojoules (Eq. 14).
+func (b Breakdown) Total() float64 {
+	return b.Computing + b.BufferAccess + b.Refresh + b.OffChip
+}
+
+// AcceleratorEnergy returns system energy excluding off-chip access, the
+// quantity plotted in Fig. 16.
+func (b Breakdown) AcceleratorEnergy() float64 {
+	return b.Computing + b.BufferAccess + b.Refresh
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.Computing += other.Computing
+	b.BufferAccess += other.BufferAccess
+	b.Refresh += other.Refresh
+	b.OffChip += other.OffChip
+}
+
+// Scale returns the breakdown with every component multiplied by k.
+func (b Breakdown) Scale(k float64) Breakdown {
+	return Breakdown{
+		Computing:    b.Computing * k,
+		BufferAccess: b.BufferAccess * k,
+		Refresh:      b.Refresh * k,
+		OffChip:      b.OffChip * k,
+	}
+}
+
+// Normalize returns b scaled so that reference's total equals 1. It
+// panics if reference has zero total energy.
+func (b Breakdown) Normalize(reference Breakdown) Breakdown {
+	t := reference.Total()
+	if t == 0 {
+		panic("energy: normalizing against zero total")
+	}
+	return b.Scale(1 / t)
+}
+
+// System evaluates Eq. 14 for the given operation counts and buffer
+// technology.
+func System(c Counts, tech BufferTech) Breakdown {
+	return Breakdown{
+		Computing:    float64(c.MACs) * MACpJ,
+		BufferAccess: float64(c.BufferAccesses) * tech.AccessPJ(),
+		Refresh:      float64(c.Refreshes) * tech.RefreshPJ(),
+		OffChip:      float64(c.DDRAccesses) * DDRAccessPJ,
+	}
+}
+
+// EqualAreaEDRAMBytes returns the eDRAM capacity in bytes that fits in the
+// same area as sramBytes of SRAM, rounded down to whole 32 KB banks. For
+// the paper's 384 KB SRAM this is 1.454 MB of eDRAM... approximately: the
+// paper rounds the raw area ratio to 1.454 MB, which this function
+// reproduces by flooring to the bank grid.
+func EqualAreaEDRAMBytes(sramBytes int64) int64 {
+	sramBanks := sramBytes / BankBytes
+	area := float64(sramBanks) * SRAMBankAreaMM2
+	edramBanks := int64(area / EDRAMBankAreaMM2)
+	return edramBanks * BankBytes
+}

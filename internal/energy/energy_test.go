@@ -1,0 +1,156 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIIIRelativeCosts(t *testing.T) {
+	// Table III's "Relative Cost" column, within rounding.
+	rel := func(x float64) float64 { return x / MACpJ }
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"SRAM access", rel(SRAMAccessPJ), 14.3},
+		{"eDRAM access", rel(EDRAMAccessPJ), 8.3},
+		{"eDRAM refresh", rel(EDRAMRefreshPJ), 37.7},
+		{"DDR access", rel(DDRAccessPJ), 1653.7},
+	}
+	// 2.5% tolerance: Table III's own columns disagree slightly
+	// (18.2 pJ / 1.3 pJ = 14.0, printed as 14.3x).
+	for _, c := range cases {
+		if math.Abs(c.got-c.want)/c.want > 0.025 {
+			t.Errorf("%s relative cost = %.1f, want %.1f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestBankRefreshEnergyMatchesTableII(t *testing.T) {
+	// Table II: 0.788 µJ per 32 KB bank refresh = 16384 words × 48.1 pJ.
+	gotUJ := float64(BankWords) * EDRAMRefreshPJ / 1e6
+	if math.Abs(gotUJ-EDRAMBankRefreshUJ) > 0.001 {
+		t.Errorf("bank refresh = %.4f µJ, want %.3f", gotUJ, EDRAMBankRefreshUJ)
+	}
+}
+
+func TestEDRAMDensityAdvantage(t *testing.T) {
+	// Table II: eDRAM area is 26.0% of SRAM.
+	ratio := EDRAMBankAreaMM2 / SRAMBankAreaMM2
+	if math.Abs(ratio-0.26) > 0.005 {
+		t.Errorf("area ratio = %.3f, want 0.26", ratio)
+	}
+}
+
+func TestSystemEquation14(t *testing.T) {
+	c := Counts{MACs: 1000, BufferAccesses: 100, Refreshes: 10, DDRAccesses: 1}
+	b := System(c, EDRAM)
+	if b.Computing != 1000*MACpJ {
+		t.Errorf("computing = %g", b.Computing)
+	}
+	if b.BufferAccess != 100*EDRAMAccessPJ {
+		t.Errorf("buffer = %g", b.BufferAccess)
+	}
+	if b.Refresh != 10*EDRAMRefreshPJ {
+		t.Errorf("refresh = %g", b.Refresh)
+	}
+	if b.OffChip != 1*DDRAccessPJ {
+		t.Errorf("offchip = %g", b.OffChip)
+	}
+	want := 1000*MACpJ + 100*EDRAMAccessPJ + 10*EDRAMRefreshPJ + DDRAccessPJ
+	if math.Abs(b.Total()-want) > 1e-9 {
+		t.Errorf("total = %g, want %g", b.Total(), want)
+	}
+	// SRAM: cheaper nothing — pricier buffer, free refresh.
+	s := System(c, SRAM)
+	if s.Refresh != 0 {
+		t.Error("SRAM must not pay refresh energy")
+	}
+	if s.BufferAccess != 100*SRAMAccessPJ {
+		t.Errorf("SRAM buffer = %g", s.BufferAccess)
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{Computing: 1, BufferAccess: 2, Refresh: 3, OffChip: 4}
+	b := a
+	b.Add(a)
+	if b.Total() != 20 {
+		t.Errorf("Add total = %g", b.Total())
+	}
+	if s := a.Scale(2); s.Total() != 20 || s.Refresh != 6 {
+		t.Errorf("Scale = %+v", s)
+	}
+	n := a.Normalize(a)
+	if math.Abs(n.Total()-1) > 1e-12 {
+		t.Errorf("Normalize total = %g", n.Total())
+	}
+	if a.AcceleratorEnergy() != 6 {
+		t.Errorf("AcceleratorEnergy = %g, want 6 (excludes off-chip)", a.AcceleratorEnergy())
+	}
+}
+
+func TestNormalizePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Breakdown{}.Normalize(Breakdown{})
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{MACs: 1, BufferAccesses: 2, Refreshes: 3, DDRAccesses: 4}
+	a.Add(Counts{MACs: 10, BufferAccesses: 20, Refreshes: 30, DDRAccesses: 40})
+	if a != (Counts{11, 22, 33, 44}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestBufferTechAccessors(t *testing.T) {
+	if SRAM.String() != "SRAM" || EDRAM.String() != "eDRAM" {
+		t.Error("String mismatch")
+	}
+	if BufferTech(7).String() == "" {
+		t.Error("unknown tech should stringify")
+	}
+	if SRAM.AccessPJ() != SRAMAccessPJ || EDRAM.AccessPJ() != EDRAMAccessPJ {
+		t.Error("AccessPJ mismatch")
+	}
+	if SRAM.RefreshPJ() != 0 || EDRAM.RefreshPJ() != EDRAMRefreshPJ {
+		t.Error("RefreshPJ mismatch")
+	}
+	if SRAM.BankAreaMM2() != SRAMBankAreaMM2 || EDRAM.BankAreaMM2() != EDRAMBankAreaMM2 {
+		t.Error("BankAreaMM2 mismatch")
+	}
+}
+
+func TestEqualAreaEDRAM(t *testing.T) {
+	// 384 KB SRAM (12 banks, 2.172 mm²) trades for 46 eDRAM banks
+	// (1.4375 MiB) at equal area — the paper rounds this to 1.454 MB.
+	got := EqualAreaEDRAMBytes(384 * 1024)
+	if got != 46*BankBytes {
+		t.Errorf("equal-area eDRAM = %d bytes, want %d", got, 46*BankBytes)
+	}
+	paperMB := float64(got) / (1024 * 1000)
+	if math.Abs(paperMB-1.454) > 0.05 {
+		t.Errorf("equal-area eDRAM = %.3f paper-MB, want ≈1.454", paperMB)
+	}
+}
+
+// TestSystemLinearity: Eq. 14 is linear in the counts.
+func TestSystemLinearity(t *testing.T) {
+	f := func(m, b, r, d uint32, k uint8) bool {
+		c := Counts{uint64(m), uint64(b), uint64(r), uint64(d)}
+		kk := uint64(k%8) + 1
+		scaled := Counts{c.MACs * kk, c.BufferAccesses * kk, c.Refreshes * kk, c.DDRAccesses * kk}
+		lhs := System(scaled, EDRAM).Total()
+		rhs := System(c, EDRAM).Scale(float64(kk)).Total()
+		return math.Abs(lhs-rhs) <= 1e-6*math.Max(lhs, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

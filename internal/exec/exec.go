@@ -1,0 +1,263 @@
+// Package exec is the execution phase of the RANA framework (Fig. 6,
+// right half): it runs a scheduled network end to end on the functional
+// hardware models — words move from the DDR model through the eDRAM (or
+// SRAM) buffer into the arithmetic, the refresh-optimized controller
+// issues pulses per the compiled per-layer flags, and retention decay is
+// physically simulated. The output is both the network's numerical result
+// and the measured operation counters, so energy can be accounted from
+// observed behaviour rather than the analytical model.
+//
+// Word-accurate execution is only tractable for small networks (every
+// MAC is simulated); the benchmark-scale evaluation uses the analytical
+// path in internal/platform. This engine exists to validate the whole
+// RANA pipeline against physics: the compiled refresh schedule must keep
+// results exact while skipping nearly all refresh operations.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"rana/internal/ddr"
+	"rana/internal/edram"
+	"rana/internal/energy"
+	"rana/internal/fixed"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/retention"
+	"rana/internal/sched"
+	"rana/internal/sim"
+	"rana/internal/sram"
+)
+
+// Engine executes scheduled networks on functional models.
+type Engine struct {
+	Config hw.Config
+	Dist   *retention.Distribution
+	// Format is the deployment fixed-point format.
+	Format fixed.Format
+	// Seed drives cell-retention sampling.
+	Seed uint64
+}
+
+// New returns an engine for the configuration with the typical retention
+// distribution and Q8.8 arithmetic.
+func New(cfg hw.Config) *Engine {
+	return &Engine{Config: cfg, Dist: retention.Typical(), Format: fixed.Q88, Seed: 1}
+}
+
+// Report is the outcome of one network execution.
+type Report struct {
+	// Output is the final layer's output read back through the buffer.
+	Output []fixed.Word
+	// Ideal is the same network computed with perfect memory.
+	Ideal []fixed.Word
+	// WordErrors counts final-output words that differ from Ideal.
+	WordErrors int
+	// ExecTime is the modeled wall time of the whole network.
+	ExecTime time.Duration
+	// Counts are the measured Eq. 14 operation coefficients: α from the
+	// arithmetic, βb from buffer counters, γ from the refresh issuer and
+	// βd from the DDR model.
+	Counts energy.Counts
+	// Energy prices the measured counts.
+	Energy energy.Breakdown
+}
+
+// Run executes a scheduled plan whose network chains (each layer's input
+// shape matches the previous layer's output) starting from input. The
+// plan's per-layer refresh flags program the controller; a nil plan entry
+// set is invalid. Weights are supplied per layer, indexed like the plan.
+func (e *Engine) Run(plan *sched.Plan, input []fixed.Word, weights [][]fixed.Word) (*Report, error) {
+	if plan == nil || len(plan.Layers) == 0 {
+		return nil, fmt.Errorf("exec: empty plan")
+	}
+	if len(weights) != len(plan.Layers) {
+		return nil, fmt.Errorf("exec: %d weight sets for %d layers", len(weights), len(plan.Layers))
+	}
+	if err := validateChain(plan.Network); err != nil {
+		return nil, err
+	}
+	cfg := e.Config
+
+	// Functional buffer: eDRAM decays and needs the refresh machinery;
+	// SRAM retains unconditionally and runs without a controller.
+	var buf sim.Storage
+	var refresher *sim.Refresher
+	banks := cfg.Banks()
+	switch cfg.BufferTech {
+	case energy.EDRAM:
+		eb, err := edram.New(banks, cfg.BankWords, e.Dist, e.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		div, err := memctrl.NewDivider(cfg.FrequencyHz, plan.Options.RefreshInterval)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		issuer, err := memctrl.NewIssuer(div, banks)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		buf = eb
+		refresher = &sim.Refresher{Issuer: issuer, Target: eb}
+	case energy.SRAM:
+		sb, err := sram.New(banks, cfg.BankWords)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		buf = sb
+	default:
+		return nil, fmt.Errorf("exec: unknown buffer technology %v", cfg.BufferTech)
+	}
+
+	mem := ddr.New()
+	mem.Store("act0", input)
+	for i, ws := range weights {
+		l := plan.Network.Layers[i]
+		if uint64(len(ws)) != l.WeightWords() {
+			return nil, fmt.Errorf("exec: layer %d: %d weights, want %d", i, len(ws), l.WeightWords())
+		}
+		mem.Store(fmt.Sprintf("w%d", i), ws)
+	}
+
+	report := &Report{}
+	var macs uint64
+	ideal := append([]fixed.Word(nil), input...)
+	macsPerCycle := cfg.PEs()
+
+	for i := range plan.Layers {
+		l := plan.Network.Layers[i]
+		lp := plan.Layers[i]
+
+		// Stage 3: load this layer's refresh flags (§IV-D2). The compiled
+		// per-type needs are mapped onto the engine's actual buffer
+		// layout ([inputs | weights | outputs]). SRAM needs none.
+		if refresher != nil {
+			if err := refresher.Issuer.SetFlags(functionalFlags(l, lp.Needs, cfg.BankWords, banks)); err != nil {
+				return nil, fmt.Errorf("exec: layer %d: %w", i, err)
+			}
+		}
+
+		acts, err := mem.Load(fmt.Sprintf("act%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		ws, err := mem.Load(fmt.Sprintf("w%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+		res, err := sim.RunFunctionalAt(l, e.Format, acts, ws, buf, refresher,
+			macsPerCycle, cfg.FrequencyHz, report.ExecTime)
+		if err != nil {
+			return nil, fmt.Errorf("exec: layer %d (%s): %w", i, l.Name, err)
+		}
+		macs += l.MACs()
+		report.ExecTime += res.ExecTime
+		mem.Store(fmt.Sprintf("act%d", i+1), res.Output)
+
+		// Ideal path with perfect memory.
+		ideal = idealConv(l, e.Format, ideal, ws)
+
+		if i == len(plan.Layers)-1 {
+			report.Output = res.Output
+		}
+	}
+
+	report.Ideal = ideal
+	for i := range report.Output {
+		if report.Output[i] != report.Ideal[i] {
+			report.WordErrors++
+		}
+	}
+	report.Counts = energy.Counts{
+		MACs:        macs,
+		DDRAccesses: mem.Accesses(),
+	}
+	if refresher != nil {
+		report.Counts.Refreshes = refresher.Issuer.Issued()
+	}
+	switch b := buf.(type) {
+	case *edram.Buffer:
+		st := b.Stats()
+		report.Counts.BufferAccesses = st.Reads + st.Writes
+	case *sram.Buffer:
+		report.Counts.BufferAccesses = b.Reads() + b.Writes()
+	}
+	report.Energy = energy.System(report.Counts, cfg.BufferTech)
+	return report, nil
+}
+
+// functionalFlags maps the plan's per-type refresh needs onto the
+// engine's [inputs | weights | outputs] buffer layout: a bank is flagged
+// when any word it holds belongs to a data type that needs refresh.
+func functionalFlags(l models.ConvLayer, needs memctrl.Needs, bankWords, banks int) []bool {
+	flags := make([]bool, banks)
+	din := int(l.InputWords())
+	dw := int(l.WeightWords())
+	dout := int(l.OutputWords())
+	mark := func(lo, hi int, on bool) {
+		if !on {
+			return
+		}
+		for b := lo / bankWords; b <= (hi-1)/bankWords && b < banks; b++ {
+			flags[b] = true
+		}
+	}
+	mark(0, din, needs.Inputs)
+	mark(din, din+dw, needs.Weights)
+	mark(din+dw, din+dw+dout, needs.Outputs)
+	return flags
+}
+
+// validateChain checks that each layer consumes the previous layer's
+// output shape.
+func validateChain(net models.Network) error {
+	if err := net.Validate(); err != nil {
+		return err
+	}
+	for i := 1; i < len(net.Layers); i++ {
+		prev, cur := net.Layers[i-1], net.Layers[i]
+		if cur.N != prev.M || cur.H != prev.R() || cur.L != prev.C() {
+			return fmt.Errorf("exec: layer %q input %dx%dx%d does not chain from %q output %dx%dx%d",
+				cur.Name, cur.N, cur.H, cur.L, prev.Name, prev.M, prev.R(), prev.C())
+		}
+		if cur.Groups > 1 {
+			return fmt.Errorf("exec: grouped layer %q unsupported in functional execution", cur.Name)
+		}
+	}
+	return nil
+}
+
+// idealConv computes one layer with perfect memory (the oracle).
+func idealConv(l models.ConvLayer, f fixed.Format, inputs, weights []fixed.Word) []fixed.Word {
+	R, C := l.R(), l.C()
+	out := make([]fixed.Word, l.OutputWords())
+	inAt := func(n, r, c int) int { return (n*l.H+r)*l.L + c }
+	wAt := func(m, n, kr, kc int) int { return ((m*l.N+n)*l.K+kr)*l.K + kc }
+	for m := 0; m < l.M; m++ {
+		for or := 0; or < R; or++ {
+			for oc := 0; oc < C; oc++ {
+				var acc fixed.Acc
+				for n := 0; n < l.N; n++ {
+					for kr := 0; kr < l.K; kr++ {
+						ir := or*l.S + kr - l.P
+						if ir < 0 || ir >= l.H {
+							continue
+						}
+						for kc := 0; kc < l.K; kc++ {
+							ic := oc*l.S + kc - l.P
+							if ic < 0 || ic >= l.L {
+								continue
+							}
+							acc = fixed.MAC(acc, inputs[inAt(n, ir, ic)], weights[wAt(m, n, kr, kc)])
+						}
+					}
+				}
+				out[(m*R+or)*C+oc] = f.Fold(acc)
+			}
+		}
+	}
+	return out
+}

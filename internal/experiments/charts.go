@@ -1,0 +1,100 @@
+package experiments
+
+// Terminal-chart views of the stacked-bar figures (internal/viz): the
+// closest the CLI gets to the paper's plots.
+
+import (
+	"fmt"
+
+	"rana/internal/viz"
+)
+
+// Chart builds a terminal stacked-bar chart for a figure ID. Only the
+// energy-breakdown figures have chart forms; others return an error.
+func Chart(id string) (*viz.Chart, error) {
+	switch id {
+	case "fig1":
+		rows, err := Figure1()
+		if err != nil {
+			return nil, err
+		}
+		c := &viz.Chart{
+			Title:  "Fig. 1 — ResNet energy breakdown on eD+ID (per-stage shares)",
+			Legend: viz.BreakdownLegend(),
+		}
+		for _, r := range rows {
+			c.Rows = append(c.Rows, viz.Row{Label: r.Stage, Parts: []float64{
+				r.Share.Computing, r.Share.BufferAccess, r.Share.Refresh, r.Share.OffChip,
+			}})
+		}
+		return c, nil
+
+	case "fig15":
+		cells, err := Figure15()
+		if err != nil {
+			return nil, err
+		}
+		c := &viz.Chart{
+			Title:  "Fig. 15 — total system energy, normalized to S+ID (GEO MEAN bars)",
+			Legend: viz.BreakdownLegend(),
+		}
+		for _, cell := range cells {
+			if cell.Model != "GEO MEAN" {
+				continue
+			}
+			e := cell.Energy
+			c.Rows = append(c.Rows, viz.Row{Label: cell.Design, Parts: []float64{
+				e.Computing, e.BufferAccess, e.Refresh, e.OffChip,
+			}})
+		}
+		return c, nil
+
+	case "fig16":
+		cells, err := Figure16()
+		if err != nil {
+			return nil, err
+		}
+		c := &viz.Chart{
+			Title:  "Fig. 16 — ResNet accelerator energy vs retention time (refresh | rest)",
+			Legend: []string{"refresh", "other accelerator energy"},
+		}
+		for _, cell := range cells {
+			label := fmt.Sprintf("%s@%s", cell.Design, us(cell.RetentionTime))
+			c.Rows = append(c.Rows, viz.Row{Label: label, Parts: []float64{
+				cell.Refresh, cell.Accelerator - cell.Refresh,
+			}})
+		}
+		return c, nil
+
+	case "fig19":
+		cells, err := Figure19()
+		if err != nil {
+			return nil, err
+		}
+		byDesign := map[string]*viz.Row{}
+		var order []string
+		for _, cell := range cells {
+			if _, ok := byDesign[cell.Design]; !ok {
+				byDesign[cell.Design] = &viz.Row{Label: cell.Design, Parts: make([]float64, 4)}
+				order = append(order, cell.Design)
+			}
+			r := byDesign[cell.Design]
+			e := cell.Energy.Scale(0.25) // average the four benchmarks
+			r.Parts[0] += e.Computing
+			r.Parts[1] += e.BufferAccess
+			r.Parts[2] += e.Refresh
+			r.Parts[3] += e.OffChip
+		}
+		c := &viz.Chart{
+			Title:  "Fig. 19 — DaDianNao scalability (benchmark average, normalized)",
+			Legend: viz.BreakdownLegend(),
+		}
+		for _, d := range order {
+			c.Rows = append(c.Rows, *byDesign[d])
+		}
+		return c, nil
+
+	default:
+		return nil, fmt.Errorf("experiments: no chart form for %q (try fig1, fig15, fig16, fig19)", id)
+	}
+}

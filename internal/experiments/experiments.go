@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) plus the preliminary tables, printing the same rows and
+// series the paper reports. Each experiment has a typed generator —
+// consumed by tests and benchmarks — and a writer-based printer used by
+// cmd/rana-experiments.
+//
+// Absolute energies come from this repository's simulator rather than the
+// authors' RTL testbed, so magnitudes differ; the reproduced quantity is
+// the paper's shape: who wins, by roughly what factor, and where the
+// crossovers fall. EXPERIMENTS.md records paper-vs-measured per artifact.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable artifact.
+type Experiment struct {
+	// ID is the index key, e.g. "fig15" or "table1".
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Run prints the artifact to w.
+	Run func(w io.Writer) error
+	// Data returns the artifact's typed rows for machine consumption
+	// (JSON export, plotting pipelines). Nil for purely textual
+	// artifacts.
+	Data func() (any, error)
+}
+
+// RunJSON writes the artifact's typed data as indented JSON.
+func (e Experiment) RunJSON(w io.Writer) error {
+	if e.Data == nil {
+		return fmt.Errorf("experiments: %s has no data generator", e.ID)
+	}
+	data, err := e.Data()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"id": e.ID, "title": e.Title, "data": data})
+}
+
+// registry is populated by the artifact files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID (tables first, then figures
+// by number, headline last — the IDs are chosen to sort naturally).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts table1..3, fig1..fig19, headline.
+func orderKey(id string) string {
+	var n int
+	switch {
+	case len(id) > 5 && id[:5] == "table":
+		fmt.Sscanf(id[5:], "%d", &n)
+		return fmt.Sprintf("0-%02d", n)
+	case len(id) > 3 && id[:3] == "fig":
+		fmt.Sscanf(id[3:], "%d", &n)
+		return fmt.Sprintf("1-%02d", n)
+	default:
+		return "2-" + id
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll prints every experiment to w, separated by headers.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,553 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/retention"
+	"rana/internal/training"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig1", "fig7", "fig8", "fig11", "fig12",
+		"fig15", "fig16", "fig17", "fig18", "fig19",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "headline", "repro",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("All()[%d] = %s, want %s (sorted order)", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID false positive")
+	}
+}
+
+func TestRunAllPrintsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"table1", "fig15", "GEO MEAN", "RANA*(E-5)", "DaDianNao", "headline",
+		"res4a_branch1", "conv4_2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatal("want 4 rows")
+	}
+	if rows[1].Model != "VGG" || math.Abs(rows[1].MaxInputMB()-6.27) > 0.01 {
+		t.Errorf("VGG row = %+v", rows[1])
+	}
+}
+
+func TestTable3RelativeColumn(t *testing.T) {
+	rows := Table3()
+	if rows[0].Relative != 1 {
+		t.Error("MAC should be the 1.0x baseline")
+	}
+	if rows[4].Relative < 1500 {
+		t.Errorf("DDR relative = %.0f", rows[4].Relative)
+	}
+}
+
+func TestFigure1RefreshDominates(t *testing.T) {
+	rows, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d stages", len(rows))
+	}
+	// The Fig. 1 motivation: refresh is a substantial share of every
+	// stage's energy on the eD+ID platform.
+	for _, r := range rows {
+		if r.Share.Refresh < 0.1 {
+			t.Errorf("stage %s refresh share %.2f, want ≥0.1", r.Stage, r.Share.Refresh)
+		}
+		if math.Abs(r.Share.Total()-1) > 1e-9 {
+			t.Errorf("stage %s shares sum to %g", r.Stage, r.Share.Total())
+		}
+	}
+}
+
+func TestFigure7AllAboveConventionalRT(t *testing.T) {
+	rows := Figure7()
+	if len(rows) != 53 {
+		t.Fatalf("%d layers", len(rows))
+	}
+	over45, over734 := 0, 0
+	for _, r := range rows {
+		if r.ExceedRT {
+			over45++
+		}
+		if r.Exceed16 {
+			over734++
+		}
+	}
+	// §IV-B: ALL layers' lifetime exceeds the typical 45 µs; only a few
+	// layers sit below the 734 µs line.
+	if over45 != len(rows) {
+		t.Errorf("only %d/%d layers above 45µs; paper reports all", over45, len(rows))
+	}
+	if free := len(rows) - over734; free < 1 || free > 10 {
+		t.Errorf("%d layers below 734µs; paper reports only a few (three)", free)
+	}
+	// Layer-A's lifetime anchor.
+	for _, r := range rows {
+		if r.Layer == "res4a_branch1" {
+			if math.Abs(float64(r.Input)/float64(time.Microsecond)-2294) > 2 {
+				t.Errorf("Layer-A LTi = %v, want ≈2294µs", r.Input)
+			}
+		}
+	}
+}
+
+func TestFigure8Anchors(t *testing.T) {
+	curve := Figure8()
+	if len(curve) != 25 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	prev := 0.0
+	for _, a := range curve {
+		if a.Rate < prev {
+			t.Fatal("curve not monotone")
+		}
+		prev = a.Rate
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	rows := Figure11()
+	if len(rows) != 4*len(training.PaperRates) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rate == 1e-5 && r.Relative < 0.995 {
+			t.Errorf("%s at 1e-5: %.4f — paper reports no loss", r.Model, r.Relative)
+		}
+	}
+}
+
+func TestFigure12Complementarity(t *testing.T) {
+	rows := Figure12()
+	// §IV-C2: weights grow with depth while activations shrink — compare
+	// the first and last conv stages.
+	first, last := rows[1], rows[len(rows)-1]
+	if !(first.InputMB > first.WeightMB) {
+		t.Errorf("shallow layer should be activation-dominated: %+v", first)
+	}
+	if !(last.WeightMB > last.InputMB) {
+		t.Errorf("deep layer should be weight-dominated: %+v", last)
+	}
+}
+
+func TestFigure15Normalization(t *testing.T) {
+	cells, err := Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 designs × (4 models + GEO MEAN).
+	if len(cells) != 6*5 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	for _, c := range cells {
+		if c.Design == "S+ID" && math.Abs(c.Energy.Total()-1) > 1e-9 {
+			t.Errorf("S+ID %s = %.4f, want 1", c.Model, c.Energy.Total())
+		}
+		if c.Design == "RANA*(E-5)" && c.Model == "GEO MEAN" {
+			if c.Energy.Total() > 0.6 {
+				t.Errorf("RANA* geomean = %.3f, want well below S+ID", c.Energy.Total())
+			}
+		}
+	}
+}
+
+func TestFigure16PaperRatios(t *testing.T) {
+	cells, err := Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(rt time.Duration, d string) Fig16Cell {
+		for _, c := range cells {
+			if c.RetentionTime == rt && c.Design == d {
+				return c
+			}
+		}
+		t.Fatalf("cell %v/%s missing", rt, d)
+		return Fig16Cell{}
+	}
+	// §V-B2: from 90 µs to 180 µs, eD+ID refresh halves (interval
+	// doubles) while eD+OD's drops by ≈80% (more layers duck under RT).
+	idDrop := 1 - at(180*time.Microsecond, "eD+ID").Refresh/at(90*time.Microsecond, "eD+ID").Refresh
+	odDrop := 1 - at(180*time.Microsecond, "eD+OD").Refresh/at(90*time.Microsecond, "eD+OD").Refresh
+	if math.Abs(idDrop-0.5) > 0.05 {
+		t.Errorf("eD+ID refresh drop 90→180µs = %.1f%%, paper 50.0%%", idDrop*100)
+	}
+	if odDrop < 0.7 {
+		t.Errorf("eD+OD refresh drop 90→180µs = %.1f%%, paper 80.1%%", odDrop*100)
+	}
+	// At 720 µs, eD+OD is almost refresh-free while eD+ID still refreshes.
+	if at(720*time.Microsecond, "eD+OD").Refresh > 0.02 {
+		t.Error("eD+OD should be nearly refresh-free at 720µs")
+	}
+	if at(720*time.Microsecond, "eD+ID").Refresh < 0.02 {
+		t.Error("eD+ID should still pay visible refresh at 720µs")
+	}
+}
+
+func TestFigure17WDWins(t *testing.T) {
+	rows, err := Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// §V-B3: on the large shallow layers RANA picks WD and cuts energy
+	// roughly in half or better (paper: 47.8–67.0% lower).
+	wins := 0
+	for _, r := range rows[1:8] {
+		if r.RANAPattern == "WD" && r.Normalized.Total() < 0.7 {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Errorf("only %d of layers 2-8 show the WD win", wins)
+	}
+	// Elsewhere RANA never does worse than eD+OD.
+	for _, r := range rows {
+		if r.Normalized.Total() > 1+1e-9 {
+			t.Errorf("%s: RANA(0) %.3f worse than eD+OD", r.Layer, r.Normalized.Total())
+		}
+	}
+}
+
+func TestFigure18RisingVsFlat(t *testing.T) {
+	cells, err := Figure18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := Fig18Capacities()
+	refresh := func(model, design string, cap uint64) float64 {
+		for _, c := range cells {
+			if c.Model == model && c.Design == design && c.CapacityWords == cap {
+				return c.Energy.Refresh
+			}
+		}
+		t.Fatalf("cell missing")
+		return 0
+	}
+	// §V-B4 on AlexNet: the conventional controller's refresh grows with
+	// capacity; the optimized controller's does not.
+	convGrowth := refresh("AlexNet", "RANA (E-5)", caps[5]) - refresh("AlexNet", "RANA (E-5)", caps[0])
+	if convGrowth <= 0 {
+		t.Errorf("conventional refresh should grow with capacity, delta = %g", convGrowth)
+	}
+	optGrowth := refresh("AlexNet", "RANA*(E-5)", caps[5]) - refresh("AlexNet", "RANA*(E-5)", caps[0])
+	if optGrowth > convGrowth/4 {
+		t.Errorf("optimized refresh growth %g should be far below conventional %g", optGrowth, convGrowth)
+	}
+	// §V-B4: the optimized controller never loses on total energy at any
+	// capacity. (Its refresh *component* can exceed the conventional
+	// design's: cheap per-bank refresh lets the scheduler accept a little
+	// refresh to buy larger DDR savings.)
+	total := func(model, design string, cap uint64) float64 {
+		for _, c := range cells {
+			if c.Model == model && c.Design == design && c.CapacityWords == cap {
+				return c.Energy.Total()
+			}
+		}
+		t.Fatalf("cell missing")
+		return 0
+	}
+	for _, m := range []string{"AlexNet", "VGG", "GoogLeNet", "ResNet"} {
+		for _, cap := range caps {
+			if total(m, "RANA*(E-5)", cap) > total(m, "RANA (E-5)", cap)+1e-9 {
+				t.Errorf("%s @%d: optimized total above conventional", m, cap)
+			}
+		}
+	}
+}
+
+func TestFigure19PaperShape(t *testing.T) {
+	cells, err := Figure19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4*4 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	get := func(d, m string) Fig19Cell {
+		for _, c := range cells {
+			if c.Design == d && c.Model == m {
+				return c
+			}
+		}
+		t.Fatalf("missing %s/%s", d, m)
+		return Fig19Cell{}
+	}
+	for _, m := range []string{"AlexNet", "VGG", "GoogLeNet", "ResNet"} {
+		base := get("DaDianNao", m)
+		star := get("RANA*(E-5)", m)
+		// §V-C: big buffer-access savings, big system savings, identical
+		// off-chip energy.
+		if sav := 1 - get("RANA (0)", m).Energy.BufferAccess/base.Energy.BufferAccess; sav < 0.9 {
+			t.Errorf("%s: buffer saving %.2f, paper 97.2%%", m, sav)
+		}
+		if star.Energy.Total() > 0.6 {
+			t.Errorf("%s: RANA* total %.3f, paper saves 69.4%%", m, star.Energy.Total())
+		}
+		if math.Abs(star.Energy.OffChip-base.Energy.OffChip) > 1e-9 {
+			t.Errorf("%s: off-chip changed", m)
+		}
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	h, err := Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RefreshRemovedVsEDID < 0.98 {
+		t.Errorf("refresh removed = %.3f, paper 0.997", h.RefreshRemovedVsEDID)
+	}
+	if h.OffChipSavedVsSID < 0.25 || h.OffChipSavedVsSID > 0.6 {
+		t.Errorf("off-chip saved = %.3f, paper 0.417", h.OffChipSavedVsSID)
+	}
+	if h.EnergySavedVsSID < 0.4 {
+		t.Errorf("energy saved = %.3f, paper 0.662", h.EnergySavedVsSID)
+	}
+}
+
+func TestFig18CapacitiesSpanPaperSweep(t *testing.T) {
+	caps := Fig18Capacities()
+	if len(caps) != 6 {
+		t.Fatal("want 6 capacities")
+	}
+	if caps[2] != uint64(hw.TestEDRAMWords) {
+		t.Error("middle capacity should be the 1.454MB design point")
+	}
+	if caps[0]*32 != caps[5] {
+		t.Error("sweep should span 0.25x..8x")
+	}
+}
+
+var _ = retention.TypicalRetentionTime
+
+func TestExtension1Ordering(t *testing.T) {
+	rows, err := Extension1DifferentialRefresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Uniform tolerable ≤ differential ≤ fully conservative.
+		if !(r.Uniform734 <= r.Differential && r.Differential <= r.Uniform45) {
+			t.Errorf("%s: ordering violated: %d / %d / %d", r.Model, r.Uniform734, r.Differential, r.Uniform45)
+		}
+		if r.Uniform45 == 0 {
+			t.Errorf("%s: conservative policy should refresh", r.Model)
+		}
+		// The differential policy is cheaper than fully conservative:
+		// only weight banks run at 45 µs. (On VGG, where the hybrid
+		// schedule keeps large weight sets resident, the gap narrows.)
+		if r.Differential > r.Uniform45*4/5 {
+			t.Errorf("%s: differential %d not below conservative %d", r.Model, r.Differential, r.Uniform45)
+		}
+	}
+}
+
+func TestExtension2GuardMonotone(t *testing.T) {
+	rows, err := Extension2GuardBand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each model, a smaller guard (more conservative) never reduces
+	// refresh energy.
+	byModel := map[string][]Ext2Row{}
+	for _, r := range rows {
+		byModel[r.Model] = append(byModel[r.Model], r)
+	}
+	for m, rs := range byModel {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Refresh < rs[i-1].Refresh-1e-9 {
+				t.Errorf("%s: refresh decreased when guard tightened %g→%g",
+					m, rs[i-1].Guard, rs[i].Guard)
+			}
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	for _, e := range All() {
+		if e.Data == nil {
+			t.Errorf("%s has no data generator", e.ID)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := e.RunJSON(&buf); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+			t.Errorf("%s: invalid JSON: %v", e.ID, err)
+			continue
+		}
+		if decoded["id"] != e.ID {
+			t.Errorf("%s: JSON id = %v", e.ID, decoded["id"])
+		}
+		if decoded["data"] == nil {
+			t.Errorf("%s: nil data", e.ID)
+		}
+	}
+	// Artifacts without data generators report an error.
+	bare := Experiment{ID: "bare"}
+	if err := bare.RunJSON(&bytes.Buffer{}); err == nil {
+		t.Error("bare experiment should fail RunJSON")
+	}
+}
+
+func TestExtension3BatchShape(t *testing.T) {
+	rows, err := Extension3Batch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*len(Ext3Batches) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Batch == 1 {
+			if math.Abs(r.PerImage-1) > 1e-9 || r.WeightDDRSaved != 0 {
+				t.Errorf("%s batch 1 should be the unit baseline: %+v", r.Model, r)
+			}
+			continue
+		}
+		// Batching never increases per-image energy beyond noise.
+		if r.PerImage > 1.01 {
+			t.Errorf("%s batch %d: per-image energy %.3f rose", r.Model, r.Batch, r.PerImage)
+		}
+	}
+	// Weight-heavy-but-fitting nets benefit substantially at batch 16.
+	for _, r := range rows {
+		if r.Model == "GoogLeNet" && r.Batch == 16 && r.PerImage > 0.8 {
+			t.Errorf("GoogLeNet batch 16 per-image = %.3f, want substantial amortization", r.PerImage)
+		}
+	}
+}
+
+func TestCharts(t *testing.T) {
+	for _, id := range []string{"fig1", "fig15", "fig16", "fig19"} {
+		c, err := Chart(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := c.Render()
+		if len(out) == 0 || !strings.Contains(out, "legend:") {
+			t.Errorf("%s: bad render:\n%s", id, out)
+		}
+	}
+	// Fig. 15's chart normalizes to S+ID: its GEO MEAN bar totals 1.
+	c, _ := Chart("fig15")
+	if math.Abs(c.Rows[0].Total()-1) > 1e-9 {
+		t.Errorf("S+ID bar total = %g", c.Rows[0].Total())
+	}
+	if _, err := Chart("table1"); err == nil {
+		t.Error("non-figure chart should error")
+	}
+}
+
+func TestExtension4Ordering(t *testing.T) {
+	rows, err := Extension4Architecture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Design != "eD+ID" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	get := func(name string) float64 {
+		for _, r := range rows {
+			if r.Design == name {
+				return r.GeoMean
+			}
+		}
+		t.Fatalf("design %s missing", name)
+		return 0
+	}
+	if math.Abs(get("eD+ID")-1) > 1e-9 {
+		t.Error("eD+ID anchors the normalization")
+	}
+	// The RANA ladder holds on the foreign geometry. (eD+OD alone may
+	// lose to eD+ID here: at 424 KB its output spills dominate — a real
+	// small-buffer effect the hybrid pattern fixes.)
+	if !(get("RANA (0)") < 1) {
+		t.Error("RANA (0) should beat eD+ID")
+	}
+	if !(get("RANA (E-5)") < get("RANA (0)")) {
+		t.Error("longer tolerable retention should help")
+	}
+	if get("RANA*(E-5)") > get("RANA (E-5)")+1e-9 {
+		t.Error("optimized controller should not regress")
+	}
+	if get("RANA*(E-5)") > 0.6 {
+		t.Errorf("RANA* geomean = %.3f, want a substantial saving", get("RANA*(E-5)"))
+	}
+}
+
+func TestExtension5Robustness(t *testing.T) {
+	rows, err := Extension5Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// RANA wins at every point of the ±2× coefficient grid.
+		if r.EnergySaved < 0.3 {
+			t.Errorf("ddr×%.1f refresh×%.1f: saving %.1f%% — headline not robust",
+				r.DDRScale, r.RefreshScale, r.EnergySaved*100)
+		}
+	}
+}
+
+func TestReproReportAllClaimsInBand(t *testing.T) {
+	rows, err := ReproReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 15 {
+		t.Fatalf("only %d claims", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s %q: measured %.3f%s outside [%.3g, %.3g] (paper %.3f)",
+				r.Source, r.Claim, r.Measured, r.Unit, r.Lo, r.Hi, r.Paper)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+// Extension 4: architecture generality. The paper validates RANA on its
+// own test accelerator and on DaDianNao; this experiment adds a third,
+// very different geometry — a small Eyeriss-class 12×14 spatial array
+// with 424 KB of eDRAM — and checks that the design-point ordering
+// (eD+ID > eD+OD > RANA(0) > RANA(E-5) ≥ RANA*(E-5)) survives.
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/platform"
+	"rana/internal/retention"
+)
+
+// Ext4Row is one design's geometric-mean energy across the benchmarks on
+// the Eyeriss-like platform, normalized to eD+ID.
+type Ext4Row struct {
+	Design  string
+	GeoMean float64
+}
+
+// Extension4Architecture evaluates the eDRAM design ladder on the
+// Eyeriss-like platform. The SRAM baseline is omitted (the platform is
+// defined as eDRAM-refitted), so eD+ID anchors the normalization.
+func Extension4Architecture() ([]Ext4Row, error) {
+	p := &platform.Platform{Base: hw.EyerissLike(), Dist: retention.Typical()}
+	designs := []platform.Design{
+		platform.EDID(), platform.EDOD(), platform.RANA0(),
+		platform.RANAE5(), platform.RANAStarE5(),
+	}
+	nets := models.Benchmarks()
+	base := make([]float64, len(nets))
+	var rows []Ext4Row
+	for i, d := range designs {
+		// Capacity comes from the platform, not the Table IV constant.
+		d.BufferWords = hw.EyerissLike().BufferWords
+		geo := 1.0
+		for j, n := range nets {
+			r, err := p.Evaluate(d, n)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base[j] = r.Energy().Total()
+			}
+			geo *= r.Energy().Total() / base[j]
+		}
+		rows = append(rows, Ext4Row{Design: d.Name, GeoMean: math.Pow(geo, 1/float64(len(nets)))})
+	}
+	return rows, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext4",
+		Title: "Extension: RANA on an Eyeriss-like spatial accelerator",
+		Data:  func() (any, error) { return Extension4Architecture() },
+		Run: func(w io.Writer) error {
+			rows, err := Extension4Architecture()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s %10s\n", "Design", "GeoMean")
+			for _, r := range rows {
+				if _, err := fmt.Fprintf(w, "%-12s %10.3f\n", r.Design, r.GeoMean); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(w, "normalized to eD+ID on the 168-PE, 424KB-eDRAM platform")
+			return nil
+		},
+	})
+}

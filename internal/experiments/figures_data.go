@@ -1,0 +1,200 @@
+package experiments
+
+// This file regenerates the data-analysis figures: ResNet lifetimes
+// (Fig. 7), the retention distribution (Fig. 8), accuracy vs failure rate
+// (Fig. 11) and ResNet layer sizes (Fig. 12).
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/retention"
+	"rana/internal/sched"
+	"rana/internal/training"
+)
+
+// Fig7Row is one ResNet layer's data lifetime under the unoptimized ID
+// pattern at the natural tiling (Fig. 7).
+type Fig7Row struct {
+	Layer    string
+	Stage    string
+	Input    time.Duration // LTi — the dominant lifetime under ID
+	Weight   time.Duration // LTw
+	ExceedRT bool          // lifetime above the 45 µs conventional point
+	Exceed16 bool          // lifetime above the 734 µs tolerable point
+}
+
+// Figure7 computes ResNet's per-layer lifetimes before optimization.
+func Figure7() []Fig7Row {
+	cfg := hw.TestAcceleratorEDRAM()
+	var rows []Fig7Row
+	for _, l := range models.ResNet().Layers {
+		a := pattern.Analyze(l, pattern.ID, sched.NaturalTiling(l, cfg), cfg)
+		rows = append(rows, Fig7Row{
+			Layer:    l.Name,
+			Stage:    l.Stage,
+			Input:    a.Lifetimes.Input,
+			Weight:   a.Lifetimes.Weight,
+			ExceedRT: a.Lifetimes.Input >= retention.TypicalRetentionTime,
+			Exceed16: a.Lifetimes.Input >= retention.TolerableRetentionTime,
+		})
+	}
+	return rows
+}
+
+// Figure8 samples the retention-time distribution curve over the paper's
+// axis range (10 µs .. 100 ms).
+func Figure8() []retention.Anchor {
+	return retention.Typical().Curve(10*time.Microsecond, 100*time.Millisecond, 25)
+}
+
+// Fig11Row is one (model, rate) point of the relative-accuracy series.
+type Fig11Row struct {
+	Model    string
+	Rate     float64
+	Relative float64
+}
+
+// Figure11 returns the calibrated relative top-1 accuracy of the four
+// benchmarks at the paper's failure-rate ladder (Fig. 11; calibrated
+// model, DESIGN.md §2).
+func Figure11() []Fig11Row {
+	var rows []Fig11Row
+	for _, m := range training.ResilienceModels() {
+		for _, r := range training.PaperRates {
+			rel, err := training.RelativeAccuracy(m, r)
+			if err != nil {
+				panic(err) // models come from ResilienceModels
+			}
+			rows = append(rows, Fig11Row{Model: m, Rate: r, Relative: rel})
+		}
+	}
+	return rows
+}
+
+// Figure11Empirical runs the actual retention-aware training method on
+// the synthetic dataset across the rate ladder — the executable
+// counterpart of the calibrated curves. It is expensive (tens of
+// seconds) and therefore not part of the printed experiment set.
+func Figure11Empirical(samples int) []training.Result {
+	m := training.NewMethod(training.DefaultConfig(), samples)
+	out := make([]training.Result, 0, len(training.PaperRates))
+	for _, r := range training.PaperRates {
+		out = append(out, m.Run(r))
+	}
+	return out
+}
+
+// Fig12Row is one ResNet layer's storage split (Fig. 12).
+type Fig12Row struct {
+	Layer                       string
+	Stage                       string
+	InputMB, WeightMB, OutputMB float64
+}
+
+// Figure12 computes ResNet's per-layer data sizes in 16-bit precision.
+func Figure12() []Fig12Row {
+	var rows []Fig12Row
+	for _, l := range models.ResNet().Layers {
+		rows = append(rows, Fig12Row{
+			Layer:    l.Name,
+			Stage:    l.Stage,
+			InputMB:  models.PaperMB(l.InputWords()),
+			WeightMB: models.PaperMB(l.WeightWords()),
+			OutputMB: models.PaperMB(l.OutputWords()),
+		})
+	}
+	return rows
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Data:  func() (any, error) { return Figure7(), nil },
+		Title: "ResNet data lifetime before optimization (ID pattern)",
+		Run: func(w io.Writer) error {
+			rows := Figure7()
+			over45, over734 := 0, 0
+			fmt.Fprintf(w, "%-18s %-8s %12s %12s\n", "Layer", "Stage", "LTi", "LTw")
+			for _, r := range rows {
+				if r.ExceedRT {
+					over45++
+				}
+				if r.Exceed16 {
+					over734++
+				}
+				if _, err := fmt.Fprintf(w, "%-18s %-8s %12s %12s\n",
+					r.Layer, r.Stage, us(r.Input), us(r.Weight)); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "layers above RT=45us: %d/%d; above 16xRT=734us: %d/%d\n",
+				over45, len(rows), over734, len(rows))
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Data:  func() (any, error) { return Figure8(), nil },
+		Title: "Typical eDRAM retention time distribution",
+		Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "%14s %16s\n", "RetentionTime", "FailureRate")
+			for _, a := range Figure8() {
+				if _, err := fmt.Fprintf(w, "%14s %16.3e\n", us(a.Time), a.Rate); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "anchors: %s @ %.0e (conventional), %s @ %.0e (tolerable)\n",
+				us(retention.TypicalRetentionTime), retention.TypicalFailureRate,
+				us(retention.TolerableRetentionTime), retention.TolerableFailureRate)
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Data:  func() (any, error) { return Figure11(), nil },
+		Title: "Relative accuracy under retention failure rates",
+		Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "%-12s", "Model")
+			for _, r := range training.PaperRates {
+				fmt.Fprintf(w, " %9.0e", r)
+			}
+			fmt.Fprintln(w)
+			rows := Figure11()
+			for i := 0; i < len(rows); i += len(training.PaperRates) {
+				fmt.Fprintf(w, "%-12s", rows[i].Model)
+				for j := 0; j < len(training.PaperRates); j++ {
+					fmt.Fprintf(w, " %8.1f%%", rows[i+j].Relative*100)
+				}
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Data:  func() (any, error) { return Figure12(), nil },
+		Title: "Layer size analysis of ResNet (16-bit)",
+		Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "%-18s %-8s %10s %10s %10s\n", "Layer", "Stage", "Inputs", "Weights", "Outputs")
+			for _, r := range Figure12() {
+				if _, err := fmt.Fprintf(w, "%-18s %-8s %9.3fMB %9.3fMB %9.3fMB\n",
+					r.Layer, r.Stage, r.InputMB, r.WeightMB, r.OutputMB); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// us formats a duration in microseconds, the paper's figure unit.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1fus", float64(d)/float64(time.Microsecond))
+}

@@ -1,0 +1,464 @@
+package experiments
+
+// This file regenerates the energy-evaluation figures: the motivation
+// breakdown (Fig. 1), the main comparison (Fig. 15), the retention-time
+// sweep (Fig. 16), the VGG layerwise comparison (Fig. 17), the buffer-
+// capacity sensitivity (Fig. 18), the DaDianNao scalability study
+// (Fig. 19), and the §V-B1 headline claims.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/platform"
+)
+
+// Fig1Row is one ResNet stage's energy breakdown on the eDRAM+ID
+// platform (Fig. 1) — the motivation: refresh is a large share.
+type Fig1Row struct {
+	Stage  string
+	Energy energy.Breakdown // absolute, pJ
+	Share  energy.Breakdown // normalized to the stage total
+}
+
+// Figure1 computes the per-stage breakdown of ResNet under eD+ID.
+func Figure1() ([]Fig1Row, error) {
+	p := platform.Test()
+	r, err := p.Evaluate(platform.EDID(), models.ResNet())
+	if err != nil {
+		return nil, err
+	}
+	net := models.ResNet()
+	byStage := map[string]*energy.Breakdown{}
+	var order []string
+	for i, lp := range r.Plan.Layers {
+		st := net.Layers[i].Stage
+		if byStage[st] == nil {
+			byStage[st] = &energy.Breakdown{}
+			order = append(order, st)
+		}
+		byStage[st].Add(lp.Energy)
+	}
+	rows := make([]Fig1Row, 0, len(order))
+	for _, st := range order {
+		e := *byStage[st]
+		rows = append(rows, Fig1Row{Stage: st, Energy: e, Share: e.Normalize(e)})
+	}
+	return rows, nil
+}
+
+// Fig15Cell is one (design, model) bar of the total system energy
+// comparison, normalized to the model's S+ID energy.
+type Fig15Cell struct {
+	Design string
+	Model  string // benchmark name or "GEO MEAN"
+	Energy energy.Breakdown
+}
+
+// Figure15 evaluates the six Table IV designs on the four benchmarks and
+// appends the per-design geometric mean across benchmarks.
+func Figure15() ([]Fig15Cell, error) {
+	p := platform.Test()
+	nets := models.Benchmarks()
+	designs := platform.Designs()
+	results, err := p.EvaluateAll(designs, nets)
+	if err != nil {
+		return nil, err
+	}
+	base := make([]energy.Breakdown, len(nets))
+	for j := range nets {
+		base[j] = results[0][j].Energy()
+	}
+	var cells []Fig15Cell
+	for i, d := range designs {
+		// GEO MEAN bar: geometric mean of normalized totals, with the
+		// breakdown split by the average component shares (so S+ID's
+		// mean is exactly 1 and stacks remain meaningful).
+		geoTotal := 1.0
+		shares := energy.Breakdown{}
+		for j, n := range nets {
+			norm := results[i][j].Energy().Normalize(base[j])
+			cells = append(cells, Fig15Cell{Design: d.Name, Model: n.Name, Energy: norm})
+			geoTotal *= norm.Total()
+			shares.Add(norm.Scale(1 / norm.Total()))
+		}
+		inv := 1 / float64(len(nets))
+		geoTotal = math.Pow(geoTotal, inv)
+		gm := shares.Scale(inv).Scale(geoTotal)
+		cells = append(cells, Fig15Cell{Design: d.Name, Model: "GEO MEAN", Energy: gm})
+	}
+	return cells, nil
+}
+
+// Fig16Cell is one (retention time, design) accelerator-energy bar on
+// ResNet, normalized to eD+ID at 45 µs.
+type Fig16Cell struct {
+	RetentionTime time.Duration
+	Design        string
+	// Accelerator is the energy excluding off-chip access.
+	Accelerator float64
+	Refresh     float64
+}
+
+// Fig16RetentionTimes is the sweep of §V-B2.
+var Fig16RetentionTimes = []time.Duration{
+	45 * time.Microsecond, 90 * time.Microsecond, 180 * time.Microsecond,
+	360 * time.Microsecond, 720 * time.Microsecond, 1440 * time.Microsecond,
+}
+
+// Figure16 sweeps retention time for eD+ID, eD+OD and RANA (0) on ResNet.
+func Figure16() ([]Fig16Cell, error) {
+	p := platform.Test()
+	net := models.ResNet()
+	designs := []platform.Design{platform.EDID(), platform.EDOD(), platform.RANA0()}
+	var base float64
+	var cells []Fig16Cell
+	for _, rt := range Fig16RetentionTimes {
+		for _, d := range designs {
+			r, err := p.Evaluate(d.WithInterval(rt), net)
+			if err != nil {
+				return nil, err
+			}
+			e := r.Energy()
+			if base == 0 {
+				base = e.AcceleratorEnergy()
+			}
+			cells = append(cells, Fig16Cell{
+				RetentionTime: rt,
+				Design:        d.Name,
+				Accelerator:   e.AcceleratorEnergy() / base,
+				Refresh:       e.Refresh / base,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Fig17Row is one VGG layer's system energy under RANA (0), normalized
+// to eD+OD on the same layer.
+type Fig17Row struct {
+	Layer string
+	// EDODEnergy and RANAEnergy are the absolute layer energies.
+	EDODEnergy, RANAEnergy float64
+	// Normalized is RANA (0) relative to eD+OD.
+	Normalized energy.Breakdown
+	// RANAPattern is the pattern the hybrid schedule picked.
+	RANAPattern string
+}
+
+// Figure17 compares eD+OD and RANA (0) layer by layer on VGG.
+func Figure17() ([]Fig17Row, error) {
+	p := platform.Test()
+	net := models.VGG()
+	od, err := p.Evaluate(platform.EDOD(), net)
+	if err != nil {
+		return nil, err
+	}
+	rana, err := p.Evaluate(platform.RANA0(), net)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig17Row, len(net.Layers))
+	for i := range net.Layers {
+		oe := od.Plan.Layers[i].Energy
+		re := rana.Plan.Layers[i].Energy
+		rows[i] = Fig17Row{
+			Layer:       net.Layers[i].Name,
+			EDODEnergy:  oe.Total(),
+			RANAEnergy:  re.Total(),
+			Normalized:  re.Normalize(oe),
+			RANAPattern: rana.Plan.Layers[i].Analysis.Pattern.String(),
+		}
+	}
+	return rows, nil
+}
+
+// Fig18Cell is one (capacity, model, design) system-energy bar,
+// normalized per model to RANA (E-5) at the smallest capacity.
+type Fig18Cell struct {
+	CapacityWords uint64
+	Model         string
+	Design        string
+	Energy        energy.Breakdown
+}
+
+// Fig18Capacities returns the swept capacities: 0.25×–8× of 1.454 MB.
+func Fig18Capacities() []uint64 {
+	base := uint64(hw.TestEDRAMWords)
+	return []uint64{base / 4, base / 2, base, base * 2, base * 4, base * 8}
+}
+
+// Figure18 sweeps buffer capacity for RANA (E-5) and RANA*(E-5).
+func Figure18() ([]Fig18Cell, error) {
+	p := platform.Test()
+	nets := models.Benchmarks()
+	var cells []Fig18Cell
+	for _, n := range nets {
+		var base float64
+		for _, d := range []platform.Design{platform.RANAE5(), platform.RANAStarE5()} {
+			for _, cap := range Fig18Capacities() {
+				r, err := p.Evaluate(d.WithBufferWords(cap), n)
+				if err != nil {
+					return nil, err
+				}
+				e := r.Energy()
+				if base == 0 {
+					base = e.Total()
+				}
+				cells = append(cells, Fig18Cell{
+					CapacityWords: cap, Model: n.Name, Design: d.Name,
+					Energy: e.Scale(1 / base),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig19Cell is one (design, model) bar of the DaDianNao study,
+// normalized per model to the DaDianNao baseline.
+type Fig19Cell struct {
+	Design string
+	Model  string
+	Energy energy.Breakdown
+}
+
+// Figure19 applies the RANA variants to the DaDianNao node (§V-C).
+func Figure19() ([]Fig19Cell, error) {
+	p := platform.DaDianNao()
+	nets := models.Benchmarks()
+	var cells []Fig19Cell
+	base := make([]energy.Breakdown, len(nets))
+	for i, d := range platform.DaDianNaoDesigns() {
+		for j, n := range nets {
+			r, err := p.EvaluateFixedTiling(d, n, platform.DaDianNaoTiling())
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base[j] = r.Energy()
+			}
+			cells = append(cells, Fig19Cell{
+				Design: d.Name, Model: n.Name,
+				Energy: r.Energy().Normalize(base[j]),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// HeadlineResult carries the §V-B1 summary claims as measured here.
+type HeadlineResult struct {
+	// RefreshRemovedVsEDID is the fraction of eD+ID's refresh operations
+	// RANA*(E-5) removes (paper: 99.7%).
+	RefreshRemovedVsEDID float64
+	// OffChipSavedVsSID is the average off-chip energy saving of
+	// RANA*(E-5) vs S+ID (paper: 41.7%).
+	OffChipSavedVsSID float64
+	// EnergySavedVsSID is the geometric-mean system energy saving of
+	// RANA*(E-5) vs S+ID (paper: 66.2%).
+	EnergySavedVsSID float64
+}
+
+// Headline computes the summary claims from the Fig. 15 evaluation.
+func Headline() (HeadlineResult, error) {
+	p := platform.Test()
+	nets := models.Benchmarks()
+	results, err := p.EvaluateAll(
+		[]platform.Design{platform.SID(), platform.EDID(), platform.RANAStarE5()}, nets)
+	if err != nil {
+		return HeadlineResult{}, err
+	}
+	var h HeadlineResult
+	var edidRefresh, starRefresh uint64
+	offSum, geo := 0.0, 1.0
+	for j := range nets {
+		sid := results[0][j].Energy()
+		star := results[2][j].Energy()
+		edidRefresh += results[1][j].Plan.Totals.Refreshes
+		starRefresh += results[2][j].Plan.Totals.Refreshes
+		offSum += 1 - star.OffChip/sid.OffChip
+		geo *= star.Total() / sid.Total()
+	}
+	h.RefreshRemovedVsEDID = 1 - float64(starRefresh)/float64(edidRefresh)
+	h.OffChipSavedVsSID = offSum / float64(len(nets))
+	h.EnergySavedVsSID = 1 - math.Pow(geo, 1/float64(len(nets)))
+	return h, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Data:  func() (any, error) { return Figure1() },
+		Title: "Energy breakdown of ResNet on the eD+ID platform",
+		Run: func(w io.Writer) error {
+			rows, err := Figure1()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %10s %10s %10s %10s\n", "Stage", "Computing", "Buffer", "Refresh", "OffChip")
+			for _, r := range rows {
+				if _, err := fmt.Fprintf(w, "%-10s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", r.Stage,
+					r.Share.Computing*100, r.Share.BufferAccess*100,
+					r.Share.Refresh*100, r.Share.OffChip*100); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Data:  func() (any, error) { return Figure15() },
+		Title: "Total system energy comparison (normalized to S+ID)",
+		Run: func(w io.Writer) error {
+			cells, err := Figure15()
+			if err != nil {
+				return err
+			}
+			return printEnergyMatrix(w, func() []matrixCell {
+				out := make([]matrixCell, len(cells))
+				for i, c := range cells {
+					out[i] = matrixCell{c.Design, c.Model, c.Energy}
+				}
+				return out
+			}())
+		},
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Data:  func() (any, error) { return Figure16() },
+		Title: "Accelerator energy vs retention time on ResNet",
+		Run: func(w io.Writer) error {
+			cells, err := Figure16()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%10s %-10s %12s %12s\n", "RT", "Design", "AccelEnergy", "Refresh")
+			for _, c := range cells {
+				if _, err := fmt.Fprintf(w, "%10s %-10s %12.3f %12.3f\n",
+					us(c.RetentionTime), c.Design, c.Accelerator, c.Refresh); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Data:  func() (any, error) { return Figure17() },
+		Title: "Layerwise system energy on VGG: eD+OD vs RANA (0)",
+		Run: func(w io.Writer) error {
+			rows, err := Figure17()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s\n", "Layer", "Pattern", "Rel.Total", "Buffer", "Refresh", "OffChip")
+			for _, r := range rows {
+				if _, err := fmt.Fprintf(w, "%-10s %8s %10.3f %10.3f %10.3f %10.3f\n",
+					r.Layer, r.RANAPattern, r.Normalized.Total(),
+					r.Normalized.BufferAccess, r.Normalized.Refresh, r.Normalized.OffChip); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Data:  func() (any, error) { return Figure18() },
+		Title: "System energy vs buffer capacity: RANA (E-5) vs RANA*(E-5)",
+		Run: func(w io.Writer) error {
+			cells, err := Figure18()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s %-12s %10s %10s %10s\n", "Model", "Design", "Capacity", "Total", "Refresh")
+			for _, c := range cells {
+				if _, err := fmt.Fprintf(w, "%-12s %-12s %8.3fMB %10.3f %10.3f\n",
+					c.Model, c.Design, models.PaperMB(c.CapacityWords),
+					c.Energy.Total(), c.Energy.Refresh); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "fig19",
+		Data:  func() (any, error) { return Figure19() },
+		Title: "Scalability analysis on DaDianNao",
+		Run: func(w io.Writer) error {
+			cells, err := Figure19()
+			if err != nil {
+				return err
+			}
+			return printEnergyMatrix(w, func() []matrixCell {
+				out := make([]matrixCell, len(cells))
+				for i, c := range cells {
+					out[i] = matrixCell{c.Design, c.Model, c.Energy}
+				}
+				return out
+			}())
+		},
+	})
+	register(Experiment{
+		ID:    "headline",
+		Data:  func() (any, error) { return Headline() },
+		Title: "§V-B1 headline claims (paper: 99.7% / 41.7% / 66.2%)",
+		Run: func(w io.Writer) error {
+			h, err := Headline()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "eDRAM refresh operations removed vs eD+ID: %5.1f%% (paper 99.7%%)\n", h.RefreshRemovedVsEDID*100)
+			fmt.Fprintf(w, "off-chip memory access saved vs S+ID:      %5.1f%% (paper 41.7%%)\n", h.OffChipSavedVsSID*100)
+			fmt.Fprintf(w, "system energy saved vs S+ID:               %5.1f%% (paper 66.2%%)\n", h.EnergySavedVsSID*100)
+			return nil
+		},
+	})
+}
+
+type matrixCell struct {
+	design, model string
+	e             energy.Breakdown
+}
+
+// printEnergyMatrix prints design rows × model columns of normalized
+// totals with a per-cell breakdown suffix.
+func printEnergyMatrix(w io.Writer, cells []matrixCell) error {
+	var designs, modelsSeen []string
+	seenD, seenM := map[string]bool{}, map[string]bool{}
+	vals := map[[2]string]energy.Breakdown{}
+	for _, c := range cells {
+		if !seenD[c.design] {
+			seenD[c.design] = true
+			designs = append(designs, c.design)
+		}
+		if !seenM[c.model] {
+			seenM[c.model] = true
+			modelsSeen = append(modelsSeen, c.model)
+		}
+		vals[[2]string{c.design, c.model}] = c.e
+	}
+	fmt.Fprintf(w, "%-12s", "Design")
+	for _, m := range modelsSeen {
+		fmt.Fprintf(w, " %10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, d := range designs {
+		fmt.Fprintf(w, "%-12s", d)
+		for _, m := range modelsSeen {
+			fmt.Fprintf(w, " %10.3f", vals[[2]string{d, m}].Total())
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+// The reproduction report: every quantitative claim the paper makes that
+// this repository re-measures, computed live and printed next to the
+// paper's number. This is EXPERIMENTS.md as executable code — the "repro"
+// experiment fails loudly (error rows) if a model change drifts a claim
+// out of its band.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/platform"
+	"rana/internal/retention"
+)
+
+// ClaimRow is one verified claim.
+type ClaimRow struct {
+	// Source cites the paper location.
+	Source string
+	// Claim describes the quantity.
+	Claim string
+	// Paper is the paper's value; Measured is this repository's.
+	Paper, Measured float64
+	// Unit labels both values.
+	Unit string
+	// Lo and Hi bound the acceptable measured band.
+	Lo, Hi float64
+	// OK reports whether Measured landed inside [Lo, Hi].
+	OK bool
+}
+
+// ReproReport computes every verified claim.
+func ReproReport() ([]ClaimRow, error) {
+	var rows []ClaimRow
+	add := func(source, claim string, paper, measured float64, unit string, lo, hi float64) {
+		rows = append(rows, ClaimRow{
+			Source: source, Claim: claim, Paper: paper, Measured: measured,
+			Unit: unit, Lo: lo, Hi: hi, OK: measured >= lo && measured <= hi,
+		})
+	}
+
+	// Lifetime anchors (§III-B, §IV-C1).
+	cfg := hw.TestAccelerator()
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
+	layerA, _ := models.ResNet().Layer("res4a_branch1")
+	layerB, _ := models.VGG().Layer("conv4_2")
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	add("§III-B2", "Layer-A input lifetime under ID",
+		2294, us(pattern.Analyze(layerA, pattern.ID, ti, cfg).Lifetimes.Input), "µs", 2292, 2296)
+	add("§IV-C1", "Layer-A output lifetime under OD",
+		72, us(pattern.Analyze(layerA, pattern.OD, ti, cfg).Lifetimes.Output), "µs", 71, 73)
+	add("§IV-C1", "Layer-B output lifetime under OD, Tn=16",
+		1290, us(pattern.Analyze(layerB, pattern.OD, ti, cfg).Lifetimes.Output), "µs", 1288, 1292)
+	t8 := ti
+	t8.Tn = 8
+	add("§IV-C1", "Layer-B output lifetime under OD, Tn=8",
+		645, us(pattern.Analyze(layerB, pattern.OD, t8, cfg).Lifetimes.Output), "µs", 644, 646)
+	add("§IV-D2", "Layer-B weight lifetime under OD, Tn=16",
+		40, us(pattern.Analyze(layerB, pattern.OD, ti, cfg).Lifetimes.Weight), "µs", 39, 41)
+	bsKB := float64(pattern.Analyze(layerA, pattern.ID, pattern.Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}, cfg).
+		BufferStorage.Total()) * 2 / 1024
+	add("§III-B1", "Layer-A minimum ID buffer storage", 785, bsKB, "KB", 784, 786)
+
+	// Table I maxima (paper MB).
+	vgg := models.VGG().Summarize()
+	add("Table I", "VGG max layer inputs", 6.27, vgg.MaxInputMB(), "MB", 6.26, 6.28)
+	resnet := models.ResNet().Summarize()
+	add("Table I", "ResNet max layer weights", 4.61, resnet.MaxWeightMB(), "MB", 4.60, 4.62)
+
+	// Retention anchors (Fig. 8).
+	dist := retention.Typical()
+	add("Fig. 8", "tolerable retention at 1e-5",
+		734, us(dist.RetentionTime(1e-5)), "µs", 733, 735)
+
+	// Fig. 16 ratios.
+	f16, err := Figure16()
+	if err != nil {
+		return nil, err
+	}
+	at := func(rt time.Duration, d string) Fig16Cell {
+		for _, c := range f16 {
+			if c.RetentionTime == rt && c.Design == d {
+				return c
+			}
+		}
+		return Fig16Cell{}
+	}
+	idDrop := 1 - at(180*time.Microsecond, "eD+ID").Refresh/at(90*time.Microsecond, "eD+ID").Refresh
+	odDrop := 1 - at(180*time.Microsecond, "eD+OD").Refresh/at(90*time.Microsecond, "eD+OD").Refresh
+	add("§V-B2", "eD+ID refresh drop, RT 90→180µs", 50.0, idDrop*100, "%", 45, 55)
+	add("§V-B2", "eD+OD refresh drop, RT 90→180µs", 80.1, odDrop*100, "%", 72, 88)
+
+	// Headline claims (§V-B1).
+	h, err := Headline()
+	if err != nil {
+		return nil, err
+	}
+	add("§V-B1", "refresh operations removed vs eD+ID", 99.7, h.RefreshRemovedVsEDID*100, "%", 98, 100)
+	add("§V-B1", "off-chip access saved vs S+ID", 41.7, h.OffChipSavedVsSID*100, "%", 25, 60)
+	add("§V-B1", "system energy saved vs S+ID", 66.2, h.EnergySavedVsSID*100, "%", 40, 75)
+
+	// AlexNet eD+ID penalty.
+	p := platform.Test()
+	sid, err := p.Evaluate(platform.SID(), models.AlexNet())
+	if err != nil {
+		return nil, err
+	}
+	edid, err := p.Evaluate(platform.EDID(), models.AlexNet())
+	if err != nil {
+		return nil, err
+	}
+	add("§V-B1", "AlexNet eD+ID / S+ID energy", 2.3,
+		edid.Energy().Total()/sid.Energy().Total(), "×", 1.8, 2.8)
+
+	// DaDianNao study (§V-C).
+	f19, err := Figure19()
+	if err != nil {
+		return nil, err
+	}
+	var bufSave, sysSave float64
+	n := 0.0
+	for _, c := range f19 {
+		if c.Design == "RANA (0)" {
+			bufSave += 1 - c.Energy.BufferAccess
+		}
+		if c.Design == "RANA*(E-5)" {
+			sysSave += 1 - c.Energy.Total()
+		}
+		if c.Design == "RANA (0)" {
+			n++
+		}
+	}
+	add("§V-C", "DaDianNao buffer-access saved by hybrid pattern", 97.2, bufSave/n*100, "%", 90, 100)
+	add("§V-C", "DaDianNao system energy saved by RANA*(E-5)", 69.4, sysSave/n*100, "%", 60, 80)
+
+	return rows, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "repro",
+		Title: "Reproduction report: paper vs measured, with acceptance bands",
+		Data:  func() (any, error) { return ReproReport() },
+		Run: func(w io.Writer) error {
+			rows, err := ReproReport()
+			if err != nil {
+				return err
+			}
+			failures := 0
+			fmt.Fprintf(w, "%-9s %-46s %10s %10s %-3s %s\n", "Source", "Claim", "Paper", "Measured", "", "Band")
+			for _, r := range rows {
+				mark := "ok"
+				if !r.OK {
+					mark = "FAIL"
+					failures++
+				}
+				if _, err := fmt.Fprintf(w, "%-9s %-46s %9.2f%s %9.2f%s %-4s [%.4g, %.4g]\n",
+					r.Source, r.Claim, r.Paper, r.Unit, r.Measured, r.Unit, mark, r.Lo, r.Hi); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "%d/%d claims inside their acceptance bands\n", len(rows)-failures, len(rows))
+			if failures > 0 {
+				return fmt.Errorf("experiments: %d reproduction claims out of band", failures)
+			}
+			return nil
+		},
+	})
+}
+
+var _ = math.Abs

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rana/internal/energy"
+	"rana/internal/models"
+)
+
+// Table1 returns the data storage requirements of the four benchmark
+// CNNs in 16-bit precision (Table I).
+func Table1() []models.StorageSummary {
+	out := make([]models.StorageSummary, 0, 4)
+	for _, n := range models.Benchmarks() {
+		out = append(out, n.Summarize())
+	}
+	return out
+}
+
+// Table2Row is one row of the SRAM-vs-eDRAM characteristics comparison.
+type Table2Row struct {
+	Characteristic string
+	SRAM, EDRAM    string
+}
+
+// Table2 returns the Table II characteristics (32 KB banks, 65 nm).
+func Table2() []Table2Row {
+	return []Table2Row{
+		{"Data Storage", "Latch", "Capacitor"},
+		{"Area", fmt.Sprintf("%.3fmm2", energy.SRAMBankAreaMM2), fmt.Sprintf("%.3fmm2", energy.EDRAMBankAreaMM2)},
+		{"Access Latency", fmt.Sprintf("%.3fns", energy.SRAMLatencyNS), fmt.Sprintf("%.3fns", energy.EDRAMLatencyNS)},
+		{"Access Energy", fmt.Sprintf("%.3fpJ/bit", energy.SRAMAccessPJ/16), fmt.Sprintf("%.3fpJ/bit", energy.EDRAMAccessPJ/16)},
+		{"Refresh Energy", "-", fmt.Sprintf("%.3fuJ/bank", energy.EDRAMBankRefreshUJ)},
+		{"Retention Time", "-", "<100us (45us typical)"},
+	}
+}
+
+// Table3Row is one row of the operation energy cost table.
+type Table3Row struct {
+	Operation string
+	EnergyPJ  float64
+	Relative  float64
+}
+
+// Table3 returns the Table III energy costs in the 65 nm node.
+func Table3() []Table3Row {
+	rows := []Table3Row{
+		{"16-bit Fixed-Point MAC", energy.MACpJ, 0},
+		{"16-bit 32KB SRAM Access", energy.SRAMAccessPJ, 0},
+		{"16-bit 32KB eDRAM Access", energy.EDRAMAccessPJ, 0},
+		{"16-bit 32KB eDRAM Refresh", energy.EDRAMRefreshPJ, 0},
+		{"16-bit 1GB DDR3 Access", energy.DDRAccessPJ, 0},
+	}
+	for i := range rows {
+		rows[i].Relative = rows[i].EnergyPJ / energy.MACpJ
+	}
+	return rows
+}
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Data:  func() (any, error) { return Table1(), nil },
+		Title: "Data storage requirements of CNNs (16-bit)",
+		Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "%-12s %-12s %-12s %-12s\n", "CNN Model", "Max Inputs", "Max Outputs", "Max Weights")
+			for _, s := range Table1() {
+				if _, err := fmt.Fprintf(w, "%-12s %-12s %-12s %-12s\n", s.Model,
+					fmt.Sprintf("%.2fMB", s.MaxInputMB()),
+					fmt.Sprintf("%.2fMB", s.MaxOutputMB()),
+					fmt.Sprintf("%.2fMB", s.MaxWeightMB())); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "table2",
+		Data:  func() (any, error) { return Table2(), nil },
+		Title: "SRAM vs eDRAM characteristics (32KB, 65nm)",
+		Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "%-16s %-14s %-14s\n", "", "SRAM", "eDRAM")
+			for _, r := range Table2() {
+				if _, err := fmt.Fprintf(w, "%-16s %-14s %-14s\n", r.Characteristic, r.SRAM, r.EDRAM); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:    "table3",
+		Data:  func() (any, error) { return Table3(), nil },
+		Title: "Energy cost in the 65nm technology node",
+		Run: func(w io.Writer) error {
+			fmt.Fprintf(w, "%-28s %10s %10s\n", "Operation", "Energy", "Relative")
+			for _, r := range Table3() {
+				if _, err := fmt.Fprintf(w, "%-28s %9.1fpJ %9.1fx\n", r.Operation, r.EnergyPJ, r.Relative); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,144 @@
+// Package fixed implements the 16-bit fixed-point arithmetic used by the
+// RANA evaluation platform. The paper's accelerator and its retention-aware
+// training method both operate on 16-bit fixed-point values (§II, §IV-B);
+// this package provides the shared Q-format representation, saturating
+// arithmetic, and the multiply-accumulate primitive whose energy cost
+// anchors Table III (1.3 pJ per 16-bit MAC).
+package fixed
+
+import "math"
+
+// Word is a 16-bit fixed-point value. The binary point position is carried
+// separately by a Format; Word itself is just the raw two's-complement bits.
+type Word int16
+
+const (
+	// MaxWord and MinWord are the saturation bounds of a 16-bit word.
+	MaxWord = Word(math.MaxInt16)
+	MinWord = Word(math.MinInt16)
+
+	// WordBits is the number of bits in a Word. Retention failures are
+	// injected per bit (§IV-B), so error-injection code iterates over
+	// exactly this many positions.
+	WordBits = 16
+)
+
+// Format describes a Qm.f fixed-point format: f fractional bits out of the
+// 16-bit word. The paper uses 16-bit precision throughout; the fractional
+// split is a deployment choice, so it is parameterized here.
+type Format struct {
+	// Frac is the number of fractional bits (0..15).
+	Frac uint
+}
+
+// Q88 is the default format used by the training demonstration: 8 integer
+// bits (including sign) and 8 fractional bits.
+var Q88 = Format{Frac: 8}
+
+// Scale returns the scaling factor 2^Frac.
+func (f Format) Scale() float64 { return float64(int32(1) << f.Frac) }
+
+// FromFloat converts a float64 to the nearest representable Word,
+// saturating at the 16-bit bounds.
+func (f Format) FromFloat(x float64) Word {
+	scaled := math.RoundToEven(x * f.Scale())
+	switch {
+	case scaled > float64(MaxWord):
+		return MaxWord
+	case scaled < float64(MinWord):
+		return MinWord
+	case math.IsNaN(scaled):
+		return 0
+	}
+	return Word(scaled)
+}
+
+// ToFloat converts a Word back to float64.
+func (f Format) ToFloat(w Word) float64 { return float64(w) / f.Scale() }
+
+// Quantize rounds a float64 to the format's grid without leaving float64.
+// It is the composition ToFloat(FromFloat(x)) and is what the fixed-point
+// pretraining step (Fig. 9) applies to weights and activations.
+func (f Format) Quantize(x float64) float64 { return f.ToFloat(f.FromFloat(x)) }
+
+// SatAdd returns a+b with saturation at the 16-bit bounds.
+func SatAdd(a, b Word) Word {
+	s := int32(a) + int32(b)
+	return saturate32(s)
+}
+
+// SatMul returns the fixed-point product of a and b in format f,
+// rounding to nearest and saturating.
+func (f Format) SatMul(a, b Word) Word {
+	p := int64(a) * int64(b) // Q(2f) product in 32 bits
+	// Round to nearest by adding half an LSB before shifting.
+	half := int64(1) << (f.Frac - 1)
+	if f.Frac == 0 {
+		half = 0
+	}
+	if p >= 0 {
+		p += half
+	} else {
+		p -= half
+	}
+	p >>= f.Frac
+	if p > int64(MaxWord) {
+		return MaxWord
+	}
+	if p < int64(MinWord) {
+		return MinWord
+	}
+	return Word(p)
+}
+
+// Acc is a widened accumulator for multiply-accumulate chains. CNN
+// accelerators accumulate partial sums in wider registers inside the PEs
+// (§II-B: "outputs are kept accumulating in the PEs"); Acc models that
+// 32-bit-plus guard-band register.
+type Acc int64
+
+// MAC performs one multiply-accumulate step: acc += a*b, in the raw
+// Q(2*Frac) domain of the product. This is the basic operation of a CONV
+// layer (Fig. 2b, inner-most loop).
+func MAC(acc Acc, a, b Word) Acc { return acc + Acc(int64(a)*int64(b)) }
+
+// Fold reduces an accumulator back to a Word in format f, rounding to
+// nearest and saturating. It models the PE writing a finished output
+// point to the output buffer.
+func (f Format) Fold(acc Acc) Word {
+	p := int64(acc)
+	half := int64(1) << (f.Frac - 1)
+	if f.Frac == 0 {
+		half = 0
+	}
+	if p >= 0 {
+		p += half
+	} else {
+		p -= half
+	}
+	p >>= f.Frac
+	if p > int64(MaxWord) {
+		return MaxWord
+	}
+	if p < int64(MinWord) {
+		return MinWord
+	}
+	return Word(p)
+}
+
+func saturate32(s int32) Word {
+	if s > int32(MaxWord) {
+		return MaxWord
+	}
+	if s < int32(MinWord) {
+		return MinWord
+	}
+	return Word(s)
+}
+
+// Bits returns the raw bit pattern of w. Retention-failure injection
+// operates on this representation.
+func Bits(w Word) uint16 { return uint16(w) }
+
+// FromBits reinterprets a raw bit pattern as a Word.
+func FromBits(b uint16) Word { return Word(b) }

@@ -1,0 +1,138 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromToFloatRoundTrip(t *testing.T) {
+	f := Q88
+	cases := []float64{0, 1, -1, 0.5, -0.5, 3.25, -7.125, 127.99, -128}
+	for _, x := range cases {
+		w := f.FromFloat(x)
+		got := f.ToFloat(w)
+		if math.Abs(got-x) > 1.0/f.Scale() {
+			t.Errorf("round trip %g -> %d -> %g", x, w, got)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	f := Q88
+	if f.FromFloat(1e9) != MaxWord {
+		t.Error("positive overflow should saturate to MaxWord")
+	}
+	if f.FromFloat(-1e9) != MinWord {
+		t.Error("negative overflow should saturate to MinWord")
+	}
+	if f.FromFloat(math.NaN()) != 0 {
+		t.Error("NaN should map to 0")
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	if got := SatAdd(MaxWord, 1); got != MaxWord {
+		t.Errorf("SatAdd overflow = %d", got)
+	}
+	if got := SatAdd(MinWord, -1); got != MinWord {
+		t.Errorf("SatAdd underflow = %d", got)
+	}
+	if got := SatAdd(100, -30); got != 70 {
+		t.Errorf("SatAdd(100,-30) = %d", got)
+	}
+}
+
+func TestSatMul(t *testing.T) {
+	f := Q88
+	a, b := f.FromFloat(2.0), f.FromFloat(3.5)
+	if got := f.ToFloat(f.SatMul(a, b)); math.Abs(got-7.0) > 0.01 {
+		t.Errorf("2*3.5 = %g", got)
+	}
+	// Saturation: 127 * 127 overflows Q8.8.
+	big := f.FromFloat(127)
+	if f.SatMul(big, big) != MaxWord {
+		t.Error("large product should saturate")
+	}
+	neg := f.FromFloat(-127)
+	if f.SatMul(big, neg) != MinWord {
+		t.Error("large negative product should saturate")
+	}
+}
+
+func TestMACFold(t *testing.T) {
+	f := Q88
+	var acc Acc
+	// 10 × (1.5 * 2.0) = 30.
+	a, b := f.FromFloat(1.5), f.FromFloat(2.0)
+	for i := 0; i < 10; i++ {
+		acc = MAC(acc, a, b)
+	}
+	if got := f.ToFloat(f.Fold(acc)); math.Abs(got-30) > 0.05 {
+		t.Errorf("MAC chain = %g, want 30", got)
+	}
+}
+
+func TestFoldSaturates(t *testing.T) {
+	f := Q88
+	var acc Acc = math.MaxInt64 / 2
+	if f.Fold(acc) != MaxWord {
+		t.Error("Fold should saturate huge accumulators")
+	}
+	if f.Fold(-acc) != MinWord {
+		t.Error("Fold should saturate huge negative accumulators")
+	}
+}
+
+// TestQuantizeIdempotent: quantizing twice equals quantizing once.
+func TestQuantizeIdempotent(t *testing.T) {
+	f := Q88
+	prop := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		q := f.Quantize(x)
+		return f.Quantize(q) == q
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitsRoundTrip: Bits/FromBits are inverses.
+func TestBitsRoundTrip(t *testing.T) {
+	prop := func(b uint16) bool { return Bits(FromBits(b)) == b }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMACMatchesFloat: the fixed MAC chain tracks the float computation
+// within quantization error bounds.
+func TestMACMatchesFloat(t *testing.T) {
+	f := Q88
+	prop := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		var acc Acc
+		want := 0.0
+		for i := 0; i+1 < len(raw); i += 2 {
+			a := Word(raw[i] / 16) // keep products in range
+			b := Word(raw[i+1] / 16)
+			acc = MAC(acc, a, b)
+			want += f.ToFloat(a) * f.ToFloat(b)
+		}
+		got := f.ToFloat(f.Fold(acc))
+		if want > f.ToFloat(MaxWord) || want < f.ToFloat(MinWord) {
+			return true // saturation regime, skip
+		}
+		return math.Abs(got-want) < 0.01
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package memctrl
+
+// Differential refresh is an extension beyond the paper: the paper's
+// controller (Fig. 14) runs ONE programmable divider, so every flagged
+// bank refreshes at the same tolerable retention time derived from one
+// network-wide failure-rate decision. But data types differ in
+// sensitivity — a corrupted weight perturbs every output it touches while
+// a corrupted activation perturbs one — so a controller with per-type
+// dividers can keep weights at a conservative interval while activations
+// run at the trained tolerance. This file provides the analytic
+// accounting for that design point; BenchmarkAblationDifferential and the
+// "ext1" experiment quantify what it costs or buys.
+
+import (
+	"time"
+
+	"rana/internal/pattern"
+)
+
+// Intervals are per-data-type refresh periods for a differential
+// controller. A zero interval means that data type is never refreshed
+// (it must then rely on lifetime < retention).
+type Intervals struct {
+	Inputs, Outputs, Weights time.Duration
+}
+
+// Uniform returns the paper's single-rate programming.
+func Uniform(rt time.Duration) Intervals {
+	return Intervals{Inputs: rt, Outputs: rt, Weights: rt}
+}
+
+// DifferentialRefreshWords returns the total word-refresh count of one
+// layer under a per-type-interval controller: each data type's banks
+// refresh on their own divider whenever that type needs retention (its
+// lifetime reaches its interval).
+func DifferentialRefreshWords(exec time.Duration, iv Intervals,
+	alloc Allocation, lifetimes pattern.Lifetimes, bankWords int) uint64 {
+	var words uint64
+	type entry struct {
+		interval time.Duration
+		lifetime time.Duration
+		banks    int
+	}
+	for _, e := range []entry{
+		{iv.Inputs, lifetimes.Input, alloc.InputBanks},
+		{iv.Outputs, lifetimes.Output, alloc.OutputBanks},
+		{iv.Weights, lifetimes.Weight, alloc.WeightBanks},
+	} {
+		if e.interval <= 0 || e.lifetime < e.interval {
+			continue // refresh-free: lifetime beats the interval
+		}
+		words += Pulses(exec, e.interval) * uint64(e.banks) * uint64(bankWords)
+	}
+	return words
+}

@@ -1,0 +1,84 @@
+package models
+
+// Full-connection layers. The paper's analysis targets CONV layers and
+// notes that "other layers can be transformed to execute in a similar way
+// with the CONV layer acceleration" (§II-A, [11, 19-21]); this file
+// provides that transformation: an FC layer is a 1×1 convolution over a
+// 1×1 feature map whose channel count is the flattened input size, so
+// every pattern/lifetime/energy analysis in the repository applies to it
+// unchanged.
+
+import "fmt"
+
+// FCLayer is a fully connected layer: Out = W·In.
+type FCLayer struct {
+	Name    string
+	Stage   string
+	In, Out int
+}
+
+// Validate reports structural problems.
+func (f FCLayer) Validate() error {
+	if f.In <= 0 || f.Out <= 0 {
+		return fmt.Errorf("models: FC layer %q has non-positive dims %dx%d", f.Name, f.In, f.Out)
+	}
+	return nil
+}
+
+// AsConv transforms the FC layer into its equivalent CONV layer: a 1×1
+// kernel over a 1×1 spatial map with In input channels and Out kernels.
+// MACs, weight storage and data volumes are preserved exactly.
+func (f FCLayer) AsConv() ConvLayer {
+	return ConvLayer{
+		Name:  f.Name,
+		Stage: f.Stage,
+		N:     f.In,
+		H:     1, L: 1,
+		M: f.Out,
+		K: 1, S: 1, P: 0,
+	}
+}
+
+// WeightWords returns the FC weight count In·Out.
+func (f FCLayer) WeightWords() uint64 { return uint64(f.In) * uint64(f.Out) }
+
+// ClassifierFCs returns the fully connected classifier head of a
+// benchmark network (the layers the paper's CONV-only analysis omits),
+// or nil for GoogLeNet-style average-pool heads with a single FC.
+func ClassifierFCs(model string) []FCLayer {
+	switch model {
+	case "AlexNet":
+		return []FCLayer{
+			{Name: "fc6", Stage: "classifier", In: 256 * 6 * 6, Out: 4096},
+			{Name: "fc7", Stage: "classifier", In: 4096, Out: 4096},
+			{Name: "fc8", Stage: "classifier", In: 4096, Out: 1000},
+		}
+	case "VGG":
+		return []FCLayer{
+			{Name: "fc6", Stage: "classifier", In: 512 * 7 * 7, Out: 4096},
+			{Name: "fc7", Stage: "classifier", In: 4096, Out: 4096},
+			{Name: "fc8", Stage: "classifier", In: 4096, Out: 1000},
+		}
+	case "GoogLeNet":
+		return []FCLayer{
+			{Name: "loss3_classifier", Stage: "classifier", In: 1024, Out: 1000},
+		}
+	case "ResNet":
+		return []FCLayer{
+			{Name: "fc1000", Stage: "classifier", In: 2048, Out: 1000},
+		}
+	default:
+		return nil
+	}
+}
+
+// WithClassifier returns the network extended with its classifier FC
+// layers transformed to CONV form — the full inference pipeline as one
+// schedulable network.
+func WithClassifier(n Network) Network {
+	out := Network{Name: n.Name, Layers: append([]ConvLayer(nil), n.Layers...)}
+	for _, fc := range ClassifierFCs(n.Name) {
+		out.Layers = append(out.Layers, fc.AsConv())
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package models
+
+import "testing"
+
+func TestFCAsConvPreservesWork(t *testing.T) {
+	fc := FCLayer{Name: "fc6", In: 9216, Out: 4096}
+	c := fc.AsConv()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MACs() != fc.WeightWords() {
+		t.Errorf("FC-as-conv MACs %d != weights %d (each weight used once)", c.MACs(), fc.WeightWords())
+	}
+	if c.WeightWords() != 9216*4096 {
+		t.Errorf("weights = %d", c.WeightWords())
+	}
+	if c.InputWords() != 9216 || c.OutputWords() != 4096 {
+		t.Errorf("io = %d/%d", c.InputWords(), c.OutputWords())
+	}
+	if c.R() != 1 || c.C() != 1 {
+		t.Errorf("spatial dims = %dx%d", c.R(), c.C())
+	}
+}
+
+func TestFCValidate(t *testing.T) {
+	if err := (FCLayer{Name: "bad", In: 0, Out: 10}).Validate(); err == nil {
+		t.Error("zero In should fail")
+	}
+	if err := (FCLayer{Name: "bad", In: 10, Out: -1}).Validate(); err == nil {
+		t.Error("negative Out should fail")
+	}
+}
+
+func TestClassifierFCs(t *testing.T) {
+	// AlexNet's famous fc6: 37.75M parameters.
+	fcs := ClassifierFCs("AlexNet")
+	if len(fcs) != 3 {
+		t.Fatalf("%d FCs", len(fcs))
+	}
+	if fcs[0].WeightWords() != 9216*4096 {
+		t.Errorf("fc6 weights = %d", fcs[0].WeightWords())
+	}
+	if len(ClassifierFCs("ResNet")) != 1 || len(ClassifierFCs("GoogLeNet")) != 1 {
+		t.Error("single-FC heads")
+	}
+	if ClassifierFCs("nope") != nil {
+		t.Error("unknown model should return nil")
+	}
+}
+
+func TestWithClassifier(t *testing.T) {
+	full := WithClassifier(AlexNet())
+	if err := full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Layers) != 5+3 {
+		t.Fatalf("%d layers", len(full.Layers))
+	}
+	// The original network is untouched.
+	if len(AlexNet().Layers) != 5 {
+		t.Error("WithClassifier mutated the base network")
+	}
+	// FC weights dominate: fc6 exceeds every CONV layer.
+	s := full.Summarize()
+	if s.MaxWeightWords != 9216*4096 {
+		t.Errorf("max weights = %d, want fc6's", s.MaxWeightWords)
+	}
+}

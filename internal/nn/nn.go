@@ -1,0 +1,516 @@
+// Package nn is the from-scratch CNN training substrate behind the
+// retention-aware training method (§IV-B, Fig. 9). It provides the layer
+// types the method needs (convolution, pooling, dense, ReLU, softmax),
+// float backpropagation with momentum SGD, and — the RANA-specific part —
+// a fault hook that quantizes each layer's inputs and weights to the
+// accelerator's 16-bit fixed-point format and injects bit-level retention
+// failures during the forward pass.
+//
+// Layers process one sample at a time (channels-first tensors); batching
+// is a loop with gradient accumulation, which keeps kernels simple and
+// deterministic.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"rana/internal/bits"
+	"rana/internal/fixed"
+	"rana/internal/tensor"
+)
+
+// FaultModel describes the deployment datapath emulated during training:
+// values pass through the fixed-point grid and suffer bit-level retention
+// failures at the injector's rate (Fig. 9 "Adding Layer Masks").
+type FaultModel struct {
+	// Injector supplies per-bit failures; nil means no corruption.
+	Injector *bits.Injector
+	// Format is the fixed-point grid (16-bit).
+	Format fixed.Format
+	// Quantize applies the grid even with a nil injector (fixed-point
+	// pretraining).
+	Quantize bool
+}
+
+// apply passes t through the emulated datapath in place.
+func (f *FaultModel) apply(t *tensor.Tensor) {
+	if f == nil {
+		return
+	}
+	if f.Injector != nil && f.Injector.Rate() > 0 {
+		t.Corrupt(f.Injector, f.Format)
+		return
+	}
+	if f.Quantize {
+		t.Quantize(f.Format)
+	}
+}
+
+// Param is one learnable parameter with its gradient and momentum buffer.
+type Param struct {
+	W, G, V *tensor.Tensor
+}
+
+func newParam(shape ...int) *Param {
+	return &Param{W: tensor.New(shape...), G: tensor.New(shape...), V: tensor.New(shape...)}
+}
+
+// Layer is one network stage.
+type Layer interface {
+	// Name identifies the layer in diagnostics.
+	Name() string
+	// Forward maps the input to the output, caching what Backward needs.
+	// fault, when non-nil, is applied to the layer's inputs and weights
+	// (the Fig. 9 masks).
+	Forward(x *tensor.Tensor, fault *FaultModel) *tensor.Tensor
+	// Backward maps the output gradient to the input gradient,
+	// accumulating parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable parameters (may be empty).
+	Params() []*Param
+}
+
+// --- Conv2D ---
+
+// Conv2D is a same-layout convolution: (C,H,W) → (M,R,Cout).
+type Conv2D struct {
+	name         string
+	InC, OutC    int
+	K, S, P      int
+	Weight, Bias *Param
+	lastIn       *tensor.Tensor // input as seen by the kernel (post-fault)
+	lastW        *tensor.Tensor // weights as seen by the kernel
+}
+
+// NewConv2D returns a conv layer with He-initialized weights.
+func NewConv2D(name string, inC, outC, k, s, p int, rng *bits.SplitMix64) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC, K: k, S: s, P: p,
+		Weight: newParam(outC, inC, k, k),
+		Bias:   newParam(outC),
+	}
+	std := math.Sqrt(2.0 / float64(inC*k*k))
+	c.Weight.W.FillRandn(rng, std)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// outDim returns the output spatial size for input size h.
+func (c *Conv2D) outDim(h int) int { return (h+2*c.P-c.K)/c.S + 1 }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, fault *FaultModel) *tensor.Tensor {
+	if x.Dim(0) != c.InC {
+		panic(fmt.Sprintf("nn: %s: input channels %d, want %d", c.name, x.Dim(0), c.InC))
+	}
+	in := x.Clone()
+	fault.apply(in)
+	w := c.Weight.W.Clone()
+	fault.apply(w)
+	c.lastIn, c.lastW = in, w
+
+	h, l := in.Dim(1), in.Dim(2)
+	r, cc := c.outDim(h), c.outDim(l)
+	out := tensor.New(c.OutC, r, cc)
+	for m := 0; m < c.OutC; m++ {
+		b := c.Bias.W.Data[m]
+		for or := 0; or < r; or++ {
+			for oc := 0; oc < cc; oc++ {
+				sum := b
+				for n := 0; n < c.InC; n++ {
+					for kr := 0; kr < c.K; kr++ {
+						ir := or*c.S + kr - c.P
+						if ir < 0 || ir >= h {
+							continue
+						}
+						for kc := 0; kc < c.K; kc++ {
+							ic := oc*c.S + kc - c.P
+							if ic < 0 || ic >= l {
+								continue
+							}
+							sum += in.At(n, ir, ic) * w.At(m, n, kr, kc)
+						}
+					}
+				}
+				out.Set(sum, m, or, oc)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	in, w := c.lastIn, c.lastW
+	h, l := in.Dim(1), in.Dim(2)
+	r, cc := grad.Dim(1), grad.Dim(2)
+	dx := tensor.New(c.InC, h, l)
+	for m := 0; m < c.OutC; m++ {
+		for or := 0; or < r; or++ {
+			for oc := 0; oc < cc; oc++ {
+				g := grad.At(m, or, oc)
+				if g == 0 {
+					continue
+				}
+				c.Bias.G.Data[m] += g
+				for n := 0; n < c.InC; n++ {
+					for kr := 0; kr < c.K; kr++ {
+						ir := or*c.S + kr - c.P
+						if ir < 0 || ir >= h {
+							continue
+						}
+						for kc := 0; kc < c.K; kc++ {
+							ic := oc*c.S + kc - c.P
+							if ic < 0 || ic >= l {
+								continue
+							}
+							c.Weight.G.Set(c.Weight.G.At(m, n, kr, kc)+g*in.At(n, ir, ic), m, n, kr, kc)
+							dx.Set(dx.At(n, ir, ic)+g*w.At(m, n, kr, kc), n, ir, ic)
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// --- ReLU ---
+
+// ReLU is the rectifier activation.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ *FaultModel) *tensor.Tensor {
+	out := x.Clone()
+	r.mask = make([]bool, out.Len())
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// --- MaxPool2D ---
+
+// MaxPool2D subsamples each channel with a k×k window of stride k.
+type MaxPool2D struct {
+	name   string
+	K      int
+	argmax []int
+	inDims [3]int
+}
+
+// NewMaxPool2D returns a pooling layer.
+func NewMaxPool2D(name string, k int) *MaxPool2D { return &MaxPool2D{name: name, K: k} }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, _ *FaultModel) *tensor.Tensor {
+	ch, h, l := x.Dim(0), x.Dim(1), x.Dim(2)
+	p.inDims = [3]int{ch, h, l}
+	r, cc := h/p.K, l/p.K
+	out := tensor.New(ch, r, cc)
+	p.argmax = make([]int, out.Len())
+	i := 0
+	for n := 0; n < ch; n++ {
+		for or := 0; or < r; or++ {
+			for oc := 0; oc < cc; oc++ {
+				best := math.Inf(-1)
+				bi := 0
+				for kr := 0; kr < p.K; kr++ {
+					for kc := 0; kc < p.K; kc++ {
+						ir, ic := or*p.K+kr, oc*p.K+kc
+						v := x.At(n, ir, ic)
+						if v > best {
+							best = v
+							bi = (n*h+ir)*l + ic
+						}
+					}
+				}
+				out.Set(best, n, or, oc)
+				p.argmax[i] = bi
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inDims[0], p.inDims[1], p.inDims[2])
+	for i, g := range grad.Data {
+		dx.Data[p.argmax[i]] += g
+	}
+	return dx
+}
+
+// --- Dense ---
+
+// Dense is a fully connected layer over the flattened input.
+type Dense struct {
+	name         string
+	In, Out      int
+	Weight, Bias *Param
+	lastIn       *tensor.Tensor
+	lastW        *tensor.Tensor
+	inShape      []int
+}
+
+// NewDense returns a dense layer with He-initialized weights.
+func NewDense(name string, in, out int, rng *bits.SplitMix64) *Dense {
+	d := &Dense{name: name, In: in, Out: out,
+		Weight: newParam(out, in), Bias: newParam(out)}
+	d.Weight.W.FillRandn(rng, math.Sqrt(2.0/float64(in)))
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, fault *FaultModel) *tensor.Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("nn: %s: input size %d, want %d", d.name, x.Len(), d.In))
+	}
+	d.inShape = x.Shape()
+	in := x.Clone()
+	fault.apply(in)
+	w := d.Weight.W.Clone()
+	fault.apply(w)
+	d.lastIn, d.lastW = in, w
+	out := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.Bias.W.Data[o]
+		for i := 0; i < d.In; i++ {
+			sum += w.Data[o*d.In+i] * in.Data[i]
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dxFlat := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		d.Bias.G.Data[o] += g
+		for i := 0; i < d.In; i++ {
+			d.Weight.G.Data[o*d.In+i] += g * d.lastIn.Data[i]
+			dxFlat[i] += g * d.lastW.Data[o*d.In+i]
+		}
+	}
+	dx := tensor.New(d.inShape...)
+	copy(dx.Data, dxFlat)
+	return dx
+}
+
+// --- Network ---
+
+// Network is an ordered layer stack.
+type Network struct {
+	Layers []Layer
+}
+
+// Forward runs the stack; fault (may be nil) is applied per layer.
+func (n *Network) Forward(x *tensor.Tensor, fault *FaultModel) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, fault)
+	}
+	return x
+}
+
+// Backward runs the stack in reverse from the loss gradient.
+func (n *Network) Backward(grad *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params returns all learnable parameters.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.G.Zero()
+	}
+}
+
+// ClipGrad rescales all gradients so their global L2 norm does not
+// exceed maxNorm. Fixed-point forward passes saturate occasionally and
+// produce outsized straight-through gradients; clipping keeps the
+// retraining loop of Fig. 9 stable.
+func (n *Network) ClipGrad(maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	sum := 0.0
+	for _, p := range n.Params() {
+		for _, g := range p.G.Data {
+			sum += g * g
+		}
+	}
+	norm := math.Sqrt(sum)
+	if norm <= maxNorm {
+		return
+	}
+	k := maxNorm / norm
+	for _, p := range n.Params() {
+		for i := range p.G.Data {
+			p.G.Data[i] *= k
+		}
+	}
+}
+
+// Step applies one momentum-SGD update: v = µv − lr·g; w += v.
+func (n *Network) Step(lr, momentum float64) {
+	for _, p := range n.Params() {
+		for i := range p.W.Data {
+			p.V.Data[i] = momentum*p.V.Data[i] - lr*p.G.Data[i]
+			p.W.Data[i] += p.V.Data[i]
+		}
+	}
+}
+
+// Predict returns the argmax class of the logits for x.
+func (n *Network) Predict(x *tensor.Tensor, fault *FaultModel) int {
+	return n.Forward(x, fault).ArgMax()
+}
+
+// SoftmaxCrossEntropy returns the loss and the logit gradient for a
+// single sample.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Tensor) {
+	if label < 0 || label >= logits.Len() {
+		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, logits.Len()))
+	}
+	maxv := math.Inf(-1)
+	for _, v := range logits.Data {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, logits.Len())
+	for i, v := range logits.Data {
+		probs[i] = math.Exp(v - maxv)
+		sum += probs[i]
+	}
+	grad := tensor.New(logits.Shape()...)
+	for i := range probs {
+		probs[i] /= sum
+		grad.Data[i] = probs[i]
+	}
+	grad.Data[label] -= 1
+	return -math.Log(math.Max(probs[label], 1e-12)), grad
+}
+
+// --- AvgPool2D ---
+
+// AvgPool2D subsamples each channel with a k×k mean window of stride k —
+// the global-average-pooling head style of GoogLeNet/ResNet.
+type AvgPool2D struct {
+	name   string
+	K      int
+	inDims [3]int
+}
+
+// NewAvgPool2D returns an average-pooling layer.
+func NewAvgPool2D(name string, k int) *AvgPool2D { return &AvgPool2D{name: name, K: k} }
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, _ *FaultModel) *tensor.Tensor {
+	ch, h, l := x.Dim(0), x.Dim(1), x.Dim(2)
+	p.inDims = [3]int{ch, h, l}
+	r, cc := h/p.K, l/p.K
+	out := tensor.New(ch, r, cc)
+	inv := 1.0 / float64(p.K*p.K)
+	for n := 0; n < ch; n++ {
+		for or := 0; or < r; or++ {
+			for oc := 0; oc < cc; oc++ {
+				sum := 0.0
+				for kr := 0; kr < p.K; kr++ {
+					for kc := 0; kc < p.K; kc++ {
+						sum += x.At(n, or*p.K+kr, oc*p.K+kc)
+					}
+				}
+				out.Set(sum*inv, n, or, oc)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inDims[0], p.inDims[1], p.inDims[2])
+	ch, r, cc := grad.Dim(0), grad.Dim(1), grad.Dim(2)
+	inv := 1.0 / float64(p.K*p.K)
+	for n := 0; n < ch; n++ {
+		for or := 0; or < r; or++ {
+			for oc := 0; oc < cc; oc++ {
+				g := grad.At(n, or, oc) * inv
+				for kr := 0; kr < p.K; kr++ {
+					for kc := 0; kc < p.K; kc++ {
+						dx.Set(dx.At(n, or*p.K+kr, oc*p.K+kc)+g, n, or*p.K+kr, oc*p.K+kc)
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

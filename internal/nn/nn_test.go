@@ -1,0 +1,342 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"rana/internal/bits"
+	"rana/internal/fixed"
+	"rana/internal/tensor"
+)
+
+// checkGrads compares analytic parameter gradients against central
+// finite differences.
+func checkGrads(t *testing.T, net *Network, x *tensor.Tensor, label int) {
+	t.Helper()
+	net.ZeroGrad()
+	logits := net.Forward(x, nil)
+	_, g := SoftmaxCrossEntropy(logits, label)
+	net.Backward(g)
+	lossOf := func() float64 {
+		l, _ := SoftmaxCrossEntropy(net.Forward(x, nil), label)
+		return l
+	}
+	const eps = 1e-5
+	for pi, p := range net.Params() {
+		step := p.W.Len()/17 + 1
+		for i := 0; i < p.W.Len(); i += step {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			lp := lossOf()
+			p.W.Data[i] = orig - eps
+			lm := lossOf()
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if diff := math.Abs(num - p.G.Data[i]); diff > 1e-6 {
+				t.Errorf("param %d idx %d: numeric %.8f analytic %.8f", pi, i, num, p.G.Data[i])
+			}
+		}
+	}
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := bits.NewSplitMix64(1)
+	net := &Network{Layers: []Layer{
+		NewConv2D("c", 2, 3, 3, 1, 1, rng),
+		NewDense("fc", 3*5*5, 3, rng),
+	}}
+	x := tensor.New(2, 5, 5)
+	x.FillRandn(rng, 1)
+	checkGrads(t, net, x, 2)
+}
+
+func TestStridedConvGradients(t *testing.T) {
+	rng := bits.NewSplitMix64(2)
+	net := &Network{Layers: []Layer{
+		NewConv2D("c", 1, 2, 3, 2, 0, rng),
+		NewDense("fc", 2*3*3, 2, rng),
+	}}
+	x := tensor.New(1, 7, 7)
+	x.FillRandn(rng, 1)
+	checkGrads(t, net, x, 0)
+}
+
+func TestFullStackGradients(t *testing.T) {
+	rng := bits.NewSplitMix64(3)
+	net := &Network{Layers: []Layer{
+		NewConv2D("c1", 1, 4, 3, 1, 1, rng),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 2),
+		NewDense("fc", 4*4*4, 3, rng),
+	}}
+	x := tensor.New(1, 8, 8)
+	x.FillRandn(rng, 1)
+	checkGrads(t, net, x, 1)
+}
+
+func TestConvOutputShape(t *testing.T) {
+	rng := bits.NewSplitMix64(4)
+	c := NewConv2D("c", 3, 5, 3, 2, 1, rng)
+	x := tensor.New(3, 11, 11)
+	out := c.Forward(x, nil)
+	// (11 + 2 - 3)/2 + 1 = 6.
+	if out.Dim(0) != 5 || out.Dim(1) != 6 || out.Dim(2) != 6 {
+		t.Errorf("out shape %v", out.Shape())
+	}
+}
+
+func TestConvKnownValue(t *testing.T) {
+	rng := bits.NewSplitMix64(5)
+	c := NewConv2D("c", 1, 1, 2, 1, 0, rng)
+	// Identity-ish kernel: only top-left weight 1.
+	c.Weight.W.Zero()
+	c.Weight.W.Set(1, 0, 0, 0, 0)
+	c.Bias.W.Data[0] = 0.5
+	x := tensor.New(1, 2, 2)
+	x.Data = []float64{1, 2, 3, 4}
+	out := c.Forward(x, nil)
+	if out.Len() != 1 || out.Data[0] != 1.5 {
+		t.Errorf("conv value = %v", out.Data)
+	}
+}
+
+func TestConvPanicsOnChannelMismatch(t *testing.T) {
+	rng := bits.NewSplitMix64(6)
+	c := NewConv2D("c", 2, 1, 1, 1, 0, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Forward(tensor.New(3, 2, 2), nil)
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU("r")
+	x := tensor.New(4)
+	x.Data = []float64{-1, 0, 2, -3}
+	out := r.Forward(x, nil)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("relu[%d] = %g", i, out.Data[i])
+		}
+	}
+	g := tensor.New(4)
+	g.Data = []float64{1, 1, 1, 1}
+	dx := r.Backward(g)
+	wantG := []float64{0, 0, 1, 0}
+	for i := range wantG {
+		if dx.Data[i] != wantG[i] {
+			t.Errorf("relu grad[%d] = %g", i, dx.Data[i])
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	p := NewMaxPool2D("p", 2)
+	x := tensor.New(1, 2, 4)
+	x.Data = []float64{
+		1, 5, 2, 0,
+		3, 4, 8, 8,
+	}
+	out := p.Forward(x, nil)
+	if out.Dim(1) != 1 || out.Dim(2) != 2 {
+		t.Fatalf("pool shape %v", out.Shape())
+	}
+	if out.At(0, 0, 0) != 5 || out.At(0, 0, 1) != 8 {
+		t.Errorf("pool values %v", out.Data)
+	}
+	g := tensor.New(1, 1, 2)
+	g.Data = []float64{1, 1}
+	dx := p.Backward(g)
+	// Gradient lands only on the (first) max positions.
+	if dx.Data[1] != 1 {
+		t.Error("grad not routed to max (0,1)")
+	}
+	if dx.Data[6] != 1 { // first 8 at index (1,2) = 1*4+2
+		t.Error("grad not routed to first max in tie")
+	}
+	sum := 0.0
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if sum != 2 {
+		t.Errorf("pool grad mass = %g", sum)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := tensor.New(3)
+	logits.Data = []float64{0, 0, 0}
+	loss, grad := SoftmaxCrossEntropy(logits, 1)
+	if math.Abs(loss-math.Log(3)) > 1e-9 {
+		t.Errorf("uniform loss = %g, want ln3", loss)
+	}
+	if math.Abs(grad.Data[1]-(1.0/3-1)) > 1e-9 {
+		t.Errorf("grad[label] = %g", grad.Data[1])
+	}
+	// Gradient sums to zero.
+	sum := 0.0
+	for _, v := range grad.Data {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("grad sum = %g", sum)
+	}
+	// Numerical stability with large logits.
+	logits.Data = []float64{1000, 0, -1000}
+	loss, _ = SoftmaxCrossEntropy(logits, 0)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > 1e-9 {
+		t.Errorf("large-logit loss = %g", loss)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad label should panic")
+		}
+	}()
+	SoftmaxCrossEntropy(logits, 5)
+}
+
+func TestFaultModelQuantizesForward(t *testing.T) {
+	rng := bits.NewSplitMix64(7)
+	d := NewDense("fc", 2, 1, rng)
+	d.Weight.W.Data = []float64{0.1234567, 0.7654321}
+	d.Bias.W.Data[0] = 0
+	x := tensor.New(2)
+	x.Data = []float64{1, 1}
+	clean := d.Forward(x, nil).Data[0]
+	q := d.Forward(x, &FaultModel{Format: fixed.Q88, Quantize: true}).Data[0]
+	wantQ := fixed.Q88.Quantize(0.1234567) + fixed.Q88.Quantize(0.7654321)
+	if math.Abs(q-wantQ) > 1e-12 {
+		t.Errorf("quantized forward = %g, want %g", q, wantQ)
+	}
+	if q == clean {
+		t.Error("quantization had no effect on non-grid weights")
+	}
+	// Clean weights unchanged by the fault view.
+	if d.Weight.W.Data[0] != 0.1234567 {
+		t.Error("fault model mutated stored weights")
+	}
+}
+
+func TestFaultModelInjectsErrors(t *testing.T) {
+	rng := bits.NewSplitMix64(8)
+	d := NewDense("fc", 64, 8, rng)
+	x := tensor.New(64)
+	x.FillRandn(rng, 1)
+	clean := d.Forward(x, nil)
+	fault := &FaultModel{Injector: bits.NewInjector(0.05, 9), Format: fixed.Q88}
+	dirty := d.Forward(x, fault)
+	diff := 0
+	for i := range clean.Data {
+		if clean.Data[i] != dirty.Data[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("5% bit failures left all outputs identical")
+	}
+}
+
+func TestStepAndZeroGrad(t *testing.T) {
+	rng := bits.NewSplitMix64(10)
+	net := &Network{Layers: []Layer{NewDense("fc", 1, 1, rng)}}
+	p := net.Params()[0]
+	p.G.Data[0] = 2
+	net.Step(0.5, 0)
+	if math.Abs(p.W.Data[0]-(net.Params()[0].W.Data[0])) > 0 {
+		t.Fatal("identity check")
+	}
+	net.ZeroGrad()
+	if p.G.Data[0] != 0 {
+		t.Error("ZeroGrad")
+	}
+}
+
+func TestClipGrad(t *testing.T) {
+	rng := bits.NewSplitMix64(11)
+	net := &Network{Layers: []Layer{NewDense("fc", 2, 1, rng)}}
+	p := net.Params()[0]
+	p.G.Data = []float64{3, 4} // norm 5
+	net.ClipGrad(1)
+	norm := math.Hypot(p.G.Data[0], p.G.Data[1])
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("clipped norm = %g", norm)
+	}
+	// Below the cap: untouched.
+	p.G.Data = []float64{0.3, 0.4}
+	net.ClipGrad(1)
+	if p.G.Data[0] != 0.3 {
+		t.Error("clip modified small gradient")
+	}
+	// Non-positive cap: no-op.
+	net.ClipGrad(0)
+}
+
+func TestMomentumAcceleratesDescent(t *testing.T) {
+	// One-parameter quadratic: with momentum the weight moves further in
+	// two identical-gradient steps than without.
+	run := func(mom float64) float64 {
+		rng := bits.NewSplitMix64(12)
+		net := &Network{Layers: []Layer{NewDense("fc", 1, 1, rng)}}
+		p := net.Params()[0]
+		p.W.Data[0] = 0
+		for i := 0; i < 2; i++ {
+			p.G.Data[0] = 1
+			net.Step(0.1, mom)
+		}
+		return p.W.Data[0]
+	}
+	if !(run(0.9) < run(0)) {
+		t.Error("momentum should accelerate descent")
+	}
+}
+
+func TestAvgPool(t *testing.T) {
+	p := NewAvgPool2D("ap", 2)
+	x := tensor.New(1, 2, 2)
+	x.Data = []float64{1, 2, 3, 6}
+	out := p.Forward(x, nil)
+	if out.Len() != 1 || out.Data[0] != 3 {
+		t.Errorf("avg = %v", out.Data)
+	}
+	g := tensor.New(1, 1, 1)
+	g.Data = []float64{4}
+	dx := p.Backward(g)
+	for i, v := range dx.Data {
+		if v != 1 {
+			t.Errorf("grad[%d] = %g, want 1 (4/k²)", i, v)
+		}
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := bits.NewSplitMix64(13)
+	net := &Network{Layers: []Layer{
+		NewConv2D("c", 1, 3, 3, 1, 1, rng),
+		NewAvgPool2D("ap", 2),
+		NewDense("fc", 3*3*3, 2, rng),
+	}}
+	x := tensor.New(1, 6, 6)
+	x.FillRandn(rng, 1)
+	checkGrads(t, net, x, 1)
+}
+
+func TestAvgPoolGradientMassConserved(t *testing.T) {
+	p := NewAvgPool2D("ap", 3)
+	x := tensor.New(2, 6, 6)
+	p.Forward(x, nil)
+	g := tensor.New(2, 2, 2)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	dx := p.Backward(g)
+	sum := 0.0
+	for _, v := range dx.Data {
+		sum += v
+	}
+	if math.Abs(sum-8) > 1e-12 { // 8 output elements × gradient 1
+		t.Errorf("grad mass = %g, want 8", sum)
+	}
+}

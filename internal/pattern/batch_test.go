@@ -1,0 +1,87 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+)
+
+func TestAnalyzeBatchIdentityAtOne(t *testing.T) {
+	l, _ := models.ResNet().Layer("res4a_branch1")
+	cfg := hw.TestAcceleratorEDRAM()
+	ti := Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
+	a := Analyze(l, OD, ti, cfg)
+	b := AnalyzeBatch(l, OD, ti, cfg, 1)
+	if a.MACs != b.MACs || a.ExecTime != b.ExecTime || a.DDRTraffic != b.DDRTraffic {
+		t.Error("batch=1 must equal the single-image analysis")
+	}
+}
+
+func TestAnalyzeBatchWeightResidency(t *testing.T) {
+	// res5a_branch2b: 4.6 MB of weights — cannot stay resident in 1.454MB.
+	heavy, _ := models.ResNet().Layer("res5a_branch2b")
+	cfg := hw.TestAcceleratorEDRAM()
+	ti := Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 7}
+	single := Analyze(heavy, OD, ti, cfg)
+	batched := AnalyzeBatch(heavy, OD, ti, cfg, 4)
+	if batched.DDRTraffic.Weights != 4*single.DDRTraffic.Weights {
+		t.Error("oversized weights must reload per image")
+	}
+	if batched.Lifetimes.Weight != single.Lifetimes.Weight {
+		t.Error("non-resident weights keep the per-image lifetime")
+	}
+
+	// res4a_branch2a: 0.5 MB of weights — fits alongside OD storage.
+	light, _ := models.ResNet().Layer("res4a_branch2a")
+	s2 := Analyze(light, OD, ti, cfg)
+	b2 := AnalyzeBatch(light, OD, ti, cfg, 4)
+	if b2.DDRTraffic.Weights != s2.DDRTraffic.Weights {
+		t.Errorf("resident weights should be fetched once: %d vs %d",
+			b2.DDRTraffic.Weights, s2.DDRTraffic.Weights)
+	}
+	if b2.Lifetimes.Weight != b2.ExecTime {
+		t.Error("resident weights live for the whole batch")
+	}
+	if b2.DDRTraffic.Inputs != 4*s2.DDRTraffic.Inputs {
+		t.Error("activations still move per image")
+	}
+}
+
+// TestAnalyzeBatchScalingProperty: MACs, cycles and buffer traffic always
+// scale exactly by the batch size; DDR weight traffic scales by 1 or B.
+func TestAnalyzeBatchScalingProperty(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	f := func(n8, m8, hw8, b3 uint8) bool {
+		l := models.ConvLayer{
+			Name: "p", N: int(n8%32) + 1, M: int(m8%32) + 1,
+			H: int(hw8%12) + 4, L: int(hw8%12) + 4, K: 3, S: 1, P: 1,
+		}
+		batch := int(b3%7) + 2
+		ti := Tiling{Tm: 8, Tn: 8, Tr: 1, Tc: 4}
+		s := Analyze(l, OD, ti, cfg)
+		b := AnalyzeBatch(l, OD, ti, cfg, batch)
+		if b.MACs != uint64(batch)*s.MACs || b.Cycles != uint64(batch)*s.Cycles {
+			return false
+		}
+		if b.BufferTraffic.Total() != uint64(batch)*s.BufferTraffic.Total() {
+			return false
+		}
+		w := b.DDRTraffic.Weights
+		return w == s.DDRTraffic.Weights || w == uint64(batch)*s.DDRTraffic.Weights
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AnalyzeBatch(models.ConvLayer{Name: "x", N: 1, H: 2, L: 2, M: 1, K: 1, S: 1},
+		OD, Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}, hw.TestAccelerator(), 0)
+}

@@ -1,0 +1,377 @@
+// Package pattern implements the three computation patterns of Fig. 10 —
+// Input Dominant (ID), Output Dominant (OD) and Weight Dominant (WD) —
+// together with their buffer-storage equations (Eqs. 1–3, 6–8, 11–13),
+// data-lifetime equations (Eqs. 4–5, 9–10) and the buffer-access /
+// off-chip-traffic / cycle-count models documented in DESIGN.md §4.
+//
+// A pattern is a loop ordering of the memory control part (Loops M, RC
+// and N of Fig. 3b) around the fixed core computing part. The 3rd-level
+// (outermost) loop decides which data type is buffer-resident for the
+// whole layer and therefore which data type dominates both buffer storage
+// and lifetime:
+//
+//	ID: M  outermost — inputs resident, input lifetime = whole layer
+//	OD: N  outermost — outputs resident, self-refreshed by accumulation
+//	WD: RC outermost — weights resident, inputs/outputs streamed
+package pattern
+
+import (
+	"fmt"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+)
+
+// Kind selects a computation pattern.
+type Kind int
+
+const (
+	// ID is the typical input-dominant pattern of Fig. 3b / Fig. 10(a).
+	ID Kind = iota
+	// OD is the output-dominant pattern of Fig. 10(b), which exploits the
+	// output's self-refresh property during accumulation (§IV-C1).
+	OD
+	// WD is the weight-dominant pattern of Fig. 10(c), which shrinks
+	// buffer storage for shallow layers (§IV-C2).
+	WD
+)
+
+// Kinds lists all patterns in paper order.
+var Kinds = []Kind{ID, OD, WD}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ID:
+		return "ID"
+	case OD:
+		return "OD"
+	case WD:
+		return "WD"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tiling holds the tiling parameters ⟨Tm, Tn, Tr, Tc⟩ of the core
+// computing part (Fig. 3b). Th and Tl are derived: Th=(Tr−1)S+K,
+// Tl=(Tc−1)S+K.
+type Tiling struct {
+	Tm, Tn, Tr, Tc int
+}
+
+// String implements fmt.Stringer.
+func (t Tiling) String() string {
+	return fmt.Sprintf("<Tm=%d,Tn=%d,Tr=%d,Tc=%d>", t.Tm, t.Tn, t.Tr, t.Tc)
+}
+
+// Validate checks positivity.
+func (t Tiling) Validate() error {
+	if t.Tm <= 0 || t.Tn <= 0 || t.Tr <= 0 || t.Tc <= 0 {
+		return fmt.Errorf("pattern: non-positive tiling %v", t)
+	}
+	return nil
+}
+
+// Th returns the input tile height for a layer: (Tr−1)·S + K.
+func (t Tiling) Th(l models.ConvLayer) int { return (t.Tr-1)*l.S + l.K }
+
+// Tl returns the input tile width for a layer: (Tc−1)·S + K.
+func (t Tiling) Tl(l models.ConvLayer) int { return (t.Tc-1)*l.S + l.K }
+
+// FitsCore reports whether the tiling satisfies the core local-storage
+// constraints of Fig. 13: Tn·Th·Tl ≤ Ri, Tm·Tr·Tc ≤ Ro, Tm·Tn·K² ≤ Rw.
+func (t Tiling) FitsCore(l models.ConvLayer, cfg hw.Config) bool {
+	return t.Tn*t.Th(l)*t.Tl(l) <= cfg.LocalInput &&
+		t.Tm*t.Tr*t.Tc <= cfg.LocalOutput &&
+		t.Tm*t.Tn*l.K*l.K <= cfg.LocalWeight
+}
+
+// Storage is a per-data-type word count (buffer storage or traffic).
+type Storage struct {
+	Inputs, Outputs, Weights uint64
+}
+
+// Total sums the three components.
+func (s Storage) Total() uint64 { return s.Inputs + s.Outputs + s.Weights }
+
+// Lifetimes holds per-data-type buffer lifetimes. A zero lifetime means
+// the data never rests in the buffer long enough to need refresh (e.g.
+// outputs under ID, which accumulate in the PEs and leave immediately).
+type Lifetimes struct {
+	Input, Output, Weight time.Duration
+}
+
+// Max returns the longest of the three lifetimes.
+func (lt Lifetimes) Max() time.Duration {
+	m := lt.Input
+	if lt.Output > m {
+		m = lt.Output
+	}
+	if lt.Weight > m {
+		m = lt.Weight
+	}
+	return m
+}
+
+// Analysis is the full analytical characterization of running one layer
+// under one pattern and tiling on one accelerator: everything the RANA
+// scheduler's energy model (Eq. 14) and refresh accounting need.
+type Analysis struct {
+	Layer   models.ConvLayer
+	Pattern Kind
+	Tiling  Tiling
+
+	// MACs is α: the layer's useful multiply-accumulate count.
+	MACs uint64
+	// Cycles is the core-occupancy cycle count including tile padding.
+	Cycles uint64
+	// ExecTime is Cycles at the accelerator clock (× group count).
+	ExecTime time.Duration
+	// Utilization is η = MACs / (PEs · Cycles).
+	Utilization float64
+
+	// BufferStorage is the on-chip storage requirement (Eqs. 1–3 / 6–8 /
+	// 11–13). FitsBuffer reports BufferStorage.Total() ≤ capacity.
+	BufferStorage Storage
+	FitsBuffer    bool
+	// Feasible reports whether the pattern's streaming working set fits
+	// the buffer at all; infeasible candidates cannot execute and the
+	// scheduler skips them.
+	Feasible bool
+
+	// Lifetimes are the per-data-type buffer lifetimes (Eqs. 4–5 / 9–10).
+	Lifetimes Lifetimes
+
+	// BufferTraffic counts on-chip buffer accesses (reads+writes) per
+	// data type; its Total is βb.
+	BufferTraffic Storage
+	// DDRTraffic counts off-chip accesses per data type, including the
+	// pattern's spill/reload penalty when FitsBuffer is false; its Total
+	// is βd.
+	DDRTraffic Storage
+}
+
+// Analyze characterizes a layer under a pattern and tiling. Grouped
+// convolutions are modeled as their groups run sequentially: per-group
+// sub-problems are analyzed and totals scaled, while storage requirements
+// and lifetimes are the per-group values (only one group is live at a
+// time). It panics on invalid layers/tilings: analysis inputs come from
+// the scheduler's enumerated space, where invalid entries are bugs.
+func Analyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) Analysis {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	g := l.Groups
+	if g <= 1 {
+		return analyzeUngrouped(l, k, t, cfg, 1)
+	}
+	sub := l
+	sub.N /= g
+	sub.M /= g
+	sub.Groups = 1
+	return analyzeUngrouped(sub, k, t, cfg, g)
+}
+
+// analyzeUngrouped does the real work on an ungrouped (sub-)layer and
+// scales whole-layer totals by the group count g. The reported Layer is
+// the original grouped layer reconstructed.
+func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int) Analysis {
+	R, C := l.R(), l.C()
+	nM := ceilDiv(l.M, t.Tm)
+	nN := ceilDiv(l.N, t.Tn)
+	nR := ceilDiv(R, t.Tr)
+	nC := ceilDiv(C, t.Tc)
+	th, tl := t.Th(l), t.Tl(l)
+
+	// Core tile time depends on the array's spatial mapping (hw.Mapping):
+	// spatial loop dimensions are ceil-divided over array lanes, temporal
+	// ones multiply the cycle count; tile padding is included.
+	var perTile uint64
+	switch cfg.Mapping {
+	case hw.MapOutputPixel:
+		// Tm spatial over ArrayM rows, Tr·Tc pixels spatial over ArrayN
+		// columns; Tn and K² temporal.
+		perTile = uint64(ceilDiv(t.Tm, cfg.ArrayM)) * uint64(ceilDiv(t.Tr*t.Tc, cfg.ArrayN)) *
+			uint64(t.Tn) * uint64(l.K) * uint64(l.K)
+	case hw.MapOutputInput:
+		// Tm spatial over ArrayM, Tn spatial over ArrayN; Tr, Tc and K²
+		// temporal.
+		perTile = uint64(ceilDiv(t.Tm, cfg.ArrayM)) * uint64(ceilDiv(t.Tn, cfg.ArrayN)) *
+			uint64(t.Tr) * uint64(t.Tc) * uint64(l.K) * uint64(l.K)
+	default:
+		panic(fmt.Sprintf("pattern: unknown mapping %v", cfg.Mapping))
+	}
+	tiles := uint64(nM) * uint64(nN) * uint64(nR) * uint64(nC)
+	subCycles := tiles * perTile
+	cycles := subCycles * uint64(g)
+
+	macs := l.MACs() * uint64(g)
+	util := float64(macs) / (float64(cfg.PEs()) * float64(cycles))
+
+	// Per-tile transfer sizes (words).
+	inTile := uint64(t.Tn) * uint64(th) * uint64(tl)
+	wTile := uint64(t.Tm) * uint64(t.Tn) * uint64(l.K) * uint64(l.K)
+	outTile := uint64(t.Tm) * uint64(t.Tr) * uint64(t.Tc)
+
+	// Whole-(sub)layer data volumes.
+	din := l.InputWords()
+	dw := l.WeightWords()
+	dout := l.OutputWords()
+
+	a := Analysis{
+		Layer:       l,
+		Pattern:     k,
+		Tiling:      t,
+		MACs:        macs,
+		Cycles:      cycles,
+		ExecTime:    cyclesDur(cycles, cfg),
+		Utilization: util,
+	}
+	if g > 1 {
+		a.Layer.N *= g
+		a.Layer.M *= g
+		a.Layer.Groups = g
+	}
+
+	// Loop-level times for the sub-layer, in whole cycles. T1/T2/T3 are
+	// the completed durations of the 1st/2nd/3rd-level loops (Fig. 10);
+	// t3 always equals the sub-layer's total cycle count.
+	var t1, t2, t3 uint64
+
+	switch k {
+	case ID: // order: M (3rd), RC (2nd), N (1st)
+		t1 = uint64(nN) * perTile
+		t2 = uint64(nR*nC) * t1
+		t3 = uint64(nM) * t2
+		a.BufferStorage = Storage{
+			Inputs:  din,                                // Eq. 1
+			Outputs: outTile,                            // Eq. 2
+			Weights: uint64(l.N) * uint64(t.Tm) * k2(l), // Eq. 3
+		}
+		a.Lifetimes = Lifetimes{
+			Input:  cyclesDur(t3, cfg), // Eq. 4
+			Weight: cyclesDur(t2, cfg), // Eq. 5
+			Output: 0,                  // accumulated in PEs, stored then shipped (§III-B2)
+		}
+		a.BufferTraffic = Storage{
+			Inputs:  tiles * inTile,
+			Weights: tiles * wTile,
+			Outputs: uint64(nM*nR*nC) * outTile,
+		}
+		// The streaming working set (current kernel group's weights plus
+		// the output tile) must fit outright; inputs enjoy cross-Loop-M
+		// reuse only when everything fits (Eq. 1), otherwise the whole
+		// input set reloads once per output group ([11]-style model).
+		a.Feasible = a.BufferStorage.Weights+a.BufferStorage.Outputs <= cfg.BufferWords
+		a.DDRTraffic = Storage{Inputs: din, Weights: dw, Outputs: dout}
+		if !fits(a.BufferStorage, cfg) {
+			a.DDRTraffic.Inputs = uint64(nM) * din
+		}
+
+	case OD: // order: N (3rd), M (2nd), RC (1st)
+		t1 = uint64(nR*nC) * perTile
+		t2 = uint64(nM) * t1
+		t3 = uint64(nN) * t2
+		a.BufferStorage = Storage{
+			Inputs:  uint64(t.Tn) * uint64(l.H) * uint64(l.L), // Eq. 6
+			Outputs: dout,                                     // Eq. 7
+			Weights: wTile,                                    // Eq. 8
+		}
+		a.Lifetimes = Lifetimes{
+			Input:  cyclesDur(t2, cfg), // Eq. 9
+			Output: cyclesDur(t2, cfg), // Eq. 9 — self-refreshed every T2 by accumulation
+			Weight: cyclesDur(t1, cfg), // Eq. 10
+		}
+		if nN == 1 {
+			// A single input pass fully accumulates each output tile in
+			// the core; outputs are stored once and shipped, like ID.
+			a.Lifetimes.Output = 0
+		}
+		// Weights stay in core local storage across the innermost RC
+		// loop, so each (m, n) weight tile is read from the buffer once.
+		a.BufferTraffic = Storage{
+			Inputs:  tiles * inTile,
+			Weights: uint64(nN*nM) * wTile,
+			Outputs: uint64(2*nN-1) * uint64(nM*nR*nC) * outTile,
+		}
+		// The streaming working set (current input slab plus a weight
+		// tile and an output tile) must fit outright; outputs enjoy
+		// on-chip accumulation only when everything fits (Eq. 7),
+		// otherwise partial sums spill once per remaining input pass.
+		a.Feasible = a.BufferStorage.Inputs+a.BufferStorage.Weights+outTile <= cfg.BufferWords
+		a.DDRTraffic = Storage{Inputs: din, Weights: dw, Outputs: dout}
+		if !fits(a.BufferStorage, cfg) {
+			a.DDRTraffic.Outputs = dout + 2*uint64(nN-1)*dout
+		}
+
+	case WD: // order: RC (3rd), M (2nd), N (1st)
+		t1 = uint64(nN) * perTile
+		t2 = uint64(nM) * t1
+		t3 = uint64(nR*nC) * t2
+		a.BufferStorage = Storage{
+			Inputs:  uint64(l.N) * uint64(th) * uint64(tl), // Eq. 11
+			Outputs: outTile,                               // Eq. 12
+			Weights: dw,                                    // Eq. 13
+		}
+		a.Lifetimes = Lifetimes{
+			Weight: cyclesDur(t3, cfg), // weights resident for the whole layer
+			Input:  cyclesDur(t2, cfg), // an input tile serves all M kernels
+			Output: 0,                  // finished within T1, shipped off chip
+		}
+		a.BufferTraffic = Storage{
+			Inputs:  tiles * inTile,
+			Weights: tiles * wTile,
+			Outputs: uint64(nM*nR*nC) * outTile,
+		}
+		// The streaming working set (input slab, weight tile, output
+		// tile) must fit outright. Inputs are fetched from DDR once when
+		// the whole input set also fits the unified buffer alongside the
+		// resident weights (the halo re-reads then hit the buffer, which
+		// BufferTraffic already counts); otherwise input tiles stream
+		// from DDR with halo overlap. Weights enjoy whole-layer residency
+		// per Eq. 13 unless the storage requirement overflows, in which
+		// case they reload per tile position.
+		a.Feasible = a.BufferStorage.Inputs+a.BufferStorage.Outputs+wTile <= cfg.BufferWords
+		haloIn := uint64(nR*nC) * uint64(l.N) * uint64(th) * uint64(tl)
+		switch {
+		case a.BufferStorage.Weights+a.BufferStorage.Outputs+din <= cfg.BufferWords:
+			a.DDRTraffic = Storage{Inputs: din, Weights: dw, Outputs: dout}
+		case fits(a.BufferStorage, cfg):
+			a.DDRTraffic = Storage{Inputs: haloIn, Weights: dw, Outputs: dout}
+		default:
+			a.DDRTraffic = Storage{Inputs: haloIn, Weights: uint64(nR*nC) * dw, Outputs: dout}
+		}
+
+	default:
+		panic(fmt.Sprintf("pattern: unknown kind %d", int(k)))
+	}
+	a.FitsBuffer = fits(a.BufferStorage, cfg)
+
+	// Scale whole-layer traffic totals by the group count; storage and
+	// lifetimes stay per-group (groups run sequentially).
+	if g > 1 {
+		a.BufferTraffic = scaleStorage(a.BufferTraffic, uint64(g))
+		a.DDRTraffic = scaleStorage(a.DDRTraffic, uint64(g))
+	}
+	return a
+}
+
+func fits(s Storage, cfg hw.Config) bool { return s.Total() <= cfg.BufferWords }
+
+func scaleStorage(s Storage, k uint64) Storage {
+	return Storage{Inputs: s.Inputs * k, Outputs: s.Outputs * k, Weights: s.Weights * k}
+}
+
+func k2(l models.ConvLayer) uint64 { return uint64(l.K) * uint64(l.K) }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// cyclesDur converts a cycle count to wall time at the accelerator clock.
+func cyclesDur(cycles uint64, cfg hw.Config) time.Duration {
+	return time.Duration(float64(cycles) / cfg.FrequencyHz * float64(time.Second))
+}

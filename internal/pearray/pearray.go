@@ -1,0 +1,121 @@
+// Package pearray is a lane-level occupancy simulator of the PE array's
+// core computing part: it schedules every MAC of one Tm×Tn×Tr×Tc×K² tile
+// onto the physical lanes of the array, cycle by cycle, under the two
+// spatial mappings of internal/hw. It independently derives the per-tile
+// cycle count that internal/pattern and internal/sim compute in closed
+// form (their tests cross-validate against this simulation), and
+// additionally reports per-lane occupancy — the microscopic source of the
+// η utilization factor in the paper's lifetime equations (Eqs. 4–5, 9–10).
+package pearray
+
+import (
+	"fmt"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+// Stats is the outcome of scheduling one tile.
+type Stats struct {
+	// Cycles is the tile's occupancy cycle count.
+	Cycles uint64
+	// UsefulMACs is the number of real multiply-accumulates issued
+	// (tile dimensions clipped to the layer).
+	UsefulMACs uint64
+	// IssuedSlots is Cycles × lane count: the capacity the tile consumed.
+	IssuedSlots uint64
+}
+
+// Utilization returns UsefulMACs / IssuedSlots — the per-tile η.
+func (s Stats) Utilization() float64 {
+	if s.IssuedSlots == 0 {
+		return 0
+	}
+	return float64(s.UsefulMACs) / float64(s.IssuedSlots)
+}
+
+// Schedule simulates one full (unclipped) tile of layer l under tiling t
+// on the array of cfg. Lanes process one MAC per cycle; the temporal
+// loops advance only when every spatial lane group has been issued —
+// exactly the lock-step dataflow of the paper's test accelerator, where
+// "16 rows of PEs share the same inputs".
+func Schedule(l models.ConvLayer, t pattern.Tiling, cfg hw.Config) Stats {
+	return schedule(l, t, cfg, t.Tm, t.Tn, t.Tr*t.Tc)
+}
+
+// ScheduleClipped simulates an edge tile whose extents are clipped to
+// effM output channels, effN input channels and effPix output pixels
+// (≤ the tiling's nominal extents). The array still sweeps the nominal
+// tile — lanes beyond the clip idle — which is where η < 1 comes from.
+func ScheduleClipped(l models.ConvLayer, t pattern.Tiling, cfg hw.Config, effM, effN, effPix int) Stats {
+	if effM < 0 || effM > t.Tm || effN < 0 || effN > t.Tn || effPix < 0 || effPix > t.Tr*t.Tc {
+		panic(fmt.Sprintf("pearray: clip (%d,%d,%d) outside tile %v", effM, effN, effPix, t))
+	}
+	return schedule(l, t, cfg, effM, effN, effPix)
+}
+
+// schedule runs the lane-level simulation. The spatial dimensions depend
+// on the mapping; everything else is temporal.
+func schedule(l models.ConvLayer, t pattern.Tiling, cfg hw.Config, effM, effN, effPix int) Stats {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	k2 := l.K * l.K
+	var st Stats
+	lanes := uint64(cfg.ArrayM) * uint64(cfg.ArrayN)
+
+	switch cfg.Mapping {
+	case hw.MapOutputPixel:
+		// Spatial: output channels over ArrayM rows, output pixels over
+		// ArrayN columns. Temporal: Tn input channels × K² taps.
+		for mBase := 0; mBase < t.Tm; mBase += cfg.ArrayM {
+			for pBase := 0; pBase < t.Tr*t.Tc; pBase += cfg.ArrayN {
+				for n := 0; n < t.Tn; n++ {
+					for k := 0; k < k2; k++ {
+						st.Cycles++
+						// Count the lanes doing useful work this cycle.
+						mLive := clipSpan(mBase, cfg.ArrayM, effM)
+						pLive := clipSpan(pBase, cfg.ArrayN, effPix)
+						if n < effN {
+							st.UsefulMACs += uint64(mLive) * uint64(pLive)
+						}
+					}
+				}
+			}
+		}
+	case hw.MapOutputInput:
+		// Spatial: output channels × input channels (adder trees).
+		// Temporal: Tr·Tc pixels × K² taps.
+		for mBase := 0; mBase < t.Tm; mBase += cfg.ArrayM {
+			for nBase := 0; nBase < t.Tn; nBase += cfg.ArrayN {
+				for p := 0; p < t.Tr*t.Tc; p++ {
+					for k := 0; k < k2; k++ {
+						st.Cycles++
+						mLive := clipSpan(mBase, cfg.ArrayM, effM)
+						nLive := clipSpan(nBase, cfg.ArrayN, effN)
+						if p < effPix {
+							st.UsefulMACs += uint64(mLive) * uint64(nLive)
+						}
+					}
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("pearray: unknown mapping %v", cfg.Mapping))
+	}
+	st.IssuedSlots = st.Cycles * lanes
+	return st
+}
+
+// clipSpan returns how many of the lanes [base, base+width) fall below
+// the effective extent.
+func clipSpan(base, width, eff int) int {
+	if eff <= base {
+		return 0
+	}
+	if eff >= base+width {
+		return width
+	}
+	return eff - base
+}

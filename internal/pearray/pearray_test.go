@@ -1,0 +1,157 @@
+package pearray
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/sim"
+)
+
+// perTileClosedForm mirrors the formula used by pattern/sim.
+func perTileClosedForm(l models.ConvLayer, t pattern.Tiling, cfg hw.Config) uint64 {
+	ceil := func(a, b int) uint64 { return uint64((a + b - 1) / b) }
+	k2 := uint64(l.K) * uint64(l.K)
+	switch cfg.Mapping {
+	case hw.MapOutputPixel:
+		return ceil(t.Tm, cfg.ArrayM) * ceil(t.Tr*t.Tc, cfg.ArrayN) * uint64(t.Tn) * k2
+	default:
+		return ceil(t.Tm, cfg.ArrayM) * ceil(t.Tn, cfg.ArrayN) * uint64(t.Tr) * uint64(t.Tc) * k2
+	}
+}
+
+// TestScheduleMatchesClosedForm: the lane-level simulation independently
+// reproduces the per-tile cycle count both patterns and the walker use.
+func TestScheduleMatchesClosedForm(t *testing.T) {
+	cfgs := []hw.Config{hw.TestAccelerator(), hw.DaDianNao(), hw.EyerissLike()}
+	f := func(tm6, tn6, tr3, tc4, k2 uint8, which uint8) bool {
+		cfg := cfgs[int(which)%len(cfgs)]
+		l := models.ConvLayer{Name: "p", N: 64, H: 32, L: 32, M: 64,
+			K: []int{1, 3, 5}[k2%3], S: 1}
+		l.P = l.K / 2
+		ti := pattern.Tiling{
+			Tm: int(tm6%64) + 1, Tn: int(tn6%64) + 1,
+			Tr: int(tr3%4) + 1, Tc: int(tc4%16) + 1,
+		}
+		st := Schedule(l, ti, cfg)
+		return st.Cycles == perTileClosedForm(l, ti, cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullTileFullUtilization: a tile exactly matching the array runs at
+// η = 1.
+func TestFullTileFullUtilization(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	l := models.ConvLayer{Name: "f", N: 16, H: 16, L: 16, M: 16, K: 3, S: 1, P: 1}
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
+	st := Schedule(l, ti, cfg)
+	if st.Utilization() != 1 {
+		t.Errorf("η = %v, want 1", st.Utilization())
+	}
+	if st.UsefulMACs != uint64(16*16*16*9) {
+		t.Errorf("useful MACs = %d", st.UsefulMACs)
+	}
+}
+
+// TestClippedTileUtilization reproduces the running cases' η = 0.875:
+// Layer-A's edge tile covers only 14 of the 16 pixel lanes.
+func TestClippedTileUtilization(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	layerA, _ := models.ResNet().Layer("res4a_branch1")
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
+	// C = 14: one tile along the row with 14 useful pixels of 16.
+	st := ScheduleClipped(layerA, ti, cfg, 16, 16, 14)
+	if st.Utilization() != 0.875 {
+		t.Errorf("η = %v, want 0.875 — the paper's running-case utilization", st.Utilization())
+	}
+	// Cycles are the nominal tile's regardless of clipping.
+	if st.Cycles != Schedule(layerA, ti, cfg).Cycles {
+		t.Error("clipping must not change the cycle count")
+	}
+}
+
+// TestWholeLayerUtilizationMatchesAnalytical: summing clipped tiles over
+// a whole layer reproduces pattern.Analyze's η exactly.
+func TestWholeLayerUtilizationMatchesAnalytical(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	layerA, _ := models.ResNet().Layer("res4a_branch1")
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
+	a := pattern.Analyze(layerA, pattern.OD, ti, cfg)
+
+	var useful, slots uint64
+	R, C := layerA.R(), layerA.C()
+	for m := 0; m < layerA.M; m += ti.Tm {
+		for n := 0; n < layerA.N; n += ti.Tn {
+			for r := 0; r < R; r += ti.Tr {
+				for c := 0; c < C; c += ti.Tc {
+					effM := minI(ti.Tm, layerA.M-m)
+					effN := minI(ti.Tn, layerA.N-n)
+					effPix := minI(ti.Tr, R-r) * minI(ti.Tc, C-c)
+					st := ScheduleClipped(layerA, ti, cfg, effM, effN, effPix)
+					useful += st.UsefulMACs
+					slots += st.IssuedSlots
+				}
+			}
+		}
+	}
+	if useful != a.MACs {
+		t.Errorf("useful MACs %d != layer MACs %d", useful, a.MACs)
+	}
+	gotEta := float64(useful) / float64(slots)
+	if diff := gotEta - a.Utilization; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("lane-level η = %v != analytical %v", gotEta, a.Utilization)
+	}
+}
+
+// TestDaDianNaoMapping: under the output×input mapping, Tn clips cost
+// utilization while pixels are temporal.
+func TestDaDianNaoMapping(t *testing.T) {
+	cfg := hw.DaDianNao()
+	l := models.ConvLayer{Name: "d", N: 3, H: 8, L: 8, M: 64, K: 3, S: 1, P: 1}
+	ti := pattern.Tiling{Tm: 64, Tn: 64, Tr: 1, Tc: 1}
+	st := ScheduleClipped(l, ti, cfg, 64, 3, 1)
+	// Only 3 of 64 input lanes live: η = 3/64.
+	want := 3.0 / 64
+	if st.Utilization() != want {
+		t.Errorf("η = %v, want %v", st.Utilization(), want)
+	}
+}
+
+func TestScheduleClippedPanicsOutsideTile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ScheduleClipped(models.ConvLayer{Name: "x", N: 1, H: 4, L: 4, M: 1, K: 1, S: 1},
+		pattern.Tiling{Tm: 2, Tn: 2, Tr: 1, Tc: 2}, hw.TestAccelerator(), 3, 1, 1)
+}
+
+// TestAgainstWalker: tiles × perTile from the lane simulator equals the
+// walker's whole-layer cycles on a benchmark layer.
+func TestAgainstWalker(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	l, _ := models.VGG().Layer("conv3_2")
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
+	per := Schedule(l, ti, cfg).Cycles
+	nM := (l.M + ti.Tm - 1) / ti.Tm
+	nN := (l.N + ti.Tn - 1) / ti.Tn
+	nR := (l.R() + ti.Tr - 1) / ti.Tr
+	nC := (l.C() + ti.Tc - 1) / ti.Tc
+	w := sim.Walk(l, pattern.OD, ti, cfg)
+	if uint64(nM*nN*nR*nC)*per != w.Cycles {
+		t.Errorf("tiles×perTile = %d != walker %d", uint64(nM*nN*nR*nC)*per, w.Cycles)
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,337 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rana/internal/energy"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/retention"
+)
+
+func TestTableIVDesigns(t *testing.T) {
+	ds := Designs()
+	names := []string{"S+ID", "eD+ID", "eD+OD", "RANA (0)", "RANA (E-5)", "RANA*(E-5)"}
+	if len(ds) != len(names) {
+		t.Fatalf("%d designs", len(ds))
+	}
+	dist := retention.Typical()
+	for i, d := range ds {
+		if d.Name != names[i] {
+			t.Errorf("design %d = %q, want %q", i, d.Name, names[i])
+		}
+		switch d.Name {
+		case "S+ID":
+			if d.Tech != energy.SRAM || d.Controller() != nil {
+				t.Error("S+ID should be SRAM without a controller")
+			}
+		case "eD+ID", "eD+OD", "RANA (0)":
+			if d.Interval(dist) != retention.TypicalRetentionTime {
+				t.Errorf("%s interval = %v, want 45µs", d.Name, d.Interval(dist))
+			}
+		case "RANA (E-5)", "RANA (E-5)x":
+			if d.Interval(dist) != retention.TolerableRetentionTime {
+				t.Errorf("%s interval = %v, want 734µs", d.Name, d.Interval(dist))
+			}
+		case "RANA*(E-5)":
+			if !d.Optimized {
+				t.Error("RANA* should use the optimized controller")
+			}
+			if d.Controller().Name() != "Optimized" {
+				t.Error("controller name")
+			}
+		}
+	}
+	if _, ok := DesignByName("RANA (E-5)"); !ok {
+		t.Error("DesignByName")
+	}
+	if _, ok := DesignByName("nope"); ok {
+		t.Error("DesignByName false positive")
+	}
+}
+
+// evalAll caches the full Table IV × benchmarks evaluation for the
+// shape assertions below.
+var evalAll = func() [][]Result {
+	p := Test()
+	res, err := p.EvaluateAll(Designs(), models.Benchmarks())
+	if err != nil {
+		panic(err)
+	}
+	return res
+}()
+
+func totals(di int) []float64 {
+	out := make([]float64, len(evalAll[di]))
+	for j, r := range evalAll[di] {
+		out[j] = r.Energy().Total()
+	}
+	return out
+}
+
+func geoRel(di, base int) float64 {
+	num, den := totals(di), totals(base)
+	g := 1.0
+	for j := range num {
+		g *= num[j] / den[j]
+	}
+	return math.Pow(g, 1/float64(len(num)))
+}
+
+// TestFig15Shape asserts the headline ordering of Fig. 15: refresh makes
+// eD+ID costlier than S+ID on average; each RANA stage improves on the
+// previous design; RANA*(E-5) lands far below the SRAM baseline.
+func TestFig15Shape(t *testing.T) {
+	const sid, edid, edod, rana0, ranae5, ranastar = 0, 1, 2, 3, 4, 5
+	if geoRel(edid, sid) <= 1 {
+		t.Errorf("eD+ID should cost more than S+ID on average (refresh), got %.3f", geoRel(edid, sid))
+	}
+	if !(geoRel(edod, sid) < geoRel(edid, sid)) {
+		t.Error("eD+OD should improve on eD+ID")
+	}
+	if !(geoRel(rana0, sid) < geoRel(edod, sid)) {
+		t.Error("RANA (0) should improve on eD+OD")
+	}
+	if !(geoRel(ranae5, sid) < geoRel(rana0, sid)) {
+		t.Error("RANA (E-5) should improve on RANA (0)")
+	}
+	if geoRel(ranastar, sid) > geoRel(ranae5, sid)+1e-9 {
+		t.Error("RANA*(E-5) should not regress from RANA (E-5)")
+	}
+	// Headline: large system-energy saving vs the SRAM baseline
+	// (paper: 66.2%; the reproduction lands in the same regime).
+	saving := 1 - geoRel(ranastar, sid)
+	if saving < 0.4 {
+		t.Errorf("RANA*(E-5) saves only %.1f%% vs S+ID, want ≥40%%", saving*100)
+	}
+}
+
+// TestAlexNetEDIDPenalty reproduces §V-B1's sharpest single number: on
+// AlexNet — small, no extra off-chip access — eD+ID costs ≈2.3× S+ID
+// because refresh dominates.
+func TestAlexNetEDIDPenalty(t *testing.T) {
+	sid := evalAll[0][0].Energy().Total()
+	edid := evalAll[1][0].Energy().Total()
+	ratio := edid / sid
+	if ratio < 1.8 || ratio > 2.8 {
+		t.Errorf("AlexNet eD+ID/S+ID = %.2f, paper reports ≈2.3", ratio)
+	}
+	// And its off-chip energy is unchanged (no extra access to remove).
+	if math.Abs(evalAll[1][0].Energy().OffChip-evalAll[0][0].Energy().OffChip) > 1e-6 {
+		t.Error("AlexNet off-chip access should be identical for S+ID and eD+ID")
+	}
+}
+
+// TestRefreshRemoval reproduces the refresh-operation claims: RANA (E-5)
+// removes ≈98.5% of RANA (0)'s refreshes; RANA*(E-5) removes ≈99.7% of
+// eD+ID's.
+func TestRefreshRemoval(t *testing.T) {
+	refreshOps := func(di int) uint64 {
+		var sum uint64
+		for _, r := range evalAll[di] {
+			sum += r.Plan.Totals.Refreshes
+		}
+		return sum
+	}
+	edid, rana0 := refreshOps(1), refreshOps(3)
+	ranae5, ranastar := refreshOps(4), refreshOps(5)
+	if rana0 == 0 || edid == 0 {
+		t.Fatal("baselines should refresh")
+	}
+	if frac := 1 - float64(ranae5)/float64(rana0); frac < 0.9 {
+		t.Errorf("RANA (E-5) removes %.1f%% of RANA (0) refreshes, want ≳98%%", frac*100)
+	}
+	// Paper: 99.7%; the reproduction measures ≈98.9%.
+	if frac := 1 - float64(ranastar)/float64(edid); frac < 0.98 {
+		t.Errorf("RANA*(E-5) removes %.1f%% of eD+ID refreshes, want ≳98%%", frac*100)
+	}
+}
+
+// TestOffChipSaving reproduces the 41.7% off-chip claim's shape.
+func TestOffChipSaving(t *testing.T) {
+	sum := 0.0
+	for j := range models.Benchmarks() {
+		sid := evalAll[0][j].Energy().OffChip
+		star := evalAll[5][j].Energy().OffChip
+		sum += 1 - star/sid
+	}
+	avg := sum / 4
+	if avg < 0.25 || avg > 0.6 {
+		t.Errorf("average off-chip saving = %.1f%%, paper reports 41.7%%", avg*100)
+	}
+}
+
+// TestFig16Trend: accelerator energy falls as retention time grows, and
+// eD+OD benefits faster than eD+ID (§V-B2).
+func TestFig16Trend(t *testing.T) {
+	p := Test()
+	net := models.ResNet()
+	accel := func(d Design, rt time.Duration) float64 {
+		r, err := p.Evaluate(d.WithInterval(rt), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Energy().AcceleratorEnergy()
+	}
+	rts := []time.Duration{45 * time.Microsecond, 180 * time.Microsecond, 720 * time.Microsecond}
+	prevID, prevOD := math.Inf(1), math.Inf(1)
+	for _, rt := range rts {
+		id, od := accel(EDID(), rt), accel(EDOD(), rt)
+		if id > prevID+1e-9 || od > prevOD+1e-9 {
+			t.Errorf("accelerator energy increased with retention time at %v", rt)
+		}
+		prevID, prevOD = id, od
+		if od > id {
+			t.Errorf("eD+OD accelerator energy above eD+ID at %v", rt)
+		}
+	}
+}
+
+// TestFig18Controllers: at large capacities the conventional controller's
+// refresh grows with capacity while the optimized controller's does not.
+func TestFig18Controllers(t *testing.T) {
+	p := Test()
+	net := models.AlexNet()
+	base := RANAE5()
+	star := RANAStarE5()
+	small := uint64(hw8())
+	big := small * 8
+	refreshAt := func(d Design, words uint64) float64 {
+		r, err := p.Evaluate(d.WithBufferWords(words), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Energy().Refresh
+	}
+	convSmall, convBig := refreshAt(base, small), refreshAt(base, big)
+	optSmall, optBig := refreshAt(star, small), refreshAt(star, big)
+	if convBig < convSmall {
+		t.Errorf("conventional refresh should grow with capacity: %.3e -> %.3e", convSmall, convBig)
+	}
+	if optBig > optSmall+1e-9 {
+		t.Errorf("optimized refresh should not grow with capacity: %.3e -> %.3e", optSmall, optBig)
+	}
+	if optBig > convBig {
+		t.Error("optimized refresh exceeds conventional")
+	}
+}
+
+// hw8 returns the 1.454 MB capacity in words (avoiding an hw import cycle
+// in test helpers).
+func hw8() int { return 1454 * 1024 / 2 }
+
+// TestDaDianNaoStudy reproduces the §V-C shape: the hybrid pattern
+// removes ≈97% of buffer-access energy, RANA*(E-5) saves most of the
+// system energy, and off-chip access is unchanged across variants.
+func TestDaDianNaoStudy(t *testing.T) {
+	p := DaDianNao()
+	net := models.GoogLeNet()
+	ds := DaDianNaoDesigns()
+	if len(ds) != 4 || ds[0].Name != "DaDianNao" {
+		t.Fatalf("designs = %v", ds)
+	}
+	var res []Result
+	for _, d := range ds {
+		r, err := p.EvaluateFixedTiling(d, net, DaDianNaoTiling())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = append(res, r)
+	}
+	base := res[0].Energy()
+	r0 := res[1].Energy()
+	star := res[3].Energy()
+	if sav := 1 - r0.BufferAccess/base.BufferAccess; sav < 0.9 {
+		t.Errorf("hybrid buffer-access saving = %.1f%%, paper reports 97.2%%", sav*100)
+	}
+	if sav := 1 - star.Total()/base.Total(); sav < 0.5 {
+		t.Errorf("RANA* system saving = %.1f%%, paper reports 69.4%%", sav*100)
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(res[i].Energy().OffChip-base.OffChip) > 1e-6 {
+			t.Errorf("design %d changed off-chip energy; §V-C reports no reduction", i)
+		}
+	}
+	// Baseline DaDianNao only uses WD.
+	for _, lp := range res[0].Plan.Layers {
+		if lp.Analysis.Pattern != pattern.WD {
+			t.Fatal("DaDianNao baseline must schedule WD everywhere")
+		}
+	}
+}
+
+func TestDesignWithers(t *testing.T) {
+	d := RANAE5().WithBufferWords(100).WithInterval(time.Millisecond)
+	if d.BufferWords != 100 || d.RefreshInterval != time.Millisecond {
+		t.Error("withers")
+	}
+	if d.Interval(retention.Typical()) != time.Millisecond {
+		t.Error("pinned interval should win")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	p := Test()
+	if _, err := p.Evaluate(SID(), models.Network{Name: "empty"}); err == nil {
+		t.Error("empty network should fail")
+	}
+}
+
+// TestOptimizedCapacityMonotonicity: under the refresh-optimized
+// controller, more buffer capacity essentially never increases total
+// energy — unused banks are free. A 0.2% tolerance absorbs the one real
+// second-order effect: at small capacities the bank allocator caps
+// on-chip residency, so slightly less data is there to refresh (the
+// spilled remainder is charged as DDR traffic instead). The conventional
+// controller deliberately violates monotonicity; that contrast is Fig. 18.
+func TestOptimizedCapacityMonotonicity(t *testing.T) {
+	p := Test()
+	for _, net := range []string{"AlexNet", "GoogLeNet"} {
+		n, _ := models.ByName(net)
+		prev := math.Inf(1)
+		for _, mult := range []uint64{1, 2, 4, 8, 16} {
+			cap := uint64(hw8()) / 4 * mult
+			r, err := p.Evaluate(RANAStarE5().WithBufferWords(cap), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := r.Energy().Total()
+			if total > prev*1.002 {
+				t.Errorf("%s: energy rose with capacity at %d words: %.4e > %.4e", net, cap, total, prev)
+			}
+			if total < prev {
+				prev = total
+			}
+		}
+	}
+}
+
+// TestChosenTilingsFitCore: every scheduled tiling satisfies the core
+// local-storage constraints of Fig. 13.
+func TestChosenTilingsFitCore(t *testing.T) {
+	p := Test()
+	for _, d := range Designs() {
+		for _, n := range models.Benchmarks() {
+			r, err := p.Evaluate(d, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := d.Apply(p.Base)
+			for i, lp := range r.Plan.Layers {
+				l := n.Layers[i]
+				eff := l
+				if g := l.Groups; g > 1 {
+					eff.N /= g
+					eff.M /= g
+					eff.Groups = 1
+				}
+				if !lp.Analysis.Tiling.FitsCore(eff, cfg) {
+					t.Errorf("%s/%s/%s: tiling %v violates core constraints",
+						d.Name, n.Name, l.Name, lp.Analysis.Tiling)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package retention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rana/internal/bits"
+)
+
+func TestPaperAnchors(t *testing.T) {
+	d := Typical()
+	// The two load-bearing anchors of Fig. 8 / §IV-B: 45 µs at 3×10⁻⁶
+	// (the conventional weakest-cell refresh point) and 734 µs at 10⁻⁵
+	// (the tolerable retention time after retention-aware training).
+	if got := d.FailureRate(TypicalRetentionTime); math.Abs(got-TypicalFailureRate)/TypicalFailureRate > 1e-9 {
+		t.Errorf("rate(45µs) = %g, want %g", got, TypicalFailureRate)
+	}
+	if got := d.FailureRate(TolerableRetentionTime); math.Abs(got-TolerableFailureRate)/TolerableFailureRate > 1e-9 {
+		t.Errorf("rate(734µs) = %g, want %g", got, TolerableFailureRate)
+	}
+	if got := d.RetentionTime(TolerableFailureRate); got != TolerableRetentionTime {
+		t.Errorf("time(1e-5) = %v, want %v", got, TolerableRetentionTime)
+	}
+	if got := d.RetentionTime(TypicalFailureRate); got != TypicalRetentionTime {
+		t.Errorf("time(3e-6) = %v, want %v", got, TypicalRetentionTime)
+	}
+}
+
+func TestTolerable16xRelaxation(t *testing.T) {
+	// §IV-B: the 10⁻⁵ point allows a ≈16x longer refresh interval.
+	ratio := TolerableRetentionTime.Seconds() / TypicalRetentionTime.Seconds()
+	if ratio < 15 || ratio > 17 {
+		t.Errorf("relaxation = %.1fx, want ≈16x", ratio)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	d := Typical()
+	prev := -1.0
+	for _, a := range d.Curve(10*time.Microsecond, 100*time.Millisecond, 200) {
+		if a.Rate < prev {
+			t.Fatalf("failure rate decreased at %v: %g < %g", a.Time, a.Rate, prev)
+		}
+		prev = a.Rate
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	d := Typical()
+	f := func(u uint16) bool {
+		// Rates spanning the anchor range.
+		rate := math.Pow(10, -6+5.9*float64(u)/65535)
+		rt := d.RetentionTime(rate)
+		back := d.FailureRate(rt)
+		// Within the anchor range the round trip is tight; at the clamped
+		// edges it only needs to not exceed the requested rate... allow
+		// 5% log-space slack for interpolation.
+		return math.Abs(math.Log(back)-math.Log(rate)) < 0.05 ||
+			rt == d.anchors[0].Time || rt == d.anchors[len(d.anchors)-1].Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	d := Typical()
+	if got := d.FailureRate(0); got != 0 {
+		t.Errorf("rate(0) = %g", got)
+	}
+	if got := d.FailureRate(10 * time.Second); got != 1 {
+		t.Errorf("rate(10s) = %g, want 1 (saturated)", got)
+	}
+	if got := d.RetentionTime(1e-12); got != d.anchors[0].Time {
+		t.Errorf("time(1e-12) should clamp to first anchor, got %v", got)
+	}
+	if got := d.RetentionTime(2); got != d.anchors[len(d.anchors)-1].Time {
+		t.Errorf("time(2) should clamp to last anchor, got %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := [][]Anchor{
+		nil,
+		{{Time: time.Microsecond, Rate: 0.5}},
+		{{Time: time.Microsecond, Rate: 0.5}, {Time: 2 * time.Microsecond, Rate: 0.5}},  // flat
+		{{Time: time.Microsecond, Rate: 0.5}, {Time: 2 * time.Microsecond, Rate: 0.1}},  // decreasing
+		{{Time: -time.Microsecond, Rate: 0.1}, {Time: 2 * time.Microsecond, Rate: 0.5}}, // negative time
+		{{Time: time.Microsecond, Rate: 0}, {Time: 2 * time.Microsecond, Rate: 0.5}},    // zero rate
+		{{Time: time.Microsecond, Rate: 0.1}, {Time: time.Microsecond, Rate: 0.5}},      // duplicate time
+	}
+	for i, as := range bad {
+		if _, err := New(as); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := New([]Anchor{{Time: time.Microsecond, Rate: 1e-6}, {Time: time.Second, Rate: 0.9}}); err != nil {
+		t.Errorf("valid anchors rejected: %v", err)
+	}
+}
+
+func TestSampleCellRetention(t *testing.T) {
+	d := Typical()
+	rng := bits.NewSplitMix64(5)
+	// Sampled retention times follow the distribution: the empirical
+	// fraction below the tolerable point should be tiny, and most mass
+	// sits near the top anchors (inverse-transform of uniform u).
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		rt := d.SampleCellRetention(rng)
+		if rt < d.anchors[0].Time || rt > d.anchors[len(d.anchors)-1].Time {
+			t.Fatalf("sample %v outside anchor range", rt)
+		}
+		if rt <= 25*time.Millisecond { // the 1e-2 anchor
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-1e-2)/1e-2 > 0.3 {
+		t.Errorf("fraction below 25ms = %g, want ≈1e-2", frac)
+	}
+}
+
+func TestCurveEdgeCases(t *testing.T) {
+	d := Typical()
+	if d.Curve(0, time.Second, 10) != nil {
+		t.Error("zero lo should return nil")
+	}
+	if d.Curve(time.Second, time.Millisecond, 10) != nil {
+		t.Error("hi < lo should return nil")
+	}
+	if d.Curve(time.Microsecond, time.Second, 1) != nil {
+		t.Error("n < 2 should return nil")
+	}
+	c := d.Curve(10*time.Microsecond, 100*time.Millisecond, 50)
+	if len(c) != 50 {
+		t.Fatalf("curve length %d", len(c))
+	}
+	if c[0].Time != 10*time.Microsecond {
+		t.Errorf("curve start %v", c[0].Time)
+	}
+}
+
+func TestAnchorsCopy(t *testing.T) {
+	d := Typical()
+	a := d.Anchors()
+	a[0].Rate = 0.999
+	if d.Anchors()[0].Rate == 0.999 {
+		t.Error("Anchors must return a copy")
+	}
+}
+
+// TestEmpiricalCDFMatchesAnalytic closes the Monte-Carlo loop: the
+// empirical CDF of sampled cell retention times reproduces the analytic
+// distribution at every decade the training method cares about.
+func TestEmpiricalCDFMatchesAnalytic(t *testing.T) {
+	d := Typical()
+	rng := bits.NewSplitMix64(99)
+	const n = 400000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		samples[i] = d.SampleCellRetention(rng)
+	}
+	for _, at := range []time.Duration{
+		2500 * time.Microsecond, // 1e-4 anchor
+		8 * time.Millisecond,    // 1e-3 anchor
+		25 * time.Millisecond,   // 1e-2 anchor
+		80 * time.Millisecond,   // 1e-1 anchor
+	} {
+		want := d.FailureRate(at)
+		below := 0
+		for _, s := range samples {
+			if s <= at {
+				below++
+			}
+		}
+		got := float64(below) / n
+		// Binomial noise at n=400k: ±3σ ≈ ±0.5% absolute at p=0.01.
+		tol := 4 * math.Sqrt(want*(1-want)/n)
+		if math.Abs(got-want) > tol+1e-6 {
+			t.Errorf("empirical CDF at %v = %.5f, analytic %.5f (tol %.5f)", at, got, want, tol)
+		}
+	}
+}

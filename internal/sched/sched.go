@@ -1,0 +1,334 @@
+// Package sched implements Stage 2 of the RANA framework: the layer-based
+// scheduling scheme of Fig. 13. For each CONV layer it explores
+// computation patterns and tiling parameters under the core local-storage
+// constraints, estimates total system energy with the Eq. 14 model, and
+// assigns the cheapest configuration — producing the hybrid computation
+// pattern and the layerwise configurations (pattern, tiling, refresh
+// flags) consumed by the execution phase.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+// RetentionGuard is the safety margin applied when comparing a data
+// lifetime against the refresh interval: a lifetime within 10% of the
+// interval is not trusted to beat retention.
+const RetentionGuard = 0.9
+
+// Options configures one scheduling run — one design point of Table IV.
+type Options struct {
+	// Patterns is the exploration space. RANA uses {OD, WD} (§IV-C3: ID
+	// is excluded — its lifetime is always longer than OD's and its
+	// storage similar); the eD+ID / S+ID baselines pass {ID}, eD+OD
+	// passes {OD}.
+	Patterns []pattern.Kind
+
+	// RefreshInterval is the refresh pulse period: the conventional
+	// 45 µs, or the tolerable retention time from Stage 1 (734 µs at the
+	// 10⁻⁵ failure rate). Ignored for SRAM buffers.
+	RefreshInterval time.Duration
+
+	// Controller models refresh issue. Nil means no refresh at all
+	// (SRAM designs).
+	Controller memctrl.Controller
+
+	// FixedTiling pins the tiling parameters instead of exploring —
+	// used for the DaDianNao baseline (Tm=Tn=64, Tr=Tc=1, §V-C).
+	FixedTiling *pattern.Tiling
+
+	// NaturalTiling restricts each layer to the accelerator's natural
+	// tiling — array-width tiles (Tm=ArrayM, Tn=ArrayN pixels worth of
+	// Tr×Tc, clamped to the layer dimensions) — instead of exploring.
+	// The Table IV baselines (S+ID, eD+ID, eD+OD) run this way: their
+	// computation pattern is hardwired, only RANA explores (Fig. 13).
+	NaturalTiling bool
+
+	// RetentionGuard overrides the default guard band (RetentionGuard)
+	// applied when comparing lifetimes against the refresh interval.
+	// Zero selects the default; 1.0 disables the margin.
+	RetentionGuard float64
+}
+
+// guard returns the effective guard-band factor.
+func (o Options) guard() float64 {
+	if o.RetentionGuard > 0 {
+		return o.RetentionGuard
+	}
+	return RetentionGuard
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if len(o.Patterns) == 0 {
+		return fmt.Errorf("sched: no patterns to explore")
+	}
+	if o.Controller != nil && o.RefreshInterval <= 0 {
+		return fmt.Errorf("sched: controller set but refresh interval %v invalid", o.RefreshInterval)
+	}
+	if o.FixedTiling != nil {
+		if err := o.FixedTiling.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LayerPlan is one layer's chosen configuration with its full analytical
+// characterization and energy estimate — one entry of the layerwise
+// configurations RANA compiles (§IV-A Stage 2).
+type LayerPlan struct {
+	Analysis pattern.Analysis
+	// Needs are the per-data-type refresh flags at the plan's interval.
+	Needs memctrl.Needs
+	// Alloc is the unified buffer system's bank assignment.
+	Alloc memctrl.Allocation
+	// Counts are the layer's Eq. 14 operation counts (α, βb, γ, βd).
+	Counts energy.Counts
+	// Energy is the layer's estimated system energy breakdown.
+	Energy energy.Breakdown
+}
+
+// RefreshFlags expands the plan into per-bank refresh flags for a buffer
+// of totalBanks banks, in allocation order (inputs, outputs, weights);
+// unallocated banks are unflagged. This is the bit vector the
+// refresh-optimized controller of Fig. 14 loads per layer.
+func (lp LayerPlan) RefreshFlags(totalBanks int) []bool {
+	flags := make([]bool, totalBanks)
+	mark := func(start, n int, on bool) int {
+		for i := 0; i < n && start+i < totalBanks; i++ {
+			flags[start+i] = on
+		}
+		return start + n
+	}
+	pos := 0
+	pos = mark(pos, lp.Alloc.InputBanks, lp.Needs.Inputs)
+	pos = mark(pos, lp.Alloc.OutputBanks, lp.Needs.Outputs)
+	mark(pos, lp.Alloc.WeightBanks, lp.Needs.Weights)
+	return flags
+}
+
+// Plan is a whole-network schedule: the hybrid computation pattern plus
+// network totals.
+type Plan struct {
+	Network  models.Network
+	Config   hw.Config
+	Options  Options
+	Layers   []LayerPlan
+	Totals   energy.Counts
+	Energy   energy.Breakdown
+	ExecTime time.Duration
+}
+
+// Schedule plans every layer of the network on the accelerator,
+// implementing the optimization loop of Fig. 13.
+func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Network: net, Config: cfg, Options: opts}
+	// Layers are independent optimization problems (Fig. 13 schedules
+	// them one by one); explore them in parallel and aggregate in order.
+	plans := make([]LayerPlan, len(net.Layers))
+	errs := make([]error, len(net.Layers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, l := range net.Layers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, l models.ConvLayer) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			plans[i], errs[i] = ScheduleLayer(l, cfg, opts)
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s/%s: %w", net.Name, net.Layers[i].Name, err)
+		}
+	}
+	for _, lp := range plans {
+		p.Layers = append(p.Layers, lp)
+		p.Totals.Add(lp.Counts)
+		p.Energy.Add(lp.Energy)
+		p.ExecTime += lp.Analysis.ExecTime
+	}
+	return p, nil
+}
+
+// ScheduleLayer explores the configured pattern × tiling space for one
+// layer and returns the minimum-energy plan.
+func ScheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, error) {
+	if err := opts.Validate(); err != nil {
+		return LayerPlan{}, err
+	}
+	best := LayerPlan{}
+	found := false
+	for _, k := range opts.Patterns {
+		for _, t := range candidateTilings(l, cfg, opts) {
+			if !t.FitsCore(effectiveLayer(l), cfg) {
+				continue
+			}
+			lp := Evaluate(l, k, t, cfg, opts)
+			if !lp.Analysis.Feasible {
+				continue
+			}
+			if opts.NaturalTiling {
+				// Baselines do not optimize: they take the first feasible
+				// tiling in reduction order (natural first).
+				return lp, nil
+			}
+			if !found || lp.Energy.Total() < best.Energy.Total() {
+				best = lp
+				found = true
+			}
+		}
+	}
+	if !found {
+		return LayerPlan{}, fmt.Errorf("no feasible tiling for layer %q", l.Name)
+	}
+	return best, nil
+}
+
+// Evaluate characterizes one candidate (pattern, tiling) and prices it
+// with the Eq. 14 energy model, including the design's refresh policy.
+func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options) LayerPlan {
+	a := pattern.Analyze(l, k, t, cfg)
+	lp := LayerPlan{Analysis: a}
+	lp.Alloc = memctrl.Allocate(a.BufferStorage, cfg.BankWords, cfg.Banks())
+	var refreshes uint64
+	if opts.Controller != nil && cfg.BufferTech == energy.EDRAM {
+		// Refresh decisions keep a retention guard band: data is deemed
+		// refresh-free only when its lifetime clears the interval with
+		// margin, absorbing clock quantization and process variation.
+		guarded := time.Duration(float64(opts.RefreshInterval) * opts.guard())
+		lp.Needs = memctrl.NeedsFor(a.Lifetimes, guarded)
+		refreshes = memctrl.RefreshWords(opts.Controller, a.ExecTime, opts.RefreshInterval,
+			lp.Alloc, lp.Needs, cfg.Banks(), cfg.BankWords)
+	}
+	lp.Counts = energy.Counts{
+		MACs:           a.MACs,
+		BufferAccesses: a.BufferTraffic.Total(),
+		Refreshes:      refreshes,
+		DDRAccesses:    a.DDRTraffic.Total(),
+	}
+	lp.Energy = energy.System(lp.Counts, cfg.BufferTech)
+	return lp
+}
+
+// effectiveLayer returns the per-group sub-layer whose dimensions the
+// core constraints see (grouped convolutions run one group at a time).
+func effectiveLayer(l models.ConvLayer) models.ConvLayer {
+	if l.Groups <= 1 {
+		return l
+	}
+	l.N /= l.Groups
+	l.M /= l.Groups
+	l.Groups = 1
+	return l
+}
+
+// candidateTilings enumerates the tiling exploration space for a layer:
+// powers of two bounded by the dimension, plus the exact dimension and
+// the PE-array widths, for each of Tm, Tn, Tr, Tc. FixedTiling collapses
+// the space to a single point.
+func candidateTilings(l models.ConvLayer, cfg hw.Config, opts Options) []pattern.Tiling {
+	if opts.FixedTiling != nil {
+		return []pattern.Tiling{*opts.FixedTiling}
+	}
+	e := effectiveLayer(l)
+	if opts.NaturalTiling {
+		return naturalTilings(e, cfg)
+	}
+	tms := axisCandidates(e.M, cfg.ArrayM)
+	tns := axisCandidates(e.N, cfg.ArrayN)
+	trs := axisCandidates(e.R(), cfg.ArrayM)
+	tcs := axisCandidates(e.C(), cfg.ArrayN)
+	out := make([]pattern.Tiling, 0, len(tms)*len(tns)*len(trs)*len(tcs))
+	for _, tm := range tms {
+		for _, tn := range tns {
+			for _, tr := range trs {
+				for _, tc := range tcs {
+					out = append(out, pattern.Tiling{Tm: tm, Tn: tn, Tr: tr, Tc: tc})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NaturalTiling returns the accelerator's native tile for a layer:
+// ArrayM output channels, ArrayN input channels (clamped), one output row
+// of up to ArrayN pixels — the ⟨16, 16, 1, 16⟩ mapping of the paper's
+// running cases (§III-B, §IV-C1).
+func NaturalTiling(l models.ConvLayer, cfg hw.Config) pattern.Tiling {
+	return pattern.Tiling{
+		Tm: minInt(cfg.ArrayM, l.M),
+		Tn: minInt(cfg.ArrayN, l.N),
+		Tr: 1,
+		Tc: minInt(cfg.ArrayN, l.C()),
+	}
+}
+
+// naturalTilings returns the baseline reduction order: the natural tiling
+// first, then successively halved Tn (a too-large working set is shed by
+// loading fewer input channels per pass, §IV-C1), then halved Tm. The
+// baseline scheduler takes the first feasible entry.
+func naturalTilings(l models.ConvLayer, cfg hw.Config) []pattern.Tiling {
+	nat := NaturalTiling(l, cfg)
+	out := []pattern.Tiling{nat}
+	for tn := nat.Tn / 2; tn >= 1; tn /= 2 {
+		t := nat
+		t.Tn = tn
+		out = append(out, t)
+	}
+	for tm := nat.Tm / 2; tm >= 1; tm /= 2 {
+		t := nat
+		t.Tn = 1
+		t.Tm = tm
+		out = append(out, t)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// axisCandidates returns the candidate tile sizes along one axis of
+// extent dim: powers of two up to dim, the array width, and dim itself.
+func axisCandidates(dim, array int) []int {
+	set := map[int]bool{dim: true}
+	for v := 1; v < dim; v *= 2 {
+		set[v] = true
+	}
+	if array <= dim {
+		set[array] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,237 @@
+// Package sim is the cycle-level simulator standing in for the paper's
+// RTL simulation (§III-A; DESIGN.md §2). It walks the exact tiled loop
+// nest of a computation pattern at tile granularity, advancing a cycle
+// clock and recording the events the paper extracts from RTL runs:
+//
+//   - core-occupancy cycles (performance),
+//   - on-chip buffer traffic per data type,
+//   - per-region residency windows, whose maxima are the empirical data
+//     lifetimes that drive refresh decisions,
+//   - refresh pulses, when a memory controller is attached.
+//
+// Walk's outputs are cross-validated against the closed-form model in
+// internal/pattern by this package's tests — the two are independent
+// derivations of the same loop semantics.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/trace"
+)
+
+// Trace is the walker's record of one layer execution.
+type Trace struct {
+	Layer   models.ConvLayer
+	Pattern pattern.Kind
+	Tiling  pattern.Tiling
+
+	// Cycles is the total core-occupancy cycle count.
+	Cycles uint64
+	// ExecTime is Cycles at the configured clock.
+	ExecTime time.Duration
+	// BufferTraffic counts buffer words moved per data type.
+	BufferTraffic pattern.Storage
+	// Lifetimes are the empirical maxima of the per-region residency
+	// windows observed during the walk.
+	Lifetimes pattern.Lifetimes
+}
+
+// Walk executes the loop nest of one (possibly grouped) layer under a
+// pattern and tiling, at tile granularity. Groups run sequentially;
+// totals accumulate, lifetimes are per-group maxima (matching
+// pattern.Analyze's conventions).
+func Walk(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config) Trace {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	g := l.Groups
+	sub := l
+	if g > 1 {
+		sub.N /= g
+		sub.M /= g
+		sub.Groups = 1
+	} else {
+		g = 1
+	}
+	tr := Trace{Layer: l, Pattern: k, Tiling: t}
+	var clock uint64
+	for i := 0; i < g; i++ {
+		clock = walkGroup(&tr, sub, k, t, cfg, clock, nil)
+	}
+	tr.Cycles = clock
+	tr.ExecTime = cyclesDur(clock, cfg)
+	return tr
+}
+
+// WalkWithTrace runs Walk while recording every buffer access burst into
+// a memory-access trace (§III-A's "memory access tracing"). The trace
+// carries the accelerator clock so downstream analyses can convert
+// cycles to wall time.
+func WalkWithTrace(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config) (Trace, *trace.Trace) {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	g := l.Groups
+	sub := l
+	if g > 1 {
+		sub.N /= g
+		sub.M /= g
+		sub.Groups = 1
+	} else {
+		g = 1
+	}
+	tr := Trace{Layer: l, Pattern: k, Tiling: t}
+	mem := &trace.Trace{FrequencyHz: cfg.FrequencyHz}
+	var clock uint64
+	for i := 0; i < g; i++ {
+		clock = walkGroup(&tr, sub, k, t, cfg, clock, mem)
+	}
+	tr.Cycles = clock
+	tr.ExecTime = cyclesDur(clock, cfg)
+	return tr, mem
+}
+
+// walkGroup walks one ungrouped (sub-)layer starting at the given clock
+// and returns the advanced clock. When mem is non-nil, every buffer
+// access burst is recorded as a trace event.
+func walkGroup(tr *Trace, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, clock uint64, mem *trace.Trace) uint64 {
+	emit := func(cycle uint64, op trace.Op, dt trace.DataType, addr, words uint64) {
+		if mem != nil {
+			mem.Append(trace.Event{Cycle: cycle, Op: op, Type: dt, Addr: addr, Words: words})
+		}
+	}
+	R, C := l.R(), l.C()
+	nM := ceilDiv(l.M, t.Tm)
+	nN := ceilDiv(l.N, t.Tn)
+	nR := ceilDiv(R, t.Tr)
+	nC := ceilDiv(C, t.Tc)
+	perTile := perTileCycles(l, t, cfg)
+
+	inTile := uint64(t.Tn) * uint64(t.Th(l)) * uint64(t.Tl(l))
+	wTile := uint64(t.Tm) * uint64(t.Tn) * uint64(l.K) * uint64(l.K)
+	outTile := uint64(t.Tm) * uint64(t.Tr) * uint64(t.Tc)
+
+	// Residency tracking. For each data type we track the open windows
+	// (generation start) and close them when the generation rolls over,
+	// folding the span into the lifetime maximum.
+	lt := &tr.Lifetimes
+	start := clock
+
+	switch k {
+	case pattern.ID: // order M (3rd), RC (2nd), N (1st)
+		// Inputs: one generation, resident for the whole group.
+		for m := 0; m < nM; m++ {
+			wStart := clock // this m-group's weights loaded now
+			for rc := 0; rc < nR*nC; rc++ {
+				for n := 0; n < nN; n++ {
+					tr.BufferTraffic.Inputs += inTile
+					tr.BufferTraffic.Weights += wTile
+					emit(clock, trace.Read, trace.Inputs, uint64(n*nR*nC+rc), inTile)
+					emit(clock, trace.Read, trace.Weights, uint64(m*nN+n), wTile)
+					clock += perTile
+				}
+				// Outputs for this (m, rc) complete: stored and shipped.
+				tr.BufferTraffic.Outputs += outTile
+				emit(clock, trace.Write, trace.Outputs, uint64(m*nR*nC+rc), outTile)
+			}
+			foldMax(&lt.Weight, clock-wStart, cfg)
+		}
+		foldMax(&lt.Input, clock-start, cfg)
+		// Output lifetime stays 0: accumulation happens in the PEs.
+
+	case pattern.OD: // order N (3rd), M (2nd), RC (1st)
+		// Outputs: per-region update gaps. lastTouch[m][rc] tracks the
+		// previous write of each output tile region.
+		lastTouch := make([]uint64, nM*nR*nC)
+		touched := make([]bool, nM*nR*nC)
+		for n := 0; n < nN; n++ {
+			slabStart := clock // this n-slab of inputs loaded now
+			for m := 0; m < nM; m++ {
+				tr.BufferTraffic.Weights += wTile // loaded once per (n, m)
+				emit(clock, trace.Read, trace.Weights, uint64(m*nN+n), wTile)
+				for rc := 0; rc < nR*nC; rc++ {
+					tr.BufferTraffic.Inputs += inTile
+					emit(clock, trace.Read, trace.Inputs, uint64(n*nR*nC+rc), inTile)
+					clock += perTile
+					region := m*nR*nC + rc
+					if touched[region] {
+						// Read-modify-write of the partial sums; the gap
+						// since the previous write is a retention window.
+						tr.BufferTraffic.Outputs += 2 * outTile
+						emit(clock, trace.Read, trace.Outputs, uint64(region), outTile)
+						foldMax(&lt.Output, clock-lastTouch[region], cfg)
+					} else {
+						tr.BufferTraffic.Outputs += outTile
+						touched[region] = true
+					}
+					emit(clock, trace.Write, trace.Outputs, uint64(region), outTile)
+					lastTouch[region] = clock
+				}
+			}
+			foldMax(&lt.Input, clock-slabStart, cfg)
+		}
+		// Weight windows: loaded per (n, m), live across the RC loop.
+		foldMax(&lt.Weight, uint64(nR*nC)*perTile, cfg)
+
+	case pattern.WD: // order RC (3rd), M (2nd), N (1st)
+		for rc := 0; rc < nR*nC; rc++ {
+			posStart := clock // this position's input slab loaded now
+			for m := 0; m < nM; m++ {
+				for n := 0; n < nN; n++ {
+					tr.BufferTraffic.Inputs += inTile
+					tr.BufferTraffic.Weights += wTile
+					emit(clock, trace.Read, trace.Inputs, uint64(n*nR*nC+rc), inTile)
+					emit(clock, trace.Read, trace.Weights, uint64(m*nN+n), wTile)
+					clock += perTile
+				}
+				tr.BufferTraffic.Outputs += outTile
+				emit(clock, trace.Write, trace.Outputs, uint64(m*nR*nC+rc), outTile)
+			}
+			foldMax(&lt.Input, clock-posStart, cfg)
+		}
+		foldMax(&lt.Weight, clock-start, cfg)
+
+	default:
+		panic(fmt.Sprintf("sim: unknown pattern %v", k))
+	}
+	return clock
+}
+
+// foldMax folds a cycle span into a lifetime maximum.
+func foldMax(dst *time.Duration, cycles uint64, cfg hw.Config) {
+	d := cyclesDur(cycles, cfg)
+	if d > *dst {
+		*dst = d
+	}
+}
+
+// perTileCycles mirrors the array-mapping cycle model of internal/pattern.
+func perTileCycles(l models.ConvLayer, t pattern.Tiling, cfg hw.Config) uint64 {
+	switch cfg.Mapping {
+	case hw.MapOutputPixel:
+		return uint64(ceilDiv(t.Tm, cfg.ArrayM)) * uint64(ceilDiv(t.Tr*t.Tc, cfg.ArrayN)) *
+			uint64(t.Tn) * uint64(l.K) * uint64(l.K)
+	case hw.MapOutputInput:
+		return uint64(ceilDiv(t.Tm, cfg.ArrayM)) * uint64(ceilDiv(t.Tn, cfg.ArrayN)) *
+			uint64(t.Tr) * uint64(t.Tc) * uint64(l.K) * uint64(l.K)
+	default:
+		panic(fmt.Sprintf("sim: unknown mapping %v", cfg.Mapping))
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func cyclesDur(cycles uint64, cfg hw.Config) time.Duration {
+	return time.Duration(float64(cycles) / cfg.FrequencyHz * float64(time.Second))
+}

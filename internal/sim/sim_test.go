@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rana/internal/bits"
+	"rana/internal/edram"
+	"rana/internal/fixed"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/retention"
+	"rana/internal/sram"
+	"rana/internal/trace"
+)
+
+// TestWalkerMatchesClosedForm cross-validates the tile walker against the
+// analytical model on every benchmark layer at the natural tiling, for
+// all three patterns: cycles, buffer traffic and lifetimes must agree.
+func TestWalkerMatchesClosedForm(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	for _, net := range models.Benchmarks() {
+		for _, l := range net.Layers {
+			ti := pattern.Tiling{
+				Tm: minI(16, l.M), Tn: minI(16, l.N/groups(l)),
+				Tr: 1, Tc: minI(16, l.C()),
+			}
+			for _, k := range pattern.Kinds {
+				a := pattern.Analyze(l, k, ti, cfg)
+				w := Walk(l, k, ti, cfg)
+				if a.Cycles != w.Cycles {
+					t.Errorf("%s/%s %v: cycles %d vs walker %d", net.Name, l.Name, k, a.Cycles, w.Cycles)
+				}
+				if a.BufferTraffic != w.BufferTraffic {
+					t.Errorf("%s/%s %v: traffic %+v vs walker %+v", net.Name, l.Name, k, a.BufferTraffic, w.BufferTraffic)
+				}
+				if !closeDur(a.Lifetimes.Input, w.Lifetimes.Input) ||
+					!closeDur(a.Lifetimes.Output, w.Lifetimes.Output) ||
+					!closeDur(a.Lifetimes.Weight, w.Lifetimes.Weight) {
+					t.Errorf("%s/%s %v: lifetimes %+v vs walker %+v", net.Name, l.Name, k, a.Lifetimes, w.Lifetimes)
+				}
+			}
+		}
+	}
+}
+
+// TestWalkerMatchesClosedFormRandom fuzzes layer shapes and tilings.
+func TestWalkerMatchesClosedFormRandom(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	f := func(n8, m8, hw8, k2, tm3, tn3, tr2, tc3 uint8) bool {
+		l := models.ConvLayer{
+			Name: "f",
+			N:    int(n8%24) + 1,
+			M:    int(m8%24) + 1,
+			H:    int(hw8%14) + 5,
+			L:    int(hw8%14) + 5,
+			K:    []int{1, 3, 5}[k2%3],
+			S:    1,
+		}
+		l.P = l.K / 2
+		if l.Validate() != nil {
+			return true
+		}
+		ti := pattern.Tiling{
+			Tm: 1 << (tm3 % 4), Tn: 1 << (tn3 % 4),
+			Tr: int(tr2%3) + 1, Tc: 1 << (tc3 % 4),
+		}
+		for _, k := range pattern.Kinds {
+			a := pattern.Analyze(l, k, ti, cfg)
+			w := Walk(l, k, ti, cfg)
+			if a.Cycles != w.Cycles || a.BufferTraffic != w.BufferTraffic {
+				return false
+			}
+			if !closeDur(a.Lifetimes.Input, w.Lifetimes.Input) ||
+				!closeDur(a.Lifetimes.Output, w.Lifetimes.Output) ||
+				!closeDur(a.Lifetimes.Weight, w.Lifetimes.Weight) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalkerGroupedLayer checks group handling against the closed form.
+func TestWalkerGroupedLayer(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	l := models.ConvLayer{Name: "g", N: 32, H: 13, L: 13, M: 48, K: 3, S: 1, P: 1, Groups: 2}
+	ti := pattern.Tiling{Tm: 16, Tn: 8, Tr: 1, Tc: 13}
+	for _, k := range pattern.Kinds {
+		a := pattern.Analyze(l, k, ti, cfg)
+		w := Walk(l, k, ti, cfg)
+		if a.Cycles != w.Cycles || a.BufferTraffic != w.BufferTraffic {
+			t.Errorf("%v: analyze %d/%+v walker %d/%+v", k, a.Cycles, a.BufferTraffic, w.Cycles, w.BufferTraffic)
+		}
+	}
+}
+
+func TestWalkerPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Walk(models.ConvLayer{Name: "x"}, pattern.ID, pattern.Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}, hw.TestAccelerator())
+}
+
+// --- functional mode ---
+
+// smallLayer is a functional-mode test layer: 4×8×8 in, 4 kernels 3×3.
+var smallLayer = models.ConvLayer{Name: "tiny", N: 4, H: 8, L: 8, M: 4, K: 3, S: 1, P: 1}
+
+func randWords(n int, seed uint64) []fixed.Word {
+	rng := bits.NewSplitMix64(seed)
+	out := make([]fixed.Word, n)
+	for i := range out {
+		// Small magnitudes so accumulations stay in range.
+		out[i] = fixed.Q88.FromFloat(rng.NormFloat64() * 0.25)
+	}
+	return out
+}
+
+func functionalInputs(t *testing.T) (ins, ws []fixed.Word) {
+	t.Helper()
+	return randWords(int(smallLayer.InputWords()), 1), randWords(int(smallLayer.WeightWords()), 2)
+}
+
+// TestFunctionalSRAMIsExact: with SRAM, buffered execution equals the
+// direct reference regardless of execution time.
+func TestFunctionalSRAMIsExact(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	buf, err := sram.New(4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 Hz clock: execution takes "hours" of model time; SRAM doesn't care.
+	res, err := RunFunctional(smallLayer, fixed.Q88, ins, ws, buf, nil, 256, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WordErrors != 0 {
+		t.Errorf("SRAM execution corrupted %d words", res.WordErrors)
+	}
+}
+
+// TestFunctionalEDRAMFastIsExact: when the data lifetime is far below the
+// retention time, unrefreshed eDRAM is also exact — the core RANA premise.
+func TestFunctionalEDRAMFastIsExact(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	buf, err := edram.New(4, 4096, retention.Typical(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 MHz, 256 MACs/cycle: the whole layer takes ≈37k MACs ≈ 0.7 µs,
+	// far below the 45 µs weakest-cell retention time.
+	res, err := RunFunctional(smallLayer, fixed.Q88, ins, ws, buf, nil, 256, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime >= retention.TypicalRetentionTime {
+		t.Fatalf("test premise broken: exec %v not below retention time", res.ExecTime)
+	}
+	if res.WordErrors != 0 {
+		t.Errorf("fast eDRAM execution corrupted %d words", res.WordErrors)
+	}
+}
+
+// TestFunctionalEDRAMSlowDecays: when execution takes much longer than
+// the retention of weak cells and refresh is disabled, outputs corrupt.
+func TestFunctionalEDRAMSlowDecays(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	buf, err := edram.New(4, 4096, retention.Typical(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 kHz: the layer takes ≈147 model-seconds; every cell's retention
+	// (≤100 ms) expires many times over with no refresh.
+	res, err := RunFunctional(smallLayer, fixed.Q88, ins, ws, buf, nil, 1, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WordErrors == 0 {
+		t.Error("unrefreshed slow eDRAM execution should corrupt outputs")
+	}
+}
+
+// TestFunctionalEDRAMSlowWithRefreshIsExact: the same slow execution with
+// an in-retention refresh schedule is exact again, at a refresh cost.
+func TestFunctionalEDRAMSlowWithRefreshIsExact(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	buf, err := edram.New(4, 4096, retention.Typical(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clock 1 MHz → exec ≈147 ms; refresh every 9 µs (< 10 µs first
+	// anchor, so no cell can expire between pulses).
+	div, err := memctrl.NewDivider(1e6, 9*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issuer, err := memctrl.NewIssuer(div, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := issuer.SetFlags([]bool{true, true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFunctional(smallLayer, fixed.Q88, ins, ws, buf,
+		&Refresher{Issuer: issuer, Target: buf}, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WordErrors != 0 {
+		t.Errorf("refreshed eDRAM execution corrupted %d words", res.WordErrors)
+	}
+	if res.RefreshWords == 0 {
+		t.Error("refresh schedule issued no refreshes")
+	}
+}
+
+func TestFunctionalValidation(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	buf, _ := sram.New(1, 64) // too small
+	if _, err := RunFunctional(smallLayer, fixed.Q88, ins, ws, buf, nil, 1, 1e6); err == nil {
+		t.Error("undersized buffer should fail")
+	}
+	big, _ := sram.New(4, 4096)
+	if _, err := RunFunctional(smallLayer, fixed.Q88, ins[:3], ws, big, nil, 1, 1e6); err == nil {
+		t.Error("wrong input size should fail")
+	}
+	if _, err := RunFunctional(smallLayer, fixed.Q88, ins, ws, big, nil, 0, 1e6); err == nil {
+		t.Error("zero MACs/cycle should fail")
+	}
+	g := smallLayer
+	g.N, g.Groups = 8, 2
+	if _, err := RunFunctional(g, fixed.Q88, ins, ws, big, nil, 1, 1e6); err == nil {
+		t.Error("grouped layer should fail")
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func groups(l models.ConvLayer) int {
+	if l.Groups <= 1 {
+		return 1
+	}
+	return l.Groups
+}
+
+func closeDur(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1 // ns rounding
+}
+
+// TestWalkWithTraceConsistency: the recorded memory trace agrees with the
+// walker's aggregate traffic, and the outputs' max write gap under OD
+// equals the analytical T2 lifetime.
+func TestWalkWithTraceConsistency(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	l, _ := models.VGG().Layer("conv5_1")
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 14}
+	for _, k := range pattern.Kinds {
+		w, mem := WalkWithTrace(l, k, ti, cfg)
+		c := mem.Count()
+		if got := c.Reads[0] + c.Writes[0]; got != w.BufferTraffic.Inputs {
+			t.Errorf("%v: trace input words %d != walker %d", k, got, w.BufferTraffic.Inputs)
+		}
+		if got := c.Reads[2] + c.Writes[2]; got != w.BufferTraffic.Weights {
+			t.Errorf("%v: trace weight words %d != walker %d", k, got, w.BufferTraffic.Weights)
+		}
+		if got := c.Reads[1] + c.Writes[1]; got != w.BufferTraffic.Outputs {
+			t.Errorf("%v: trace output words %d != walker %d", k, got, w.BufferTraffic.Outputs)
+		}
+		if mem.Span() > w.Cycles {
+			t.Errorf("%v: trace span %d beyond walker cycles %d", k, mem.Span(), w.Cycles)
+		}
+	}
+	// OD: the outputs' self-refresh interval read straight off the trace
+	// equals the analytical lifetime.
+	wOD, mem := WalkWithTrace(l, pattern.OD, ti, cfg)
+	gap := mem.MaxWriteGap()[1] // outputs
+	if got := mem.Duration(gap); !closeDur(got, wOD.Lifetimes.Output) {
+		t.Errorf("trace write gap %v != walker output lifetime %v", got, wOD.Lifetimes.Output)
+	}
+}
+
+// TestTraceSerializationEndToEnd writes a real layer trace and reads it
+// back identically.
+func TestTraceSerializationEndToEnd(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	l, _ := models.AlexNet().Layer("conv3")
+	_, mem := WalkWithTrace(l, pattern.OD, pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 13}, cfg)
+	var buf bytes.Buffer
+	if err := mem.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(mem.Events) {
+		t.Fatalf("event count %d != %d", len(back.Events), len(mem.Events))
+	}
+	if back.Count() != mem.Count() {
+		t.Error("counts differ after round trip")
+	}
+}

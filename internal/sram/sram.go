@@ -1,0 +1,69 @@
+// Package sram implements the SRAM buffer counterpart of internal/edram
+// for the S+ID baseline design: latch-based storage that never decays and
+// never refreshes, at higher area and access energy (Table II).
+package sram
+
+import (
+	"fmt"
+	"time"
+
+	"rana/internal/fixed"
+)
+
+// Buffer is a functional SRAM buffer. The zero value is not usable;
+// construct with New.
+type Buffer struct {
+	banks        int
+	wordsPerBank int
+	data         []fixed.Word
+	reads        uint64
+	writes       uint64
+}
+
+// New returns a buffer of banks × wordsPerBank 16-bit words.
+func New(banks, wordsPerBank int) (*Buffer, error) {
+	if banks <= 0 || wordsPerBank <= 0 {
+		return nil, fmt.Errorf("sram: invalid geometry %d banks × %d words", banks, wordsPerBank)
+	}
+	return &Buffer{
+		banks:        banks,
+		wordsPerBank: wordsPerBank,
+		data:         make([]fixed.Word, banks*wordsPerBank),
+	}, nil
+}
+
+// Banks returns the bank count.
+func (b *Buffer) Banks() int { return b.banks }
+
+// WordsPerBank returns the per-bank word capacity.
+func (b *Buffer) WordsPerBank() int { return b.wordsPerBank }
+
+// Words returns the total word capacity.
+func (b *Buffer) Words() int { return b.banks * b.wordsPerBank }
+
+// Write stores w at addr. The time argument mirrors the eDRAM interface
+// and is ignored: SRAM retention is unconditional.
+func (b *Buffer) Write(addr int, w fixed.Word, _ time.Duration) {
+	b.check(addr)
+	b.data[addr] = w
+	b.writes++
+}
+
+// Read returns the word at addr, always uncorrupted.
+func (b *Buffer) Read(addr int, _ time.Duration) fixed.Word {
+	b.check(addr)
+	b.reads++
+	return b.data[addr]
+}
+
+// Reads returns the accumulated read count.
+func (b *Buffer) Reads() uint64 { return b.reads }
+
+// Writes returns the accumulated write count.
+func (b *Buffer) Writes() uint64 { return b.writes }
+
+func (b *Buffer) check(addr int) {
+	if addr < 0 || addr >= len(b.data) {
+		panic(fmt.Sprintf("sram: address %d out of range [0,%d)", addr, len(b.data)))
+	}
+}

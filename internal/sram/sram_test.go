@@ -1,0 +1,70 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rana/internal/fixed"
+)
+
+func TestRoundTrip(t *testing.T) {
+	b, err := New(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw int16, addr uint8) bool {
+		a := int(addr) % b.Words()
+		b.Write(a, fixed.Word(raw), 0)
+		// SRAM never decays, regardless of elapsed time.
+		return b.Read(a, 24*time.Hour) == fixed.Word(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryAndValidation(t *testing.T) {
+	b, err := New(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Banks() != 3 || b.WordsPerBank() != 100 || b.Words() != 300 {
+		t.Error("geometry mismatch")
+	}
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero banks should fail")
+	}
+	if _, err := New(1, -1); err == nil {
+		t.Error("negative words should fail")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	b, _ := New(1, 8)
+	b.Write(0, 1, 0)
+	b.Write(1, 2, 0)
+	b.Read(0, 0)
+	b.Read(0, 0)
+	b.Read(1, 0)
+	if b.Writes() != 2 || b.Reads() != 3 {
+		t.Errorf("writes=%d reads=%d", b.Writes(), b.Reads())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b, _ := New(1, 4)
+	for _, fn := range []func(){
+		func() { b.Read(4, 0) },
+		func() { b.Write(-1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,124 @@
+// Package tensor provides the minimal dense tensor the training substrate
+// needs: an n-dimensional float64 array with row-major layout, plus the
+// fixed-point view used to emulate the accelerator's 16-bit datapath
+// during retention-aware training (§IV-B).
+package tensor
+
+import (
+	"fmt"
+
+	"rana/internal/bits"
+	"rana/internal/fixed"
+)
+
+// Tensor is a dense row-major n-dimensional array. The zero value is not
+// usable; construct with New.
+type Tensor struct {
+	shape []int
+	// Data is the backing storage, exposed for in-place kernels.
+	Data []float64
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// index computes the flat offset of a multi-index.
+func (t *Tensor) index(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) on axis %d", x, t.shape[i], i))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.index(idx...)] }
+
+// Set stores v at the multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.index(idx...)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero clears all elements in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRandn fills the tensor with N(0, std²) variates from rng.
+func (t *Tensor) FillRandn(rng *bits.SplitMix64, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// Quantize rounds every element to the 16-bit fixed-point grid in place —
+// the "fixed-point pretrain" view of Fig. 9.
+func (t *Tensor) Quantize(f fixed.Format) {
+	for i, x := range t.Data {
+		t.Data[i] = f.Quantize(x)
+	}
+}
+
+// Corrupt quantizes and applies bit-level retention failures in place —
+// the layer mask of the retention-aware training method (Fig. 9).
+func (t *Tensor) Corrupt(in *bits.Injector, f fixed.Format) {
+	in.CorruptFloats(t.Data, f)
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	best, bi := t.Data[0], 0
+	for i, x := range t.Data {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rana/internal/bits"
+	"rana/internal/fixed"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 || x.Len() != 24 || x.Dim(1) != 3 {
+		t.Fatalf("shape mismatch: %v", x.Shape())
+	}
+	x.Set(7.5, 1, 2, 3)
+	if x.At(1, 2, 3) != 7.5 {
+		t.Error("Set/At round trip")
+	}
+	// Row-major: last axis contiguous.
+	x.Set(1.0, 0, 0, 1)
+	if x.Data[1] != 1.0 {
+		t.Error("layout is not row-major")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 2) },
+		func() { New(2).At(2) },
+		func() { New(2).At(0, 0) },
+		func() { New(2, 2).Set(1, -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := New(4)
+	x.Data[0] = 5
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 5 {
+		t.Error("Clone shares storage")
+	}
+	if !x.SameShape(y) {
+		t.Error("clone shape mismatch")
+	}
+	if x.SameShape(New(2, 2)) || x.SameShape(New(5)) {
+		t.Error("SameShape false positives")
+	}
+}
+
+func TestZero(t *testing.T) {
+	x := New(3)
+	x.Data[1] = 2
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("Zero left residue")
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	x := New(3)
+	x.Data = []float64{0.123456, -1.987654, 100.5}
+	x.Quantize(fixed.Q88)
+	for i, v := range x.Data {
+		if fixed.Q88.Quantize(v) != v {
+			t.Errorf("element %d not on grid: %g", i, v)
+		}
+	}
+}
+
+func TestCorruptAtZeroRateQuantizesNothing(t *testing.T) {
+	x := New(4)
+	x.Data = []float64{0.1, 0.2, 0.3, 0.4}
+	orig := append([]float64(nil), x.Data...)
+	x.Corrupt(bits.NewInjector(0, 1), fixed.Q88)
+	for i := range x.Data {
+		if x.Data[i] != orig[i] {
+			t.Error("zero-rate corrupt modified data")
+		}
+	}
+}
+
+func TestFillRandnStats(t *testing.T) {
+	x := New(10000)
+	x.FillRandn(bits.NewSplitMix64(4), 2.0)
+	sum, sumsq := 0.0, 0.0
+	for _, v := range x.Data {
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(x.Len())
+	std := sumsq / float64(x.Len())
+	if mean > 0.1 || mean < -0.1 {
+		t.Errorf("mean = %g", mean)
+	}
+	if std < 3.5 || std > 4.5 {
+		t.Errorf("variance = %g, want ≈4", std)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x := New(5)
+	x.Data = []float64{1, 9, 3, 9, 2}
+	if x.ArgMax() != 1 {
+		t.Errorf("ArgMax = %d (first maximum wins)", x.ArgMax())
+	}
+}
+
+// TestIndexBijectionProperty: every multi-index maps to a distinct flat
+// offset (checked by writing a unique value everywhere).
+func TestIndexBijectionProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		d0, d1, d2 := int(a%4)+1, int(b%4)+1, int(c%4)+1
+		x := New(d0, d1, d2)
+		v := 1.0
+		for i := 0; i < d0; i++ {
+			for j := 0; j < d1; j++ {
+				for k := 0; k < d2; k++ {
+					x.Set(v, i, j, k)
+					v++
+				}
+			}
+		}
+		seen := map[float64]bool{}
+		for _, val := range x.Data {
+			if seen[val] {
+				return false
+			}
+			seen[val] = true
+		}
+		return len(seen) == x.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package trace records and analyzes memory-access traces. The paper's
+// evaluation platform runs "RTL-level cycle-accurate simulation ... for
+// performance estimation and memory access tracing" (§III-A); this
+// package is that tracing facility for the loop-nest simulator: a
+// compact event stream with writers/readers and the analyses RANA needs
+// from traces — per-data-type access counts, residency windows and the
+// derived lifetimes.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DataType tags which logical array an event touches.
+type DataType int
+
+const (
+	Inputs DataType = iota
+	Outputs
+	Weights
+)
+
+// String implements fmt.Stringer.
+func (d DataType) String() string {
+	switch d {
+	case Inputs:
+		return "inputs"
+	case Outputs:
+		return "outputs"
+	case Weights:
+		return "weights"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(d))
+	}
+}
+
+// Op is the access direction.
+type Op int
+
+const (
+	Read Op = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Event is one buffer access burst: Words words of one data type moved
+// at cycle Cycle. Addr tags the logical region (e.g. an output tile
+// index) so per-region analyses like write-gap extraction are possible.
+type Event struct {
+	Cycle uint64
+	Op    Op
+	Type  DataType
+	Addr  uint64
+	Words uint64
+}
+
+// Trace is an in-memory event stream with its recording clock.
+type Trace struct {
+	// FrequencyHz converts cycles to wall time.
+	FrequencyHz float64
+	Events      []Event
+}
+
+// Append adds one event. Events must be appended in non-decreasing cycle
+// order; Append panics otherwise (the simulator emits them in order, so
+// disorder is a bug).
+func (t *Trace) Append(e Event) {
+	if n := len(t.Events); n > 0 && e.Cycle < t.Events[n-1].Cycle {
+		panic(fmt.Sprintf("trace: event at cycle %d after cycle %d", e.Cycle, t.Events[n-1].Cycle))
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Duration converts a cycle count to wall time at the trace clock.
+func (t *Trace) Duration(cycles uint64) time.Duration {
+	return time.Duration(float64(cycles) / t.FrequencyHz * float64(time.Second))
+}
+
+// Counts aggregates words moved per (op, type).
+type Counts struct {
+	Reads, Writes [3]uint64 // indexed by DataType
+}
+
+// TotalWords returns all words moved.
+func (c Counts) TotalWords() uint64 {
+	var sum uint64
+	for i := 0; i < 3; i++ {
+		sum += c.Reads[i] + c.Writes[i]
+	}
+	return sum
+}
+
+// Count aggregates the trace's traffic.
+func (t *Trace) Count() Counts {
+	var c Counts
+	for _, e := range t.Events {
+		if e.Op == Read {
+			c.Reads[e.Type] += e.Words
+		} else {
+			c.Writes[e.Type] += e.Words
+		}
+	}
+	return c
+}
+
+// Span returns the trace's total cycle span (last event cycle).
+func (t *Trace) Span() uint64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.Events[len(t.Events)-1].Cycle
+}
+
+// MaxWriteGap returns, per data type, the maximum cycle distance between
+// consecutive writes of the same region — the self-refresh interval of
+// accumulating data (§IV-C1): if a region is rewritten every G cycles,
+// its cells never hold charge longer than G.
+func (t *Trace) MaxWriteGap() [3]uint64 {
+	type key struct {
+		dt   DataType
+		addr uint64
+	}
+	last := map[key]uint64{}
+	var gap [3]uint64
+	for _, e := range t.Events {
+		if e.Op != Write {
+			continue
+		}
+		k := key{e.Type, e.Addr}
+		if prev, ok := last[k]; ok && e.Cycle-prev > gap[e.Type] {
+			gap[e.Type] = e.Cycle - prev
+		}
+		last[k] = e.Cycle
+	}
+	return gap
+}
+
+// Histogram buckets per-type traffic over n equal cycle windows — the
+// raw material of utilization-over-time plots.
+func (t *Trace) Histogram(n int) [][3]uint64 {
+	if n <= 0 || len(t.Events) == 0 {
+		return nil
+	}
+	span := t.Span() + 1
+	out := make([][3]uint64, n)
+	for _, e := range t.Events {
+		b := int(e.Cycle * uint64(n) / span)
+		if b >= n {
+			b = n - 1
+		}
+		out[b][e.Type] += e.Words
+	}
+	return out
+}
+
+// --- serialization (CSV lines: cycle,op,type,words) ---
+
+// Write streams the trace to w, one event per line, with a header
+// carrying the clock.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# rana-trace frequency_hz=%g\n", t.FrequencyHz); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%s,%d,%d\n", e.Cycle, e.Op, e.Type, e.Addr, e.Words); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if idx := strings.Index(line, "frequency_hz="); idx >= 0 {
+				f, err := strconv.ParseFloat(strings.TrimSpace(line[idx+len("frequency_hz="):]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad frequency: %w", lineNo, err)
+				}
+				t.FrequencyHz = f
+			}
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", lineNo, len(parts))
+		}
+		cycle, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad cycle: %w", lineNo, err)
+		}
+		var op Op
+		switch parts[1] {
+		case "read":
+			op = Read
+		case "write":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, parts[1])
+		}
+		var dt DataType
+		switch parts[2] {
+		case "inputs":
+			dt = Inputs
+		case "outputs":
+			dt = Outputs
+		case "weights":
+			dt = Weights
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad type %q", lineNo, parts[2])
+		}
+		addr, err := strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad addr: %w", lineNo, err)
+		}
+		words, err := strconv.ParseUint(parts[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad words: %w", lineNo, err)
+		}
+		t.Append(Event{Cycle: cycle, Op: op, Type: dt, Addr: addr, Words: words})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.FrequencyHz == 0 {
+		return nil, fmt.Errorf("trace: missing frequency header")
+	}
+	return t, nil
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample() *Trace {
+	t := &Trace{FrequencyHz: 200e6}
+	t.Append(Event{Cycle: 0, Op: Read, Type: Inputs, Addr: 0, Words: 100})
+	t.Append(Event{Cycle: 0, Op: Read, Type: Weights, Addr: 0, Words: 50})
+	t.Append(Event{Cycle: 16, Op: Write, Type: Outputs, Addr: 7, Words: 10})
+	t.Append(Event{Cycle: 32, Op: Read, Type: Outputs, Addr: 7, Words: 10})
+	t.Append(Event{Cycle: 32, Op: Write, Type: Outputs, Addr: 7, Words: 10})
+	return t
+}
+
+func TestCount(t *testing.T) {
+	c := sample().Count()
+	if c.Reads[Inputs] != 100 || c.Reads[Weights] != 50 || c.Reads[Outputs] != 10 {
+		t.Errorf("reads = %v", c.Reads)
+	}
+	if c.Writes[Outputs] != 20 {
+		t.Errorf("writes = %v", c.Writes)
+	}
+	if c.TotalWords() != 180 {
+		t.Errorf("total = %d", c.TotalWords())
+	}
+}
+
+func TestAppendOrderEnforced(t *testing.T) {
+	tr := &Trace{FrequencyHz: 1e6}
+	tr.Append(Event{Cycle: 10})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order append should panic")
+		}
+	}()
+	tr.Append(Event{Cycle: 5})
+}
+
+func TestDurationAndSpan(t *testing.T) {
+	tr := sample()
+	if tr.Span() != 32 {
+		t.Errorf("span = %d", tr.Span())
+	}
+	if d := tr.Duration(200); d != time.Microsecond {
+		t.Errorf("duration = %v", d)
+	}
+	if (&Trace{}).Span() != 0 {
+		t.Error("empty span")
+	}
+}
+
+func TestMaxWriteGap(t *testing.T) {
+	gaps := sample().MaxWriteGap()
+	if gaps[Outputs] != 16 {
+		t.Errorf("output write gap = %d, want 16", gaps[Outputs])
+	}
+	if gaps[Inputs] != 0 || gaps[Weights] != 0 {
+		t.Error("types never written should have zero gap")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := sample().Histogram(3)
+	if len(h) != 3 {
+		t.Fatalf("%d buckets", len(h))
+	}
+	var total uint64
+	for _, b := range h {
+		total += b[Inputs] + b[Outputs] + b[Weights]
+	}
+	if total != sample().Count().TotalWords() {
+		t.Error("histogram loses words")
+	}
+	if sample().Histogram(0) != nil {
+		t.Error("n<=0 should return nil")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sample()
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrequencyHz != orig.FrequencyHz {
+		t.Errorf("frequency = %g", got.FrequencyHz)
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("%d events", len(got.Events))
+	}
+	for i := range orig.Events {
+		if got.Events[i] != orig.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got.Events[i], orig.Events[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"0,read,inputs,0,5\n",                                // missing header
+		"# rana-trace frequency_hz=x\n",                      // bad frequency
+		"# rana-trace frequency_hz=1e6\nbogus\n",             // bad line
+		"# rana-trace frequency_hz=1e6\n1,zap,inputs,0,5\n",  // bad op
+		"# rana-trace frequency_hz=1e6\n1,read,stuff,0,5\n",  // bad type
+		"# rana-trace frequency_hz=1e6\nx,read,inputs,0,5\n", // bad cycle
+		"# rana-trace frequency_hz=1e6\n1,read,inputs,z,5\n", // bad addr
+		"# rana-trace frequency_hz=1e6\n1,read,inputs,0,y\n", // bad words
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(cycles []uint16, ops []bool, words []uint8) bool {
+		tr := &Trace{FrequencyHz: 123e6}
+		var last uint64
+		n := len(cycles)
+		if len(ops) < n {
+			n = len(ops)
+		}
+		if len(words) < n {
+			n = len(words)
+		}
+		for i := 0; i < n; i++ {
+			last += uint64(cycles[i])
+			op := Read
+			if ops[i] {
+				op = Write
+			}
+			tr.Append(Event{Cycle: last, Op: op, Type: DataType(i % 3), Addr: uint64(i % 5), Words: uint64(words[i])})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if back.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Inputs.String() != "inputs" || Outputs.String() != "outputs" || Weights.String() != "weights" {
+		t.Error("DataType strings")
+	}
+	if DataType(7).String() == "" {
+		t.Error("unknown DataType")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op strings")
+	}
+}

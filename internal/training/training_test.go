@@ -1,0 +1,175 @@
+package training
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rana/internal/retention"
+)
+
+// fastConfig keeps unit-test training runs under a few seconds.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+	return cfg
+}
+
+// sharedMethod pretrains once for all tests in this package.
+var sharedMethod = NewMethod(fastConfig(), 240)
+
+func TestPretrainReachesHighAccuracy(t *testing.T) {
+	if sharedMethod.Baseline() < 0.92 {
+		t.Fatalf("fixed-point pretrain accuracy = %.3f, want ≥0.92", sharedMethod.Baseline())
+	}
+}
+
+func TestNoAccuracyLossAtTolerableRate(t *testing.T) {
+	// §IV-B / Fig. 11: at the 10⁻⁵ failure rate there is no accuracy
+	// loss — this is what makes the 734 µs retention time tolerable.
+	r := sharedMethod.Run(retention.TolerableFailureRate)
+	if r.RelativeAccuracy() < 0.95 {
+		t.Errorf("relative accuracy at 1e-5 = %.3f, want ≈1", r.RelativeAccuracy())
+	}
+}
+
+func TestRetrainingImprovesTolerance(t *testing.T) {
+	// The core mechanism of Fig. 9: at a damaging failure rate, the
+	// retrained model outperforms the pretrained model under the same
+	// failures.
+	r := sharedMethod.Run(3e-4)
+	if r.Retrained <= r.Corrupted {
+		t.Errorf("retraining did not help: corrupted %.3f, retrained %.3f",
+			r.Corrupted, r.Retrained)
+	}
+}
+
+func TestAccuracyDegradesWithRate(t *testing.T) {
+	// Fig. 11 monotone trend on the pretrained model: more failures,
+	// lower accuracy (compare well-separated rates to dodge noise).
+	cfg := fastConfig()
+	low := Accuracy(sharedMethod.pretrained, sharedMethod.test, cfg, 1e-5)
+	high := Accuracy(sharedMethod.pretrained, sharedMethod.test, cfg, 1e-1)
+	if high >= low {
+		t.Errorf("accuracy at 1e-1 (%.3f) should be below 1e-5 (%.3f)", high, low)
+	}
+}
+
+func TestToleranceSearch(t *testing.T) {
+	dist := retention.Typical()
+	rate, rt, results := sharedMethod.ToleranceSearch(0.9, []float64{1e-5, 1e-1}, dist)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// 1e-5 passes the 90% constraint, 1e-1 does not.
+	if rate != 1e-5 {
+		t.Errorf("tolerable rate = %g, want 1e-5", rate)
+	}
+	if rt != retention.TolerableRetentionTime {
+		t.Errorf("tolerable retention = %v, want %v", rt, retention.TolerableRetentionTime)
+	}
+	// Impossible constraint falls back to the conventional point.
+	rate, rt, _ = sharedMethod.ToleranceSearch(1.0, []float64{1e-1}, dist)
+	if rate != retention.TypicalFailureRate || rt != retention.TypicalRetentionTime {
+		t.Errorf("fallback = %g/%v", rate, rt)
+	}
+}
+
+func TestToleranceSearchPanicsOnBadConstraint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	sharedMethod.ToleranceSearch(0, nil, retention.Typical())
+}
+
+func TestCalibratedCurvesMatchFig11Shape(t *testing.T) {
+	for _, m := range ResilienceModels() {
+		// No accuracy loss at 10⁻⁵ for all four benchmarks.
+		rel, err := RelativeAccuracy(m, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel < 0.995 {
+			t.Errorf("%s at 1e-5: %.4f, want ≥0.995", m, rel)
+		}
+		// Gradual decline from 10⁻⁴.
+		r4, _ := RelativeAccuracy(m, 1e-4)
+		r1, _ := RelativeAccuracy(m, 1e-1)
+		if !(r4 < rel && r1 < r4) {
+			t.Errorf("%s not declining: %.3f %.3f %.3f", m, rel, r4, r1)
+		}
+		if r1 > 0.8 {
+			t.Errorf("%s at 1e-1 should show substantial loss, got %.3f", m, r1)
+		}
+	}
+	// Deeper networks are modeled as more sensitive.
+	a, _ := RelativeAccuracy("AlexNet", 1e-2)
+	r, _ := RelativeAccuracy("ResNet", 1e-2)
+	if a <= r {
+		t.Errorf("AlexNet (%.3f) should tolerate 1e-2 better than ResNet (%.3f)", a, r)
+	}
+}
+
+func TestRelativeAccuracyEdgeCases(t *testing.T) {
+	if _, err := RelativeAccuracy("nope", 1e-3); err == nil {
+		t.Error("unknown model should error")
+	}
+	rel, err := RelativeAccuracy("VGG", 0)
+	if err != nil || rel != 1 {
+		t.Errorf("zero rate = %g, %v", rel, err)
+	}
+}
+
+func TestTolerableRate(t *testing.T) {
+	// With the paper's ladder and a tight constraint, Stage 1 lands on
+	// 10⁻⁵ — which buys the 734 µs interval.
+	rate := TolerableRate(0.995, PaperRates)
+	if rate != 1e-5 {
+		t.Errorf("tolerable rate = %g, want 1e-5", rate)
+	}
+	if rt := retention.Typical().RetentionTime(rate); rt != retention.TolerableRetentionTime {
+		t.Errorf("retention time = %v", rt)
+	}
+	// A loose constraint admits a higher rate.
+	if loose := TolerableRate(0.5, PaperRates); loose <= 1e-5 {
+		t.Errorf("loose constraint rate = %g", loose)
+	}
+	// Unsatisfiable: falls back to the conventional point.
+	if fb := TolerableRate(1.0, []float64{1e-1}); fb != retention.TypicalFailureRate {
+		t.Errorf("fallback = %g", fb)
+	}
+}
+
+func TestResultRelativeAccuracy(t *testing.T) {
+	r := Result{Baseline: 0.8, Retrained: 0.72}
+	if math.Abs(r.RelativeAccuracy()-0.9) > 1e-12 {
+		t.Errorf("rel = %g", r.RelativeAccuracy())
+	}
+	if (Result{}).RelativeAccuracy() != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestTrainIsDeterministic(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	a := NewMethod(cfg, 120)
+	b := NewMethod(cfg, 120)
+	if a.Baseline() != b.Baseline() {
+		t.Errorf("pretraining not deterministic: %.4f vs %.4f", a.Baseline(), b.Baseline())
+	}
+	ra, rb := a.Run(1e-3), b.Run(1e-3)
+	if ra.Retrained != rb.Retrained {
+		t.Errorf("retraining not deterministic: %.4f vs %.4f", ra.Retrained, rb.Retrained)
+	}
+}
+
+func TestPaperRatesLadder(t *testing.T) {
+	if len(PaperRates) != 5 || PaperRates[0] != 1e-5 || PaperRates[4] != 1e-1 {
+		t.Errorf("PaperRates = %v", PaperRates)
+	}
+}
+
+var _ = time.Microsecond // keep time import if anchors change

@@ -1,0 +1,89 @@
+// Package viz renders the experiments' stacked-bar figures as terminal
+// text — the closest a CLI gets to the paper's energy-breakdown plots
+// (Figs. 1, 15–19). Bars are horizontal, scaled to the row maximum, with
+// one fill rune per stack segment and a legend.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Segments in a stacked bar use these fill runes, in order.
+var fillRunes = []rune{'█', '▓', '▒', '░', '·', '+'}
+
+// Row is one labeled stacked bar.
+type Row struct {
+	Label string
+	// Parts are the segment magnitudes (non-negative), in legend order.
+	Parts []float64
+}
+
+// Total sums the row's parts.
+func (r Row) Total() float64 {
+	s := 0.0
+	for _, p := range r.Parts {
+		s += p
+	}
+	return s
+}
+
+// Chart is a collection of stacked bars sharing a legend.
+type Chart struct {
+	// Title is printed above the bars.
+	Title string
+	// Legend names each stack segment.
+	Legend []string
+	// Rows are the bars, rendered in order.
+	Rows []Row
+	// Width is the maximum bar width in runes (default 50).
+	Width int
+}
+
+// Render returns the chart as text. Bars are scaled so the largest row
+// total spans Width runes; each row prints its label, bar and total.
+func (c Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.Legend) > 0 {
+		parts := make([]string, 0, len(c.Legend))
+		for i, name := range c.Legend {
+			parts = append(parts, fmt.Sprintf("%c %s", fillRunes[i%len(fillRunes)], name))
+		}
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(parts, "  "))
+	}
+	maxTotal := 0.0
+	labelW := 0
+	for _, r := range c.Rows {
+		if t := r.Total(); t > maxTotal {
+			maxTotal = t
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%-*s |", labelW, r.Label)
+		for i, p := range r.Parts {
+			n := int(p/maxTotal*float64(width) + 0.5)
+			b.WriteString(strings.Repeat(string(fillRunes[i%len(fillRunes)]), n))
+		}
+		fmt.Fprintf(&b, " %.3f\n", r.Total())
+	}
+	return b.String()
+}
+
+// BreakdownLegend is the Eq. 14 component legend used by the energy
+// figures, matching the paper's stack order.
+func BreakdownLegend() []string {
+	return []string{"computing", "buffer", "refresh", "off-chip"}
+}

@@ -1,0 +1,82 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		Legend: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "one", Parts: []float64{1, 1}},
+			{Label: "two", Parts: []float64{0.5, 0.5}},
+		},
+		Width: 10,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "legend:") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Row one spans the full width (5 of each rune); row two half.
+	if !strings.Contains(lines[2], strings.Repeat("█", 5)+strings.Repeat("▓", 5)) {
+		t.Errorf("row one bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], strings.Repeat("█", 3)+strings.Repeat("▓", 3)) {
+		t.Errorf("row two bar wrong: %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[2], "2.000") || !strings.HasSuffix(lines[3], "1.000") {
+		t.Errorf("totals missing: %q / %q", lines[2], lines[3])
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	c := Chart{Rows: []Row{{Label: "x", Parts: []float64{1}}}}
+	out := c.Render()
+	if !strings.Contains(out, strings.Repeat("█", 50)) {
+		t.Errorf("default width should be 50:\n%s", out)
+	}
+	// Zero rows / zero totals must not divide by zero.
+	empty := Chart{Rows: []Row{{Label: "z", Parts: []float64{0}}}}
+	if out := empty.Render(); !strings.Contains(out, "z") {
+		t.Error("zero-total chart should still render labels")
+	}
+	if (Chart{}).Render() == "crash" {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestRowTotal(t *testing.T) {
+	r := Row{Parts: []float64{1, 2, 3.5}}
+	if r.Total() != 6.5 {
+		t.Errorf("total = %g", r.Total())
+	}
+}
+
+func TestBreakdownLegend(t *testing.T) {
+	l := BreakdownLegend()
+	if len(l) != 4 || l[2] != "refresh" {
+		t.Errorf("legend = %v", l)
+	}
+}
+
+func TestLegendRuneCycling(t *testing.T) {
+	c := Chart{
+		Legend: []string{"a", "b", "c", "d", "e", "f", "g"}, // more than fill runes
+		Rows:   []Row{{Label: "r", Parts: []float64{1, 1, 1, 1, 1, 1, 1}}},
+		Width:  14,
+	}
+	out := c.Render()
+	// The 7th segment reuses the first rune — rendering must not panic
+	// and the bar must contain every rune class.
+	for _, r := range []string{"█", "▓", "▒", "░", "·", "+"} {
+		if !strings.Contains(out, r) {
+			t.Errorf("missing rune %s:\n%s", r, out)
+		}
+	}
+}

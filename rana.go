@@ -1,0 +1,201 @@
+// Package rana is a Go reproduction of RANA — the Retention-Aware Neural
+// Acceleration framework for CNN accelerators with refresh-optimized
+// embedded DRAM (Tu et al., ISCA 2018).
+//
+// RANA removes almost all eDRAM refresh energy from CNN accelerators by
+// exploiting one observation: refresh is unnecessary when data's lifetime
+// in the buffer is shorter than the eDRAM retention time. It attacks the
+// problem at three levels:
+//
+//   - Training: retention-aware retraining tolerates a higher bit failure
+//     rate, stretching the usable retention time (45 µs → 734 µs).
+//   - Scheduling: each layer runs the computation pattern (output- or
+//     weight-dominant) and tiling that minimize total system energy.
+//   - Architecture: a refresh-optimized eDRAM controller refreshes only
+//     the banks whose data actually needs it.
+//
+// This package is the public facade over the implementation in internal/:
+// the type aliases and constructors here are the supported API surface.
+//
+// Quick start:
+//
+//	fw := rana.NewFramework()
+//	out, err := fw.Compile(rana.ResNet())
+//	// out.TolerableRetention == 734µs, out.Layerwise holds the
+//	// per-layer patterns, tilings and refresh flags.
+//
+// Evaluating the paper's design points:
+//
+//	p := rana.TestPlatform()
+//	res, err := p.Evaluate(rana.RANAStarE5(), rana.ResNet())
+//	fmt.Println(res.Energy().Total())
+package rana
+
+import (
+	"io"
+
+	"rana/internal/core"
+	"rana/internal/energy"
+	"rana/internal/experiments"
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/platform"
+	"rana/internal/retention"
+	"rana/internal/sched"
+	"rana/internal/training"
+)
+
+// Network describes a CNN as an ordered list of CONV layers.
+type Network = models.Network
+
+// ConvLayer is one convolutional layer shape.
+type ConvLayer = models.ConvLayer
+
+// StorageSummary is a Table-I row: per-network storage maxima.
+type StorageSummary = models.StorageSummary
+
+// Benchmark networks at 224×224×3 input.
+func AlexNet() Network   { return models.AlexNet() }
+func VGG() Network       { return models.VGG() }
+func GoogLeNet() Network { return models.GoogLeNet() }
+func ResNet() Network    { return models.ResNet() }
+
+// Benchmarks returns the paper's four evaluation networks.
+func Benchmarks() []Network { return models.Benchmarks() }
+
+// HWConfig is an accelerator hardware configuration.
+type HWConfig = hw.Config
+
+// TestAccelerator returns the paper's 256-PE test accelerator (§III-A).
+func TestAccelerator() HWConfig { return hw.TestAccelerator() }
+
+// DaDianNaoNode returns the DaDianNao configuration of §V-C.
+func DaDianNaoNode() HWConfig { return hw.DaDianNao() }
+
+// Pattern is a computation pattern (ID, OD or WD).
+type Pattern = pattern.Kind
+
+// The three computation patterns of Fig. 10.
+const (
+	ID = pattern.ID
+	OD = pattern.OD
+	WD = pattern.WD
+)
+
+// Tiling holds the ⟨Tm, Tn, Tr, Tc⟩ tiling parameters.
+type Tiling = pattern.Tiling
+
+// Analysis is the analytical characterization of (layer, pattern, tiling).
+type Analysis = pattern.Analysis
+
+// Analyze characterizes one layer under a pattern and tiling.
+func Analyze(l ConvLayer, k Pattern, t Tiling, cfg HWConfig) Analysis {
+	return pattern.Analyze(l, k, t, cfg)
+}
+
+// Breakdown is a system energy split (Eq. 14 components).
+type Breakdown = energy.Breakdown
+
+// BufferTech selects the on-chip buffer technology.
+type BufferTech = energy.BufferTech
+
+// Buffer technologies (Table II).
+const (
+	SRAMTech  = energy.SRAM
+	EDRAMTech = energy.EDRAM
+)
+
+// Design is one design point of Table IV.
+type Design = platform.Design
+
+// The six Table IV design points.
+func SID() Design        { return platform.SID() }
+func EDID() Design       { return platform.EDID() }
+func EDOD() Design       { return platform.EDOD() }
+func RANA0() Design      { return platform.RANA0() }
+func RANAE5() Design     { return platform.RANAE5() }
+func RANAStarE5() Design { return platform.RANAStarE5() }
+
+// Designs returns all Table IV design points in paper order.
+func Designs() []Design { return platform.Designs() }
+
+// Platform couples an accelerator with a retention distribution.
+type Platform = platform.Platform
+
+// Result is one (design, network) evaluation.
+type Result = platform.Result
+
+// TestPlatform returns the paper's evaluation platform.
+func TestPlatform() *Platform { return platform.Test() }
+
+// DaDianNaoPlatform returns the §V-C scalability platform.
+func DaDianNaoPlatform() *Platform { return platform.DaDianNao() }
+
+// Plan is a whole-network schedule with energy accounting.
+type Plan = sched.Plan
+
+// ScheduleOptions configures a scheduling run.
+type ScheduleOptions = sched.Options
+
+// Schedule plans a network on an accelerator.
+func Schedule(net Network, cfg HWConfig, opts ScheduleOptions) (*Plan, error) {
+	return sched.Schedule(net, cfg, opts)
+}
+
+// Framework is the full three-stage RANA framework (Fig. 6).
+type Framework = core.Framework
+
+// CompileOutput is a compiled network: tolerable retention, layerwise
+// configurations and energy estimate.
+type CompileOutput = core.Output
+
+// NewFramework returns RANA on the paper's evaluation platform.
+func NewFramework() *Framework { return core.New() }
+
+// RetentionDistribution models Fig. 8's failure-rate/retention curve.
+type RetentionDistribution = retention.Distribution
+
+// TypicalRetention returns the platform's retention distribution.
+func TypicalRetention() *RetentionDistribution { return retention.Typical() }
+
+// Retention anchors from the paper.
+const (
+	ConventionalRetentionTime = retention.TypicalRetentionTime
+	TolerableRetentionTime    = retention.TolerableRetentionTime
+	TolerableFailureRate      = retention.TolerableFailureRate
+)
+
+// TrainingMethod is the retention-aware training method (Fig. 9) bound to
+// the synthetic demonstration dataset.
+type TrainingMethod = training.Method
+
+// TrainingConfig controls the demonstration training runs.
+type TrainingConfig = training.Config
+
+// NewTrainingMethod pretrains the demonstration CNN on n synthetic
+// samples and returns the bound method.
+func NewTrainingMethod(cfg TrainingConfig, n int) *TrainingMethod {
+	return training.NewMethod(cfg, n)
+}
+
+// DefaultTrainingConfig returns the demonstration hyperparameters.
+func DefaultTrainingConfig() TrainingConfig { return training.DefaultConfig() }
+
+// RelativeAccuracy returns the calibrated Fig. 11 relative accuracy of a
+// benchmark model at a retention failure rate.
+func RelativeAccuracy(model string, rate float64) (float64, error) {
+	return training.RelativeAccuracy(model, rate)
+}
+
+// Experiment is one regenerable paper artifact (table or figure).
+type Experiment = experiments.Experiment
+
+// Experiments returns every regenerable artifact.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns one artifact by ID (e.g. "fig15").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// RunExperiments prints every table and figure to w.
+func RunExperiments(w io.Writer) error { return experiments.RunAll(w) }
