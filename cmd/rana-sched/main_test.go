@@ -39,4 +39,17 @@ func TestUnknownModel(t *testing.T) {
 	if code := run([]string{"-model", "nope"}, &out, &errBuf); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
+	if !strings.Contains(errBuf.String(), `unknown model "nope"`) {
+		t.Errorf("stderr missing diagnostic: %q", errBuf.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "flag provided but not defined") {
+		t.Errorf("stderr missing flag diagnostic: %q", errBuf.String())
+	}
 }

@@ -50,4 +50,11 @@ func TestErrors(t *testing.T) {
 	if code := run([]string{"-pattern", "XX"}, &out, &errBuf); code != 2 {
 		t.Errorf("unknown pattern exit = %d", code)
 	}
+	errBuf.Reset()
+	if code := run([]string{"-bogus"}, &out, &errBuf); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+	if !strings.Contains(errBuf.String(), "flag provided but not defined") {
+		t.Errorf("stderr missing flag diagnostic: %q", errBuf.String())
+	}
 }

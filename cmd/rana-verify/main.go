@@ -1,0 +1,238 @@
+// Command rana-verify runs the cross-model conformance harness: for every
+// benchmark network it checks that the analytical model, the cycle walker
+// and (on demand) the word-accurate functional simulator agree, and that
+// every compiled schedule satisfies the runtime invariants.
+//
+// Usage:
+//
+//	rana-verify                          # sweep the whole zoo under OD and WD
+//	rana-verify -model AlexNet -v        # one network, per-layer detail
+//	rana-verify -patterns ID,OD,WD       # include the input-dominant pattern
+//	rana-verify -random 500 -seed 7      # randomized differential cases
+//	rana-verify -functional 5            # word-accurate cross-checks
+//
+// The first divergence is reported with a minimized reproducer and the
+// command exits 1; usage errors exit 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/sched"
+	"rana/internal/verify"
+	"rana/internal/verify/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rana-verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "all", "benchmark network to sweep, or \"all\"")
+	patterns := fs.String("patterns", "OD,WD", "comma-separated computation patterns to cross-check")
+	random := fs.Int("random", 0, "number of additional randomized differential cases")
+	seed := fs.Uint64("seed", 1, "seed for the randomized cases")
+	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
+	verbose := fs.Bool("v", false, "report every case, not just failures")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	kinds, err := parsePatterns(*patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-verify:", err)
+		return 2
+	}
+	nets, err := selectNetworks(*model)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-verify:", err)
+		return 2
+	}
+
+	tol := verify.DefaultTolerances()
+	cfg := hw.TestAcceleratorEDRAM()
+	opts := sched.Options{
+		Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
+		RefreshInterval: 734 * time.Microsecond,
+		Controller:      memctrl.RefreshOptimized{},
+	}
+
+	failures := 0
+	cases := 0
+	for _, net := range nets {
+		for _, l := range net.Layers {
+			for _, k := range kinds {
+				cases++
+				ti := sched.NaturalTiling(l, cfg)
+				r := verify.CompareLayer(l, k, ti, cfg, tol)
+				if !r.OK() {
+					failures++
+					fmt.Fprintf(stdout, "FAIL %s/%s\n%s\n", net.Name, l.Name, indent(r.String()))
+					continue
+				}
+				a := pattern.Analyze(l, k, ti, cfg)
+				rr, err := verify.CompareRefresh(a, cfg, opts, tol)
+				if err != nil {
+					fmt.Fprintln(stderr, "rana-verify:", err)
+					return 1
+				}
+				if !rr.OK() {
+					failures++
+					fmt.Fprintf(stdout, "FAIL %s/%s refresh\n%s\n", net.Name, l.Name, indent(rr.String()))
+					continue
+				}
+				if *verbose {
+					fmt.Fprintf(stdout, "ok   %s/%s %v\n", net.Name, l.Name, k)
+				}
+			}
+		}
+
+		// The compiled schedule must satisfy every structural invariant.
+		cases++
+		plan, err := sched.Schedule(net, cfg, opts)
+		if err != nil {
+			fmt.Fprintf(stdout, "FAIL %s: schedule: %v\n", net.Name, err)
+			failures++
+			continue
+		}
+		if vs := verify.CheckPlan(plan, tol); len(vs) != 0 {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s: %d invariant violations\n", net.Name, len(vs))
+			for _, v := range vs {
+				fmt.Fprintf(stdout, "  %s\n", v)
+			}
+		} else if *verbose {
+			fmt.Fprintf(stdout, "ok   %s plan invariants (%d layers)\n", net.Name, len(plan.Layers))
+		}
+	}
+
+	if *random > 0 {
+		n, f := sweepRandom(stdout, *random, *seed, tol, *verbose)
+		cases += n
+		failures += f
+	}
+	if *functional > 0 {
+		n, f := sweepFunctional(stdout, stderr, *functional, *seed, tol, *verbose)
+		cases += n
+		failures += f
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(stdout, "rana-verify: %d of %d cases FAILED\n", failures, cases)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rana-verify: %d cases ok (models agree, invariants hold)\n", cases)
+	return 0
+}
+
+// sweepRandom cross-checks count generator-driven cases and, on the first
+// divergence, prints a minimized reproducer.
+func sweepRandom(stdout io.Writer, count int, seed uint64, tol verify.Tolerances, verbose bool) (cases, failures int) {
+	g := gen.New(seed)
+	fails := func(c gen.Case) bool {
+		if !verify.CompareLayer(c.Layer, c.Pattern, c.Tiling, c.Config, tol).OK() {
+			return true
+		}
+		if c.Options.Controller == nil {
+			return false
+		}
+		a := pattern.Analyze(c.Layer, c.Pattern, c.Tiling, c.Config)
+		rr, err := verify.CompareRefresh(a, c.Config, c.Options, tol)
+		return err == nil && !rr.OK()
+	}
+	for i := 0; i < count; i++ {
+		c := g.Case()
+		cases++
+		if !fails(c) {
+			continue
+		}
+		failures++
+		m := verify.Minimize(c, fails)
+		r := verify.CompareLayer(m.Layer, m.Pattern, m.Tiling, m.Config, tol)
+		fmt.Fprintf(stdout, "FAIL random case %d (seed %d); minimized repro:\n", i, seed)
+		fmt.Fprintf(stdout, "  layer  %+v\n  tiling %+v\n  pattern %v on %s\n", m.Layer, m.Tiling, m.Pattern, m.Config.Name)
+		fmt.Fprintf(stdout, "%s\n", indent(r.String()))
+		return cases, failures
+	}
+	if verbose {
+		fmt.Fprintf(stdout, "ok   %d randomized cases\n", count)
+	}
+	return cases, failures
+}
+
+// sweepFunctional cross-checks the word-accurate simulator on tiny layers
+// at the conventional refresh interval.
+func sweepFunctional(stdout, stderr io.Writer, count int, seed uint64, tol verify.Tolerances, verbose bool) (cases, failures int) {
+	g := gen.New(seed)
+	cfg := hw.TestAcceleratorEDRAM()
+	for i := 0; i < count; i++ {
+		l := g.TinyLayer()
+		cases++
+		r, err := verify.CompareFunctional(l, cfg, 45*time.Microsecond, seed+uint64(i), tol)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify: functional:", err)
+			failures++
+			return cases, failures
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL functional case %d (seed %d)\n%s\n", i, seed, indent(r.String()))
+			return cases, failures
+		}
+	}
+	if verbose {
+		fmt.Fprintf(stdout, "ok   %d functional cases\n", count)
+	}
+	return cases, failures
+}
+
+// parsePatterns maps a comma-separated list onto pattern kinds.
+func parsePatterns(s string) ([]pattern.Kind, error) {
+	var kinds []pattern.Kind
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToUpper(part)) {
+		case "ID":
+			kinds = append(kinds, pattern.ID)
+		case "OD":
+			kinds = append(kinds, pattern.OD)
+		case "WD":
+			kinds = append(kinds, pattern.WD)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown pattern %q", part)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no patterns in %q", s)
+	}
+	return kinds, nil
+}
+
+// selectNetworks resolves the -model flag against the benchmark zoo.
+func selectNetworks(name string) ([]models.Network, error) {
+	if name == "all" {
+		return models.Benchmarks(), nil
+	}
+	n, ok := models.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+	return []models.Network{n}, nil
+}
+
+// indent prefixes every line for nested report output.
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepAllZoo: the acceptance sweep — every benchmark network under
+// OD and WD with zero divergences and zero invariant violations.
+func TestSweepAllZoo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "cases ok") {
+		t.Errorf("missing success summary: %s", out.String())
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Errorf("unexpected failures: %s", out.String())
+	}
+}
+
+// TestSweepSingleModelVerbose covers the per-network path with detail.
+func TestSweepSingleModelVerbose(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-model", "AlexNet", "-v"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "AlexNet plan invariants") {
+		t.Errorf("missing plan invariant line: %s", out.String())
+	}
+}
+
+// TestSweepRandomAndFunctional covers the generator-driven paths.
+func TestSweepRandomAndFunctional(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-model", "AlexNet", "-random", "40", "-functional", "2", "-seed", "3", "-v"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "randomized cases") || !strings.Contains(out.String(), "functional cases") {
+		t.Errorf("missing sweep detail: %s", out.String())
+	}
+}
+
+// TestAllPatterns includes the input-dominant pattern in the sweep.
+func TestAllPatterns(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-model", "VGG", "-patterns", "ID,OD,WD"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out.String(), errb.String())
+	}
+}
+
+// Error paths: usage mistakes exit 2 with a diagnostic on stderr.
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"unknown model", []string{"-model", "LeNet"}, "unknown model"},
+		{"unknown pattern", []string{"-patterns", "XX"}, "unknown pattern"},
+		{"empty patterns", []string{"-patterns", ","}, "no patterns"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errb.String(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package bits
+
+import (
+	"testing"
+
+	"rana/internal/fixed"
+)
+
+// FuzzInjectorRoundTrip: for any (rate, seed, word) the injector is
+// deterministic — two injectors built from the same parameters corrupt a
+// word identically — rate 0 is the identity, and the underlying bit
+// encode/decode (fixed.Bits / fixed.FromBits) round-trips both the clean
+// and the corrupted word.
+func FuzzInjectorRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(0), int16(0))
+	f.Add(uint64(42), uint16(500), int16(-1))
+	f.Add(uint64(7), uint16(1000), int16(32767))
+	f.Add(uint64(123456789), uint16(999), int16(-32768))
+	f.Fuzz(func(t *testing.T, seed uint64, ratePerMille uint16, raw int16) {
+		rate := float64(ratePerMille%1001) / 1000
+		w := fixed.Word(raw)
+
+		if got := fixed.FromBits(fixed.Bits(w)); got != w {
+			t.Fatalf("Bits/FromBits(%d) = %d", w, got)
+		}
+
+		a := NewInjector(rate, seed)
+		b := NewInjector(rate, seed)
+		ca, cb := a.CorruptWord(w), b.CorruptWord(w)
+		if ca != cb {
+			t.Fatalf("injector(rate=%g, seed=%d) nondeterministic: %d vs %d", rate, seed, ca, cb)
+		}
+		if got := fixed.FromBits(fixed.Bits(ca)); got != ca {
+			t.Fatalf("Bits/FromBits(%d) = %d after corruption", ca, got)
+		}
+
+		zero := NewInjector(0, seed)
+		if got := zero.CorruptWord(w); got != w {
+			t.Fatalf("rate-0 injector changed %d to %d", w, got)
+		}
+	})
+}
+
+// FuzzSplitMix64: the generator stays in range and is deterministic for
+// any seed.
+func FuzzSplitMix64(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		a, b := NewSplitMix64(seed), NewSplitMix64(seed)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("seed %d nondeterministic at step %d", seed, i)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if x := a.Float64(); x < 0 || x >= 1 {
+				t.Fatalf("Float64() = %g out of [0,1)", x)
+			}
+			if n := a.Intn(7); n < 0 || n >= 7 {
+				t.Fatalf("Intn(7) = %d", n)
+			}
+		}
+	})
+}

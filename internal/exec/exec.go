@@ -31,6 +31,18 @@ import (
 	"rana/internal/sram"
 )
 
+// Observer receives per-layer execution events from Run. The verification
+// harness (internal/verify) plugs runtime invariant checks in here — e.g.
+// that the model clock stays monotonic across chained RunFunctionalAt
+// calls and that refresh counters never decrease. A non-nil error aborts
+// the run.
+type Observer interface {
+	// LayerExecuted fires after layer index completes: start and end are
+	// the layer's window on the engine's model clock, refreshWords the
+	// cumulative word-refresh count after the layer.
+	LayerExecuted(index int, layer models.ConvLayer, start, end time.Duration, refreshWords uint64) error
+}
+
 // Engine executes scheduled networks on functional models.
 type Engine struct {
 	Config hw.Config
@@ -39,6 +51,8 @@ type Engine struct {
 	Format fixed.Format
 	// Seed drives cell-retention sampling.
 	Seed uint64
+	// Observer, when non-nil, receives per-layer execution events.
+	Observer Observer
 }
 
 // New returns an engine for the configuration with the typical retention
@@ -148,6 +162,7 @@ func (e *Engine) Run(plan *sched.Plan, input []fixed.Word, weights [][]fixed.Wor
 		if err != nil {
 			return nil, fmt.Errorf("exec: %w", err)
 		}
+		layerStart := report.ExecTime
 		res, err := sim.RunFunctionalAt(l, e.Format, acts, ws, buf, refresher,
 			macsPerCycle, cfg.FrequencyHz, report.ExecTime)
 		if err != nil {
@@ -155,6 +170,15 @@ func (e *Engine) Run(plan *sched.Plan, input []fixed.Word, weights [][]fixed.Wor
 		}
 		macs += l.MACs()
 		report.ExecTime += res.ExecTime
+		if e.Observer != nil {
+			var issued uint64
+			if refresher != nil {
+				issued = refresher.Issuer.Issued()
+			}
+			if err := e.Observer.LayerExecuted(i, l, layerStart, report.ExecTime, issued); err != nil {
+				return nil, fmt.Errorf("exec: layer %d (%s): invariant: %w", i, l.Name, err)
+			}
+		}
 		mem.Store(fmt.Sprintf("act%d", i+1), res.Output)
 
 		// Ideal path with perfect memory.

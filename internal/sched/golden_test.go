@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden schedule files")
+
+// goldenPlan is the serialized regression view of a compiled schedule:
+// per layer the chosen pattern and tiling, the refresh decision, the bank
+// allocation and the Eq. 14 counts, plus the network totals. Quantities
+// that re-derive from these (per-bank flag vectors, priced energy
+// components) are covered by internal/verify and omitted here.
+type goldenPlan struct {
+	Network  string        `json:"network"`
+	Layers   []goldenLayer `json:"layers"`
+	MACs     uint64        `json:"macs"`
+	Buffer   uint64        `json:"buffer_accesses"`
+	Refresh  uint64        `json:"refresh_words"`
+	DDR      uint64        `json:"ddr_accesses"`
+	EnergyPJ float64       `json:"energy_pj"`
+	ExecNs   int64         `json:"exec_ns"`
+}
+
+type goldenLayer struct {
+	Name    string         `json:"name"`
+	Pattern string         `json:"pattern"`
+	Tiling  pattern.Tiling `json:"tiling"`
+	Needs   memctrl.Needs  `json:"needs"`
+	Alloc   [3]int         `json:"alloc"`
+	Refresh uint64         `json:"refresh_words"`
+	ExecNs  int64          `json:"exec_ns"`
+}
+
+func toGolden(p *Plan) goldenPlan {
+	g := goldenPlan{
+		Network:  p.Network.Name,
+		MACs:     p.Totals.MACs,
+		Buffer:   p.Totals.BufferAccesses,
+		Refresh:  p.Totals.Refreshes,
+		DDR:      p.Totals.DDRAccesses,
+		EnergyPJ: p.Energy.Total(),
+		ExecNs:   p.ExecTime.Nanoseconds(),
+	}
+	for i, lp := range p.Layers {
+		g.Layers = append(g.Layers, goldenLayer{
+			Name:    p.Network.Layers[i].Name,
+			Pattern: lp.Analysis.Pattern.String(),
+			Tiling:  lp.Analysis.Tiling,
+			Needs:   lp.Needs,
+			Alloc:   [3]int{lp.Alloc.InputBanks, lp.Alloc.OutputBanks, lp.Alloc.WeightBanks},
+			Refresh: lp.Counts.Refreshes,
+			ExecNs:  lp.Analysis.ExecTime.Nanoseconds(),
+		})
+	}
+	return g
+}
+
+// TestGoldenSchedules pins the full RANA design point's compiled schedule
+// for every benchmark network. Any change to pattern selection, tiling
+// search, refresh-flag computation or the energy model shows up as a
+// golden diff; run `go test ./internal/sched -update` to accept it.
+func TestGoldenSchedules(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	opts := Options{
+		Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
+		RefreshInterval: 734 * time.Microsecond,
+		Controller:      memctrl.RefreshOptimized{},
+	}
+	for _, net := range models.Benchmarks() {
+		t.Run(net.Name, func(t *testing.T) {
+			plan, err := Schedule(net, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(toGolden(plan), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", net.Name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if string(want) != string(got) {
+				t.Errorf("schedule for %s drifted from %s; run `go test ./internal/sched -update` if intended.\ngot:\n%s",
+					net.Name, path, got)
+			}
+		})
+	}
+}

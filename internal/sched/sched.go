@@ -58,7 +58,18 @@ type Options struct {
 	// applied when comparing lifetimes against the refresh interval.
 	// Zero selects the default; 1.0 disables the margin.
 	RetentionGuard float64
+
+	// Check, when non-nil, is invoked on the assembled plan before
+	// Schedule returns — the seam the verification harness
+	// (internal/verify) uses to enforce plan invariants at schedule time.
+	// A non-nil error fails the whole schedule.
+	Check func(*Plan) error `json:"-"`
 }
+
+// Guard returns the effective guard-band factor (the override, or the
+// package default) — the multiplier external checkers must apply when
+// re-deriving refresh decisions from lifetimes.
+func (o Options) Guard() float64 { return o.guard() }
 
 // guard returns the effective guard-band factor.
 func (o Options) guard() float64 {
@@ -155,7 +166,8 @@ func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
 		go func(i int, l models.ConvLayer) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			plans[i], errs[i] = ScheduleLayer(l, cfg, opts)
+			// opts was validated once above; skip the per-layer re-check.
+			plans[i], errs[i] = scheduleLayer(l, cfg, opts)
 		}(i, l)
 	}
 	wg.Wait()
@@ -170,6 +182,11 @@ func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
 		p.Energy.Add(lp.Energy)
 		p.ExecTime += lp.Analysis.ExecTime
 	}
+	if opts.Check != nil {
+		if err := opts.Check(p); err != nil {
+			return nil, fmt.Errorf("sched: plan check: %w", err)
+		}
+	}
 	return p, nil
 }
 
@@ -179,6 +196,12 @@ func ScheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 	if err := opts.Validate(); err != nil {
 		return LayerPlan{}, err
 	}
+	return scheduleLayer(l, cfg, opts)
+}
+
+// scheduleLayer is ScheduleLayer without the options re-validation, for
+// callers that already validated once at the public entry point.
+func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, error) {
 	best := LayerPlan{}
 	found := false
 	for _, k := range opts.Patterns {

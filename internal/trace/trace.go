@@ -240,7 +240,10 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad words: %w", lineNo, err)
 		}
-		t.Append(Event{Cycle: cycle, Op: op, Type: dt, Addr: addr, Words: words})
+		if n := len(t.Events); n > 0 && cycle < t.Events[n-1].Cycle {
+			return nil, fmt.Errorf("trace: line %d: cycle %d after cycle %d", lineNo, cycle, t.Events[n-1].Cycle)
+		}
+		t.Events = append(t.Events, Event{Cycle: cycle, Op: op, Type: dt, Addr: addr, Words: words})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,211 @@
+// Package gen produces randomized-but-valid inputs for the conformance
+// harness (internal/verify): convolutional layer shapes, accelerator
+// configurations, tilings and scheduling options. Property tests, fuzz
+// targets and cmd/rana-verify all draw from this one generator so a case
+// that diverges anywhere can be reproduced everywhere from its seed.
+//
+// Everything is driven by the repository's deterministic SplitMix64
+// stream: the same seed always yields the same case sequence.
+package gen
+
+import (
+	"time"
+
+	"rana/internal/bits"
+	"rana/internal/energy"
+	"rana/internal/fixed"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/sched"
+)
+
+// Rand is a deterministic case generator.
+type Rand struct {
+	rng *bits.SplitMix64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand { return &Rand{rng: bits.NewSplitMix64(seed)} }
+
+// pick returns a uniform element of xs.
+func pick[T any](r *Rand, xs []T) T { return xs[r.rng.Intn(len(xs))] }
+
+// Layer returns a valid ConvLayer small enough for the cycle walker to
+// trace in well under a millisecond. Roughly one in four layers is a
+// grouped convolution, and kernels, strides and padding cover the shapes
+// the benchmark zoo uses (1×1 .. 5×5, stride 1–2, with and without pad).
+func (r *Rand) Layer() models.ConvLayer {
+	for {
+		l := models.ConvLayer{
+			Name: "gen",
+			N:    r.rng.Intn(24) + 1,
+			M:    r.rng.Intn(24) + 1,
+			H:    r.rng.Intn(14) + 5,
+			K:    pick(r, []int{1, 3, 5}),
+			S:    pick(r, []int{1, 1, 1, 2}),
+		}
+		l.L = l.H
+		if r.rng.Intn(2) == 0 {
+			l.P = l.K / 2
+		}
+		if r.rng.Intn(4) == 0 {
+			g := pick(r, []int{2, 4})
+			l.N = ((l.N-1)/g + 1) * g
+			l.M = ((l.M-1)/g + 1) * g
+			l.Groups = g
+		}
+		if l.Validate() == nil {
+			return l
+		}
+	}
+}
+
+// TinyLayer returns an ungrouped layer small enough for the word-accurate
+// functional simulator: every MAC is executed, so shapes stay in the
+// tens-of-thousands-of-MACs range.
+func (r *Rand) TinyLayer() models.ConvLayer {
+	for {
+		l := models.ConvLayer{
+			Name: "gen-tiny",
+			N:    r.rng.Intn(4) + 1,
+			M:    r.rng.Intn(4) + 1,
+			H:    r.rng.Intn(6) + 4,
+			K:    pick(r, []int{1, 3}),
+			S:    1,
+		}
+		l.L = l.H
+		if r.rng.Intn(2) == 0 {
+			l.P = l.K / 2
+		}
+		if l.Validate() == nil {
+			return l
+		}
+	}
+}
+
+// Config returns a valid accelerator configuration spanning both array
+// mappings, several clock rates and small eDRAM buffer geometries (a few
+// banks, sometimes with a partial last bank).
+func (r *Rand) Config() hw.Config {
+	arrayM := pick(r, []int{4, 8, 16})
+	arrayN := pick(r, []int{4, 8, 16})
+	bankWords := pick(r, []int{512, 1024, 4096})
+	banks := r.rng.Intn(6) + 2
+	words := uint64(banks * bankWords)
+	if r.rng.Intn(3) == 0 {
+		// Partial last bank: capacity not a multiple of the bank size.
+		words -= uint64(bankWords / 2)
+	}
+	cfg := hw.Config{
+		Name:        "gen-accel",
+		ArrayM:      arrayM,
+		ArrayN:      arrayN,
+		Mapping:     pick(r, []hw.Mapping{hw.MapOutputPixel, hw.MapOutputInput}),
+		FrequencyHz: pick(r, []float64{100e6, 200e6, 606e6}),
+		LocalInput:  8192,
+		LocalOutput: 2048,
+		LocalWeight: 8192,
+		BufferWords: words,
+		BufferTech:  energy.EDRAM,
+		BankWords:   bankWords,
+	}
+	if cfg.Validate() != nil {
+		panic("gen: invalid generated config")
+	}
+	return cfg
+}
+
+// Tiling returns a valid tiling for the layer: power-of-two or exact-fit
+// tile sizes along each axis, biased toward the accelerator's natural
+// tile. The tiling is not guaranteed to satisfy the core local-storage
+// constraints — callers exploring infeasible space want that.
+func (r *Rand) Tiling(l models.ConvLayer, cfg hw.Config) pattern.Tiling {
+	g := l.Groups
+	if g <= 1 {
+		g = 1
+	}
+	axis := func(dim, array int) int {
+		switch r.rng.Intn(3) {
+		case 0:
+			return minInt(array, dim)
+		case 1:
+			return dim
+		default:
+			v := 1 << r.rng.Intn(4)
+			return minInt(v, dim)
+		}
+	}
+	return pattern.Tiling{
+		Tm: axis(l.M/g, cfg.ArrayM),
+		Tn: axis(l.N/g, cfg.ArrayN),
+		Tr: minInt(r.rng.Intn(3)+1, l.R()),
+		Tc: axis(l.C(), cfg.ArrayN),
+	}
+}
+
+// Pattern returns a uniform computation pattern.
+func (r *Rand) Pattern() pattern.Kind { return pick(r, pattern.Kinds) }
+
+// Options returns valid scheduling options: the RANA exploration space
+// with a refresh controller at either the conventional or the tolerable
+// interval, occasionally the SRAM-style no-refresh variant.
+func (r *Rand) Options() sched.Options {
+	o := sched.Options{
+		Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
+		RefreshInterval: pick(r, []time.Duration{45 * time.Microsecond, 734 * time.Microsecond}),
+	}
+	switch r.rng.Intn(3) {
+	case 0:
+		o.Controller = memctrl.Conventional{}
+	case 1:
+		o.Controller = memctrl.RefreshOptimized{}
+	default:
+		o.Controller = nil
+		o.RefreshInterval = 0
+	}
+	if err := o.Validate(); err != nil {
+		panic("gen: invalid generated options")
+	}
+	return o
+}
+
+// Case is one complete oracle input.
+type Case struct {
+	Layer   models.ConvLayer
+	Pattern pattern.Kind
+	Tiling  pattern.Tiling
+	Config  hw.Config
+	Options sched.Options
+}
+
+// Case returns a complete randomized oracle input.
+func (r *Rand) Case() Case {
+	c := Case{
+		Config:  r.Config(),
+		Options: r.Options(),
+		Pattern: r.Pattern(),
+	}
+	c.Layer = r.Layer()
+	c.Tiling = r.Tiling(c.Layer, c.Config)
+	return c
+}
+
+// Words returns n deterministic fixed-point words with small magnitudes
+// (so accumulations stay in range), suitable as functional-simulation
+// inputs and weights.
+func (r *Rand) Words(n int) []fixed.Word {
+	out := make([]fixed.Word, n)
+	for i := range out {
+		out[i] = fixed.Word(r.rng.Intn(2048) - 1024)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

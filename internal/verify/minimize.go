@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/verify/gen"
+)
+
+// Minimize greedily shrinks a failing case while the predicate keeps
+// failing, and returns the smallest variant found. Shrinking halves the
+// layer's channel counts and spatial extent, drops grouping, padding and
+// stride, reduces the kernel, and shrinks the tiling — always keeping the
+// case valid (the tiling is re-clamped to the shrunk layer). fails must
+// be deterministic; it is invoked once per candidate.
+func Minimize(c gen.Case, fails func(gen.Case) bool) gen.Case {
+	if !fails(c) {
+		return c
+	}
+	for {
+		shrunk := false
+		for _, cand := range shrinkSteps(c) {
+			if valid(cand) && fails(cand) {
+				c = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return c
+		}
+	}
+}
+
+// valid reports whether the case's layer and tiling are well-formed.
+func valid(c gen.Case) bool {
+	return c.Layer.Validate() == nil && c.Tiling.Validate() == nil
+}
+
+// shrinkSteps proposes one-mutation-smaller variants of the case, most
+// aggressive first.
+func shrinkSteps(c gen.Case) []gen.Case {
+	var out []gen.Case
+	mut := func(f func(*gen.Case)) {
+		d := c
+		f(&d)
+		d.Tiling = clampTiling(d.Tiling, d.Layer)
+		out = append(out, d)
+	}
+	l := c.Layer
+	if l.Groups > 1 {
+		mut(func(d *gen.Case) { d.Layer.Groups = 0 })
+	}
+	if l.N > 1 {
+		mut(func(d *gen.Case) { d.Layer.N = shrinkDim(d.Layer.N, d.Layer.Groups) })
+	}
+	if l.M > 1 {
+		mut(func(d *gen.Case) { d.Layer.M = shrinkDim(d.Layer.M, d.Layer.Groups) })
+	}
+	if l.H > l.K {
+		mut(func(d *gen.Case) { d.Layer.H = d.Layer.H / 2; d.Layer.L = d.Layer.H })
+	}
+	if l.K > 1 {
+		mut(func(d *gen.Case) { d.Layer.K = 1 })
+	}
+	if l.S > 1 {
+		mut(func(d *gen.Case) { d.Layer.S = 1 })
+	}
+	if l.P > 0 {
+		mut(func(d *gen.Case) { d.Layer.P = 0 })
+	}
+	t := c.Tiling
+	if t.Tm > 1 {
+		mut(func(d *gen.Case) { d.Tiling.Tm = d.Tiling.Tm / 2 })
+	}
+	if t.Tn > 1 {
+		mut(func(d *gen.Case) { d.Tiling.Tn = d.Tiling.Tn / 2 })
+	}
+	if t.Tr > 1 {
+		mut(func(d *gen.Case) { d.Tiling.Tr = d.Tiling.Tr / 2 })
+	}
+	if t.Tc > 1 {
+		mut(func(d *gen.Case) { d.Tiling.Tc = d.Tiling.Tc / 2 })
+	}
+	return out
+}
+
+// shrinkDim halves a channel dimension, keeping it a positive multiple of
+// the group count.
+func shrinkDim(dim, groups int) int {
+	g := groups
+	if g <= 1 {
+		g = 1
+	}
+	half := dim / 2
+	half = (half / g) * g
+	if half < g {
+		half = g
+	}
+	return half
+}
+
+// clampTiling keeps each tile size positive and no larger than the
+// (per-group) dimension it tiles.
+func clampTiling(t pattern.Tiling, l models.ConvLayer) pattern.Tiling {
+	g := l.Groups
+	if g <= 1 {
+		g = 1
+	}
+	clamp := func(v, dim int) int {
+		if v > dim {
+			v = dim
+		}
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	t.Tm = clamp(t.Tm, l.M/g)
+	t.Tn = clamp(t.Tn, l.N/g)
+	t.Tr = clamp(t.Tr, l.R())
+	t.Tc = clamp(t.Tc, l.C())
+	return t
+}

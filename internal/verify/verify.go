@@ -1,0 +1,169 @@
+// Package verify is the cross-model conformance harness for the RANA
+// pipeline. The repository carries three independent derivations of the
+// same loop semantics — the closed-form analytical model
+// (pattern.Analyze) behind the Eq. 14 scheduler, the tile-granular cycle
+// walker (sim.Walk), and the word-accurate functional simulator
+// (sim.RunFunctional) — and every headline number (99.7% refresh removal,
+// 66.2% energy saving) silently depends on their agreement.
+//
+// The package provides three layers of checking:
+//
+//   - a differential oracle (CompareLayer, CompareRefresh,
+//     CompareFunctional) that runs two or more models on one
+//     (layer, pattern, tiling, config) and reports any disagreement on
+//     MAC counts, cycles, buffer traffic, data lifetimes, execution time
+//     and refresh-word counts within declared tolerances;
+//
+//   - runtime invariant checkers: CheckPlan validates every structural
+//     invariant of a schedule (bank allocations within the buffer,
+//     refresh flags consistent with the guarded lifetimes, energy
+//     counters non-negative and conserved across Plan.Totals), and plugs
+//     into sched.Schedule via Options.Check; RunObserver plugs into
+//     exec.Engine and enforces a monotonic model clock across chained
+//     RunFunctionalAt calls;
+//
+//   - a shrinking minimizer (Minimize) that reduces a diverging case to
+//     a small repro, used by cmd/rana-verify's reports.
+//
+// Tolerances are deliberately tight: cycle counts, traffic words and
+// refresh words must agree exactly; durations may differ by the
+// nanosecond rounding of the cycles→time conversion (DefaultTolerances).
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+// Tolerances declares how much disagreement the oracle accepts.
+type Tolerances struct {
+	// Duration is the absolute slack for wall-time comparisons: the
+	// cycles→time conversion rounds to whole nanoseconds independently in
+	// each model, so durations built from equal cycle counts may differ
+	// by up to one nanosecond per conversion.
+	Duration time.Duration
+	// RelEnergy is the relative slack for energy conservation checks;
+	// summing per-layer breakdowns and pricing summed counts differ only
+	// by floating-point association.
+	RelEnergy float64
+}
+
+// DefaultTolerances are the tolerances cmd/rana-verify and the tests run
+// with: 1 ns of duration slack, one part in 10⁹ of energy slack, and
+// exact agreement everywhere else.
+func DefaultTolerances() Tolerances {
+	return Tolerances{Duration: time.Nanosecond, RelEnergy: 1e-9}
+}
+
+// closeDur reports whether two durations agree within the tolerance.
+func (t Tolerances) closeDur(a, b time.Duration) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= t.Duration
+}
+
+// closeEnergy reports whether two picojoule totals agree within the
+// relative tolerance.
+func (t Tolerances) closeEnergy(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < 1 {
+		m = 1
+	}
+	return d <= t.RelEnergy*m
+}
+
+// Divergence is one cross-model disagreement found by the oracle.
+type Divergence struct {
+	// Check names the quantity that disagreed, e.g. "cycles" or
+	// "buffer-traffic/inputs".
+	Check string
+	// Models names the two sides, e.g. "analytical" vs "walker".
+	Models [2]string
+	// Want and Got are the two sides' values, rendered.
+	Want, Got string
+}
+
+// String implements fmt.Stringer.
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: %s=%s, %s=%s", d.Check, d.Models[0], d.Want, d.Models[1], d.Got)
+}
+
+// Report collects a case's divergences.
+type Report struct {
+	Layer       models.ConvLayer
+	Pattern     pattern.Kind
+	Tiling      pattern.Tiling
+	Config      hw.Config
+	Divergences []Divergence
+}
+
+// OK reports whether the case passed.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// String summarizes the report, one divergence per line.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("%s %v %v: ok", r.Layer.Name, r.Pattern, r.Tiling)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v %v on %s: %d divergences\n",
+		r.Layer.Name, r.Pattern, r.Tiling, r.Config.Name, len(r.Divergences))
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// diverge appends a divergence between two rendered values.
+func (r *Report) diverge(check, wantModel, gotModel string, want, got any) {
+	r.Divergences = append(r.Divergences, Divergence{
+		Check:  check,
+		Models: [2]string{wantModel, gotModel},
+		Want:   fmt.Sprint(want),
+		Got:    fmt.Sprint(got),
+	})
+}
+
+// Violation is one broken runtime invariant.
+type Violation struct {
+	// Layer names the offending layer; empty for plan-level violations.
+	Layer string
+	// Invariant names the broken property, e.g. "alloc-within-banks".
+	Invariant string
+	// Detail explains the violation with the observed values.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Layer == "" {
+		return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s: %s", v.Layer, v.Invariant, v.Detail)
+}
+
+// violations renders a list as one error, or nil if empty.
+func violationsErr(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return fmt.Errorf("verify: %d invariant violations: %s", len(vs), strings.Join(parts, "; "))
+}
