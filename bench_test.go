@@ -483,3 +483,50 @@ func BenchmarkExt4Architecture(b *testing.B) {
 	}
 	b.ReportMetric((1-star)*100, "%saved-vs-eD+ID")
 }
+
+// --- Facade entry points (the serving subsystem's unit of work) ---
+
+// BenchmarkSchedule measures one full Stage-2 schedule per benchmark
+// network through the public facade — the cost of a ranad /v1/schedule
+// cache miss.
+func BenchmarkSchedule(b *testing.B) {
+	cfg := hw.TestAcceleratorEDRAM()
+	opts := sched.Options{
+		Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
+		RefreshInterval: retention.TolerableRetentionTime,
+		Controller:      memctrl.RefreshOptimized{},
+	}
+	for _, net := range models.Benchmarks() {
+		b.Run(net.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan, err := Schedule(net, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(plan.Energy.Total()/1e9, "mJ")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures the full three-stage compilation per
+// benchmark network — the cost of a ranad /v1/compile cache miss.
+func BenchmarkCompile(b *testing.B) {
+	for _, net := range models.Benchmarks() {
+		b.Run(net.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := NewFramework().Compile(net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(out.TolerableRetention.Microseconds()), "us-retention")
+				}
+			}
+		})
+	}
+}

@@ -7,9 +7,11 @@
 //
 //	rana-sched -model ResNet
 //	rana-sched -model AlexNet -export   # serialized compilation artifact
+//	rana-sched -model AlexNet -json     # plan in the shared wire format
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +30,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	model := fs.String("model", "ResNet", "benchmark network: AlexNet, VGG, GoogLeNet or ResNet")
 	export := fs.Bool("export", false, "emit the compiled layerwise configuration artifact as JSON")
+	asJSON := fs.Bool("json", false, "emit the compiled plan in the shared wire format (the golden/serving encoding)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *export && *asJSON {
+		fmt.Fprintln(stderr, "rana-sched: -export and -json are mutually exclusive")
 		return 2
 	}
 
@@ -51,6 +58,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *export {
 		if err := out.ExportConfig(stdout); err != nil {
+			fmt.Fprintln(stderr, "rana-sched:", err)
+			return 1
+		}
+		return 0
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rana.EncodePlan(out.Plan)); err != nil {
 			fmt.Fprintln(stderr, "rana-sched:", err)
 			return 1
 		}

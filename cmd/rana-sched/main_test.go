@@ -53,3 +53,42 @@ func TestBadFlag(t *testing.T) {
 		t.Errorf("stderr missing flag diagnostic: %q", errBuf.String())
 	}
 }
+
+func TestJSONIsWireFormat(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-json"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	var plan struct {
+		Network string `json:"network"`
+		Layers  []struct {
+			Name    string `json:"name"`
+			Pattern string `json:"pattern"`
+		} `json:"layers"`
+		EnergyPJ float64 `json:"energy_pj"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &plan); err != nil {
+		t.Fatalf("-json output not valid JSON: %v", err)
+	}
+	if plan.Network != "AlexNet" || len(plan.Layers) != 5 {
+		t.Errorf("plan = %q with %d layers", plan.Network, len(plan.Layers))
+	}
+	if plan.EnergyPJ <= 0 {
+		t.Error("non-positive energy")
+	}
+	for _, l := range plan.Layers {
+		if l.Pattern != "OD" && l.Pattern != "WD" {
+			t.Errorf("layer %s has pattern %q outside the RANA space", l.Name, l.Pattern)
+		}
+	}
+}
+
+func TestExportAndJSONExclusive(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-export", "-json"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "mutually exclusive") {
+		t.Errorf("stderr missing diagnostic: %q", errBuf.String())
+	}
+}

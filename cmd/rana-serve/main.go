@@ -1,0 +1,106 @@
+// Command rana-serve (binary name: ranad) runs the RANA compilation
+// service: an HTTP/JSON API over the three-stage framework with a plan
+// cache, request dedup, a bounded worker pool and graceful shutdown.
+//
+// Usage:
+//
+//	ranad -addr :8080
+//	ranad -addr 127.0.0.1:0 -workers 4 -cache 512 -timeout 30s
+//
+// The bound address is printed on startup (useful with port 0). On
+// SIGINT/SIGTERM the listener closes immediately, in-flight requests get
+// -drain to finish, and the process exits 0 after a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rana/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable entry point. ready, if non-nil, receives the bound
+// address once the listener is up.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("ranad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+	workers := fs.Int("workers", 0, "max concurrent schedule computations (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout, including queueing")
+	drain := fs.Duration("drain", 15*time.Second, "shutdown grace for in-flight requests")
+	quiet := fs.Bool("quiet", false, "suppress per-request logs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	}
+	srv := serve.New(serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		Logf: func(format string, args ...any) {
+			if !*quiet {
+				logf(format, args...)
+			}
+		},
+	})
+
+	// Signals are registered before the address is announced so no
+	// caller can observe a live listener with the default (fatal)
+	// SIGTERM disposition still in place.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ranad:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ranad: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	// Serve until a termination signal, then drain.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal.
+		fmt.Fprintln(stderr, "ranad:", err)
+		return 1
+	case sig := <-sigc:
+		logf("ranad: %v: draining (up to %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "ranad: shutdown:", err)
+		return 1
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, "ranad:", err)
+		return 1
+	}
+	logf("ranad: drained, exiting")
+	return 0
+}

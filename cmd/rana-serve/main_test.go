@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startRanad runs the binary's entry point on an ephemeral port and
+// returns the base URL plus the exit-code channel.
+func startRanad(t *testing.T, args ...string) (string, <-chan int, *bytes.Buffer) {
+	t.Helper()
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	var mu sync.Mutex
+	var logs bytes.Buffer
+	w := lockedWriter{mu: &mu, w: &logs}
+	go func() {
+		exit <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), w, w, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, exit, &logs
+	case code := <-exit:
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("ranad exited %d before listening: %s", code, logs.String())
+		return "", nil, nil
+	}
+}
+
+// lockedWriter keeps concurrent request logs and test reads race-free.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestServeSmokeAndGracefulSigterm(t *testing.T) {
+	url, exit, _ := startRanad(t, "-quiet")
+
+	// Liveness.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(healthz), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, healthz)
+	}
+
+	// One real schedule request; keep several in flight while the
+	// SIGTERM lands so the drain has work to do.
+	const n = 4
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(url+"/v1/schedule", "application/json",
+				strings.NewReader(`{"model": "GoogLeNet"}`))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+			if resp.StatusCode != 200 {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, bodies[i])
+			}
+		}(i)
+	}
+	// Terminate only once every request has been admitted by the
+	// middleware (the requests counter covers /v1 endpoints only), so
+	// none of them can race the closing listener.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m struct {
+			Requests float64 `json:"requests"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Requests >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %v requests admitted", m.Requests)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("in-flight request %d failed during drain: %v", i, err)
+		}
+	}
+	// Every drained response is valid JSON in the shared wire format.
+	for i, body := range bodies {
+		if len(body) == 0 {
+			continue
+		}
+		var sr struct {
+			Plan struct {
+				Network string `json:"network"`
+				Layers  []any  `json:"layers"`
+			} `json:"plan"`
+		}
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Errorf("response %d not valid JSON: %v", i, err)
+			continue
+		}
+		if sr.Plan.Network != "GoogLeNet" || len(sr.Plan.Layers) != 57 {
+			t.Errorf("response %d: plan %q with %d layers", i, sr.Plan.Network, len(sr.Plan.Layers))
+		}
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d after SIGTERM, want 0", code)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("ranad did not exit after SIGTERM")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-bogus"}, &buf, &buf, nil); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &buf, &buf, nil); code != 1 {
+		t.Errorf("bad addr exit = %d, want 1: %s", code, buf.String())
+	}
+}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -79,6 +80,14 @@ type Output struct {
 // Compile runs the compilation phase (Stages 1 and 2) and derives the
 // Stage 3 programming for the given network.
 func (f *Framework) Compile(net models.Network) (*Output, error) {
+	return f.CompileContext(context.Background(), net)
+}
+
+// CompileContext is Compile with cancellation: Stage 2's per-layer
+// scheduling loop observes ctx and aborts early with ctx.Err() wrapped
+// with the layer reached. Compile is CompileContext under
+// context.Background().
+func (f *Framework) CompileContext(ctx context.Context, net models.Network) (*Output, error) {
 	if f.Platform == nil {
 		return nil, fmt.Errorf("core: nil platform")
 	}
@@ -105,7 +114,7 @@ func (f *Framework) Compile(net models.Network) (*Output, error) {
 		RefreshInterval: rt,
 		Controller:      memctrl.RefreshOptimized{},
 	}
-	plan, err := sched.Schedule(net, cfg, opts)
+	plan, err := sched.ScheduleContext(ctx, net, cfg, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

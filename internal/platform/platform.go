@@ -8,6 +8,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -165,6 +166,13 @@ func (r Result) Energy() energy.Breakdown { return r.Plan.Energy }
 
 // Evaluate schedules and prices a network under a design point.
 func (p *Platform) Evaluate(d Design, net models.Network) (Result, error) {
+	return p.EvaluateContext(context.Background(), d, net)
+}
+
+// EvaluateContext is Evaluate with cancellation plumbed into the
+// scheduling loop — the entry point the serving subsystem uses so an
+// abandoned request stops exploring layers.
+func (p *Platform) EvaluateContext(ctx context.Context, d Design, net models.Network) (Result, error) {
 	cfg := d.Apply(p.Base)
 	opts := sched.Options{
 		Patterns:        d.Patterns,
@@ -172,7 +180,7 @@ func (p *Platform) Evaluate(d Design, net models.Network) (Result, error) {
 		Controller:      d.Controller(),
 		NaturalTiling:   d.NaturalTiling,
 	}
-	plan, err := sched.Schedule(net, cfg, opts)
+	plan, err := sched.ScheduleContext(ctx, net, cfg, opts)
 	if err != nil {
 		return Result{}, fmt.Errorf("platform: design %s: %w", d.Name, err)
 	}

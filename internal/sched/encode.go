@@ -1,0 +1,66 @@
+package sched
+
+// The stable wire encoding of a compiled schedule. One projection of
+// Plan is shared by three consumers so they can never drift apart: the
+// golden regression files under testdata/golden, the `rana-sched -json`
+// CLI output, and the ranad serving API's /v1/schedule responses.
+//
+// The encoding carries what an execution phase (or a downstream tool)
+// needs to reproduce the schedule's decisions — per layer the chosen
+// pattern and tiling, the refresh decision, the bank allocation and the
+// Eq. 14 operation counts, plus the network totals. Quantities that
+// re-derive from these (per-bank flag vectors, priced energy components)
+// are intentionally omitted; internal/verify covers them.
+
+import (
+	"rana/internal/memctrl"
+	"rana/internal/pattern"
+)
+
+// PlanJSON is the serialized view of a whole-network schedule.
+type PlanJSON struct {
+	Network  string      `json:"network"`
+	Layers   []LayerJSON `json:"layers"`
+	MACs     uint64      `json:"macs"`
+	Buffer   uint64      `json:"buffer_accesses"`
+	Refresh  uint64      `json:"refresh_words"`
+	DDR      uint64      `json:"ddr_accesses"`
+	EnergyPJ float64     `json:"energy_pj"`
+	ExecNs   int64       `json:"exec_ns"`
+}
+
+// LayerJSON is one layer's serialized configuration.
+type LayerJSON struct {
+	Name    string         `json:"name"`
+	Pattern string         `json:"pattern"`
+	Tiling  pattern.Tiling `json:"tiling"`
+	Needs   memctrl.Needs  `json:"needs"`
+	Alloc   [3]int         `json:"alloc"`
+	Refresh uint64         `json:"refresh_words"`
+	ExecNs  int64          `json:"exec_ns"`
+}
+
+// Encode projects a plan onto the wire encoding.
+func Encode(p *Plan) PlanJSON {
+	g := PlanJSON{
+		Network:  p.Network.Name,
+		MACs:     p.Totals.MACs,
+		Buffer:   p.Totals.BufferAccesses,
+		Refresh:  p.Totals.Refreshes,
+		DDR:      p.Totals.DDRAccesses,
+		EnergyPJ: p.Energy.Total(),
+		ExecNs:   p.ExecTime.Nanoseconds(),
+	}
+	for i, lp := range p.Layers {
+		g.Layers = append(g.Layers, LayerJSON{
+			Name:    p.Network.Layers[i].Name,
+			Pattern: lp.Analysis.Pattern.String(),
+			Tiling:  lp.Analysis.Tiling,
+			Needs:   lp.Needs,
+			Alloc:   [3]int{lp.Alloc.InputBanks, lp.Alloc.OutputBanks, lp.Alloc.WeightBanks},
+			Refresh: lp.Counts.Refreshes,
+			ExecNs:  lp.Analysis.ExecTime.Nanoseconds(),
+		})
+	}
+	return g
+}

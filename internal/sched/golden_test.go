@@ -16,55 +16,10 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden schedule files")
 
-// goldenPlan is the serialized regression view of a compiled schedule:
-// per layer the chosen pattern and tiling, the refresh decision, the bank
-// allocation and the Eq. 14 counts, plus the network totals. Quantities
-// that re-derive from these (per-bank flag vectors, priced energy
-// components) are covered by internal/verify and omitted here.
-type goldenPlan struct {
-	Network  string        `json:"network"`
-	Layers   []goldenLayer `json:"layers"`
-	MACs     uint64        `json:"macs"`
-	Buffer   uint64        `json:"buffer_accesses"`
-	Refresh  uint64        `json:"refresh_words"`
-	DDR      uint64        `json:"ddr_accesses"`
-	EnergyPJ float64       `json:"energy_pj"`
-	ExecNs   int64         `json:"exec_ns"`
-}
-
-type goldenLayer struct {
-	Name    string         `json:"name"`
-	Pattern string         `json:"pattern"`
-	Tiling  pattern.Tiling `json:"tiling"`
-	Needs   memctrl.Needs  `json:"needs"`
-	Alloc   [3]int         `json:"alloc"`
-	Refresh uint64         `json:"refresh_words"`
-	ExecNs  int64          `json:"exec_ns"`
-}
-
-func toGolden(p *Plan) goldenPlan {
-	g := goldenPlan{
-		Network:  p.Network.Name,
-		MACs:     p.Totals.MACs,
-		Buffer:   p.Totals.BufferAccesses,
-		Refresh:  p.Totals.Refreshes,
-		DDR:      p.Totals.DDRAccesses,
-		EnergyPJ: p.Energy.Total(),
-		ExecNs:   p.ExecTime.Nanoseconds(),
-	}
-	for i, lp := range p.Layers {
-		g.Layers = append(g.Layers, goldenLayer{
-			Name:    p.Network.Layers[i].Name,
-			Pattern: lp.Analysis.Pattern.String(),
-			Tiling:  lp.Analysis.Tiling,
-			Needs:   lp.Needs,
-			Alloc:   [3]int{lp.Alloc.InputBanks, lp.Alloc.OutputBanks, lp.Alloc.WeightBanks},
-			Refresh: lp.Counts.Refreshes,
-			ExecNs:  lp.Analysis.ExecTime.Nanoseconds(),
-		})
-	}
-	return g
-}
+// The serialized regression view of a compiled schedule is the exported
+// wire encoding (encode.go) — the same format `rana-sched -json` and the
+// ranad serving API emit, so a golden diff here also means a wire-format
+// change for every consumer.
 
 // TestGoldenSchedules pins the full RANA design point's compiled schedule
 // for every benchmark network. Any change to pattern selection, tiling
@@ -83,7 +38,7 @@ func TestGoldenSchedules(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := json.MarshalIndent(toGolden(plan), "", "  ")
+			got, err := json.MarshalIndent(Encode(plan), "", "  ")
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -144,6 +145,15 @@ type Plan struct {
 // Schedule plans every layer of the network on the accelerator,
 // implementing the optimization loop of Fig. 13.
 func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
+	return ScheduleContext(context.Background(), net, cfg, opts)
+}
+
+// ScheduleContext is Schedule with cancellation: the per-layer
+// exploration loop checks ctx between layers and aborts early, returning
+// ctx.Err() wrapped with the layer reached. Long-running callers (the
+// serving subsystem, CLIs under signal control) use this entry point;
+// Schedule is ScheduleContext under context.Background().
+func ScheduleContext(ctx context.Context, net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,9 +170,19 @@ func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
 	errs := make([]error, len(net.Layers))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+launch:
 	for i, l := range net.Layers {
+		// Cancellation is checked between layer launches: a canceled
+		// context stops admitting work, already-running layers finish
+		// (one layer's exploration is short), and the error reports how
+		// far the schedule got.
+		select {
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			break launch
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, l models.ConvLayer) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -173,6 +193,10 @@ func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			if ctx.Err() != nil && err == ctx.Err() {
+				return nil, fmt.Errorf("sched: %s: canceled at layer %d/%d (%s): %w",
+					net.Name, i+1, len(net.Layers), net.Layers[i].Name, err)
+			}
 			return nil, fmt.Errorf("sched: %s/%s: %w", net.Name, net.Layers[i].Name, err)
 		}
 	}

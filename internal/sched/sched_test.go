@@ -1,6 +1,10 @@
 package sched
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -296,5 +300,36 @@ func TestPlanExecTimeAggregates(t *testing.T) {
 	}
 	if sum != plan.ExecTime {
 		t.Errorf("exec time %v != sum %v", plan.ExecTime, sum)
+	}
+}
+
+func TestScheduleContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ScheduleContext(ctx, models.VGG(), hw.TestAcceleratorEDRAM(), ranaOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The error reports how far the schedule got before stopping.
+	if !strings.Contains(err.Error(), "canceled at layer") {
+		t.Errorf("error %q does not name the layer reached", err)
+	}
+}
+
+func TestScheduleContextBackgroundMatchesSchedule(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	net := models.AlexNet()
+	a, err := Schedule(net, cfg, ranaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleContext(context.Background(), net, cfg, ranaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := json.Marshal(Encode(a))
+	gb, _ := json.Marshal(Encode(b))
+	if string(ga) != string(gb) {
+		t.Error("ScheduleContext diverged from Schedule")
 	}
 }

@@ -1,0 +1,68 @@
+package serve
+
+// Cache hit vs. miss benchmarks: the difference between these two
+// numbers is the whole point of running RANA compilation as a service —
+// a hit costs a map lookup and a memcpy, a miss costs a full Fig. 13
+// exploration.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const benchScheduleReq = `{"model": "AlexNet"}`
+
+func benchServer(b *testing.B, cacheEntries int) *httptest.Server {
+	b.Helper()
+	s := New(Config{CacheEntries: cacheEntries})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	b.Cleanup(func() { s.Shutdown(context.Background()) })
+	return ts
+}
+
+func doSchedule(b *testing.B, url string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/schedule", "application/json", strings.NewReader(benchScheduleReq))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	// Drain so the connection is reused.
+	buf := make([]byte, 4096)
+	for {
+		if _, err := resp.Body.Read(buf); err != nil {
+			break
+		}
+	}
+}
+
+// BenchmarkScheduleCacheHit measures the steady state of a fleet
+// re-requesting a compiled plan: everything after the first request is
+// served from the LRU.
+func BenchmarkScheduleCacheHit(b *testing.B) {
+	ts := benchServer(b, 256)
+	doSchedule(b, ts.URL) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doSchedule(b, ts.URL)
+	}
+}
+
+// BenchmarkScheduleCacheMiss measures the cold path: caching disabled,
+// every request runs the full Stage-2 exploration.
+func BenchmarkScheduleCacheMiss(b *testing.B) {
+	ts := benchServer(b, -1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doSchedule(b, ts.URL)
+	}
+}

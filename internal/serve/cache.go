@@ -1,0 +1,153 @@
+package serve
+
+// The plan cache: a bounded LRU of marshaled response bodies keyed by
+// the canonical request hash, fronted by a singleflight group so N
+// concurrent identical requests run exactly one underlying schedule.
+//
+// Cached values are the final response *bytes*, not decoded plans, so a
+// cache hit is byte-identical to the miss that populated it — a property
+// the race tests assert and clients may rely on (e.g. for their own
+// content-addressed stores).
+//
+// Both structures are stdlib-only: container/list for the LRU,
+// sync.Cond-free channel signaling for the flight group.
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// lru is a mutex-guarded bounded LRU map of response bodies.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRU returns an LRU holding up to max entries (max <= 0 disables
+// caching entirely).
+func newLRU(max int) *lru {
+	return &lru{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body and promotes the entry.
+func (c *lru) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Add inserts or refreshes an entry, evicting the least recently used
+// entry beyond capacity.
+func (c *lru) Add(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flight is one in-progress computation shared by every concurrent
+// request with the same key.
+type flight struct {
+	done   chan struct{} // closed when body/err are final
+	body   []byte
+	err    error
+	ctx    context.Context // the computation's context
+	cancel context.CancelFunc
+	refs   int // waiters still interested; 0 cancels ctx
+}
+
+// flightGroup deduplicates concurrent computations by key. Unlike the
+// classic singleflight, the computation does not run under any single
+// request's context: it gets its own context (derived from the server's
+// base context) that is canceled only when every waiter has abandoned
+// the request — one impatient client cannot poison the result for the
+// others, and a fully abandoned computation stops exploring layers.
+type flightGroup struct {
+	mu      sync.Mutex
+	base    context.Context // server lifetime; Shutdown cancels it
+	flights map[string]*flight
+}
+
+func newFlightGroup(base context.Context) *flightGroup {
+	return &flightGroup{base: base, flights: make(map[string]*flight)}
+}
+
+// Do returns the result of fn for key, executing fn at most once across
+// concurrent callers. shared reports whether this caller joined an
+// existing flight. A caller whose ctx expires detaches and returns
+// ctx.Err(); the flight keeps running while any caller remains.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Context) ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.refs++
+		g.mu.Unlock()
+		return g.wait(ctx, key, f, true)
+	}
+	fctx, cancel := context.WithCancel(g.base)
+	f = &flight{done: make(chan struct{}), ctx: fctx, cancel: cancel, refs: 1}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		body, err := fn(f.ctx)
+		f.body, f.err = body, err
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+		f.cancel()
+	}()
+	return g.wait(ctx, key, f, false)
+}
+
+// wait blocks for the flight's result or the caller's cancellation.
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight, shared bool) ([]byte, bool, error) {
+	select {
+	case <-f.done:
+		return f.body, shared, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.refs--
+		if f.refs == 0 {
+			// Last interested caller gone: stop the computation. The
+			// flight goroutine still runs to completion (observing the
+			// canceled context) and removes itself from the map.
+			f.cancel()
+		}
+		g.mu.Unlock()
+		return nil, shared, ctx.Err()
+	}
+}

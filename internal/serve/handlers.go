@@ -1,0 +1,217 @@
+package serve
+
+// Endpoint handlers. Each computing endpoint follows the same shape:
+// decode strictly, resolve onto native types (applying defaults), hash
+// the resolved form, then run the shared cache → singleflight → worker
+// pool path. Response bodies are marshaled once inside the computation
+// so every consumer of a key sees identical bytes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"rana/internal/platform"
+	"rana/internal/sched"
+)
+
+// ScheduleResponse is the /v1/schedule response body.
+type ScheduleResponse struct {
+	// Accelerator names the resolved configuration.
+	Accelerator string `json:"accelerator"`
+	// RefreshIntervalNS echoes the resolved refresh interval (0 when no
+	// controller runs).
+	RefreshIntervalNS int64 `json:"refresh_interval_ns"`
+	// Controller echoes the resolved controller ("none" when absent).
+	Controller string `json:"controller"`
+	// Plan is the schedule in the shared wire encoding — the same
+	// format as the golden regression files and `rana-sched -json`.
+	Plan sched.PlanJSON `json:"plan"`
+}
+
+func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response, error) {
+	var req ScheduleRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	net, err := resolveNetwork(req.Model, req.Network)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := resolveConfig(req.Accelerator, req.Config)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := resolveOptions(req.Options, cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := scheduleKey(net, cfg, opts)
+	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+		plan, err := s.scheduleFn(ctx, net, cfg, opts)
+		if err != nil {
+			return nil, wrapComputeErr(ctx, err)
+		}
+		controller := "none"
+		if opts.Controller != nil {
+			controller = opts.Controller.Name()
+		}
+		return marshalBody(ScheduleResponse{
+			Accelerator:       cfg.Name,
+			RefreshIntervalNS: int64(opts.RefreshInterval),
+			Controller:        controller,
+			Plan:              sched.Encode(plan),
+		})
+	})
+}
+
+// CompileResponse is the /v1/compile response body: the Stage 1
+// decision, the Stage 3 programming, the portable compilation artifact
+// (the `rana-sched -export` format) and the plan wire encoding.
+type CompileResponse struct {
+	TolerableRate        float64         `json:"tolerable_rate"`
+	TolerableRetentionNS int64           `json:"tolerable_retention_ns"`
+	DividerRatio         uint64          `json:"divider_ratio"`
+	EnergyPJ             float64         `json:"energy_pj"`
+	Artifact             json.RawMessage `json:"artifact"`
+	Plan                 sched.PlanJSON  `json:"plan"`
+}
+
+func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response, error) {
+	var req CompileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	net, err := resolveNetwork(req.Model, req.Network)
+	if err != nil {
+		return nil, err
+	}
+	key := compileKey(net)
+	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+		out, err := s.compileFn(ctx, net)
+		if err != nil {
+			return nil, wrapComputeErr(ctx, err)
+		}
+		var artifact bytes.Buffer
+		if err := out.ExportConfig(&artifact); err != nil {
+			return nil, fmt.Errorf("serve: exporting artifact: %w", err)
+		}
+		return marshalBody(CompileResponse{
+			TolerableRate:        out.TolerableRate,
+			TolerableRetentionNS: out.TolerableRetention.Nanoseconds(),
+			DividerRatio:         out.DividerRatio,
+			EnergyPJ:             out.Energy.Total(),
+			Artifact:             json.RawMessage(artifact.Bytes()),
+			Plan:                 sched.Encode(out.Plan),
+		})
+	})
+}
+
+// EnergyJSON is an energy breakdown on the wire (picojoules).
+type EnergyJSON struct {
+	Computing    float64 `json:"computing_pj"`
+	BufferAccess float64 `json:"buffer_access_pj"`
+	Refresh      float64 `json:"refresh_pj"`
+	OffChip      float64 `json:"offchip_pj"`
+	Total        float64 `json:"total_pj"`
+}
+
+// EvaluateResponse is the /v1/evaluate response body.
+type EvaluateResponse struct {
+	Design  string         `json:"design"`
+	Network string         `json:"network"`
+	Energy  EnergyJSON     `json:"energy"`
+	Plan    sched.PlanJSON `json:"plan"`
+}
+
+func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response, error) {
+	var req EvaluateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	d, err := resolveDesign(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	net, err := resolveNetwork(req.Model, req.Network)
+	if err != nil {
+		return nil, err
+	}
+	key := evaluateKey(d.Name, net)
+	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+		res, err := platform.Test().EvaluateContext(ctx, d, net)
+		if err != nil {
+			return nil, wrapComputeErr(ctx, err)
+		}
+		e := res.Energy()
+		return marshalBody(EvaluateResponse{
+			Design:  d.Name,
+			Network: net.Name,
+			Energy: EnergyJSON{
+				Computing:    e.Computing,
+				BufferAccess: e.BufferAccess,
+				Refresh:      e.Refresh,
+				OffChip:      e.OffChip,
+				Total:        e.Total(),
+			},
+			Plan: sched.Encode(res.Plan),
+		})
+	})
+}
+
+// handleHealthz reports liveness; it never touches the worker pool, so
+// it answers even when every slot is busy.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"in_flight": s.m.InFlight.Value(),
+		"cached":    s.cache.Len(),
+	})
+}
+
+// handleMetrics serves the expvar document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}
+
+// handleCatalog lists what the service can schedule: benchmark models,
+// built-in accelerators and Table IV designs.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	var designs []string
+	for _, d := range platform.Designs() {
+		designs = append(designs, d.Name)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"models":       benchmarkNames(),
+		"accelerators": builtinConfigNames(),
+		"designs":      designs,
+	})
+}
+
+// marshalBody renders one response body. Bodies are marshaled exactly
+// once per computation and then shared byte-for-byte by the cache and
+// every deduplicated waiter.
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshaling response: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// wrapComputeErr distinguishes scheduling failures caused by the
+// caller's deadline from genuine infeasibility: a canceled computation
+// surfaces the context error (mapped to 503/504 by the middleware),
+// anything else is a 422 — the request was well formed but cannot be
+// scheduled (e.g. no feasible tiling on the given hardware).
+func wrapComputeErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return &apiError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+}

@@ -1,0 +1,143 @@
+package serve
+
+// Canonical request hashing. The cache key is computed over the
+// *resolved* request — the native (Network, Config, Options) triple
+// after defaults are applied — not over the request bytes, so spelling
+// differences (field order, named model vs. explicit layers, omitted
+// defaults vs. spelled-out defaults) collapse onto one key. The
+// encoding is a JSON document of structs with only ordered, scalar
+// fields, so encoding/json is deterministic; SHA-256 of it is the key.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched"
+)
+
+// canonicalLayer is one layer shape in hashing form.
+type canonicalLayer struct {
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	H      int    `json:"h"`
+	L      int    `json:"l"`
+	M      int    `json:"m"`
+	K      int    `json:"k"`
+	S      int    `json:"s"`
+	P      int    `json:"p"`
+	Groups int    `json:"groups"`
+}
+
+// canonicalRequest is the hashing form of a resolved request.
+type canonicalRequest struct {
+	Op      string           `json:"op"` // "schedule", "compile" or "evaluate"
+	Network string           `json:"network"`
+	Layers  []canonicalLayer `json:"layers"`
+
+	// Accelerator configuration (zeroed for ops that fix it, e.g.
+	// compile always runs the framework's own platform).
+	ConfigName  string  `json:"config_name,omitempty"`
+	ArrayM      int     `json:"array_m,omitempty"`
+	ArrayN      int     `json:"array_n,omitempty"`
+	Mapping     int     `json:"mapping,omitempty"`
+	FrequencyHz float64 `json:"frequency_hz,omitempty"`
+	LocalInput  int     `json:"local_input,omitempty"`
+	LocalOutput int     `json:"local_output,omitempty"`
+	LocalWeight int     `json:"local_weight,omitempty"`
+	BufferWords uint64  `json:"buffer_words,omitempty"`
+	BufferTech  int     `json:"buffer_tech,omitempty"`
+	BankWords   int     `json:"bank_words,omitempty"`
+
+	// Scheduling options (zeroed for evaluate: the design name fully
+	// determines them).
+	Patterns       string  `json:"patterns,omitempty"`
+	RefreshNS      int64   `json:"refresh_ns,omitempty"`
+	Controller     string  `json:"controller,omitempty"`
+	NaturalTiling  bool    `json:"natural_tiling,omitempty"`
+	RetentionGuard float64 `json:"retention_guard,omitempty"`
+	FixedTiling    string  `json:"fixed_tiling,omitempty"`
+
+	// Design names a Table IV point (evaluate only).
+	Design string `json:"design,omitempty"`
+}
+
+// canonicalNetwork fills the network part of the hashing form. The
+// Stage field is presentation-only (it groups report rows) and is
+// excluded: two networks differing only in stage labels schedule
+// identically.
+func (c *canonicalRequest) canonicalNetwork(net models.Network) {
+	c.Network = net.Name
+	for _, l := range net.Layers {
+		c.Layers = append(c.Layers, canonicalLayer{
+			Name: l.Name, N: l.N, H: l.H, L: l.L, M: l.M,
+			K: l.K, S: l.S, P: l.P, Groups: l.Groups,
+		})
+	}
+}
+
+// canonicalConfig fills the accelerator part of the hashing form.
+func (c *canonicalRequest) canonicalConfig(cfg hw.Config) {
+	c.ConfigName = cfg.Name
+	c.ArrayM, c.ArrayN = cfg.ArrayM, cfg.ArrayN
+	c.Mapping = int(cfg.Mapping)
+	c.FrequencyHz = cfg.FrequencyHz
+	c.LocalInput, c.LocalOutput, c.LocalWeight = cfg.LocalInput, cfg.LocalOutput, cfg.LocalWeight
+	c.BufferWords = cfg.BufferWords
+	c.BufferTech = int(cfg.BufferTech)
+	c.BankWords = cfg.BankWords
+}
+
+// canonicalOptions fills the options part of the hashing form.
+func (c *canonicalRequest) canonicalOptions(opts sched.Options) {
+	for _, k := range opts.Patterns {
+		c.Patterns += k.String() + ","
+	}
+	c.RefreshNS = int64(opts.RefreshInterval)
+	if opts.Controller != nil {
+		c.Controller = opts.Controller.Name()
+	}
+	c.NaturalTiling = opts.NaturalTiling
+	c.RetentionGuard = opts.Guard()
+	if opts.FixedTiling != nil {
+		t := *opts.FixedTiling
+		c.FixedTiling = fmt.Sprintf("%d,%d,%d,%d", t.Tm, t.Tn, t.Tr, t.Tc)
+	}
+}
+
+// key hashes the canonical form.
+func (c *canonicalRequest) key() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// The form is a closed struct of scalars; this cannot fail.
+		panic("serve: canonical encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// scheduleKey is the cache key of a resolved /v1/schedule request.
+func scheduleKey(net models.Network, cfg hw.Config, opts sched.Options) string {
+	c := canonicalRequest{Op: "schedule"}
+	c.canonicalNetwork(net)
+	c.canonicalConfig(cfg)
+	c.canonicalOptions(opts)
+	return c.key()
+}
+
+// compileKey is the cache key of a resolved /v1/compile request.
+func compileKey(net models.Network) string {
+	c := canonicalRequest{Op: "compile"}
+	c.canonicalNetwork(net)
+	return c.key()
+}
+
+// evaluateKey is the cache key of a resolved /v1/evaluate request.
+func evaluateKey(design string, net models.Network) string {
+	c := canonicalRequest{Op: "evaluate", Design: design}
+	c.canonicalNetwork(net)
+	return c.key()
+}

@@ -1,0 +1,88 @@
+package serve
+
+// Service metrics, built on expvar types but deliberately not published
+// to the process-global expvar registry: a test binary starts many
+// servers and expvar.Publish panics on duplicate names. The /metrics
+// endpoint serializes an expvar.Map — the standard expvar JSON shape —
+// so scrapers written against DebugVars work unchanged.
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the sliding window of request latencies the quantile
+// estimates are computed over.
+const latWindow = 1024
+
+// metrics aggregates the service counters of one server.
+type metrics struct {
+	Requests    expvar.Int // total requests admitted to API handlers
+	Errors      expvar.Int // responses with status >= 400
+	CacheHits   expvar.Int // responses served from the plan cache
+	CacheMisses expvar.Int // responses that ran a computation
+	Deduped     expvar.Int // responses that joined an in-flight computation
+	InFlight    expvar.Int // currently executing API requests
+
+	mu   sync.Mutex
+	lats [latWindow]time.Duration
+	n    int // total observations; lats is a ring at n % latWindow
+}
+
+// observe records one request latency.
+func (m *metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.lats[m.n%latWindow] = d
+	m.n++
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50 and p95 of the window.
+func (m *metrics) quantiles() (p50, p95 time.Duration) {
+	m.mu.Lock()
+	n := m.n
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, m.lats[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	// Nearest-rank on the sorted window.
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(n-1))
+		return window[i]
+	}
+	return rank(0.50), rank(0.95)
+}
+
+// expvarMap assembles the expvar view served at /metrics.
+func (m *metrics) expvarMap() *expvar.Map {
+	em := new(expvar.Map).Init()
+	em.Set("requests", &m.Requests)
+	em.Set("errors", &m.Errors)
+	em.Set("cache_hits", &m.CacheHits)
+	em.Set("cache_misses", &m.CacheMisses)
+	em.Set("deduped", &m.Deduped)
+	em.Set("in_flight", &m.InFlight)
+	em.Set("latency_p50_ms", expvar.Func(func() any {
+		p50, _ := m.quantiles()
+		return float64(p50) / float64(time.Millisecond)
+	}))
+	em.Set("latency_p95_ms", expvar.Func(func() any {
+		_, p95 := m.quantiles()
+		return float64(p95) / float64(time.Millisecond)
+	}))
+	return em
+}
+
+// String renders the expvar JSON document.
+func (m *metrics) String() string {
+	return fmt.Sprint(m.expvarMap())
+}

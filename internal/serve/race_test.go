@@ -1,0 +1,366 @@
+package serve
+
+// Race-focused tests of the cache/singleflight machinery, written to be
+// meaningful under `go test -race`: concurrent identical requests must
+// run exactly one underlying schedule and return byte-identical bodies;
+// concurrent distinct requests must not serialize onto one flight; the
+// metrics must balance.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched"
+)
+
+// countingScheduleFn wraps the real scheduler with an execution counter
+// and an optional entry gate that makes the computation slow enough for
+// all concurrent requests to pile onto one flight.
+func countingScheduleFn(calls *atomic.Int64, gate chan struct{}) func(context.Context, models.Network, hw.Config, sched.Options) (*sched.Plan, error) {
+	return func(ctx context.Context, net models.Network, cfg hw.Config, opts sched.Options) (*sched.Plan, error) {
+		calls.Add(1)
+		if gate != nil {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return sched.ScheduleContext(ctx, net, cfg, opts)
+	}
+}
+
+func TestConcurrentIdenticalRequestsRunOneSchedule(t *testing.T) {
+	const n = 32
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 4})
+	s.scheduleFn = countingScheduleFn(&calls, gate)
+
+	// N identical requests in flight at once. The gate holds the single
+	// computation open until all requests have been admitted, so every
+	// one of them must resolve through the same flight.
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var admitted sync.WaitGroup
+	admitted.Add(n)
+	go func() {
+		admitted.Wait()
+		// All requests sent; let the one computation proceed shortly
+		// after, giving stragglers time to join the flight.
+		time.Sleep(10 * time.Millisecond)
+		close(gate)
+	}()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := http.NewRequest("POST", ts.URL+"/v1/schedule",
+				strings.NewReader(`{"network": `+tinyNetJSON+`}`))
+			req.Header.Set("Content-Type", "application/json")
+			admitted.Done()
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			if resp.StatusCode != 200 {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, buf.String())
+				return
+			}
+			bodies[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Exactly one underlying schedule execution.
+	if got := calls.Load(); got != 1 {
+		t.Errorf("schedule executed %d times for %d identical requests, want 1", got, n)
+	}
+	// Byte-identical bodies across all requests.
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d body differs from request 0", i)
+		}
+	}
+	// And a later request — now a pure cache hit — returns those same
+	// bytes.
+	resp := post(t, ts.URL+"/v1/schedule", `{"network": `+tinyNetJSON+`}`)
+	late := readBody(t, resp)
+	if resp.Header.Get("X-Rana-Cache") != "hit" {
+		t.Errorf("late request source = %q, want hit", resp.Header.Get("X-Rana-Cache"))
+	}
+	if !bytes.Equal(bodies[0], late) {
+		t.Error("cached body differs from computed body")
+	}
+
+	// Metrics must balance: one miss, everything else a hit or deduped.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeMetrics(t, readBody(t, mresp))
+	if m["cache_misses"] != 1 {
+		t.Errorf("cache_misses = %v, want 1", m["cache_misses"])
+	}
+	if m["cache_hits"]+m["deduped"] != n {
+		t.Errorf("hits %v + deduped %v != %d", m["cache_hits"], m["deduped"], n)
+	}
+	if m["requests"] != n+1 {
+		t.Errorf("requests = %v, want %d", m["requests"], n+1)
+	}
+	if m["errors"] != 0 {
+		t.Errorf("errors = %v, want 0", m["errors"])
+	}
+}
+
+func TestConcurrentDistinctRequests(t *testing.T) {
+	// Distinct requests must each run their own computation (no false
+	// dedup) while still being admitted concurrently.
+	const n = 8
+	var calls atomic.Int64
+	s, ts := newTestServer(t, Config{Workers: 4})
+	s.scheduleFn = countingScheduleFn(&calls, nil)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Vary the kernel count so every request hashes differently.
+			body := fmt.Sprintf(`{"network": {"name": "net%d", "layers": [
+				{"name": "l0", "n": 2, "h": 8, "l": 8, "m": %d, "k": 3, "s": 1, "p": 1}
+			]}}`, i, 2+i)
+			resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != n {
+		t.Errorf("schedule executed %d times for %d distinct requests, want %d", got, n, n)
+	}
+	if got := s.cache.Len(); got != n {
+		t.Errorf("cache holds %d entries, want %d", got, n)
+	}
+}
+
+func TestFlightGroupSharesOneExecution(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _, err := g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+				execs.Add(1)
+				<-release
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = body
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the computation.
+	for {
+		g.mu.Lock()
+		f := g.flights["k"]
+		refs := 0
+		if f != nil {
+			refs = f.refs
+		}
+		g.mu.Unlock()
+		if refs == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Errorf("executed %d times, want 1", got)
+	}
+	for i, r := range results {
+		if string(r) != "result" {
+			t.Errorf("waiter %d got %q", i, r)
+		}
+	}
+}
+
+func TestFlightCanceledWhenAllWaitersLeave(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	computeCanceled := make(chan struct{})
+	started := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func(fctx context.Context) ([]byte, error) {
+			close(started)
+			<-fctx.Done()
+			close(computeCanceled)
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel() // the only waiter leaves
+	select {
+	case <-computeCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("computation not canceled after all waiters left")
+	}
+	if err := <-done; err != context.Canceled {
+		t.Errorf("waiter error = %v, want context.Canceled", err)
+	}
+}
+
+func TestFlightSurvivesOneImpatientWaiter(t *testing.T) {
+	g := newFlightGroup(context.Background())
+	release := make(chan struct{})
+	impatient, cancelImpatient := context.WithCancel(context.Background())
+
+	patientDone := make(chan string, 1)
+	started := make(chan struct{})
+	go func() {
+		body, _, err := g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, error) {
+			close(started)
+			select {
+			case <-release:
+				return []byte("ok"), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+		if err != nil {
+			patientDone <- "err:" + err.Error()
+			return
+		}
+		patientDone <- string(body)
+	}()
+	<-started
+
+	impatientDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(impatient, "k", func(ctx context.Context) ([]byte, error) {
+			panic("second execution")
+		})
+		impatientDone <- err
+	}()
+	// Wait until the impatient waiter has joined the flight.
+	for {
+		g.mu.Lock()
+		f := g.flights["k"]
+		refs := 0
+		if f != nil {
+			refs = f.refs
+		}
+		g.mu.Unlock()
+		if refs == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelImpatient()
+	if err := <-impatientDone; err != context.Canceled {
+		t.Fatalf("impatient waiter error = %v, want context.Canceled", err)
+	}
+	close(release)
+	if got := <-patientDone; got != "ok" {
+		t.Errorf("patient waiter got %q; one impatient client poisoned the flight", got)
+	}
+}
+
+func TestShutdownDrainsInFlightRequests(t *testing.T) {
+	// A request admitted before Shutdown must complete; Shutdown must
+	// not return until it has. This test runs the server's own Serve
+	// loop (not httptest) so Shutdown drains the real listener.
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	s := New(Config{})
+	s.scheduleFn = countingScheduleFn(&calls, gate)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	bodyc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/schedule", "application/json",
+			strings.NewReader(`{"network": `+tinyNetJSON+`}`))
+		if err != nil {
+			errc <- err
+			return
+		}
+		bodyc <- resp
+	}()
+	// Wait for the request to be in flight.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Shutdown is now draining; the in-flight request is still blocked
+	// on the gate. Release it and everything must unwind cleanly.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+
+	select {
+	case err := <-errc:
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	case resp := <-bodyc:
+		body := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("in-flight request status %d during drain: %s", resp.StatusCode, body)
+		}
+		var sr ScheduleResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("drained response not valid JSON: %v", err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown error: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+}

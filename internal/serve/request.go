@@ -1,0 +1,344 @@
+package serve
+
+// Request types of the ranad HTTP API and their mapping onto the
+// framework's native types. Every request is validated strictly —
+// unknown fields are rejected, custom layer shapes go through
+// models.Network.Validate, custom accelerators through
+// hw.Config.Validate — and then *resolved* into a normalized form: the
+// native (Network, Config, Options) triple plus the canonical spec the
+// request hash is computed over. Two requests that mean the same thing
+// (a benchmark named by "model" vs. the same shapes spelled out layer by
+// layer) resolve to the same normalized form and therefore the same
+// cache key.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/platform"
+	"rana/internal/retention"
+	"rana/internal/sched"
+)
+
+// maxRequestBytes bounds a request body; the largest legitimate payload
+// (a custom network of a few hundred layers plus a config) is a few tens
+// of KB.
+const maxRequestBytes = 1 << 20
+
+// LayerSpec is one custom CONV layer shape on the wire.
+type LayerSpec struct {
+	Name   string `json:"name"`
+	Stage  string `json:"stage,omitempty"`
+	N      int    `json:"n"`
+	H      int    `json:"h"`
+	L      int    `json:"l"`
+	M      int    `json:"m"`
+	K      int    `json:"k"`
+	S      int    `json:"s"`
+	P      int    `json:"p"`
+	Groups int    `json:"groups,omitempty"`
+}
+
+// NetworkSpec is a custom network on the wire.
+type NetworkSpec struct {
+	Name   string      `json:"name"`
+	Layers []LayerSpec `json:"layers"`
+}
+
+// ConfigSpec is a custom accelerator configuration on the wire.
+type ConfigSpec struct {
+	Name        string  `json:"name"`
+	ArrayM      int     `json:"array_m"`
+	ArrayN      int     `json:"array_n"`
+	Mapping     string  `json:"mapping,omitempty"` // "output-pixel" (default) or "output-input"
+	FrequencyHz float64 `json:"frequency_hz"`
+	LocalInput  int     `json:"local_input"`
+	LocalOutput int     `json:"local_output"`
+	LocalWeight int     `json:"local_weight"`
+	BufferWords uint64  `json:"buffer_words"`
+	BufferTech  string  `json:"buffer_tech"` // "sram" or "edram"
+	BankWords   int     `json:"bank_words"`
+}
+
+// TilingSpec pins the tiling parameters on the wire.
+type TilingSpec struct {
+	Tm int `json:"tm"`
+	Tn int `json:"tn"`
+	Tr int `json:"tr"`
+	Tc int `json:"tc"`
+}
+
+// OptionsSpec is sched.Options on the wire. Zero values select the full
+// RANA design point's defaults: hybrid OD+WD exploration, the 734 µs
+// tolerable interval, the refresh-optimized controller (eDRAM only).
+type OptionsSpec struct {
+	Patterns          []string    `json:"patterns,omitempty"`
+	RefreshIntervalNS int64       `json:"refresh_interval_ns,omitempty"`
+	Controller        string      `json:"controller,omitempty"` // "none", "conventional" or "optimized"
+	NaturalTiling     bool        `json:"natural_tiling,omitempty"`
+	RetentionGuard    float64     `json:"retention_guard,omitempty"`
+	FixedTiling       *TilingSpec `json:"fixed_tiling,omitempty"`
+}
+
+// ScheduleRequest asks for a Stage-2 schedule of one network on one
+// accelerator under explicit options.
+type ScheduleRequest struct {
+	// Model names a benchmark network; Network supplies a custom one.
+	// Exactly one must be set.
+	Model   string       `json:"model,omitempty"`
+	Network *NetworkSpec `json:"network,omitempty"`
+	// Accelerator names a built-in configuration ("test", "test-edram",
+	// "dadiannao", "eyeriss"); Config supplies a custom one. Defaults to
+	// "test-edram".
+	Accelerator string       `json:"accelerator,omitempty"`
+	Config      *ConfigSpec  `json:"config,omitempty"`
+	Options     *OptionsSpec `json:"options,omitempty"`
+}
+
+// CompileRequest asks for the full three-stage compilation.
+type CompileRequest struct {
+	Model   string       `json:"model,omitempty"`
+	Network *NetworkSpec `json:"network,omitempty"`
+}
+
+// EvaluateRequest asks for one Table IV design point priced on one
+// network.
+type EvaluateRequest struct {
+	// Design is a Table IV name, e.g. "RANA*(E-5)".
+	Design  string       `json:"design"`
+	Model   string       `json:"model,omitempty"`
+	Network *NetworkSpec `json:"network,omitempty"`
+}
+
+// apiError is a client-visible request failure with an HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON strictly parses a request body into dst.
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	// A second document in the body is a malformed request, not traffic
+	// to silently ignore.
+	if dec.More() {
+		return badRequest("invalid request body: trailing data")
+	}
+	return nil
+}
+
+// resolveNetwork maps (model, spec) onto a validated models.Network.
+func resolveNetwork(model string, spec *NetworkSpec) (models.Network, error) {
+	switch {
+	case model != "" && spec != nil:
+		return models.Network{}, badRequest(`set "model" or "network", not both`)
+	case model != "":
+		for _, n := range models.Benchmarks() {
+			if n.Name == model {
+				return n, nil
+			}
+		}
+		return models.Network{}, badRequest("unknown model %q (want one of %v)", model, benchmarkNames())
+	case spec != nil:
+		net := models.Network{Name: spec.Name}
+		for _, l := range spec.Layers {
+			net.Layers = append(net.Layers, models.ConvLayer{
+				Name: l.Name, Stage: l.Stage,
+				N: l.N, H: l.H, L: l.L, M: l.M,
+				K: l.K, S: l.S, P: l.P, Groups: l.Groups,
+			})
+		}
+		if net.Name == "" {
+			return models.Network{}, badRequest("custom network needs a name")
+		}
+		if err := net.Validate(); err != nil {
+			return models.Network{}, badRequest("invalid network: %v", err)
+		}
+		return net, nil
+	default:
+		return models.Network{}, badRequest(`request needs "model" or "network"`)
+	}
+}
+
+func benchmarkNames() []string {
+	var names []string
+	for _, n := range models.Benchmarks() {
+		names = append(names, n.Name)
+	}
+	return names
+}
+
+// builtinConfigs are the named accelerator configurations the API
+// accepts.
+func builtinConfigs() map[string]hw.Config {
+	return map[string]hw.Config{
+		"test":       hw.TestAccelerator(),
+		"test-edram": hw.TestAcceleratorEDRAM(),
+		"dadiannao":  hw.DaDianNao(),
+		"eyeriss":    hw.EyerissLike(),
+	}
+}
+
+func builtinConfigNames() []string {
+	var names []string
+	for name := range builtinConfigs() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resolveConfig maps (accelerator, spec) onto a validated hw.Config.
+func resolveConfig(accelerator string, spec *ConfigSpec) (hw.Config, error) {
+	switch {
+	case accelerator != "" && spec != nil:
+		return hw.Config{}, badRequest(`set "accelerator" or "config", not both`)
+	case spec != nil:
+		var mapping hw.Mapping
+		switch spec.Mapping {
+		case "", "output-pixel":
+			mapping = hw.MapOutputPixel
+		case "output-input":
+			mapping = hw.MapOutputInput
+		default:
+			return hw.Config{}, badRequest(`invalid mapping %q (want "output-pixel" or "output-input")`, spec.Mapping)
+		}
+		var tech energy.BufferTech
+		switch spec.BufferTech {
+		case "sram":
+			tech = energy.SRAM
+		case "edram":
+			tech = energy.EDRAM
+		default:
+			return hw.Config{}, badRequest(`invalid buffer_tech %q (want "sram" or "edram")`, spec.BufferTech)
+		}
+		cfg := hw.Config{
+			Name: spec.Name, ArrayM: spec.ArrayM, ArrayN: spec.ArrayN,
+			Mapping: mapping, FrequencyHz: spec.FrequencyHz,
+			LocalInput: spec.LocalInput, LocalOutput: spec.LocalOutput,
+			LocalWeight: spec.LocalWeight, BufferWords: spec.BufferWords,
+			BufferTech: tech, BankWords: spec.BankWords,
+		}
+		if cfg.Name == "" {
+			return hw.Config{}, badRequest("custom config needs a name")
+		}
+		if err := cfg.Validate(); err != nil {
+			return hw.Config{}, badRequest("invalid config: %v", err)
+		}
+		return cfg, nil
+	default:
+		name := accelerator
+		if name == "" {
+			name = "test-edram"
+		}
+		cfg, ok := builtinConfigs()[name]
+		if !ok {
+			return hw.Config{}, badRequest("unknown accelerator %q (want one of %v)", name, builtinConfigNames())
+		}
+		return cfg, nil
+	}
+}
+
+// resolveOptions maps an OptionsSpec onto validated sched.Options for
+// the given configuration, applying the RANA defaults for absent fields.
+func resolveOptions(spec *OptionsSpec, cfg hw.Config) (sched.Options, error) {
+	if spec == nil {
+		spec = &OptionsSpec{}
+	}
+	opts := sched.Options{
+		NaturalTiling:  spec.NaturalTiling,
+		RetentionGuard: spec.RetentionGuard,
+	}
+	if len(spec.Patterns) == 0 {
+		opts.Patterns = []pattern.Kind{pattern.OD, pattern.WD}
+	} else {
+		for _, s := range spec.Patterns {
+			switch s {
+			case "ID":
+				opts.Patterns = append(opts.Patterns, pattern.ID)
+			case "OD":
+				opts.Patterns = append(opts.Patterns, pattern.OD)
+			case "WD":
+				opts.Patterns = append(opts.Patterns, pattern.WD)
+			default:
+				return sched.Options{}, badRequest(`invalid pattern %q (want "ID", "OD" or "WD")`, s)
+			}
+		}
+	}
+	if spec.RefreshIntervalNS < 0 {
+		return sched.Options{}, badRequest("negative refresh_interval_ns %d", spec.RefreshIntervalNS)
+	}
+	opts.RefreshInterval = time.Duration(spec.RefreshIntervalNS)
+	if opts.RefreshInterval == 0 {
+		opts.RefreshInterval = retention.TolerableRetentionTime
+	}
+	controller := spec.Controller
+	if controller == "" {
+		if cfg.BufferTech == energy.EDRAM {
+			controller = "optimized"
+		} else {
+			controller = "none"
+		}
+	}
+	switch controller {
+	case "none":
+		opts.Controller = nil
+		opts.RefreshInterval = 0
+	case "conventional":
+		opts.Controller = memctrl.Conventional{}
+	case "optimized":
+		opts.Controller = memctrl.RefreshOptimized{}
+	default:
+		return sched.Options{}, badRequest(`invalid controller %q (want "none", "conventional" or "optimized")`, spec.Controller)
+	}
+	if spec.RetentionGuard < 0 || spec.RetentionGuard > 1 {
+		return sched.Options{}, badRequest("retention_guard %g outside [0,1]", spec.RetentionGuard)
+	}
+	if spec.FixedTiling != nil {
+		t := pattern.Tiling{Tm: spec.FixedTiling.Tm, Tn: spec.FixedTiling.Tn,
+			Tr: spec.FixedTiling.Tr, Tc: spec.FixedTiling.Tc}
+		if err := t.Validate(); err != nil {
+			return sched.Options{}, badRequest("invalid fixed_tiling: %v", err)
+		}
+		opts.FixedTiling = &t
+	}
+	if err := opts.Validate(); err != nil {
+		return sched.Options{}, badRequest("invalid options: %v", err)
+	}
+	return opts, nil
+}
+
+// resolveDesign maps a Table IV design name onto the design point.
+func resolveDesign(name string) (platform.Design, error) {
+	if name == "" {
+		return platform.Design{}, badRequest(`request needs a "design"`)
+	}
+	d, ok := platform.DesignByName(name)
+	if !ok {
+		var names []string
+		for _, d := range platform.Designs() {
+			names = append(names, d.Name)
+		}
+		return platform.Design{}, badRequest("unknown design %q (want one of %v)", name, names)
+	}
+	return d, nil
+}

@@ -1,0 +1,260 @@
+// Package serve is the ranad serving subsystem: a concurrent HTTP/JSON
+// front end over the RANA compilation pipeline. Offline per-network
+// characterization (Stage 1+2 of Fig. 6) is an artifact a fleet of
+// accelerators shares, so the service is built around reuse: a
+// canonical request hash feeds an LRU plan cache with singleflight
+// dedup, a bounded worker pool caps concurrent schedule explorations,
+// cancellation flows from the HTTP layer down into the per-layer
+// scheduling loop, and shutdown drains in-flight work before returning.
+//
+// Endpoints:
+//
+//	POST /v1/schedule  Stage-2 schedule under explicit options
+//	POST /v1/compile   full three-stage compilation
+//	POST /v1/evaluate  one Table IV design point on one network
+//	GET  /v1/catalog   served models, accelerators and designs
+//	GET  /healthz      liveness
+//	GET  /metrics      expvar counters + latency quantiles
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"rana/internal/core"
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080". Used by ListenAndServe;
+	// Serve takes an explicit listener.
+	Addr string
+
+	// Workers bounds concurrently executing schedule computations.
+	// Defaults to GOMAXPROCS. Requests beyond the bound queue until a
+	// slot frees or their timeout expires.
+	Workers int
+
+	// CacheEntries is the LRU plan cache capacity. Defaults to 256;
+	// negative disables caching.
+	CacheEntries int
+
+	// RequestTimeout bounds one request end to end, including queueing
+	// for a worker slot. Defaults to 60 s.
+	RequestTimeout time.Duration
+
+	// Logf receives request logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is one ranad instance.
+type Server struct {
+	cfg     Config
+	cache   *lru
+	flights *flightGroup
+	m       *metrics
+	vars    fmt.Stringer // the /metrics document
+	sem     chan struct{}
+
+	baseCtx context.Context // canceled when Shutdown begins
+	stop    context.CancelFunc
+
+	httpSrv *http.Server
+
+	// Computation seams, overridable in tests to count executions or
+	// inject failures. Defaults are the real pipeline entry points.
+	scheduleFn func(ctx context.Context, net models.Network, cfg hw.Config, opts sched.Options) (*sched.Plan, error)
+	compileFn  func(ctx context.Context, net models.Network) (*core.Output, error)
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      newLRU(cfg.CacheEntries),
+		flights:    newFlightGroup(base),
+		m:          &metrics{},
+		sem:        make(chan struct{}, cfg.Workers),
+		baseCtx:    base,
+		stop:       stop,
+		scheduleFn: sched.ScheduleContext,
+		compileFn: func(ctx context.Context, net models.Network) (*core.Output, error) {
+			return core.New().CompileContext(ctx, net)
+		},
+	}
+	s.vars = s.m.expvarMap()
+	s.httpSrv = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler — the full route table with
+// middleware applied. Exposed for tests (httptest.Server) and for
+// embedding ranad's API under a larger mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/schedule", s.api(s.handleSchedule))
+	mux.Handle("/v1/compile", s.api(s.handleCompile))
+	mux.Handle("/v1/evaluate", s.api(s.handleEvaluate))
+	mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	return mux
+}
+
+// ListenAndServe serves on cfg.Addr until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown. Like http.Server.Serve it returns
+// http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.cfg.Logf("ranad: serving on %s", ln.Addr())
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests (and the computations they queue on) get until ctx
+// expires to drain, then the base context is canceled so abandoned
+// computations stop exploring layers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.stop()
+	return err
+}
+
+// api wraps an endpoint handler with the service middleware: method
+// gating, per-request timeout, metrics accounting and logging.
+func (s *Server) api(h func(ctx context.Context, r *http.Request) (*response, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.error(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST"})
+			return
+		}
+		start := time.Now()
+		s.m.Requests.Add(1)
+		s.m.InFlight.Add(1)
+		defer s.m.InFlight.Add(-1)
+		defer func() { s.m.observe(time.Since(start)) }()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		resp, err := h(ctx, r)
+		if err != nil {
+			s.error(w, err)
+			s.cfg.Logf("ranad: %s %s -> error: %v (%v)", r.Method, r.URL.Path, err, time.Since(start))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Rana-Cache", resp.source)
+		w.Header().Set("X-Rana-Key", resp.key)
+		w.Write(resp.body)
+		s.cfg.Logf("ranad: %s %s -> 200 %s (%v)", r.Method, r.URL.Path, resp.source, time.Since(start))
+	})
+}
+
+// response is one successful API response: the exact bytes to send plus
+// cache metadata (carried in headers, never in the body, so cached and
+// uncached responses stay byte-identical).
+type response struct {
+	body   []byte
+	key    string
+	source string // "hit", "miss" or "dedup"
+}
+
+// error writes a JSON error response and counts it.
+func (s *Server) error(w http.ResponseWriter, err error) {
+	s.m.Errors.Add(1)
+	status := http.StatusInternalServerError
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		status = ae.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away or the server is draining; 503 tells a
+		// proxy the request is retryable elsewhere.
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// cached runs the cache → singleflight → worker-pool path shared by
+// every computing endpoint: return the cached body for key if present,
+// otherwise join or start the single computation for key, bounded by
+// the worker pool, and cache its result.
+func (s *Server) cached(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (*response, error) {
+	if body, ok := s.cache.Get(key); ok {
+		s.m.CacheHits.Add(1)
+		return &response{body: body, key: key, source: "hit"}, nil
+	}
+	body, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+		// One worker slot per *computation*, not per request: a hundred
+		// deduplicated requests cost one slot.
+		select {
+		case s.sem <- struct{}{}:
+		case <-fctx.Done():
+			return nil, fctx.Err()
+		}
+		defer func() { <-s.sem }()
+		body, err := compute(fctx)
+		if err == nil {
+			s.cache.Add(key, body)
+		}
+		return body, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	source := "miss"
+	if shared {
+		s.m.Deduped.Add(1)
+	} else {
+		s.m.CacheMisses.Add(1)
+	}
+	if shared {
+		source = "dedup"
+	}
+	return &response{body: body, key: key, source: source}, nil
+}

@@ -32,6 +32,7 @@
 package rana
 
 import (
+	"context"
 	"io"
 
 	"rana/internal/core"
@@ -142,6 +143,22 @@ type ScheduleOptions = sched.Options
 func Schedule(net Network, cfg HWConfig, opts ScheduleOptions) (*Plan, error) {
 	return sched.Schedule(net, cfg, opts)
 }
+
+// ScheduleContext is Schedule with cancellation: the per-layer loop
+// observes ctx and aborts early with ctx.Err() wrapped with the layer
+// reached. Framework.CompileContext is the equivalent seam for the full
+// three-stage compilation.
+func ScheduleContext(ctx context.Context, net Network, cfg HWConfig, opts ScheduleOptions) (*Plan, error) {
+	return sched.ScheduleContext(ctx, net, cfg, opts)
+}
+
+// PlanJSON is the stable wire encoding of a compiled schedule — the
+// format shared by the golden regression files, `rana-sched -json` and
+// the ranad serving API.
+type PlanJSON = sched.PlanJSON
+
+// EncodePlan projects a plan onto its wire encoding.
+func EncodePlan(p *Plan) PlanJSON { return sched.Encode(p) }
 
 // Framework is the full three-stage RANA framework (Fig. 6).
 type Framework = core.Framework
