@@ -327,7 +327,7 @@ func BenchmarkAnalyzeLayer(b *testing.B) {
 	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = pattern.Analyze(l, pattern.OD, ti, cfg)
+		_ = pattern.MustAnalyze(l, pattern.OD, ti, cfg)
 	}
 }
 

@@ -8,6 +8,12 @@
 //	rana-sched -model ResNet
 //	rana-sched -model AlexNet -export   # serialized compilation artifact
 //	rana-sched -model AlexNet -json     # plan in the shared wire format
+//	rana-sched -model VGG -server http://ranad:8080   # compile remotely
+//
+// With -server the compilation runs on a ranad instance instead of in
+// process, through the retrying client: 429 (shed) and 503
+// (breaker/drain) responses are retried with Retry-After-aware backoff,
+// so a briefly saturated ranad looks like a slow one, not a failure.
 package main
 
 import (
@@ -31,12 +37,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	model := fs.String("model", "ResNet", "benchmark network: AlexNet, VGG, GoogLeNet or ResNet")
 	export := fs.Bool("export", false, "emit the compiled layerwise configuration artifact as JSON")
 	asJSON := fs.Bool("json", false, "emit the compiled plan in the shared wire format (the golden/serving encoding)")
+	server := fs.String("server", "", "compile on a ranad instance (base URL) instead of in process")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *export && *asJSON {
 		fmt.Fprintln(stderr, "rana-sched: -export and -json are mutually exclusive")
 		return 2
+	}
+	if *server != "" {
+		return runRemote(*server, *model, *export, *asJSON, stdout, stderr)
 	}
 
 	var net rana.Network

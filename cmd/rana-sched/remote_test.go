@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rana/internal/serve"
+)
+
+func startRemote(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestRemoteSummary(t *testing.T) {
+	url := startRemote(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-server", url}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"AlexNet via " + url, "5 layers scheduled", "tolerable refresh rate:", "energy: total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRemoteJSONMatchesLocal(t *testing.T) {
+	url := startRemote(t)
+	var remote, local, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-json", "-server", url}, &remote, &errBuf); code != 0 {
+		t.Fatalf("remote exit %d: %s", code, errBuf.String())
+	}
+	if code := run([]string{"-model", "AlexNet", "-json"}, &local, &errBuf); code != 0 {
+		t.Fatalf("local exit %d: %s", code, errBuf.String())
+	}
+	var rv, lv any
+	if err := json.Unmarshal(remote.Bytes(), &rv); err != nil {
+		t.Fatalf("remote -json not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal(local.Bytes(), &lv); err != nil {
+		t.Fatalf("local -json not valid JSON: %v", err)
+	}
+	// The plan wire encoding must be the same whether the compilation ran
+	// in process or on the server.
+	rb, _ := json.Marshal(rv)
+	lb, _ := json.Marshal(lv)
+	if !bytes.Equal(rb, lb) {
+		t.Errorf("remote plan differs from local plan:\nremote: %s\nlocal:  %s", rb, lb)
+	}
+}
+
+func TestRemoteExportMatchesLocal(t *testing.T) {
+	url := startRemote(t)
+	var remote, local, errBuf bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-export", "-server", url}, &remote, &errBuf); code != 0 {
+		t.Fatalf("remote exit %d: %s", code, errBuf.String())
+	}
+	if code := run([]string{"-model", "AlexNet", "-export"}, &local, &errBuf); code != 0 {
+		t.Fatalf("local exit %d: %s", code, errBuf.String())
+	}
+	var rv, lv any
+	if err := json.Unmarshal(remote.Bytes(), &rv); err != nil {
+		t.Fatalf("remote -export not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal(local.Bytes(), &lv); err != nil {
+		t.Fatalf("local -export not valid JSON: %v", err)
+	}
+	rb, _ := json.Marshal(rv)
+	lb, _ := json.Marshal(lv)
+	if !bytes.Equal(rb, lb) {
+		t.Errorf("remote artifact differs from local artifact")
+	}
+}
+
+func TestRemoteUnknownModel(t *testing.T) {
+	url := startRemote(t)
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-model", "nope", "-server", url}, &out, &errBuf); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "server returned 4") {
+		t.Errorf("stderr missing server error: %q", errBuf.String())
+	}
+}
+
+func TestRemoteUnreachable(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// A closed port: the retrying client must give up within its attempt
+	// budget and the command must fail cleanly.
+	code := run([]string{"-model", "AlexNet", "-server", "http://127.0.0.1:1"}, &out, &errBuf)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if errBuf.Len() == 0 {
+		t.Error("no diagnostic on stderr")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rana/internal/serve"
+	"rana/internal/serve/chaos"
 )
 
 func main() {
@@ -41,19 +42,46 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	cache := fs.Int("cache", 256, "plan cache capacity in entries (negative disables)")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout, including queueing")
 	drain := fs.Duration("drain", 15*time.Second, "shutdown grace for in-flight requests")
+	queue := fs.Int("queue", 0, "admission queue depth beyond the worker pool (0 = 4x workers, negative = none)")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive panics/timeouts that open a key's circuit breaker (0 = 3, negative disables)")
+	breakerBackoff := fs.Duration("breaker-backoff", time.Second, "first breaker open window; doubles per re-open")
+	degradeBudget := fs.Duration("degrade-budget", 200*time.Millisecond, "deadlines below this get the uniform fallback schedule (negative disables)")
+	chaosSpec := fs.String("chaos", "", `fault injection spec, e.g. "panic=7,latency=3:50ms,cancel=11,starve=13:200ms,seed=42" (testing only)`)
+	selfcheck := fs.Bool("selfcheck", false, "run the end-to-end robustness selfcheck instead of serving; exit 0 on pass")
 	quiet := fs.Bool("quiet", false, "suppress per-request logs")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *selfcheck {
+		return runSelfcheck(stdout, stderr)
+	}
+
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "ranad:", err)
+			return 2
+		}
+		injector = chaos.New(cfg)
+		fmt.Fprintf(stderr, "ranad: CHAOS MODE: injecting faults (%s)\n", *chaosSpec)
 	}
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stderr, format+"\n", args...)
 	}
 	srv := serve.New(serve.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		RequestTimeout: *timeout,
+		Addr:             *addr,
+		Workers:          *workers,
+		CacheEntries:     *cache,
+		RequestTimeout:   *timeout,
+		QueueDepth:       *queue,
+		RetryAfter:       *retryAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerBackoff:   *breakerBackoff,
+		DegradeBudget:    *degradeBudget,
+		Chaos:            injector,
 		Logf: func(format string, args ...any) {
 			if !*quiet {
 				logf(format, args...)

@@ -1,0 +1,327 @@
+package main
+
+// The -selfcheck mode: an end-to-end robustness probe a deployment (or
+// CI) can run against this build without external tooling. It boots
+// real servers on ephemeral ports with injected faults and verifies the
+// survival contract from the client side, through the retrying client:
+//
+//  1. an injected computation panic yields a structured 500 and the
+//     server keeps serving (healthz live, panic counted);
+//  2. a saturated pool sheds with 429 + Retry-After while /healthz
+//     answers, and a RetryClient rides through to success;
+//  3. a tight deadline yields a valid schedule marked degraded;
+//  4. shutdown drains an in-flight computation cleanly mid-chaos.
+//
+// Exit 0 means every check passed.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"rana/internal/serve"
+	"rana/internal/serve/chaos"
+)
+
+// checkServer couples a serve.Server with its listener and base URL.
+type checkServer struct {
+	srv  *serve.Server
+	url  string
+	done chan error
+}
+
+func startCheckServer(cfg serve.Config) (*checkServer, error) {
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cs := &checkServer{srv: srv, url: "http://" + ln.Addr().String(), done: make(chan error, 1)}
+	go func() { cs.done <- srv.Serve(ln) }()
+	return cs, nil
+}
+
+func (cs *checkServer) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cs.srv.Shutdown(ctx)
+	<-cs.done
+}
+
+func runSelfcheck(stdout, stderr io.Writer) int {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	checks := []struct {
+		name string
+		fn   func(context.Context) error
+	}{
+		{"panic isolation", checkPanicIsolation},
+		{"overload shedding", checkOverloadShedding},
+		{"degradation ladder", checkDegradation},
+		{"graceful drain", checkDrain},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.fn(ctx); err != nil {
+			fmt.Fprintf(stderr, "selfcheck: %s: FAIL: %v\n", c.name, err)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "selfcheck: %s: ok\n", c.name)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "selfcheck: FAIL (%d/%d checks failed)\n", failed, len(checks))
+		return 1
+	}
+	fmt.Fprintln(stdout, "selfcheck: PASS")
+	return 0
+}
+
+const tinyNet = `{"network": {"name": "selfcheck", "layers": [
+	{"name": "l0", "n": 2, "h": 8, "l": 8, "m": 4, "k": 3, "s": 1, "p": 1},
+	{"name": "l1", "n": 4, "h": 8, "l": 8, "m": 4, "k": 1, "s": 1, "p": 0}
+]}}`
+
+// checkPanicIsolation: every computation panics by injection; the
+// response must be a structured 500, the process must survive, and the
+// panic must be counted.
+func checkPanicIsolation(ctx context.Context) error {
+	cs, err := startCheckServer(serve.Config{
+		Chaos:            chaos.New(chaos.Config{PanicEvery: 1}),
+		BreakerThreshold: -1, // keep every request on the computation path
+	})
+	if err != nil {
+		return err
+	}
+	defer cs.stop()
+
+	body, status, err := plainPost(ctx, cs.url+"/v1/schedule", tinyNet)
+	if err != nil {
+		return err
+	}
+	if status != 500 {
+		return fmt.Errorf("injected panic: status %d, want 500: %s", status, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "panic") {
+		return fmt.Errorf("500 body not a structured panic error: %s", body)
+	}
+	if err := expectHealthz(ctx, cs.url); err != nil {
+		return fmt.Errorf("after panic: %w", err)
+	}
+	m, err := fetchMetrics(ctx, cs.url)
+	if err != nil {
+		return err
+	}
+	if m["panics_recovered"] < 1 {
+		return fmt.Errorf("panics_recovered = %v, want >= 1", m["panics_recovered"])
+	}
+	return nil
+}
+
+// checkOverloadShedding: one worker, no waiting room, every computation
+// stalled ~400ms by injection. A burst must produce at least one 429
+// with Retry-After while /healthz stays live, and the RetryClient must
+// land every request eventually.
+func checkOverloadShedding(ctx context.Context) error {
+	cs, err := startCheckServer(serve.Config{
+		Workers:    1,
+		QueueDepth: -1,
+		RetryAfter: time.Second,
+		Chaos:      chaos.New(chaos.Config{Seed: 2, StarveEvery: 1, Starve: 400 * time.Millisecond}),
+	})
+	if err != nil {
+		return err
+	}
+	defer cs.stop()
+
+	const n = 3
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, n)
+	sawRetryAfter := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			// Distinct networks: each is its own computation, so the
+			// burst genuinely contends for the single worker slot.
+			body := fmt.Sprintf(`{"network": {"name": "burst%d", "layers": [
+				{"name": "l0", "n": 2, "h": 8, "l": 8, "m": %d, "k": 3, "s": 1, "p": 1}
+			]}}`, i, 2+i)
+			rc := &serve.RetryClient{
+				MaxAttempts: 10,
+				BaseBackoff: 100 * time.Millisecond,
+				Budget:      30 * time.Second,
+				Seed:        int64(i + 1),
+				Logf: func(format string, args ...any) {
+					msg := fmt.Sprintf(format, args...)
+					if strings.Contains(msg, "status 429") {
+						select {
+						case sawRetryAfter <- msg:
+						default:
+						}
+					}
+				},
+			}
+			_, status, err := rc.PostJSON(ctx, cs.url+"/v1/schedule", []byte(body))
+			results <- result{status, err}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil {
+			return fmt.Errorf("burst request: %w", r.err)
+		}
+		if r.status != 200 {
+			return fmt.Errorf("burst request final status %d, want 200 after retries", r.status)
+		}
+	}
+	if err := expectHealthz(ctx, cs.url); err != nil {
+		return fmt.Errorf("under saturation: %w", err)
+	}
+	m, err := fetchMetrics(ctx, cs.url)
+	if err != nil {
+		return err
+	}
+	if m["shed"] < 1 {
+		return fmt.Errorf("shed = %v, want >= 1 (burst never saturated the pool)", m["shed"])
+	}
+	return nil
+}
+
+// checkDegradation: a deadline below the degrade budget must return a
+// valid schedule marked degraded.
+func checkDegradation(ctx context.Context) error {
+	cs, err := startCheckServer(serve.Config{DegradeBudget: 200 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer cs.stop()
+
+	req := strings.TrimSuffix(tinyNet, "}") + `, "deadline_ms": 50}`
+	body, status, err := plainPost(ctx, cs.url+"/v1/schedule", req)
+	if err != nil {
+		return err
+	}
+	if status != 200 {
+		return fmt.Errorf("deadline request status %d: %s", status, body)
+	}
+	var sr struct {
+		Degraded bool `json:"degraded"`
+		Plan     struct {
+			Layers []any `json:"layers"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return err
+	}
+	if !sr.Degraded {
+		return fmt.Errorf("50ms deadline not degraded: %s", body)
+	}
+	if len(sr.Plan.Layers) != 2 {
+		return fmt.Errorf("degraded plan has %d layers, want 2", len(sr.Plan.Layers))
+	}
+	return nil
+}
+
+// checkDrain: shutdown must wait for an in-flight stalled computation
+// and the request must still succeed.
+func checkDrain(ctx context.Context) error {
+	cs, err := startCheckServer(serve.Config{
+		Chaos: chaos.New(chaos.Config{Seed: 3, LatencyEvery: 1, Latency: 300 * time.Millisecond}),
+	})
+	if err != nil {
+		return err
+	}
+
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		_, status, err := plainPost(ctx, cs.url+"/v1/schedule", tinyNet)
+		inflight <- result{status, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // request is now inside its injected stall
+
+	sdCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := cs.srv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("shutdown mid-chaos: %w", err)
+	}
+	if err := <-cs.done; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve loop: %w", err)
+	}
+	r := <-inflight
+	if r.err != nil {
+		return fmt.Errorf("in-flight request during drain: %w", r.err)
+	}
+	if r.status != 200 {
+		return fmt.Errorf("in-flight request drained with status %d, want 200", r.status)
+	}
+	return nil
+}
+
+func plainPost(ctx context.Context, url, body string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return b, resp.StatusCode, err
+}
+
+func expectHealthz(ctx context.Context, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("healthz unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	return nil
+}
+
+func fetchMetrics(ctx context.Context, baseURL string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}

@@ -82,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stdout, "FAIL %s/%s\n%s\n", net.Name, l.Name, indent(r.String()))
 					continue
 				}
-				a := pattern.Analyze(l, k, ti, cfg)
+				a := pattern.MustAnalyze(l, k, ti, cfg)
 				rr, err := verify.CompareRefresh(a, cfg, opts, tol)
 				if err != nil {
 					fmt.Fprintln(stderr, "rana-verify:", err)
@@ -148,7 +148,7 @@ func sweepRandom(stdout io.Writer, count int, seed uint64, tol verify.Tolerances
 		if c.Options.Controller == nil {
 			return false
 		}
-		a := pattern.Analyze(c.Layer, c.Pattern, c.Tiling, c.Config)
+		a := pattern.MustAnalyze(c.Layer, c.Pattern, c.Tiling, c.Config)
 		rr, err := verify.CompareRefresh(a, c.Config, c.Options, tol)
 		return err == nil && !rr.OK()
 	}

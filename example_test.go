@@ -14,7 +14,7 @@ import (
 // it needs no eDRAM refresh at all (§IV-C1).
 func ExampleAnalyze() {
 	layerA, _ := rana.ResNet().Layer("res4a_branch1")
-	a := rana.Analyze(layerA, rana.OD,
+	a := rana.MustAnalyze(layerA, rana.OD,
 		rana.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}, rana.TestAccelerator())
 	fmt.Printf("lifetime: %v\n", a.Lifetimes.Output.Round(1000))
 	fmt.Printf("refresh-free: %v\n", a.Lifetimes.Max() < rana.TolerableRetentionTime)

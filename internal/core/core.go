@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"rana/internal/energy"
@@ -87,7 +88,15 @@ func (f *Framework) Compile(net models.Network) (*Output, error) {
 // scheduling loop observes ctx and aborts early with ctx.Err() wrapped
 // with the layer reached. Compile is CompileContext under
 // context.Background().
-func (f *Framework) CompileContext(ctx context.Context, net models.Network) (*Output, error) {
+func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out *Output, err error) {
+	// The stages call deep into pattern/sched/memctrl; a bug there must
+	// surface to callers (ranad keeps serving other requests) as an
+	// error, not kill the process.
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, &sched.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if f.Platform == nil {
 		return nil, fmt.Errorf("core: nil platform")
 	}
@@ -124,7 +133,7 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (*Ou
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	out := &Output{
+	out = &Output{
 		TolerableRate:      rate,
 		TolerableRetention: rt,
 		Config:             cfg,

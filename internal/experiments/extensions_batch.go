@@ -54,7 +54,7 @@ func Extension3Batch() ([]Ext3Row, error) {
 			var wDDR, wDDRNaive uint64
 			for i, lp := range r.Plan.Layers {
 				l := n.Layers[i]
-				a := pattern.AnalyzeBatch(l, lp.Analysis.Pattern, lp.Analysis.Tiling, cfg, batch)
+				a := pattern.MustAnalyzeBatch(l, lp.Analysis.Pattern, lp.Analysis.Tiling, cfg, batch)
 				alloc := memctrl.Allocate(a.BufferStorage, cfg.BankWords, cfg.Banks())
 				needs := memctrl.NeedsFor(a.Lifetimes, interval)
 				counts.Add(energy.Counts{

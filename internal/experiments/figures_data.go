@@ -33,7 +33,7 @@ func Figure7() []Fig7Row {
 	cfg := hw.TestAcceleratorEDRAM()
 	var rows []Fig7Row
 	for _, l := range models.ResNet().Layers {
-		a := pattern.Analyze(l, pattern.ID, sched.NaturalTiling(l, cfg), cfg)
+		a := pattern.MustAnalyze(l, pattern.ID, sched.NaturalTiling(l, cfg), cfg)
 		rows = append(rows, Fig7Row{
 			Layer:    l.Name,
 			Stage:    l.Stage,

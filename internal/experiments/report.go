@@ -52,18 +52,18 @@ func ReproReport() ([]ClaimRow, error) {
 	layerB, _ := models.VGG().Layer("conv4_2")
 	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 	add("§III-B2", "Layer-A input lifetime under ID",
-		2294, us(pattern.Analyze(layerA, pattern.ID, ti, cfg).Lifetimes.Input), "µs", 2292, 2296)
+		2294, us(pattern.MustAnalyze(layerA, pattern.ID, ti, cfg).Lifetimes.Input), "µs", 2292, 2296)
 	add("§IV-C1", "Layer-A output lifetime under OD",
-		72, us(pattern.Analyze(layerA, pattern.OD, ti, cfg).Lifetimes.Output), "µs", 71, 73)
+		72, us(pattern.MustAnalyze(layerA, pattern.OD, ti, cfg).Lifetimes.Output), "µs", 71, 73)
 	add("§IV-C1", "Layer-B output lifetime under OD, Tn=16",
-		1290, us(pattern.Analyze(layerB, pattern.OD, ti, cfg).Lifetimes.Output), "µs", 1288, 1292)
+		1290, us(pattern.MustAnalyze(layerB, pattern.OD, ti, cfg).Lifetimes.Output), "µs", 1288, 1292)
 	t8 := ti
 	t8.Tn = 8
 	add("§IV-C1", "Layer-B output lifetime under OD, Tn=8",
-		645, us(pattern.Analyze(layerB, pattern.OD, t8, cfg).Lifetimes.Output), "µs", 644, 646)
+		645, us(pattern.MustAnalyze(layerB, pattern.OD, t8, cfg).Lifetimes.Output), "µs", 644, 646)
 	add("§IV-D2", "Layer-B weight lifetime under OD, Tn=16",
-		40, us(pattern.Analyze(layerB, pattern.OD, ti, cfg).Lifetimes.Weight), "µs", 39, 41)
-	bsKB := float64(pattern.Analyze(layerA, pattern.ID, pattern.Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}, cfg).
+		40, us(pattern.MustAnalyze(layerB, pattern.OD, ti, cfg).Lifetimes.Weight), "µs", 39, 41)
+	bsKB := float64(pattern.MustAnalyze(layerA, pattern.ID, pattern.Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}, cfg).
 		BufferStorage.Total()) * 2 / 1024
 	add("§III-B1", "Layer-A minimum ID buffer storage", 785, bsKB, "KB", 784, 786)
 

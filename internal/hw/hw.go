@@ -111,6 +111,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hw: %s: zero buffer capacity", c.Name)
 	case c.BankWords <= 0:
 		return fmt.Errorf("hw: %s: non-positive bank size", c.Name)
+	case c.Mapping != MapOutputPixel && c.Mapping != MapOutputInput:
+		return fmt.Errorf("hw: %s: unknown array mapping %d", c.Name, int(c.Mapping))
 	}
 	return nil
 }

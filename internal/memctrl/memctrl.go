@@ -60,6 +60,9 @@ func (a Allocation) Total() int { return a.InputBanks + a.OutputBanks + a.Weight
 // traffic is already accounted by the pattern's DDR model).
 func Allocate(bs pattern.Storage, bankWords, totalBanks int) Allocation {
 	if bankWords <= 0 {
+		// Invariant, not input validation: every caller reaches here via
+		// hw.Config.Validate (which rejects non-positive bank sizes), so a
+		// violation is a programming error in this repo.
 		panic("memctrl: non-positive bank size")
 	}
 	banksFor := func(words uint64) int {
@@ -113,6 +116,9 @@ func Allocate(bs pattern.Storage, bankWords, totalBanks int) Allocation {
 // at the given interval: one pulse per full interval elapsed.
 func Pulses(exec, interval time.Duration) uint64 {
 	if interval <= 0 {
+		// Invariant: schedulers only call Pulses with intervals derived
+		// from retention anchors or validated Options; non-positive means
+		// a corrupted caller, not bad user input.
 		panic("memctrl: non-positive refresh interval")
 	}
 	if exec <= 0 {

@@ -23,13 +23,16 @@ import (
 // from DDR once for the whole batch and stay resident (their lifetime
 // stretches to the batch execution time); otherwise every image reloads
 // them and the single-image analysis simply scales.
-func AnalyzeBatch(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, batch int) Analysis {
+func AnalyzeBatch(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, batch int) (Analysis, error) {
 	if batch <= 0 {
-		panic(fmt.Sprintf("pattern: non-positive batch %d", batch))
+		return Analysis{}, fmt.Errorf("pattern: non-positive batch %d", batch)
 	}
-	a := Analyze(l, k, t, cfg)
+	a, err := Analyze(l, k, t, cfg)
+	if err != nil {
+		return Analysis{}, err
+	}
 	if batch == 1 {
-		return a
+		return a, nil
 	}
 	b := uint64(batch)
 	single := a.ExecTime
@@ -55,5 +58,15 @@ func AnalyzeBatch(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, batch int
 		_ = single
 	}
 	a.FitsBuffer = a.BufferStorage.Total() <= cfg.BufferWords
+	return a, nil
+}
+
+// MustAnalyzeBatch is AnalyzeBatch for inputs known valid by
+// construction; it panics on error.
+func MustAnalyzeBatch(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, batch int) Analysis {
+	a, err := AnalyzeBatch(l, k, t, cfg, batch)
+	if err != nil {
+		panic(err)
+	}
 	return a
 }

@@ -12,8 +12,8 @@ func TestAnalyzeBatchIdentityAtOne(t *testing.T) {
 	l, _ := models.ResNet().Layer("res4a_branch1")
 	cfg := hw.TestAcceleratorEDRAM()
 	ti := Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
-	a := Analyze(l, OD, ti, cfg)
-	b := AnalyzeBatch(l, OD, ti, cfg, 1)
+	a := MustAnalyze(l, OD, ti, cfg)
+	b := MustAnalyzeBatch(l, OD, ti, cfg, 1)
 	if a.MACs != b.MACs || a.ExecTime != b.ExecTime || a.DDRTraffic != b.DDRTraffic {
 		t.Error("batch=1 must equal the single-image analysis")
 	}
@@ -24,8 +24,8 @@ func TestAnalyzeBatchWeightResidency(t *testing.T) {
 	heavy, _ := models.ResNet().Layer("res5a_branch2b")
 	cfg := hw.TestAcceleratorEDRAM()
 	ti := Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 7}
-	single := Analyze(heavy, OD, ti, cfg)
-	batched := AnalyzeBatch(heavy, OD, ti, cfg, 4)
+	single := MustAnalyze(heavy, OD, ti, cfg)
+	batched := MustAnalyzeBatch(heavy, OD, ti, cfg, 4)
 	if batched.DDRTraffic.Weights != 4*single.DDRTraffic.Weights {
 		t.Error("oversized weights must reload per image")
 	}
@@ -35,8 +35,8 @@ func TestAnalyzeBatchWeightResidency(t *testing.T) {
 
 	// res4a_branch2a: 0.5 MB of weights — fits alongside OD storage.
 	light, _ := models.ResNet().Layer("res4a_branch2a")
-	s2 := Analyze(light, OD, ti, cfg)
-	b2 := AnalyzeBatch(light, OD, ti, cfg, 4)
+	s2 := MustAnalyze(light, OD, ti, cfg)
+	b2 := MustAnalyzeBatch(light, OD, ti, cfg, 4)
 	if b2.DDRTraffic.Weights != s2.DDRTraffic.Weights {
 		t.Errorf("resident weights should be fetched once: %d vs %d",
 			b2.DDRTraffic.Weights, s2.DDRTraffic.Weights)
@@ -60,8 +60,8 @@ func TestAnalyzeBatchScalingProperty(t *testing.T) {
 		}
 		batch := int(b3%7) + 2
 		ti := Tiling{Tm: 8, Tn: 8, Tr: 1, Tc: 4}
-		s := Analyze(l, OD, ti, cfg)
-		b := AnalyzeBatch(l, OD, ti, cfg, batch)
+		s := MustAnalyze(l, OD, ti, cfg)
+		b := MustAnalyzeBatch(l, OD, ti, cfg, batch)
 		if b.MACs != uint64(batch)*s.MACs || b.Cycles != uint64(batch)*s.Cycles {
 			return false
 		}
@@ -76,12 +76,16 @@ func TestAnalyzeBatchScalingProperty(t *testing.T) {
 	}
 }
 
-func TestAnalyzeBatchPanics(t *testing.T) {
+func TestAnalyzeBatchRejectsNonPositive(t *testing.T) {
+	l := models.ConvLayer{Name: "x", N: 1, H: 2, L: 2, M: 1, K: 1, S: 1}
+	ti := Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}
+	if _, err := AnalyzeBatch(l, OD, ti, hw.TestAccelerator(), 0); err == nil {
+		t.Error("batch 0 not rejected")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic")
+			t.Error("MustAnalyzeBatch should panic on error")
 		}
 	}()
-	AnalyzeBatch(models.ConvLayer{Name: "x", N: 1, H: 2, L: 2, M: 1, K: 1, S: 1},
-		OD, Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}, hw.TestAccelerator(), 0)
+	MustAnalyzeBatch(l, OD, ti, hw.TestAccelerator(), -1)
 }

@@ -47,7 +47,7 @@ func FuzzAnalyze(f *testing.F) {
 		}
 		cfg := hw.TestAcceleratorEDRAM()
 		for _, kind := range []Kind{ID, OD, WD} {
-			a := Analyze(l, kind, ti, cfg)
+			a := MustAnalyze(l, kind, ti, cfg)
 			if a.MACs != l.MACs() {
 				t.Fatalf("%v: MACs %d, layer has %d", kind, a.MACs, l.MACs())
 			}

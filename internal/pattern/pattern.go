@@ -157,24 +157,47 @@ type Analysis struct {
 // convolutions are modeled as their groups run sequentially: per-group
 // sub-problems are analyzed and totals scaled, while storage requirements
 // and lifetimes are the per-group values (only one group is live at a
-// time). It panics on invalid layers/tilings: analysis inputs come from
-// the scheduler's enumerated space, where invalid entries are bugs.
-func Analyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) Analysis {
+// time). Invalid layers, tilings, patterns and array mappings are
+// reported as errors: analysis inputs reach this package from request
+// bodies (via the scheduler behind ranad), so malformed input is a
+// caller problem, not a process-fatal bug.
+func Analyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) (Analysis, error) {
 	if err := l.Validate(); err != nil {
-		panic(err)
+		return Analysis{}, err
 	}
 	if err := t.Validate(); err != nil {
-		panic(err)
+		return Analysis{}, err
+	}
+	switch k {
+	case ID, OD, WD:
+	default:
+		return Analysis{}, fmt.Errorf("pattern: unknown kind %d", int(k))
+	}
+	switch cfg.Mapping {
+	case hw.MapOutputPixel, hw.MapOutputInput:
+	default:
+		return Analysis{}, fmt.Errorf("pattern: unknown mapping %v", cfg.Mapping)
 	}
 	g := l.Groups
 	if g <= 1 {
-		return analyzeUngrouped(l, k, t, cfg, 1)
+		return analyzeUngrouped(l, k, t, cfg, 1), nil
 	}
 	sub := l
 	sub.N /= g
 	sub.M /= g
 	sub.Groups = 1
-	return analyzeUngrouped(sub, k, t, cfg, g)
+	return analyzeUngrouped(sub, k, t, cfg, g), nil
+}
+
+// MustAnalyze is Analyze for inputs known valid by construction — tests,
+// report generators and benchmark sweeps over the built-in models. It
+// panics on error.
+func MustAnalyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) Analysis {
+	a, err := Analyze(l, k, t, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // analyzeUngrouped does the real work on an ungrouped (sub-)layer and
@@ -204,6 +227,7 @@ func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int
 		perTile = uint64(ceilDiv(t.Tm, cfg.ArrayM)) * uint64(ceilDiv(t.Tn, cfg.ArrayN)) *
 			uint64(t.Tr) * uint64(t.Tc) * uint64(l.K) * uint64(l.K)
 	default:
+		// Invariant: Analyze validated the mapping before dispatching here.
 		panic(fmt.Sprintf("pattern: unknown mapping %v", cfg.Mapping))
 	}
 	tiles := uint64(nM) * uint64(nN) * uint64(nR) * uint64(nC)
@@ -348,6 +372,7 @@ func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int
 		}
 
 	default:
+		// Invariant: Analyze validated the kind before dispatching here.
 		panic(fmt.Sprintf("pattern: unknown kind %d", int(k)))
 	}
 	a.FitsBuffer = fits(a.BufferStorage, cfg)

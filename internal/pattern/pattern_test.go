@@ -44,7 +44,7 @@ func usWithin(t *testing.T, got time.Duration, wantUS, tolUS float64) {
 // TestLayerAIDLifetime checks §III-B2: running Layer-A under ID on the
 // test accelerator gives LTo < LTw < LTi = 2294 µs.
 func TestLayerAIDLifetime(t *testing.T) {
-	a := Analyze(layerA(t), ID, paperTiling, hw.TestAccelerator())
+	a := MustAnalyze(layerA(t), ID, paperTiling, hw.TestAccelerator())
 	usWithin(t, a.Lifetimes.Input, 2294, 2)
 	if !(a.Lifetimes.Output < a.Lifetimes.Weight && a.Lifetimes.Weight < a.Lifetimes.Input) {
 		t.Errorf("want LTo < LTw < LTi, got %+v", a.Lifetimes)
@@ -62,7 +62,7 @@ func TestLayerAIDLifetime(t *testing.T) {
 // 384 KB SRAM but fitting the 1.454 MB eDRAM.
 func TestLayerAIDBufferStorage(t *testing.T) {
 	one := Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}
-	sram := Analyze(layerA(t), ID, one, hw.TestAccelerator())
+	sram := MustAnalyze(layerA(t), ID, one, hw.TestAccelerator())
 	kb := float64(sram.BufferStorage.Total()) * 2 / 1024
 	if math.Abs(kb-785) > 1.0 {
 		t.Errorf("Layer-A ID min buffer storage = %.1f KB, want 785", kb)
@@ -70,7 +70,7 @@ func TestLayerAIDBufferStorage(t *testing.T) {
 	if sram.FitsBuffer {
 		t.Error("785 KB should not fit the 384 KB SRAM buffer")
 	}
-	edram := Analyze(layerA(t), ID, one, hw.TestAcceleratorEDRAM())
+	edram := MustAnalyze(layerA(t), ID, one, hw.TestAcceleratorEDRAM())
 	if !edram.FitsBuffer {
 		t.Error("785 KB should fit the 1.454 MB eDRAM buffer")
 	}
@@ -80,7 +80,7 @@ func TestLayerAIDBufferStorage(t *testing.T) {
 // Tm,Tn,Tc=16, Tr=1 has data lifetime LTo = 72 µs — below the 734 µs
 // tolerable retention time, so no refresh is needed.
 func TestLayerAODLifetime(t *testing.T) {
-	a := Analyze(layerA(t), OD, paperTiling, hw.TestAccelerator())
+	a := MustAnalyze(layerA(t), OD, paperTiling, hw.TestAccelerator())
 	usWithin(t, a.Lifetimes.Output, 72, 1)
 	if a.Lifetimes.Input != a.Lifetimes.Output {
 		t.Errorf("OD should give LTi = LTo, got %v vs %v", a.Lifetimes.Input, a.Lifetimes.Output)
@@ -95,13 +95,13 @@ func TestLayerAODLifetime(t *testing.T) {
 // the lifetime to 645 µs.
 func TestLayerBODTnSweep(t *testing.T) {
 	cfg := hw.TestAccelerator()
-	a16 := Analyze(layerB(t), OD, paperTiling, cfg)
+	a16 := MustAnalyze(layerB(t), OD, paperTiling, cfg)
 	usWithin(t, a16.Lifetimes.Output, 1290, 2)
 	usWithin(t, a16.Lifetimes.Weight, 40, 1)
 
 	t8 := paperTiling
 	t8.Tn = 8
-	a8 := Analyze(layerB(t), OD, t8, cfg)
+	a8 := MustAnalyze(layerB(t), OD, t8, cfg)
 	usWithin(t, a8.Lifetimes.Output, 645, 2)
 }
 
@@ -110,12 +110,12 @@ func TestLayerBODTnSweep(t *testing.T) {
 // loop, so weight buffer reads equal the weight volume exactly.
 func TestODWeightsReadOnce(t *testing.T) {
 	l := layerB(t)
-	a := Analyze(l, OD, paperTiling, hw.TestAccelerator())
+	a := MustAnalyze(l, OD, paperTiling, hw.TestAccelerator())
 	if a.BufferTraffic.Weights != l.WeightWords() {
 		t.Errorf("OD weight buffer reads = %d, want %d (read once)",
 			a.BufferTraffic.Weights, l.WeightWords())
 	}
-	id := Analyze(l, ID, paperTiling, hw.TestAccelerator())
+	id := MustAnalyze(l, ID, paperTiling, hw.TestAccelerator())
 	if id.BufferTraffic.Weights <= a.BufferTraffic.Weights {
 		t.Error("ID should re-read weights per output position, far more than OD")
 	}
@@ -130,15 +130,15 @@ func TestBufferStorageEquations(t *testing.T) {
 	th, tl := uint64(ti.Th(l)), uint64(ti.Tl(l))
 	R, C := uint64(l.R()), uint64(l.C())
 
-	id := Analyze(l, ID, ti, cfg).BufferStorage
+	id := MustAnalyze(l, ID, ti, cfg).BufferStorage
 	if id.Inputs != 32*16*16 || id.Outputs != 16*4*4 || id.Weights != 32*16*9 {
 		t.Errorf("ID storage = %+v", id)
 	}
-	od := Analyze(l, OD, ti, cfg).BufferStorage
+	od := MustAnalyze(l, OD, ti, cfg).BufferStorage
 	if od.Inputs != 8*16*16 || od.Outputs != 64*R*C || od.Weights != 16*8*9 {
 		t.Errorf("OD storage = %+v", od)
 	}
-	wd := Analyze(l, WD, ti, cfg).BufferStorage
+	wd := MustAnalyze(l, WD, ti, cfg).BufferStorage
 	if wd.Inputs != 32*th*tl || wd.Outputs != 16*4*4 || wd.Weights != 64*32*9 {
 		t.Errorf("WD storage = %+v", wd)
 	}
@@ -152,7 +152,7 @@ func TestMinimumDDRTraffic(t *testing.T) {
 	ti := Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 14}
 	din, dw, dout := l.InputWords(), l.WeightWords(), l.OutputWords()
 	for _, k := range Kinds {
-		a := Analyze(l, k, ti, cfg)
+		a := MustAnalyze(l, k, ti, cfg)
 		if !a.FitsBuffer {
 			t.Fatalf("%v: expected to fit", k)
 		}
@@ -175,7 +175,7 @@ func TestSpillPenalties(t *testing.T) {
 	// Big inputs: ID reloads the whole input set once per output group
 	// when it cannot stay resident.
 	big := models.ConvLayer{Name: "big", N: 64, H: 112, L: 112, M: 128, K: 3, S: 1, P: 1}
-	id := Analyze(big, ID, ti, cfg)
+	id := MustAnalyze(big, ID, ti, cfg)
 	if id.FitsBuffer {
 		t.Fatal("expected ID storage overflow")
 	}
@@ -188,7 +188,7 @@ func TestSpillPenalties(t *testing.T) {
 	}
 
 	// Big outputs: OD spills partial sums per remaining input pass.
-	od := Analyze(big, OD, ti, cfg)
+	od := MustAnalyze(big, OD, ti, cfg)
 	if od.FitsBuffer {
 		t.Fatal("expected OD storage overflow")
 	}
@@ -200,7 +200,7 @@ func TestSpillPenalties(t *testing.T) {
 
 	// Big weights: WD reloads weights per tile position.
 	deep := models.ConvLayer{Name: "deep", N: 512, H: 14, L: 14, M: 512, K: 3, S: 1, P: 1}
-	wd := Analyze(deep, WD, ti, cfg)
+	wd := MustAnalyze(deep, WD, ti, cfg)
 	if wd.FitsBuffer {
 		t.Fatal("expected WD storage overflow")
 	}
@@ -218,8 +218,8 @@ func TestGroupedConvolution(t *testing.T) {
 	sub := models.ConvLayer{Name: "s", N: 48, H: 27, L: 27, M: 128, K: 5, S: 1, P: 2}
 	ti := Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
 	cfg := hw.TestAcceleratorEDRAM()
-	ag := Analyze(g, OD, ti, cfg)
-	as := Analyze(sub, OD, ti, cfg)
+	ag := MustAnalyze(g, OD, ti, cfg)
+	as := MustAnalyze(sub, OD, ti, cfg)
 	if ag.MACs != 2*as.MACs {
 		t.Errorf("grouped MACs = %d, want %d", ag.MACs, 2*as.MACs)
 	}
@@ -263,9 +263,9 @@ func TestLifetimeOrderingProperty(t *testing.T) {
 			Tr: 1,
 			Tc: 1 << (tc4 % 5),
 		}
-		id := Analyze(l, ID, ti, cfg)
-		od := Analyze(l, OD, ti, cfg)
-		wd := Analyze(l, WD, ti, cfg)
+		id := MustAnalyze(l, ID, ti, cfg)
+		od := MustAnalyze(l, OD, ti, cfg)
+		wd := MustAnalyze(l, WD, ti, cfg)
 		// Same work, same cycles regardless of control-loop order.
 		if id.Cycles != od.Cycles || od.Cycles != wd.Cycles {
 			return false
@@ -296,7 +296,7 @@ func TestBufferTrafficConservation(t *testing.T) {
 		}
 		ti := Tiling{Tm: 1 << (tm4 % 5), Tn: 1 << (tn4 % 5), Tr: 1, Tc: 4}
 		for _, k := range Kinds {
-			a := Analyze(l, k, ti, cfg)
+			a := MustAnalyze(l, k, ti, cfg)
 			if a.BufferTraffic.Inputs < l.InputWords() ||
 				a.BufferTraffic.Weights < l.WeightWords() ||
 				a.BufferTraffic.Outputs < l.OutputWords() {
@@ -338,13 +338,32 @@ func TestKindString(t *testing.T) {
 	}
 }
 
-func TestAnalyzePanicsOnInvalid(t *testing.T) {
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	l := models.ConvLayer{Name: "x", N: 1, H: 4, L: 4, M: 1, K: 1, S: 1}
+	ok := Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}
+	if _, err := Analyze(l, ID, Tiling{}, hw.TestAccelerator()); err == nil {
+		t.Error("invalid tiling not rejected")
+	}
+	if _, err := Analyze(models.ConvLayer{Name: "bad"}, ID, ok, hw.TestAccelerator()); err == nil {
+		t.Error("invalid layer not rejected")
+	}
+	if _, err := Analyze(l, Kind(99), ok, hw.TestAccelerator()); err == nil {
+		t.Error("unknown kind not rejected")
+	}
+	badMap := hw.TestAccelerator()
+	badMap.Mapping = 99
+	if _, err := Analyze(l, ID, ok, badMap); err == nil {
+		t.Error("unknown mapping not rejected")
+	}
+}
+
+func TestMustAnalyzePanicsOnInvalid(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic on invalid tiling")
 		}
 	}()
-	Analyze(models.ConvLayer{Name: "x", N: 1, H: 4, L: 4, M: 1, K: 1, S: 1},
+	MustAnalyze(models.ConvLayer{Name: "x", N: 1, H: 4, L: 4, M: 1, K: 1, S: 1},
 		ID, Tiling{}, hw.TestAccelerator())
 }
 
@@ -369,8 +388,8 @@ func TestDDRMonotoneInCapacity(t *testing.T) {
 		small := hw.TestAccelerator().WithBufferWords(uint64(capKB%512+1) * 512)
 		big := small.WithBufferWords(small.BufferWords * 4)
 		for _, k := range Kinds {
-			a := Analyze(l, k, ti, small)
-			b := Analyze(l, k, ti, big)
+			a := MustAnalyze(l, k, ti, small)
+			b := MustAnalyze(l, k, ti, big)
 			if b.DDRTraffic.Total() > a.DDRTraffic.Total() {
 				return false
 			}
@@ -392,7 +411,7 @@ func TestStrideLargerThanKernel(t *testing.T) {
 	l := models.ConvLayer{Name: "s2", N: 8, H: 16, L: 16, M: 8, K: 1, S: 2, P: 0}
 	cfg := hw.TestAcceleratorEDRAM()
 	ti := Tiling{Tm: 8, Tn: 8, Tr: 1, Tc: 8}
-	a := Analyze(l, WD, ti, cfg)
+	a := MustAnalyze(l, WD, ti, cfg)
 	// Everything fits the 1.454MB buffer, so inputs load once even in WD.
 	if a.DDRTraffic.Inputs != l.InputWords() {
 		t.Errorf("inputs = %d, want %d", a.DDRTraffic.Inputs, l.InputWords())
@@ -409,7 +428,7 @@ func TestSingleElementTiling(t *testing.T) {
 	one := Tiling{Tm: 1, Tn: 1, Tr: 1, Tc: 1}
 	cfg := hw.TestAccelerator()
 	for _, k := range Kinds {
-		a := Analyze(l, k, one, cfg)
+		a := MustAnalyze(l, k, one, cfg)
 		if a.MACs != l.MACs() {
 			t.Fatalf("%v: MACs %d", k, a.MACs)
 		}

@@ -81,7 +81,7 @@ func TestWholeLayerUtilizationMatchesAnalytical(t *testing.T) {
 	cfg := hw.TestAccelerator()
 	layerA, _ := models.ResNet().Layer("res4a_branch1")
 	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}
-	a := pattern.Analyze(layerA, pattern.OD, ti, cfg)
+	a := pattern.MustAnalyze(layerA, pattern.OD, ti, cfg)
 
 	var useful, slots uint64
 	R, C := layerA.R(), layerA.C()

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -79,6 +80,36 @@ func (o Options) guard() float64 {
 	}
 	return RetentionGuard
 }
+
+// Fallback returns the cheap degraded-mode variant of the options: the
+// single-candidate uniform schedule ranad's degradation ladder falls
+// back to when a request's deadline budget cannot pay for the full
+// hybrid exploration. The pattern space collapses to the paper's
+// non-hybrid baselines (OD first, WD as a reserve for layers OD cannot
+// fit) at the accelerator's natural tiling, so each layer is priced in
+// a handful of candidate evaluations instead of thousands — trading
+// schedule quality (more refresh/off-chip energy, like Table IV's
+// eD+OD) for bounded latency. Refresh interval, controller and guard
+// band are preserved.
+func (o Options) Fallback() Options {
+	o.Patterns = []pattern.Kind{pattern.OD, pattern.WD}
+	o.NaturalTiling = true
+	o.FixedTiling = nil
+	return o
+}
+
+// PanicError is a panic recovered at a scheduling boundary and converted
+// into an error: the per-layer exploration goroutines recover panics so
+// a malformed candidate cannot kill a process that runs the scheduler as
+// a service. Value is the recovered panic value; Stack the goroutine
+// stack at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
 // Validate reports configuration errors.
 func (o Options) Validate() error {
@@ -186,6 +217,15 @@ launch:
 		go func(i int, l models.ConvLayer) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// A panic inside a worker goroutine would kill the whole
+			// process — no caller-side recover can catch it. Convert it
+			// into a structured per-layer error instead so long-lived
+			// callers (ranad) survive poisoned inputs.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
 			// opts was validated once above; skip the per-layer re-check.
 			plans[i], errs[i] = scheduleLayer(l, cfg, opts)
 		}(i, l)
@@ -233,7 +273,10 @@ func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 			if !t.FitsCore(effectiveLayer(l), cfg) {
 				continue
 			}
-			lp := Evaluate(l, k, t, cfg, opts)
+			lp, err := Evaluate(l, k, t, cfg, opts)
+			if err != nil {
+				return LayerPlan{}, err
+			}
 			if !lp.Analysis.Feasible {
 				continue
 			}
@@ -256,8 +299,14 @@ func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 
 // Evaluate characterizes one candidate (pattern, tiling) and prices it
 // with the Eq. 14 energy model, including the design's refresh policy.
-func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options) LayerPlan {
-	a := pattern.Analyze(l, k, t, cfg)
+// Malformed candidates (invalid layer or tiling, unknown pattern or
+// array mapping) are reported as errors rather than panics; cfg must
+// otherwise be valid (callers validate once at the public entry points).
+func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options) (LayerPlan, error) {
+	a, err := pattern.Analyze(l, k, t, cfg)
+	if err != nil {
+		return LayerPlan{}, err
+	}
 	lp := LayerPlan{Analysis: a}
 	lp.Alloc = memctrl.Allocate(a.BufferStorage, cfg.BankWords, cfg.Banks())
 	var refreshes uint64
@@ -277,7 +326,7 @@ func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Confi
 		DDRAccesses:    a.DDRTraffic.Total(),
 	}
 	lp.Energy = energy.System(lp.Counts, cfg.BufferTech)
-	return lp
+	return lp, nil
 }
 
 // effectiveLayer returns the per-group sub-layer whose dimensions the

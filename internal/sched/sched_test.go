@@ -59,7 +59,10 @@ func TestSchedulerIsOptimalOverItsSpace(t *testing.T) {
 			if !ti.FitsCore(l, cfg) {
 				continue
 			}
-			lp := Evaluate(l, k, ti, cfg, opts)
+			lp, err := Evaluate(l, k, ti, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !lp.Analysis.Feasible {
 				continue
 			}
@@ -275,8 +278,14 @@ func TestRefreshFlags(t *testing.T) {
 func TestEnergyUsesDesignTech(t *testing.T) {
 	l, _ := models.ResNet().Layer("res4a_branch1")
 	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 14}
-	sramPlan := Evaluate(l, pattern.ID, ti, hw.TestAccelerator(), Options{Patterns: []pattern.Kind{pattern.ID}})
-	edramPlan := Evaluate(l, pattern.ID, ti, hw.TestAcceleratorEDRAM(), Options{Patterns: []pattern.Kind{pattern.ID}})
+	sramPlan, err := Evaluate(l, pattern.ID, ti, hw.TestAccelerator(), Options{Patterns: []pattern.Kind{pattern.ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edramPlan, err := Evaluate(l, pattern.ID, ti, hw.TestAcceleratorEDRAM(), Options{Patterns: []pattern.Kind{pattern.ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Same traffic, different per-access energy.
 	if sramPlan.Counts.BufferAccesses != edramPlan.Counts.BufferAccesses {
 		t.Fatal("traffic should not depend on tech")

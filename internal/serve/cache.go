@@ -15,6 +15,8 @@ package serve
 import (
 	"container/list"
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -70,6 +72,22 @@ func (c *lru) Add(key string, body []byte) {
 	}
 }
 
+// Remove drops an entry if present, reporting whether it existed. The
+// server uses it to evict a key whose computation later proved poisoned
+// (e.g. a panic on a colliding degraded variant) so the next request
+// recomputes instead of serving suspect bytes.
+func (c *lru) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *lru) Len() int {
 	c.mu.Lock()
@@ -98,7 +116,24 @@ type flightGroup struct {
 	mu      sync.Mutex
 	base    context.Context // server lifetime; Shutdown cancels it
 	flights map[string]*flight
+
+	// onDone, if set, observes every computation's outcome exactly once
+	// — regardless of how many waiters shared the flight — after the
+	// flight has left the map and before waiters are released. The
+	// server hangs panic accounting, cache eviction and circuit-breaker
+	// bookkeeping off it.
+	onDone func(key string, err error)
 }
+
+// panicError is a recovered computation panic, carried to every waiter
+// of the flight as an ordinary error. The stack is for the server log;
+// Error deliberately omits it so clients never see goroutine dumps.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("internal panic: %v", e.val) }
 
 func newFlightGroup(base context.Context) *flightGroup {
 	return &flightGroup{base: base, flights: make(map[string]*flight)}
@@ -122,13 +157,26 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Co
 	g.mu.Unlock()
 
 	go func() {
-		body, err := fn(f.ctx)
-		f.body, f.err = body, err
-		g.mu.Lock()
-		delete(g.flights, key)
-		g.mu.Unlock()
-		close(f.done)
-		f.cancel()
+		// The deferred recover is the serving layer's panic isolation:
+		// fn runs library code on behalf of N waiters, and a panic here
+		// would otherwise kill the whole process (a caller-side recover
+		// cannot catch a panic in another goroutine). It becomes one
+		// *panicError that every waiter observes, counted exactly once
+		// via onDone.
+		defer func() {
+			if r := recover(); r != nil {
+				f.body, f.err = nil, &panicError{val: r, stack: debug.Stack()}
+			}
+			g.mu.Lock()
+			delete(g.flights, key)
+			g.mu.Unlock()
+			if g.onDone != nil {
+				g.onDone(key, f.err)
+			}
+			close(f.done)
+			f.cancel()
+		}()
+		f.body, f.err = fn(f.ctx)
 	}()
 	return g.wait(ctx, key, f, false)
 }

@@ -1,0 +1,204 @@
+// Package chaos is the fault-injection seam of the ranad serving
+// subsystem. An Injector sits on the computation path (the server calls
+// Inject once per scheduled computation, while holding a worker slot)
+// and deterministically converts every Nth computation into a fault:
+// added latency, a worker-starving stall, an injected cancellation, or
+// a panic.
+//
+// Determinism is the point — chaos tests must fail reproducibly. Fault
+// *scheduling* is purely counter-based (every Nth computation, in a
+// fixed check order), so a given request sequence always hits the same
+// faults; the seed only jitters fault *durations* within ±50% so that
+// latency faults do not resonate with pollers.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks an injected cancellation. It wraps context.Canceled
+// so the serving middleware classifies it exactly like a real
+// cancellation (503, retryable).
+var ErrInjected = fmt.Errorf("chaos: injected cancellation: %w", context.Canceled)
+
+// Config selects which faults fire and how often. A zero Every disables
+// that fault. Counters are per-injector and per-computation: PanicEvery
+// = 3 panics computations 3, 6, 9, …
+type Config struct {
+	// Seed drives duration jitter only (never fault scheduling).
+	Seed int64
+	// PanicEvery panics every Nth computation.
+	PanicEvery int
+	// LatencyEvery sleeps ~Latency (jittered) every Nth computation.
+	LatencyEvery int
+	Latency      time.Duration
+	// CancelEvery fails every Nth computation with ErrInjected.
+	CancelEvery int
+	// StarveEvery stalls every Nth computation for ~Starve while it
+	// holds its worker slot, starving the pool.
+	StarveEvery int
+	Starve      time.Duration
+}
+
+// Stats counts the faults an Injector has fired.
+type Stats struct {
+	Computations int64
+	Panics       int64
+	Latencies    int64
+	Cancels      int64
+	Starves      int64
+}
+
+// Injector injects the configured faults. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// plan is the set of faults one computation drew.
+type plan struct {
+	latency time.Duration
+	starve  time.Duration
+	cancel  bool
+	panicN  int64 // >0: panic, carrying the computation number
+}
+
+// draw advances the computation counter and decides this computation's
+// faults under the lock; sleeping and panicking happen outside it.
+func (i *Injector) draw() plan {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.stats.Computations++
+	n := i.stats.Computations
+	var p plan
+	every := func(e int) bool { return e > 0 && n%int64(e) == 0 }
+	if every(i.cfg.LatencyEvery) {
+		i.stats.Latencies++
+		p.latency = i.jitterLocked(i.cfg.Latency)
+	}
+	if every(i.cfg.StarveEvery) {
+		i.stats.Starves++
+		p.starve = i.jitterLocked(i.cfg.Starve)
+	}
+	if every(i.cfg.CancelEvery) {
+		i.stats.Cancels++
+		p.cancel = true
+	}
+	if every(i.cfg.PanicEvery) {
+		i.stats.Panics++
+		p.panicN = n
+	}
+	return p
+}
+
+// jitterLocked scales d to 50%–150%. Callers hold i.mu.
+func (i *Injector) jitterLocked(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration((0.5 + i.rng.Float64()) * float64(d))
+}
+
+// Inject fires this computation's faults: it may sleep (latency and
+// starvation faults, interruptible by ctx), return an error (injected
+// cancellation) or panic. The caller is expected to run it under the
+// same recover discipline as the real computation.
+func (i *Injector) Inject(ctx context.Context) error {
+	p := i.draw()
+	for _, d := range []time.Duration{p.latency, p.starve} {
+		if d <= 0 {
+			continue
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if p.cancel {
+		return ErrInjected
+	}
+	if p.panicN > 0 {
+		panic(fmt.Sprintf("chaos: injected panic (computation %d)", p.panicN))
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the fault counts.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// ParseSpec parses the -chaos flag syntax: comma-separated faults, each
+// "name=N" or "name=N:duration".
+//
+//	panic=7,latency=3:50ms,cancel=11,starve=13:200ms,seed=42
+//
+// means: panic every 7th computation, add ~50 ms to every 3rd, cancel
+// every 11th, stall every 13th for ~200 ms, jitter-seed 42.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, errors.New("chaos: empty spec")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("chaos: %q is not name=value", part)
+		}
+		count, dur, hasDur := strings.Cut(val, ":")
+		n, err := strconv.Atoi(count)
+		if err != nil || n < 0 {
+			return Config{}, fmt.Errorf("chaos: bad count in %q", part)
+		}
+		var d time.Duration
+		if hasDur {
+			if d, err = time.ParseDuration(dur); err != nil || d < 0 {
+				return Config{}, fmt.Errorf("chaos: bad duration in %q", part)
+			}
+		}
+		switch name {
+		case "seed":
+			cfg.Seed = int64(n)
+		case "panic":
+			cfg.PanicEvery = n
+		case "cancel":
+			cfg.CancelEvery = n
+		case "latency":
+			if !hasDur {
+				return Config{}, fmt.Errorf("chaos: %q needs a duration (latency=N:dur)", part)
+			}
+			cfg.LatencyEvery, cfg.Latency = n, d
+		case "starve":
+			if !hasDur {
+				return Config{}, fmt.Errorf("chaos: %q needs a duration (starve=N:dur)", part)
+			}
+			cfg.StarveEvery, cfg.Starve = n, d
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown fault %q", name)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("panic=7,latency=3:50ms,cancel=11,starve=13:200ms,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 42, PanicEvery: 7,
+		LatencyEvery: 3, Latency: 50 * time.Millisecond,
+		CancelEvery: 11,
+		StarveEvery: 13, Starve: 200 * time.Millisecond,
+	}
+	if cfg != want {
+		t.Errorf("parsed %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "panic", "panic=x", "panic=-1", "latency=3",
+		"latency=3:xyz", "starve=2", "quake=3", "panic=1:5ms:extra=",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q: no error", spec)
+		}
+	}
+}
+
+func TestDeterministicFaultSchedule(t *testing.T) {
+	// Two injectors with the same config must fault the same
+	// computations in the same order, regardless of seed-driven jitter.
+	run := func() []string {
+		i := New(Config{PanicEvery: 3, CancelEvery: 4})
+		var got []string
+		for n := 1; n <= 12; n++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						got = append(got, "panic")
+					}
+				}()
+				switch err := i.Inject(context.Background()); {
+				case err == nil:
+					got = append(got, "ok")
+				case errors.Is(err, ErrInjected):
+					got = append(got, "cancel")
+				default:
+					got = append(got, "err")
+				}
+			}()
+		}
+		return got
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("schedules differ:\n%v\n%v", a, b)
+	}
+	want := "ok,ok,panic,cancel,ok,panic,ok,cancel,panic,ok,ok,cancel"
+	if got := strings.Join(a, ","); got != want {
+		t.Errorf("schedule %v, want %v", got, want)
+	}
+}
+
+func TestInjectedCancellationIsContextCanceled(t *testing.T) {
+	i := New(Config{CancelEvery: 1})
+	err := i.Inject(context.Background())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("injected cancellation %v does not wrap context.Canceled", err)
+	}
+	if s := i.Stats(); s.Cancels != 1 || s.Computations != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	i := New(Config{LatencyEvery: 1, Latency: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- i.Inject(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Inject ignored context cancellation")
+	}
+}
+
+func TestJitterStaysWithinBounds(t *testing.T) {
+	i := New(Config{Seed: 7})
+	for n := 0; n < 1000; n++ {
+		d := i.jitterLocked(100 * time.Millisecond)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jitter %v outside [50ms, 150ms]", d)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+// RetryClient is the client-side half of the overload contract: ranad
+// sheds with 429 + Retry-After and fast-fails with 503 when a breaker
+// is open, and this client honors those hints, layering jittered
+// exponential backoff under a total attempt/time budget. It is used by
+// `rana-serve -selfcheck`, by `rana-sched -server`, and is exported for
+// any program that talks to a ranad.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryClient posts JSON to a ranad with retries. The zero value is
+// usable; fields tune it.
+type RetryClient struct {
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per request (first try included).
+	// Defaults to 5.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (doubles per retry,
+	// jittered to 50–150%). Defaults to 100 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one sleep. Defaults to 5 s.
+	MaxBackoff time.Duration
+	// Budget caps the total time spent on one Do call, sleeps included.
+	// Defaults to 30 s.
+	Budget time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from 1.
+	Seed int64
+	// Logf observes retries; nil discards.
+	Logf func(format string, args ...any)
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (c *RetryClient) init() {
+	c.once.Do(func() {
+		if c.MaxAttempts <= 0 {
+			c.MaxAttempts = 5
+		}
+		if c.BaseBackoff <= 0 {
+			c.BaseBackoff = 100 * time.Millisecond
+		}
+		if c.MaxBackoff <= 0 {
+			c.MaxBackoff = 5 * time.Second
+		}
+		if c.Budget <= 0 {
+			c.Budget = 30 * time.Second
+		}
+		if c.Logf == nil {
+			c.Logf = func(string, ...any) {}
+		}
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+// retryableStatus reports the statuses worth retrying: shed (429),
+// breaker-open/draining (503), and gateway transients (502, 504).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Do issues method url with body (retried byte-for-byte), returning the
+// final response body and status. It retries transport errors and
+// retryable statuses until MaxAttempts or Budget runs out; the last
+// response (or error) is returned either way, so callers can still
+// inspect a final 429.
+func (c *RetryClient) Do(ctx context.Context, method, url string, body []byte) ([]byte, int, error) {
+	c.init()
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.Budget)
+	defer cancel()
+
+	var lastBody []byte
+	var lastStatus int
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := hc.Do(req)
+		var retryAfter time.Duration
+		if err != nil {
+			lastBody, lastStatus, lastErr = nil, 0, err
+			if ctx.Err() != nil {
+				return nil, 0, err // budget or caller deadline spent
+			}
+		} else {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, resp.StatusCode, rerr
+			}
+			lastBody, lastStatus, lastErr = b, resp.StatusCode, nil
+			if !retryableStatus(resp.StatusCode) {
+				return b, resp.StatusCode, nil
+			}
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if attempt >= c.MaxAttempts {
+			if lastErr != nil {
+				return nil, 0, fmt.Errorf("serve: %d attempts: %w", attempt, lastErr)
+			}
+			return lastBody, lastStatus, nil
+		}
+		sleep := c.backoff(attempt, retryAfter)
+		c.Logf("retry %d/%d in %v (status %d, err %v)", attempt, c.MaxAttempts, sleep, lastStatus, lastErr)
+		t := time.NewTimer(sleep)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			if lastErr != nil {
+				return nil, 0, lastErr
+			}
+			return lastBody, lastStatus, nil
+		}
+	}
+}
+
+// backoff picks the next sleep: the server's Retry-After when it is the
+// larger hint, otherwise jittered exponential from BaseBackoff.
+func (c *RetryClient) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.BaseBackoff << (attempt - 1)
+	if d > c.MaxBackoff || d <= 0 {
+		d = c.MaxBackoff
+	}
+	c.mu.Lock()
+	d = time.Duration((0.5 + c.rng.Float64()) * float64(d))
+	c.mu.Unlock()
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	return d
+}
+
+// PostJSON posts a JSON body with retries.
+func (c *RetryClient) PostJSON(ctx context.Context, url string, body []byte) ([]byte, int, error) {
+	return c.Do(ctx, http.MethodPost, url, body)
+}
+
+// Get fetches url with retries.
+func (c *RetryClient) Get(ctx context.Context, url string) ([]byte, int, error) {
+	return c.Do(ctx, http.MethodGet, url, nil)
+}

@@ -10,8 +10,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"rana/internal/platform"
 	"rana/internal/sched"
@@ -29,12 +31,26 @@ type ScheduleResponse struct {
 	// Plan is the schedule in the shared wire encoding — the same
 	// format as the golden regression files and `rana-sched -json`.
 	Plan sched.PlanJSON `json:"plan"`
+	// Degraded marks a response served via the degradation ladder: the
+	// request's deadline budget was below the server's degrade budget,
+	// so this is a cheap uniform fallback schedule (natural tiling,
+	// no per-layer search), valid but not energy-optimal.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
+
+// degradedReason is deliberately a fixed string — no per-request
+// numbers — so degraded responses stay byte-identical across cache
+// hits, misses and dedups.
+const degradedReason = "deadline budget below the full-search threshold; served the uniform fallback schedule"
 
 func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response, error) {
 	var req ScheduleRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return nil, err
+	}
+	if req.DeadlineMS < 0 {
+		return nil, badRequest("negative deadline_ms %d", req.DeadlineMS)
 	}
 	net, err := resolveNetwork(req.Model, req.Network)
 	if err != nil {
@@ -48,8 +64,27 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 	if err != nil {
 		return nil, err
 	}
+	// The degradation ladder: an explicit deadline tightens the request
+	// context, and one too small for the full hybrid search swaps in the
+	// uniform fallback options. The degraded variant gets its own cache
+	// key ("schedule-degraded") because its body differs even when the
+	// resolved options coincide with a full request's.
+	degraded := false
+	if req.DeadlineMS > 0 {
+		budget := time.Duration(req.DeadlineMS) * time.Millisecond
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+		if s.cfg.DegradeBudget > 0 && budget < s.cfg.DegradeBudget {
+			degraded = true
+			opts = opts.Fallback()
+		}
+	}
 	key := scheduleKey(net, cfg, opts)
-	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+	if degraded {
+		key = scheduleDegradedKey(net, cfg, opts)
+	}
+	resp, err := s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
 		plan, err := s.scheduleFn(ctx, net, cfg, opts)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
@@ -58,13 +93,22 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 		if opts.Controller != nil {
 			controller = opts.Controller.Name()
 		}
-		return marshalBody(ScheduleResponse{
+		resp := ScheduleResponse{
 			Accelerator:       cfg.Name,
 			RefreshIntervalNS: int64(opts.RefreshInterval),
 			Controller:        controller,
 			Plan:              sched.Encode(plan),
-		})
+		}
+		if degraded {
+			resp.Degraded = true
+			resp.DegradedReason = degradedReason
+		}
+		return marshalBody(resp)
 	})
+	if err == nil && degraded {
+		s.m.Degraded.Add(1)
+	}
+	return resp, err
 }
 
 // CompileResponse is the /v1/compile response body: the Stage 1
@@ -210,6 +254,13 @@ func marshalBody(v any) ([]byte, error) {
 // anything else is a 422 — the request was well formed but cannot be
 // scheduled (e.g. no feasible tiling on the given hardware).
 func wrapComputeErr(ctx context.Context, err error) error {
+	var pe *sched.PanicError
+	if errors.As(err, &pe) {
+		// A recovered scheduler panic is a server bug (500), never a
+		// 422 — surface it unwrapped so the middleware and breaker
+		// classify it as a panic.
+		return err
+	}
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}

@@ -112,7 +112,11 @@ func (c *canonicalRequest) canonicalOptions(opts sched.Options) {
 func (c *canonicalRequest) key() string {
 	b, err := json.Marshal(c)
 	if err != nil {
-		// The form is a closed struct of scalars; this cannot fail.
+		// Invariant, not input validation: the form is a closed struct of
+		// scalars built by this package, so marshalling cannot fail on any
+		// request a client can send. Kept as a panic deliberately — the
+		// request middleware's recover converts it to a 500 if it ever
+		// fires, and converting it to an error here would hide the bug.
 		panic("serve: canonical encoding: " + err.Error())
 	}
 	sum := sha256.Sum256(b)
@@ -122,6 +126,19 @@ func (c *canonicalRequest) key() string {
 // scheduleKey is the cache key of a resolved /v1/schedule request.
 func scheduleKey(net models.Network, cfg hw.Config, opts sched.Options) string {
 	c := canonicalRequest{Op: "schedule"}
+	c.canonicalNetwork(net)
+	c.canonicalConfig(cfg)
+	c.canonicalOptions(opts)
+	return c.key()
+}
+
+// scheduleDegradedKey keys a degraded /v1/schedule response. It must
+// differ from every full-search key even when the resolved options
+// coincide with the fallback options, because degraded bodies carry the
+// "degraded" marker and the cache guarantees byte-identical hits — so
+// the op string, not just the options, distinguishes the variants.
+func scheduleDegradedKey(net models.Network, cfg hw.Config, opts sched.Options) string {
+	c := canonicalRequest{Op: "schedule-degraded"}
 	c.canonicalNetwork(net)
 	c.canonicalConfig(cfg)
 	c.canonicalOptions(opts)

@@ -27,9 +27,33 @@ type metrics struct {
 	Deduped     expvar.Int // responses that joined an in-flight computation
 	InFlight    expvar.Int // currently executing API requests
 
+	// Robustness counters.
+	PanicsRecovered  expvar.Int // computation/handler panics converted to 500s
+	Shed             expvar.Int // computations rejected by the admission queue
+	Degraded         expvar.Int // responses served via the degradation ladder
+	BreakerOpenTotal expvar.Int // per-key breaker closed→open transitions
+	BreakerFastFails expvar.Int // requests fast-failed by an open breaker
+
+	// Statuses counts responses per endpoint and status class, with
+	// keys like "schedule_2xx" or "healthz_5xx" (expvar.Map.Add is
+	// concurrency-safe).
+	Statuses expvar.Map
+
 	mu   sync.Mutex
 	lats [latWindow]time.Duration
 	n    int // total observations; lats is a ring at n % latWindow
+}
+
+// newMetrics returns initialized metrics (expvar.Map needs Init).
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.Statuses.Init()
+	return m
+}
+
+// status records one response's endpoint and status class.
+func (m *metrics) status(endpoint string, code int) {
+	m.Statuses.Add(fmt.Sprintf("%s_%dxx", endpoint, code/100), 1)
 }
 
 // observe records one request latency.
@@ -71,6 +95,12 @@ func (m *metrics) expvarMap() *expvar.Map {
 	em.Set("cache_misses", &m.CacheMisses)
 	em.Set("deduped", &m.Deduped)
 	em.Set("in_flight", &m.InFlight)
+	em.Set("panics_recovered", &m.PanicsRecovered)
+	em.Set("shed", &m.Shed)
+	em.Set("degraded", &m.Degraded)
+	em.Set("breaker_open_total", &m.BreakerOpenTotal)
+	em.Set("breaker_fast_fails", &m.BreakerFastFails)
+	em.Set("statuses", &m.Statuses)
 	em.Set("latency_p50_ms", expvar.Func(func() any {
 		p50, _ := m.quantiles()
 		return float64(p50) / float64(time.Millisecond)

@@ -34,6 +34,11 @@ import (
 // of KB.
 const maxRequestBytes = 1 << 20
 
+// maxCustomLayers bounds a custom network's layer count: beyond it the
+// request is hostile or mistaken, and scheduling cost would scale with
+// attacker-controlled input.
+const maxCustomLayers = 4096
+
 // LayerSpec is one custom CONV layer shape on the wire.
 type LayerSpec struct {
 	Name   string `json:"name"`
@@ -102,6 +107,11 @@ type ScheduleRequest struct {
 	Accelerator string       `json:"accelerator,omitempty"`
 	Config      *ConfigSpec  `json:"config,omitempty"`
 	Options     *OptionsSpec `json:"options,omitempty"`
+	// DeadlineMS bounds this request end-to-end in milliseconds (capped
+	// by the server's request timeout). A deadline below the server's
+	// degrade budget trades schedule quality for latency: the response
+	// is a cheap uniform fallback schedule marked "degraded".
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // CompileRequest asks for the full three-stage compilation.
@@ -120,9 +130,13 @@ type EvaluateRequest struct {
 }
 
 // apiError is a client-visible request failure with an HTTP status.
+// retryAfter, when positive, becomes a Retry-After header — the
+// contract shed (429) and breaker-open (503) responses use to tell
+// well-behaved clients when to come back.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -159,6 +173,9 @@ func resolveNetwork(model string, spec *NetworkSpec) (models.Network, error) {
 		}
 		return models.Network{}, badRequest("unknown model %q (want one of %v)", model, benchmarkNames())
 	case spec != nil:
+		if len(spec.Layers) > maxCustomLayers {
+			return models.Network{}, badRequest("custom network has %d layers, max %d", len(spec.Layers), maxCustomLayers)
+		}
 		net := models.Network{Name: spec.Name}
 		for _, l := range spec.Layers {
 			net.Layers = append(net.Layers, models.ConvLayer{

@@ -25,12 +25,15 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	"rana/internal/core"
 	"rana/internal/hw"
 	"rana/internal/models"
 	"rana/internal/sched"
+	"rana/internal/serve/chaos"
 )
 
 // Config parameterizes a Server.
@@ -52,6 +55,35 @@ type Config struct {
 	// for a worker slot. Defaults to 60 s.
 	RequestTimeout time.Duration
 
+	// QueueDepth bounds computations waiting for a worker slot beyond
+	// the Workers already executing; a computation arriving past that is
+	// shed with 429 + Retry-After instead of queueing. Defaults to
+	// 4×Workers; negative means no waiting room at all.
+	QueueDepth int
+
+	// RetryAfter is the Retry-After hint on shed responses. Defaults
+	// to 1 s.
+	RetryAfter time.Duration
+
+	// BreakerThreshold is the consecutive panic/timeout count that
+	// opens a key's circuit breaker. Defaults to 3; negative disables
+	// the breaker.
+	BreakerThreshold int
+
+	// BreakerBackoff is the first open window; it doubles per re-open.
+	// Defaults to 1 s.
+	BreakerBackoff time.Duration
+
+	// DegradeBudget is the degradation-ladder threshold: a /v1/schedule
+	// request with an explicit deadline below it gets a cheap uniform
+	// fallback schedule marked "degraded" instead of the full hybrid
+	// search. Defaults to 200 ms; negative disables degradation.
+	DegradeBudget time.Duration
+
+	// Chaos, when non-nil, injects faults into the computation path
+	// (latency, stalls, cancellations, panics). Test/selfcheck only.
+	Chaos *chaos.Injector
+
 	// Logf receives request logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -67,6 +99,24 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = time.Second
+	}
+	if c.DegradeBudget == 0 {
+		c.DegradeBudget = 200 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -80,7 +130,9 @@ type Server struct {
 	flights *flightGroup
 	m       *metrics
 	vars    fmt.Stringer // the /metrics document
-	sem     chan struct{}
+	sem     chan struct{} // worker slots: computations executing
+	queue   chan struct{} // admission tokens: executing + waiting
+	breaker *breaker      // nil when disabled
 
 	baseCtx context.Context // canceled when Shutdown begins
 	stop    context.CancelFunc
@@ -101,8 +153,9 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		cache:      newLRU(cfg.CacheEntries),
 		flights:    newFlightGroup(base),
-		m:          &metrics{},
+		m:          newMetrics(),
 		sem:        make(chan struct{}, cfg.Workers),
+		queue:      make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		baseCtx:    base,
 		stop:       stop,
 		scheduleFn: sched.ScheduleContext,
@@ -110,6 +163,11 @@ func New(cfg Config) *Server {
 			return core.New().CompileContext(ctx, net)
 		},
 	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff,
+			func() { s.m.BreakerOpenTotal.Add(1) })
+	}
+	s.flights.onDone = s.computationDone
 	s.vars = s.m.expvarMap()
 	s.httpSrv = &http.Server{
 		Addr:              cfg.Addr,
@@ -124,12 +182,12 @@ func New(cfg Config) *Server {
 // embedding ranad's API under a larger mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.Handle("/v1/schedule", s.api(s.handleSchedule))
-	mux.Handle("/v1/compile", s.api(s.handleCompile))
-	mux.Handle("/v1/evaluate", s.api(s.handleEvaluate))
-	mux.HandleFunc("/v1/catalog", s.handleCatalog)
+	mux.HandleFunc("/healthz", s.counted("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.counted("metrics", s.handleMetrics))
+	mux.Handle("/v1/schedule", s.api("schedule", s.handleSchedule))
+	mux.Handle("/v1/compile", s.api("compile", s.handleCompile))
+	mux.Handle("/v1/evaluate", s.api("evaluate", s.handleEvaluate))
+	mux.HandleFunc("/v1/catalog", s.counted("catalog", s.handleCatalog))
 	return mux
 }
 
@@ -160,12 +218,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // api wraps an endpoint handler with the service middleware: method
-// gating, per-request timeout, metrics accounting and logging.
-func (s *Server) api(h func(ctx context.Context, r *http.Request) (*response, error)) http.Handler {
+// gating, per-request timeout, panic isolation, metrics accounting and
+// logging.
+func (s *Server) api(name string, h func(ctx context.Context, r *http.Request) (*response, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			s.error(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST"})
+			s.m.status(name, s.error(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST"}))
 			return
 		}
 		start := time.Now()
@@ -177,18 +236,48 @@ func (s *Server) api(h func(ctx context.Context, r *http.Request) (*response, er
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 
-		resp, err := h(ctx, r)
+		resp, err := s.guard(name, func() (*response, error) { return h(ctx, r) })
 		if err != nil {
-			s.error(w, err)
-			s.cfg.Logf("ranad: %s %s -> error: %v (%v)", r.Method, r.URL.Path, err, time.Since(start))
+			status := s.error(w, err)
+			s.m.status(name, status)
+			s.cfg.Logf("ranad: %s %s -> %d: %v (%v)", r.Method, r.URL.Path, status, err, time.Since(start))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Rana-Cache", resp.source)
 		w.Header().Set("X-Rana-Key", resp.key)
 		w.Write(resp.body)
+		s.m.status(name, http.StatusOK)
 		s.cfg.Logf("ranad: %s %s -> 200 %s (%v)", r.Method, r.URL.Path, resp.source, time.Since(start))
 	})
+}
+
+// guard runs h with the handler-side panic isolation: a panic on the
+// request path (decoding, resolving, hashing — anything outside the
+// flight goroutine, which has its own recover) becomes a structured
+// 500 instead of killing the process. Panics recovered here are counted
+// directly; flight panics are counted in computationDone, so the two
+// recovery sites never double-count one event.
+func (s *Server) guard(name string, h func() (*response, error)) (resp *response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &panicError{val: r, stack: debug.Stack()}
+			s.m.PanicsRecovered.Add(1)
+			s.cfg.Logf("ranad: recovered handler panic on %s: %v\n%s", name, r, pe.stack)
+			resp, err = nil, pe
+		}
+	}()
+	return h()
+}
+
+// counted wraps the always-available GET endpoints (health, metrics,
+// catalog) with status accounting only: they must stay off the
+// admission path so they answer even when the pool is saturated.
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(w, r)
+		s.m.status(name, http.StatusOK)
+	}
 }
 
 // response is one successful API response: the exact bytes to send plus
@@ -200,14 +289,21 @@ type response struct {
 	source string // "hit", "miss" or "dedup"
 }
 
-// error writes a JSON error response and counts it.
-func (s *Server) error(w http.ResponseWriter, err error) {
+// error writes a JSON error response, counts it, and returns the
+// status it sent so the caller can attribute it per endpoint.
+func (s *Server) error(w http.ResponseWriter, err error) int {
 	s.m.Errors.Add(1)
 	status := http.StatusInternalServerError
 	var ae *apiError
 	switch {
 	case errors.As(err, &ae):
 		status = ae.status
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(ae.retryAfter)))
+		}
+	case isPanic(err):
+		// Keep 500: a recovered panic is a server bug, never the
+		// client's fault, even if a ctx error is also in the chain.
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -218,6 +314,26 @@ func (s *Server) error(w http.ResponseWriter, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	return status
+}
+
+// retryAfterSeconds renders a duration as a Retry-After value: whole
+// seconds, rounded up, at least 1 (a 0 tells clients to hammer).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// isPanic reports whether err is a recovered panic from either
+// isolation layer: the flight goroutine (*panicError) or the
+// scheduler's per-layer workers (*sched.PanicError).
+func isPanic(err error) bool {
+	var pe *panicError
+	var spe *sched.PanicError
+	return errors.As(err, &pe) || errors.As(err, &spe)
 }
 
 // cached runs the cache → singleflight → worker-pool path shared by
@@ -229,15 +345,35 @@ func (s *Server) cached(ctx context.Context, key string, compute func(ctx contex
 		s.m.CacheHits.Add(1)
 		return &response{body: body, key: key, source: "hit"}, nil
 	}
+	// The breaker gates *starting or joining* a computation, never
+	// serving from cache: cached bytes are proven good.
+	if wait, ok := s.breaker.allow(key); !ok {
+		s.m.BreakerFastFails.Add(1)
+		return nil, &apiError{
+			status:     http.StatusServiceUnavailable,
+			msg:        "circuit open: this request has repeatedly panicked or timed out; retry later",
+			retryAfter: wait,
+		}
+	}
 	body, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
-		// One worker slot per *computation*, not per request: a hundred
-		// deduplicated requests cost one slot.
+		// Admission and the worker slot are per *computation*, not per
+		// request: a hundred deduplicated requests cost one queue token
+		// and one slot, and joining an existing flight is never shed.
+		if err := s.admit(); err != nil {
+			return nil, err
+		}
+		defer s.releaseQueue()
 		select {
 		case s.sem <- struct{}{}:
 		case <-fctx.Done():
 			return nil, fctx.Err()
 		}
 		defer func() { <-s.sem }()
+		if s.cfg.Chaos != nil {
+			if err := s.cfg.Chaos.Inject(fctx); err != nil {
+				return nil, err
+			}
+		}
 		body, err := compute(fctx)
 		if err == nil {
 			s.cache.Add(key, body)
@@ -257,4 +393,34 @@ func (s *Server) cached(ctx context.Context, key string, compute func(ctx contex
 		source = "dedup"
 	}
 	return &response{body: body, key: key, source: source}, nil
+}
+
+// computationDone observes every flight's outcome exactly once (the
+// flightGroup calls it after fn returns, however many waiters shared
+// the flight): panic accounting and cache eviction for poisoned keys,
+// plus circuit-breaker bookkeeping.
+func (s *Server) computationDone(key string, err error) {
+	if err == nil {
+		s.breaker.record(key, false, true)
+		return
+	}
+	tripped := false
+	switch {
+	case isPanic(err):
+		tripped = true
+		s.m.PanicsRecovered.Add(1)
+		s.cache.Remove(key)
+		var pe *panicError
+		if errors.As(err, &pe) {
+			s.cfg.Logf("ranad: recovered computation panic for %s: %v\n%s", key, pe.val, pe.stack)
+		} else {
+			var spe *sched.PanicError
+			if errors.As(err, &spe) {
+				s.cfg.Logf("ranad: recovered scheduler panic for %s: %v\n%s", key, spe.Value, spe.Stack)
+			}
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		tripped = true
+	}
+	s.breaker.record(key, tripped, false)
 }

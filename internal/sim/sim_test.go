@@ -30,7 +30,7 @@ func TestWalkerMatchesClosedForm(t *testing.T) {
 				Tr: 1, Tc: minI(16, l.C()),
 			}
 			for _, k := range pattern.Kinds {
-				a := pattern.Analyze(l, k, ti, cfg)
+				a := pattern.MustAnalyze(l, k, ti, cfg)
 				w := Walk(l, k, ti, cfg)
 				if a.Cycles != w.Cycles {
 					t.Errorf("%s/%s %v: cycles %d vs walker %d", net.Name, l.Name, k, a.Cycles, w.Cycles)
@@ -70,7 +70,7 @@ func TestWalkerMatchesClosedFormRandom(t *testing.T) {
 			Tr: int(tr2%3) + 1, Tc: 1 << (tc3 % 4),
 		}
 		for _, k := range pattern.Kinds {
-			a := pattern.Analyze(l, k, ti, cfg)
+			a := pattern.MustAnalyze(l, k, ti, cfg)
 			w := Walk(l, k, ti, cfg)
 			if a.Cycles != w.Cycles || a.BufferTraffic != w.BufferTraffic {
 				return false
@@ -94,7 +94,7 @@ func TestWalkerGroupedLayer(t *testing.T) {
 	l := models.ConvLayer{Name: "g", N: 32, H: 13, L: 13, M: 48, K: 3, S: 1, P: 1, Groups: 2}
 	ti := pattern.Tiling{Tm: 16, Tn: 8, Tr: 1, Tc: 13}
 	for _, k := range pattern.Kinds {
-		a := pattern.Analyze(l, k, ti, cfg)
+		a := pattern.MustAnalyze(l, k, ti, cfg)
 		w := Walk(l, k, ti, cfg)
 		if a.Cycles != w.Cycles || a.BufferTraffic != w.BufferTraffic {
 			t.Errorf("%v: analyze %d/%+v walker %d/%+v", k, a.Cycles, a.BufferTraffic, w.Cycles, w.BufferTraffic)

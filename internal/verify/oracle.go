@@ -26,7 +26,7 @@ import (
 // panic on malformed layers or tilings by design.
 func CompareLayer(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, tol Tolerances) *Report {
 	r := &Report{Layer: l, Pattern: k, Tiling: t, Config: cfg}
-	a := pattern.Analyze(l, k, t, cfg)
+	a := pattern.MustAnalyze(l, k, t, cfg)
 	w := sim.Walk(l, k, t, cfg)
 
 	// MAC accounting: the analytical α must equal the layer's own count.

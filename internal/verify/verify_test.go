@@ -40,7 +40,7 @@ func TestOracleZooAgreement(t *testing.T) {
 			if !r.OK() {
 				t.Errorf("%s", r)
 			}
-			a := pattern.Analyze(l, k, ti, cfg)
+			a := pattern.MustAnalyze(l, k, ti, cfg)
 			rr, err := CompareRefresh(a, cfg, opts, tol)
 			if err != nil {
 				t.Fatal(err)
@@ -64,7 +64,7 @@ func TestOracleRandomAgreement(t *testing.T) {
 			t.Fatalf("case %d: %s", i, r)
 		}
 		if c.Options.Controller != nil {
-			a := pattern.Analyze(c.Layer, c.Pattern, c.Tiling, c.Config)
+			a := pattern.MustAnalyze(c.Layer, c.Pattern, c.Tiling, c.Config)
 			rr, err := CompareRefresh(a, c.Config, c.Options, tol)
 			if err != nil {
 				t.Fatal(err)

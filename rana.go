@@ -90,9 +90,17 @@ type Tiling = pattern.Tiling
 // Analysis is the analytical characterization of (layer, pattern, tiling).
 type Analysis = pattern.Analysis
 
-// Analyze characterizes one layer under a pattern and tiling.
-func Analyze(l ConvLayer, k Pattern, t Tiling, cfg HWConfig) Analysis {
+// Analyze characterizes one layer under a pattern and tiling. Invalid
+// inputs (malformed layer or tiling, unknown pattern or array mapping)
+// are reported as an error; MustAnalyze panics instead for inputs known
+// valid by construction.
+func Analyze(l ConvLayer, k Pattern, t Tiling, cfg HWConfig) (Analysis, error) {
 	return pattern.Analyze(l, k, t, cfg)
+}
+
+// MustAnalyze is Analyze for known-valid inputs; it panics on error.
+func MustAnalyze(l ConvLayer, k Pattern, t Tiling, cfg HWConfig) Analysis {
+	return pattern.MustAnalyze(l, k, t, cfg)
 }
 
 // Breakdown is a system energy split (Eq. 14 components).

@@ -38,7 +38,10 @@ func TestFacadeEvaluate(t *testing.T) {
 
 func TestFacadeAnalyze(t *testing.T) {
 	l, _ := ResNet().Layer("res4a_branch1")
-	a := Analyze(l, OD, Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}, TestAccelerator())
+	a, err := Analyze(l, OD, Tiling{Tm: 16, Tn: 16, Tr: 1, Tc: 16}, TestAccelerator())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Lifetimes.Output <= 0 || a.Lifetimes.Output >= TolerableRetentionTime {
 		t.Errorf("Layer-A OD lifetime %v should be positive and below 734µs", a.Lifetimes.Output)
 	}
