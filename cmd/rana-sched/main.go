@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"rana"
+	"rana/internal/sched/search"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	export := fs.Bool("export", false, "emit the compiled layerwise configuration artifact as JSON")
 	asJSON := fs.Bool("json", false, "emit the compiled plan in the shared wire format (the golden/serving encoding)")
 	server := fs.String("server", "", "compile on a ranad instance (base URL) instead of in process")
+	strategy := fs.String("search", "", `Stage 2 exploration strategy: "exhaustive", "pruned" or "beam" (default pruned)`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,8 +47,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rana-sched: -export and -json are mutually exclusive")
 		return 2
 	}
+	if err := (search.Strategy(*strategy)).Validate(); err != nil {
+		fmt.Fprintln(stderr, "rana-sched:", err)
+		return 2
+	}
 	if *server != "" {
-		return runRemote(*server, *model, *export, *asJSON, stdout, stderr)
+		return runRemote(*server, *model, *strategy, *export, *asJSON, stdout, stderr)
 	}
 
 	var net rana.Network
@@ -61,7 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	out, err := rana.NewFramework().Compile(net)
+	fw := rana.NewFramework()
+	fw.Search = search.Strategy(*strategy)
+	out, err := fw.Compile(net)
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-sched:", err)
 		return 1

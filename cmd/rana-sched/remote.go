@@ -20,7 +20,7 @@ import (
 // -json prints the plan wire encoding, and the default prints the
 // compile summary numbers (the per-layer table needs the in-process
 // output and is only available locally).
-func runRemote(baseURL, model string, export, asJSON bool, stdout, stderr io.Writer) int {
+func runRemote(baseURL, model, strategy string, export, asJSON bool, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	rc := &serve.RetryClient{
@@ -28,14 +28,19 @@ func runRemote(baseURL, model string, export, asJSON bool, stdout, stderr io.Wri
 			fmt.Fprintf(stderr, "rana-sched: "+format+"\n", args...)
 		},
 	}
-	reqBody, err := json.Marshal(map[string]any{"model": model})
-	if err != nil {
-		fmt.Fprintln(stderr, "rana-sched:", err)
-		return 1
-	}
-
+	req := map[string]any{"model": model}
 	if asJSON {
 		// /v1/schedule carries the same plan wire encoding as local -json.
+		// A -search strategy pins the server's exploration (and opts the
+		// request out of the beam rung of the degradation ladder).
+		if strategy != "" {
+			req["options"] = map[string]any{"search": strategy}
+		}
+		reqBody, err := json.Marshal(req)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-sched:", err)
+			return 1
+		}
 		body, status, err := rc.PostJSON(ctx, baseURL+"/v1/schedule", reqBody)
 		if err != nil {
 			fmt.Fprintln(stderr, "rana-sched:", err)
@@ -54,6 +59,14 @@ func runRemote(baseURL, model string, export, asJSON bool, stdout, stderr io.Wri
 		return printIndented(stdout, stderr, resp.Plan)
 	}
 
+	if strategy != "" {
+		req["search"] = strategy
+	}
+	reqBody, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-sched:", err)
+		return 1
+	}
 	body, status, err := rc.PostJSON(ctx, baseURL+"/v1/compile", reqBody)
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-sched:", err)

@@ -10,6 +10,7 @@
 //	rana-verify -patterns ID,OD,WD       # include the input-dominant pattern
 //	rana-verify -random 500 -seed 7      # randomized differential cases
 //	rana-verify -functional 5            # word-accurate cross-checks
+//	rana-verify -search 50               # search-strategy differential sweep
 //
 // The first divergence is reported with a minimized reproducer and the
 // command exits 1; usage errors exit 2.
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	random := fs.Int("random", 0, "number of additional randomized differential cases")
 	seed := fs.Uint64("seed", 1, "seed for the randomized cases")
 	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
+	searchN := fs.Int("search", 0, "strategy differential: check pruned ≡ exhaustive on the selected networks plus this many random networks")
 	verbose := fs.Bool("v", false, "report every case, not just failures")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,6 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cases += n
 		failures += f
 	}
+	if *searchN > 0 {
+		n, f := sweepStrategies(stdout, stderr, nets, cfg, opts, *searchN, *seed, *verbose)
+		cases += n
+		failures += f
+	}
 
 	if failures > 0 {
 		fmt.Fprintf(stdout, "rana-verify: %d of %d cases FAILED\n", failures, cases)
@@ -194,6 +201,43 @@ func sweepFunctional(stdout, stderr io.Writer, count int, seed uint64, tol verif
 	}
 	if verbose {
 		fmt.Fprintf(stdout, "ok   %d functional cases\n", count)
+	}
+	return cases, failures
+}
+
+// sweepStrategies runs the search-strategy differential oracle: pruned
+// branch-and-bound must reproduce the exhaustive reference byte-for-byte
+// on every selected network and on `count` small random networks, while
+// evaluating no more candidates.
+func sweepStrategies(stdout, stderr io.Writer, nets []models.Network, cfg hw.Config, opts sched.Options, count int, seed uint64, verbose bool) (cases, failures int) {
+	check := func(name string, net models.Network, c hw.Config) {
+		cases++
+		r, err := verify.CompareStrategies(net, c, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify:", err)
+			failures++
+			return
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s search strategies\n%s\n", name, indent(r.String()))
+			return
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "ok   %s %s\n", name, r)
+		}
+	}
+	for _, net := range nets {
+		check(net.Name, net, cfg)
+	}
+	g := gen.New(seed)
+	for i := 0; i < count; i++ {
+		c := g.Config()
+		net := models.Network{Name: fmt.Sprintf("random-%d", i)}
+		for j := 0; j < 1+i%3; j++ {
+			net.Layers = append(net.Layers, g.TinyLayer())
+		}
+		check(net.Name, net, c)
 	}
 	return cases, failures
 }

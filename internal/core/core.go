@@ -24,6 +24,7 @@ import (
 	"rana/internal/platform"
 	"rana/internal/retention"
 	"rana/internal/sched"
+	"rana/internal/sched/search"
 	"rana/internal/training"
 )
 
@@ -38,6 +39,12 @@ type Framework struct {
 	AccuracyConstraint float64
 	// Rates is the failure-rate ladder Stage 1 searches.
 	Rates []float64
+	// Search selects Stage 2's exploration strategy (empty resolves to
+	// the branch-and-bound default, search.Pruned).
+	Search search.Strategy
+	// BeamWidth bounds search.Beam's per-layer exact evaluations; zero
+	// selects the default width.
+	BeamWidth int
 }
 
 // New returns a framework on the paper's evaluation platform with the
@@ -122,6 +129,8 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		Patterns:        design.Patterns,
 		RefreshInterval: rt,
 		Controller:      memctrl.RefreshOptimized{},
+		Search:          f.Search,
+		BeamWidth:       f.BeamWidth,
 	}
 	plan, err := sched.ScheduleContext(ctx, net, cfg, opts)
 	if err != nil {

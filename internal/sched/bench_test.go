@@ -1,0 +1,39 @@
+package sched
+
+import (
+	"testing"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched/search"
+)
+
+// BenchmarkScheduleLayerStrategies compares the per-layer exploration
+// cost of the three search strategies on a representative mid-network
+// layer. The evals/op metric is the number of exact Eq. 14 pricings —
+// the expensive operation pruning and beaming exist to minimize — so a
+// regression in either the pruning ratio or the allocation profile is
+// visible from the benchmark output alone.
+func BenchmarkScheduleLayerStrategies(b *testing.B) {
+	cfg := hw.TestAcceleratorEDRAM()
+	l, ok := models.VGG().Layer("conv4_2")
+	if !ok {
+		b.Fatal("missing benchmark layer")
+	}
+	for _, s := range search.Strategies() {
+		opts := ranaOpts()
+		opts.Search = s
+		b.Run(string(s), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats search.Stats
+			for i := 0; i < b.N; i++ {
+				_, st, err := ExploreLayer(l, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = st
+			}
+			b.ReportMetric(float64(stats.Evaluated), "evals/op")
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package sched
+
+// The admissible lower bound behind the Pruned and Beam search
+// strategies: a cheap underestimate of Evaluate's exact Eq. 14 energy,
+// computable without running pattern.Analyze, memctrl allocation or
+// refresh accounting.
+//
+// The bound keeps three of the four Eq. 14 terms and drops one:
+//
+//   - α·Emac — exact. The MAC count is a layer property, independent of
+//     pattern and tiling.
+//   - βb·Ebuffer — exact. The per-kind buffer-traffic formulas of
+//     pattern.Analyze depend only on the tile counts and transfer sizes,
+//     never on feasibility or the refresh policy, so the bound evaluates
+//     them directly.
+//   - βd·Eddr — the compulsory minimum. Every pattern must move each
+//     datum on/off chip at least once (din + dw + dout); the spill and
+//     reload penalties Analyze adds when a working set overflows the
+//     buffer only increase it. WD streams input tiles with halo overlap
+//     when the input set cannot stay resident, and for strided layers
+//     the overlapped stream can be *smaller* than din (the halo skips
+//     rows the kernel never revisits), so WD's input term is
+//     min(din, halo traffic).
+//   - γ·Erefresh — bounded by zero. Refresh energy is never negative.
+//
+// Candidates whose streaming working set cannot fit the buffer bound to
+// +Inf instead: Analyze's per-kind feasibility checks are a handful of
+// multiplies, and an infeasible candidate can never become the search
+// incumbent, so an infinite bound is vacuously admissible. It lets the
+// branch-and-bound skip pricing infeasible space entirely and keeps the
+// beam's exact-evaluation budget spent on candidates that can win
+// (TestBoundIsAdmissible pins the formulas against pattern.Analyze so
+// they cannot drift).
+//
+// Admissibility down to the bit: the bound prices its counts through the
+// same energy.System → Breakdown.Total() path as Evaluate, with
+// identical MAC and buffer counts and component-wise smaller-or-equal
+// refresh and DDR counts. float64 conversion, multiplication by a
+// positive constant and addition are monotone under round-to-nearest,
+// and Total() sums components in one fixed order, so
+// lower(k, t) ≤ Evaluate(l, k, t, …).Energy.Total() holds exactly, not
+// just approximately — the pruning test in search/scan (strictly
+// greater than the incumbent) can therefore never discard the argmin or
+// an exact tie.
+
+import (
+	"math"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+// bound precomputes the tiling-invariant quantities of one layer's
+// lower-bound evaluator. All dimensions are the effective per-group
+// sub-layer's (grouped convolutions run one group at a time); whole-
+// layer counts scale by the group count exactly as Analyze does.
+type bound struct {
+	l             models.ConvLayer // effective (per-group) sub-layer
+	cfg           hw.Config
+	g             uint64 // group count scaling sub-layer traffic to the layer
+	macs          uint64 // layer MACs, already group-scaled
+	din, dw, dout uint64 // sub-layer data volumes (words)
+}
+
+// newBound builds the lower-bound evaluator for one layer.
+func newBound(l models.ConvLayer, cfg hw.Config) *bound {
+	e := effectiveLayer(l)
+	g := uint64(1)
+	if l.Groups > 1 {
+		g = uint64(l.Groups)
+	}
+	return &bound{
+		l:    e,
+		cfg:  cfg,
+		g:    g,
+		macs: e.MACs() * g,
+		din:  e.InputWords(),
+		dw:   e.WeightWords(),
+		dout: e.OutputWords(),
+	}
+}
+
+// lower returns an admissible lower bound on the candidate's exact
+// Eq. 14 total energy: +Inf when the candidate's streaming working set
+// cannot fit the buffer (Analyze would report it infeasible). Unknown
+// kinds bound to zero — never pruned, so the exact evaluator still sees
+// (and rejects) them.
+func (b *bound) lower(k pattern.Kind, t pattern.Tiling) float64 {
+	nM := ceilDiv(b.l.M, t.Tm)
+	nN := ceilDiv(b.l.N, t.Tn)
+	nR := ceilDiv(b.l.R(), t.Tr)
+	nC := ceilDiv(b.l.C(), t.Tc)
+	th, tl := t.Th(b.l), t.Tl(b.l)
+
+	tiles := uint64(nM) * uint64(nN) * uint64(nR) * uint64(nC)
+	inTile := uint64(t.Tn) * uint64(th) * uint64(tl)
+	wTile := uint64(t.Tm) * uint64(t.Tn) * uint64(b.l.K) * uint64(b.l.K)
+	outTile := uint64(t.Tm) * uint64(t.Tr) * uint64(t.Tc)
+	outTraffic := uint64(nM) * uint64(nR) * uint64(nC) * outTile
+
+	// Analyze's per-kind streaming-working-set requirements (the
+	// Feasible predicates), verbatim on the effective sub-layer.
+	var workingSet uint64
+	var buf uint64
+	switch k {
+	case pattern.ID:
+		workingSet = uint64(b.l.N)*uint64(t.Tm)*uint64(b.l.K)*uint64(b.l.K) + outTile
+		buf = tiles*inTile + tiles*wTile + outTraffic
+	case pattern.WD:
+		workingSet = uint64(b.l.N)*uint64(th)*uint64(tl) + outTile + wTile
+		buf = tiles*inTile + tiles*wTile + outTraffic
+	case pattern.OD:
+		workingSet = uint64(t.Tn)*uint64(b.l.H)*uint64(b.l.L) + wTile + outTile
+		// Weights re-read once per (n, m) pass; outputs accumulate
+		// read-modify-write across the nN input passes.
+		buf = tiles*inTile + uint64(nN)*uint64(nM)*wTile + uint64(2*nN-1)*outTraffic
+	default:
+		return 0
+	}
+	if workingSet > b.cfg.BufferWords {
+		return math.Inf(1)
+	}
+
+	ddrIn := b.din
+	if k == pattern.WD {
+		// WD's non-resident input stream carries halo overlap but skips
+		// never-revisited rows; for strides > 1 it can undercut din.
+		haloIn := uint64(nR) * uint64(nC) * uint64(b.l.N) * uint64(th) * uint64(tl)
+		ddrIn = min(ddrIn, haloIn)
+	}
+	ddr := ddrIn + b.dw + b.dout
+
+	// Price through the identical Eq. 14 path as Evaluate so the
+	// admissibility argument holds at the float level.
+	return energy.System(energy.Counts{
+		MACs:           b.macs,
+		BufferAccesses: buf * b.g,
+		DDRAccesses:    ddr * b.g,
+	}, b.cfg.BufferTech).Total()
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,15 @@
+package sched
+
+import (
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+// LowerBoundForTest exposes the branch-and-bound admissible lower bound
+// to external test packages (the randomized admissibility property test
+// lives outside package sched to use internal/verify/gen, which imports
+// sched).
+func LowerBoundForTest(l models.ConvLayer, cfg hw.Config, k pattern.Kind, t pattern.Tiling) float64 {
+	return newBound(l, cfg).lower(k, t)
+}

@@ -12,6 +12,7 @@ import (
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
+	"rana/internal/sched/search"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden schedule files")
@@ -22,7 +23,11 @@ var update = flag.Bool("update", false, "rewrite the golden schedule files")
 // change for every consumer.
 
 // TestGoldenSchedules pins the full RANA design point's compiled schedule
-// for every benchmark network. Any change to pattern selection, tiling
+// for every benchmark network under every search strategy. Exhaustive
+// and Pruned share the `golden` files (branch-and-bound is argmin-
+// preserving, so a split between them is itself a regression); Beam has
+// its own `golden-beam` files since it trades schedule quality for a
+// bounded per-layer budget. Any change to pattern selection, tiling
 // search, refresh-flag computation or the energy model shows up as a
 // golden diff; run `go test ./internal/sched -update` to accept it.
 func TestGoldenSchedules(t *testing.T) {
@@ -32,35 +37,48 @@ func TestGoldenSchedules(t *testing.T) {
 		RefreshInterval: 734 * time.Microsecond,
 		Controller:      memctrl.RefreshOptimized{},
 	}
-	for _, net := range models.Benchmarks() {
-		t.Run(net.Name, func(t *testing.T) {
-			plan, err := Schedule(net, cfg, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := json.MarshalIndent(Encode(plan), "", "  ")
-			if err != nil {
-				t.Fatal(err)
-			}
-			got = append(got, '\n')
-			path := filepath.Join("testdata", "golden", net.Name+".json")
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	cases := []struct {
+		strategy search.Strategy
+		dir      string
+		write    bool // which run regenerates the file under -update
+	}{
+		{search.Exhaustive, "golden", true},
+		{search.Pruned, "golden", false},
+		{search.Beam, "golden-beam", true},
+	}
+	for _, c := range cases {
+		opts := opts
+		opts.Search = c.strategy
+		for _, net := range models.Benchmarks() {
+			t.Run(string(c.strategy)+"/"+net.Name, func(t *testing.T) {
+				plan, err := Schedule(net, cfg, opts)
+				if err != nil {
 					t.Fatal(err)
 				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
+				got, err := json.MarshalIndent(Encode(plan), "", "  ")
+				if err != nil {
 					t.Fatal(err)
 				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("%v (run with -update to create)", err)
-			}
-			if string(want) != string(got) {
-				t.Errorf("schedule for %s drifted from %s; run `go test ./internal/sched -update` if intended.\ngot:\n%s",
-					net.Name, path, got)
-			}
-		})
+				got = append(got, '\n')
+				path := filepath.Join("testdata", c.dir, net.Name+".json")
+				if *update && c.write {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update to create)", err)
+				}
+				if string(want) != string(got) {
+					t.Errorf("%s schedule for %s drifted from %s; run `go test ./internal/sched -update` if intended.\ngot:\n%s",
+						c.strategy, net.Name, path, got)
+				}
+			})
+		}
 	}
 }

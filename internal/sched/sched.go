@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +20,7 @@ import (
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
+	"rana/internal/sched/search"
 )
 
 // RetentionGuard is the safety margin applied when comparing a data
@@ -60,6 +60,18 @@ type Options struct {
 	// applied when comparing lifetimes against the refresh interval.
 	// Zero selects the default; 1.0 disables the margin.
 	RetentionGuard float64
+
+	// Search selects the exploration strategy over the pattern × tiling
+	// space: search.Exhaustive prices every candidate, search.Pruned
+	// (the default — what the empty value resolves to) is branch-and-
+	// bound with the same argmin, search.Beam prices only the most
+	// promising candidates per layer. Ignored in NaturalTiling mode,
+	// which is not an optimization at all (first feasible wins).
+	Search search.Strategy
+
+	// BeamWidth bounds search.Beam's exact evaluations per layer; zero
+	// selects search.DefaultBeamWidth. Ignored by other strategies.
+	BeamWidth int
 
 	// Check, when non-nil, is invoked on the assembled plan before
 	// Schedule returns — the seam the verification harness
@@ -123,6 +135,12 @@ func (o Options) Validate() error {
 		if err := o.FixedTiling.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := o.Search.Validate(); err != nil {
+		return err
+	}
+	if o.BeamWidth < 0 {
+		return fmt.Errorf("sched: negative beam width %d", o.BeamWidth)
 	}
 	return nil
 }
@@ -263,38 +281,102 @@ func ScheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 	return scheduleLayer(l, cfg, opts)
 }
 
+// ExploreLayer is ScheduleLayer with the search statistics exposed:
+// how many tilings were streamed, how many candidates the strategy
+// bounded, pruned and exactly priced. The verification harness's
+// strategy-differential oracle and the benchmarks consume the counters.
+func ExploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return LayerPlan{}, search.Stats{}, err
+	}
+	return exploreLayer(l, cfg, opts)
+}
+
 // scheduleLayer is ScheduleLayer without the options re-validation, for
 // callers that already validated once at the public entry point.
 func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, error) {
-	best := LayerPlan{}
-	found := false
-	for _, k := range opts.Patterns {
-		for _, t := range candidateTilings(l, cfg, opts) {
-			if !t.FitsCore(effectiveLayer(l), cfg) {
-				continue
-			}
+	lp, _, err := exploreLayer(l, cfg, opts)
+	return lp, err
+}
+
+// exploreLayer runs one layer's exploration through the search engine
+// (or the legacy first-feasible loop in NaturalTiling mode) and returns
+// the chosen plan with the engine's work counters.
+func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
+	if opts.NaturalTiling {
+		return naturalSchedule(l, cfg, opts)
+	}
+	e := effectiveLayer(l)
+	var space search.Space
+	if opts.FixedTiling != nil {
+		space = search.NewSlice([]pattern.Tiling{*opts.FixedTiling})
+	} else {
+		space = search.NewProduct(
+			search.Axis(e.M, cfg.ArrayM),
+			search.Axis(e.N, cfg.ArrayN),
+			search.Axis(e.R(), cfg.ArrayM),
+			search.Axis(e.C(), cfg.ArrayN),
+		)
+	}
+	b := newBound(l, cfg)
+	r, err := search.Run(search.Problem[LayerPlan]{
+		Space: space,
+		Kinds: opts.Patterns,
+		Admit: func(t pattern.Tiling) bool { return t.FitsCore(e, cfg) },
+		Bound: b.lower,
+		Evaluate: func(k pattern.Kind, t pattern.Tiling) (search.Outcome[LayerPlan], error) {
 			lp, err := Evaluate(l, k, t, cfg, opts)
 			if err != nil {
-				return LayerPlan{}, err
+				return search.Outcome[LayerPlan]{}, err
 			}
-			if !lp.Analysis.Feasible {
-				continue
+			return search.Outcome[LayerPlan]{
+				Feasible: lp.Analysis.Feasible,
+				Energy:   lp.Energy.Total(),
+				Value:    lp,
+			}, nil
+		},
+	}, search.Options{Strategy: opts.Search, BeamWidth: opts.BeamWidth})
+	if err != nil {
+		return LayerPlan{}, r.Stats, err
+	}
+	if !r.Found {
+		return LayerPlan{}, r.Stats, fmt.Errorf("no feasible tiling for layer %q", l.Name)
+	}
+	return r.Outcome.Value, r.Stats, nil
+}
+
+// naturalSchedule is the baseline path: it does not optimize, it takes
+// the first feasible candidate kind-major over the natural reduction
+// order (OD across every tiling before WD sees any — the Table IV
+// baselines' hardwired behavior), so it cannot go through the
+// tiling-major engine. The tiling space is pattern-independent:
+// enumerated once and core-filtered once, shared across kinds.
+func naturalSchedule(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
+	var stats search.Stats
+	e := effectiveLayer(l)
+	tilings := candidateTilings(l, cfg, opts)
+	stats.Tilings = len(tilings)
+	fit := make([]pattern.Tiling, 0, len(tilings))
+	for _, t := range tilings {
+		if t.FitsCore(e, cfg) {
+			fit = append(fit, t)
+		}
+	}
+	stats.Admitted = len(fit)
+	for _, k := range opts.Patterns {
+		for _, t := range fit {
+			stats.Candidates++
+			lp, err := Evaluate(l, k, t, cfg, opts)
+			if err != nil {
+				return LayerPlan{}, stats, err
 			}
-			if opts.NaturalTiling {
-				// Baselines do not optimize: they take the first feasible
-				// tiling in reduction order (natural first).
-				return lp, nil
-			}
-			if !found || lp.Energy.Total() < best.Energy.Total() {
-				best = lp
-				found = true
+			stats.Evaluated++
+			if lp.Analysis.Feasible {
+				return lp, stats, nil
 			}
 		}
 	}
-	if !found {
-		return LayerPlan{}, fmt.Errorf("no feasible tiling for layer %q", l.Name)
-	}
-	return best, nil
+	return LayerPlan{}, stats, fmt.Errorf("no feasible tiling for layer %q", l.Name)
 }
 
 // Evaluate characterizes one candidate (pattern, tiling) and prices it
@@ -341,10 +423,13 @@ func effectiveLayer(l models.ConvLayer) models.ConvLayer {
 	return l
 }
 
-// candidateTilings enumerates the tiling exploration space for a layer:
-// powers of two bounded by the dimension, plus the exact dimension and
-// the PE-array widths, for each of Tm, Tn, Tr, Tc. FixedTiling collapses
-// the space to a single point.
+// candidateTilings materializes the tiling exploration space for a
+// layer: powers of two bounded by the dimension, plus the exact
+// dimension and the PE-array widths, for each of Tm, Tn, Tr, Tc.
+// FixedTiling collapses the space to a single point. The optimizing
+// scheduler streams the same space through search.Product instead of
+// materializing it; this slice form serves the NaturalTiling baseline
+// path and brute-force test oracles.
 func candidateTilings(l models.ConvLayer, cfg hw.Config, opts Options) []pattern.Tiling {
 	if opts.FixedTiling != nil {
 		return []pattern.Tiling{*opts.FixedTiling}
@@ -376,10 +461,10 @@ func candidateTilings(l models.ConvLayer, cfg hw.Config, opts Options) []pattern
 // running cases (§III-B, §IV-C1).
 func NaturalTiling(l models.ConvLayer, cfg hw.Config) pattern.Tiling {
 	return pattern.Tiling{
-		Tm: minInt(cfg.ArrayM, l.M),
-		Tn: minInt(cfg.ArrayN, l.N),
+		Tm: min(cfg.ArrayM, l.M),
+		Tn: min(cfg.ArrayN, l.N),
 		Tr: 1,
-		Tc: minInt(cfg.ArrayN, l.C()),
+		Tc: min(cfg.ArrayN, l.C()),
 	}
 }
 
@@ -404,27 +489,6 @@ func naturalTilings(l models.ConvLayer, cfg hw.Config) []pattern.Tiling {
 	return out
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // axisCandidates returns the candidate tile sizes along one axis of
 // extent dim: powers of two up to dim, the array width, and dim itself.
-func axisCandidates(dim, array int) []int {
-	set := map[int]bool{dim: true}
-	for v := 1; v < dim; v *= 2 {
-		set[v] = true
-	}
-	if array <= dim {
-		set[array] = true
-	}
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
-}
+func axisCandidates(dim, array int) []int { return search.Axis(dim, array) }

@@ -1,0 +1,120 @@
+package search
+
+import "container/heap"
+
+// scored is one candidate with its lower bound, awaiting exact pricing.
+type scored struct {
+	c     Candidate
+	bound float64
+}
+
+// worse orders scored candidates by descending promise: larger bound
+// first, later canonical position first on ties — exactly the candidate
+// a full beam evicts next, so the kept set (and therefore the beam's
+// result) is deterministic regardless of evaluation cost or timing.
+func worse(a, b scored) bool {
+	if a.bound != b.bound {
+		return a.bound > b.bound
+	}
+	if a.c.KindIdx != b.c.KindIdx {
+		return a.c.KindIdx > b.c.KindIdx
+	}
+	return a.c.TilingIdx > b.c.TilingIdx
+}
+
+// beamHeap is a max-heap by worse — the root is the least promising
+// kept candidate, the one a better arrival displaces.
+type beamHeap []scored
+
+func (h beamHeap) Len() int           { return len(h) }
+func (h beamHeap) Less(i, j int) bool { return worse(h[i], h[j]) }
+func (h beamHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *beamHeap) Push(x any)        { *h = append(*h, x.(scored)) }
+func (h *beamHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// beam runs the budgeted top-K strategy: bound every candidate in one
+// streaming pass, keep the width most promising, price only those. If
+// none of the kept candidates turns out feasible, the bound budget was
+// spent on infeasible space — fall back to a full branch-and-bound
+// rescan so Beam never reports "no feasible tiling" when one exists.
+func beam[T any](p Problem[T], width int) (Result[T], error) {
+	var r Result[T]
+	kept := make(beamHeap, 0, width)
+	for ti := 0; ; ti++ {
+		t, ok := p.Space.Next()
+		if !ok {
+			break
+		}
+		r.Stats.Tilings++
+		if p.Admit != nil && !p.Admit(t) {
+			continue
+		}
+		r.Stats.Admitted++
+		for ki, k := range p.Kinds {
+			r.Stats.Candidates++
+			s := scored{c: Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti}}
+			if p.Bound != nil {
+				r.Stats.Bounded++
+				s.bound = p.Bound(k, t)
+			}
+			switch {
+			case len(kept) < width:
+				heap.Push(&kept, s)
+			case worse(kept[0], s):
+				kept[0] = s
+				heap.Fix(&kept, 0)
+				r.Stats.Pruned++
+			default:
+				r.Stats.Pruned++
+			}
+		}
+	}
+
+	// Price the survivors in canonical preference order so the plain
+	// first-wins strict-< rule reproduces the shared tie-break.
+	ordered := make([]scored, len(kept))
+	copy(ordered, kept)
+	sortCanonical(ordered)
+	for _, s := range ordered {
+		out, err := p.Evaluate(s.c.Kind, s.c.Tiling)
+		if err != nil {
+			return Result[T]{}, err
+		}
+		r.Stats.Evaluated++
+		if !out.Feasible {
+			continue
+		}
+		if !r.Found || prefer(out.Energy, s.c, r.Outcome.Energy, r.Candidate) {
+			r.Found, r.Candidate, r.Outcome = true, s.c, out
+		}
+	}
+	if !r.Found {
+		p.Space.Reset()
+		full, err := scan(p, p.Bound != nil)
+		if err != nil {
+			return Result[T]{}, err
+		}
+		full.Stats.add(r.Stats)
+		return full, nil
+	}
+	return r, nil
+}
+
+// sortCanonical orders survivors by (kind index, tiling index) — the
+// canonical enumeration order ties are defined over. Insertion sort: the
+// beam is small and the input nearly unordered heap backing.
+func sortCanonical(xs []scored) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && canonicalBefore(xs[j].c, xs[j-1].c); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// canonicalBefore reports whether a precedes b in canonical order.
+func canonicalBefore(a, b Candidate) bool {
+	if a.KindIdx != b.KindIdx {
+		return a.KindIdx < b.KindIdx
+	}
+	return a.TilingIdx < b.TilingIdx
+}

@@ -1,0 +1,241 @@
+// Package search is the pluggable exploration engine behind the Fig. 13
+// scheduler: it decouples candidate *generation* (a streaming iterator
+// over the tiling space, enumerated once and shared across pattern
+// kinds) from candidate *evaluation* (a cheap admissible lower bound
+// plus the exact pricer, both supplied by the caller) from the search
+// *strategy*:
+//
+//   - Exhaustive prices every admitted candidate — the reference,
+//     bit-identical to the historical scheduler loop;
+//   - Pruned is a branch-and-bound scan: a candidate whose lower bound
+//     already exceeds the incumbent's exact energy is skipped without
+//     pricing. With an admissible bound it returns the same argmin as
+//     Exhaustive, just cheaper;
+//   - Beam is the budgeted middle rung of the serving degradation
+//     ladder: it bounds every candidate, prices only the K most
+//     promising, and may therefore return a worse (but always feasible
+//     and deterministic) plan.
+//
+// Every strategy uses one canonical preference order so equal-energy
+// argmins can never silently flip between strategies or refactors:
+// lexicographic (energy, kind index, tiling index) — exactly the
+// pattern-major strict-< first-wins rule of the historical loop.
+package search
+
+import (
+	"fmt"
+
+	"rana/internal/pattern"
+)
+
+// Strategy selects how the candidate space is explored.
+type Strategy string
+
+const (
+	// Exhaustive prices every admitted candidate (the reference).
+	Exhaustive Strategy = "exhaustive"
+	// Pruned is branch-and-bound over the same space: identical argmin,
+	// strictly less pricing work.
+	Pruned Strategy = "pruned"
+	// Beam prices only the BeamWidth candidates with the most promising
+	// lower bounds.
+	Beam Strategy = "beam"
+)
+
+// DefaultStrategy is what the empty Strategy resolves to.
+const DefaultStrategy = Pruned
+
+// DefaultBeamWidth is Beam's exact-evaluation budget when none is set.
+const DefaultBeamWidth = 64
+
+// Strategies lists the supported strategies in ladder order (most to
+// least exploration) — the /v1/catalog listing.
+func Strategies() []Strategy { return []Strategy{Exhaustive, Pruned, Beam} }
+
+// Resolve maps the empty strategy onto the default.
+func (s Strategy) Resolve() Strategy {
+	if s == "" {
+		return DefaultStrategy
+	}
+	return s
+}
+
+// Validate reports unknown strategies.
+func (s Strategy) Validate() error {
+	switch s.Resolve() {
+	case Exhaustive, Pruned, Beam:
+		return nil
+	default:
+		return fmt.Errorf("search: unknown strategy %q", string(s))
+	}
+}
+
+// EffectiveWidth resolves a configured beam width (0 selects the
+// default).
+func EffectiveWidth(w int) int {
+	if w <= 0 {
+		return DefaultBeamWidth
+	}
+	return w
+}
+
+// Candidate identifies one (pattern kind, tiling) point of the space.
+// KindIdx and TilingIdx are the enumeration positions the tie-breaking
+// order is defined over.
+type Candidate struct {
+	Kind      pattern.Kind
+	KindIdx   int
+	Tiling    pattern.Tiling
+	TilingIdx int
+}
+
+// Outcome is one candidate priced exactly by the caller's evaluator.
+type Outcome[T any] struct {
+	// Feasible reports whether the candidate can execute at all;
+	// infeasible candidates never become the incumbent.
+	Feasible bool
+	// Energy is the exact total energy the argmin minimizes.
+	Energy float64
+	// Value is the caller's payload (the scheduler's LayerPlan).
+	Value T
+}
+
+// Problem couples one layer's candidate space with its evaluators.
+type Problem[T any] struct {
+	// Space streams the tiling space in canonical order. It is consumed
+	// exactly once per Run (Beam's feasibility fallback resets it).
+	Space Space
+	// Kinds is the pattern exploration space, in option order.
+	Kinds []pattern.Kind
+	// Admit, when non-nil, prefilters tilings (the core local-storage
+	// constraints) before any kind is considered.
+	Admit func(pattern.Tiling) bool
+	// Bound returns an admissible lower bound on Evaluate's Energy for
+	// the candidate: it must never exceed the exact value, and must be
+	// much cheaper to compute. Nil disables pruning (Pruned degenerates
+	// to Exhaustive, Beam keeps arbitrary-but-deterministic candidates).
+	Bound func(pattern.Kind, pattern.Tiling) float64
+	// Evaluate prices one candidate exactly.
+	Evaluate func(pattern.Kind, pattern.Tiling) (Outcome[T], error)
+}
+
+// Options tunes one Run.
+type Options struct {
+	Strategy  Strategy
+	BeamWidth int // Beam only; 0 selects DefaultBeamWidth
+}
+
+// Stats counts the work one Run performed — the currency the pruning
+// and beam budgets are measured in.
+type Stats struct {
+	// Tilings counts tilings streamed from the space. The space is
+	// enumerated once per Run, never once per pattern kind.
+	Tilings int
+	// Admitted counts tilings that passed the core constraints.
+	Admitted int
+	// Candidates counts (kind, tiling) pairs considered.
+	Candidates int
+	// Bounded counts lower-bound computations.
+	Bounded int
+	// Pruned counts candidates skipped because their bound already
+	// exceeded the incumbent.
+	Pruned int
+	// Evaluated counts exact evaluations — the expensive operation the
+	// strategies exist to minimize.
+	Evaluated int
+}
+
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.Tilings += other.Tilings
+	s.Admitted += other.Admitted
+	s.Candidates += other.Candidates
+	s.Bounded += other.Bounded
+	s.Pruned += other.Pruned
+	s.Evaluated += other.Evaluated
+}
+
+// Result is one Run's outcome.
+type Result[T any] struct {
+	// Found reports whether any feasible candidate exists.
+	Found     bool
+	Candidate Candidate
+	Outcome   Outcome[T]
+	Stats     Stats
+}
+
+// Run explores the problem under the options' strategy and returns the
+// minimum-energy feasible candidate in the canonical preference order.
+func Run[T any](p Problem[T], o Options) (Result[T], error) {
+	if err := o.Strategy.Validate(); err != nil {
+		return Result[T]{}, err
+	}
+	switch o.Strategy.Resolve() {
+	case Exhaustive:
+		return scan(p, false)
+	case Pruned:
+		return scan(p, p.Bound != nil)
+	default: // Beam; Validate covered the rest
+		return beam(p, EffectiveWidth(o.BeamWidth))
+	}
+}
+
+// prefer reports whether candidate c with energy e beats the incumbent
+// (be, bc) in the canonical preference order: lexicographic
+// (energy, kind index, tiling index). This is exactly the argmin the
+// historical pattern-major loop's strict-< rule kept — the earliest
+// candidate in (kind, tiling) enumeration order among the equal-energy
+// minima — so every strategy and any future parallel variant agrees on
+// ties by construction.
+func prefer(e float64, c Candidate, be float64, bc Candidate) bool {
+	if e != be {
+		return e < be
+	}
+	if c.KindIdx != bc.KindIdx {
+		return c.KindIdx < bc.KindIdx
+	}
+	return c.TilingIdx < bc.TilingIdx
+}
+
+// scan is the shared exhaustive / branch-and-bound loop: one streaming
+// pass over the tiling space, all pattern kinds priced per tiling.
+func scan[T any](p Problem[T], prune bool) (Result[T], error) {
+	var r Result[T]
+	for ti := 0; ; ti++ {
+		t, ok := p.Space.Next()
+		if !ok {
+			break
+		}
+		r.Stats.Tilings++
+		if p.Admit != nil && !p.Admit(t) {
+			continue
+		}
+		r.Stats.Admitted++
+		for ki, k := range p.Kinds {
+			r.Stats.Candidates++
+			if prune && r.Found {
+				r.Stats.Bounded++
+				// Strictly greater only: a candidate whose bound *equals*
+				// the incumbent's energy could still tie exactly and win
+				// the deterministic tie-break, so it must be priced.
+				if p.Bound(k, t) > r.Outcome.Energy {
+					r.Stats.Pruned++
+					continue
+				}
+			}
+			out, err := p.Evaluate(k, t)
+			if err != nil {
+				return Result[T]{}, err
+			}
+			r.Stats.Evaluated++
+			if !out.Feasible {
+				continue
+			}
+			c := Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti}
+			if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
+				r.Found, r.Candidate, r.Outcome = true, c, out
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,105 @@
+package search
+
+import (
+	"sort"
+
+	"rana/internal/pattern"
+)
+
+// Space streams a tiling space in canonical order. Next returns the
+// next tiling, or false when the space is exhausted; Size is the total
+// count (for budget arithmetic and stats assertions); Reset rewinds the
+// stream so Beam's feasibility fallback can rescan.
+type Space interface {
+	Next() (pattern.Tiling, bool)
+	Size() int
+	Reset()
+}
+
+// Axis returns the candidate tile sizes along one axis of extent dim,
+// ascending: powers of two up to dim, the PE-array width, and dim
+// itself.
+func Axis(dim, array int) []int {
+	set := map[int]bool{dim: true}
+	for v := 1; v < dim; v *= 2 {
+		set[v] = true
+	}
+	if array <= dim {
+		set[array] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Product streams the ⟨Tm, Tn, Tr, Tc⟩ cross product of four per-axis
+// candidate lists without materializing it, in the historical nesting
+// order (Tm outermost, Tc innermost).
+type Product struct {
+	tms, tns, trs, tcs []int
+	i, j, k, l         int
+}
+
+// NewProduct returns the cross-product space of the four axis lists.
+func NewProduct(tms, tns, trs, tcs []int) *Product {
+	return &Product{tms: tms, tns: tns, trs: trs, tcs: tcs}
+}
+
+// Size implements Space.
+func (p *Product) Size() int {
+	return len(p.tms) * len(p.tns) * len(p.trs) * len(p.tcs)
+}
+
+// Reset implements Space.
+func (p *Product) Reset() { p.i, p.j, p.k, p.l = 0, 0, 0, 0 }
+
+// Next implements Space.
+func (p *Product) Next() (pattern.Tiling, bool) {
+	if p.i >= len(p.tms) || p.Size() == 0 {
+		return pattern.Tiling{}, false
+	}
+	t := pattern.Tiling{Tm: p.tms[p.i], Tn: p.tns[p.j], Tr: p.trs[p.k], Tc: p.tcs[p.l]}
+	p.l++
+	if p.l == len(p.tcs) {
+		p.l = 0
+		p.k++
+		if p.k == len(p.trs) {
+			p.k = 0
+			p.j++
+			if p.j == len(p.tns) {
+				p.j = 0
+				p.i++
+			}
+		}
+	}
+	return t, true
+}
+
+// Slice is a Space over a fixed tiling list — the single-point space of
+// a pinned tiling, or any precomputed reduction order.
+type Slice struct {
+	ts []pattern.Tiling
+	i  int
+}
+
+// NewSlice returns a Space streaming ts in order.
+func NewSlice(ts []pattern.Tiling) *Slice { return &Slice{ts: ts} }
+
+// Size implements Space.
+func (s *Slice) Size() int { return len(s.ts) }
+
+// Reset implements Space.
+func (s *Slice) Reset() { s.i = 0 }
+
+// Next implements Space.
+func (s *Slice) Next() (pattern.Tiling, bool) {
+	if s.i >= len(s.ts) {
+		return pattern.Tiling{}, false
+	}
+	t := s.ts[s.i]
+	s.i++
+	return t, true
+}

@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/sched/search"
+)
+
+func withStrategy(o Options, s search.Strategy) Options {
+	o.Search = s
+	return o
+}
+
+// TestPrunedMatchesExhaustive is the strategy-differential oracle over
+// the benchmark zoo: branch-and-bound must return byte-identical plans
+// to the exhaustive reference (same argmin, same tie-breaks — the
+// admissibility guarantee), while exactly pricing strictly fewer
+// candidates (the point of pruning).
+func TestPrunedMatchesExhaustive(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	for _, net := range models.Benchmarks() {
+		ex, err := Schedule(net, cfg, withStrategy(ranaOpts(), search.Exhaustive))
+		if err != nil {
+			t.Fatalf("%s exhaustive: %v", net.Name, err)
+		}
+		pr, err := Schedule(net, cfg, withStrategy(ranaOpts(), search.Pruned))
+		if err != nil {
+			t.Fatalf("%s pruned: %v", net.Name, err)
+		}
+		ej, _ := json.Marshal(Encode(ex))
+		pj, _ := json.Marshal(Encode(pr))
+		if string(ej) != string(pj) {
+			t.Errorf("%s: pruned plan diverged from exhaustive\nexhaustive: %s\npruned:     %s", net.Name, ej, pj)
+		}
+
+		var exEvals, prEvals int
+		for _, l := range net.Layers {
+			_, es, err := ExploreLayer(l, cfg, withStrategy(ranaOpts(), search.Exhaustive))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ps, err := ExploreLayer(l, cfg, withStrategy(ranaOpts(), search.Pruned))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ps.Candidates != es.Candidates {
+				t.Errorf("%s/%s: strategies saw different candidate spaces: %d vs %d",
+					net.Name, l.Name, ps.Candidates, es.Candidates)
+			}
+			if ps.Evaluated+ps.Pruned != es.Evaluated {
+				t.Errorf("%s/%s: pruned evaluations %d + skips %d != exhaustive evaluations %d",
+					net.Name, l.Name, ps.Evaluated, ps.Pruned, es.Evaluated)
+			}
+			exEvals += es.Evaluated
+			prEvals += ps.Evaluated
+		}
+		if prEvals >= exEvals {
+			t.Errorf("%s: pruning saved nothing (%d vs %d exact evaluations)", net.Name, prEvals, exEvals)
+		}
+		t.Logf("%s: exhaustive priced %d candidates, pruned %d (%.1f%% skipped)",
+			net.Name, exEvals, prEvals, 100*float64(exEvals-prEvals)/float64(exEvals))
+	}
+}
+
+// TestTilingSpaceEnumeratedOncePerLayer pins the hoist fix: the tiling
+// space is pattern-independent, so the number of tilings streamed must
+// not scale with the number of pattern kinds explored.
+func TestTilingSpaceEnumeratedOncePerLayer(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	l, _ := models.VGG().Layer("conv4_2")
+	one := ranaOpts()
+	one.Patterns = []pattern.Kind{pattern.OD}
+	_, s1, err := ExploreLayer(l, cfg, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := ExploreLayer(l, cfg, ranaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(candidateTilings(l, cfg, ranaOpts()))
+	if s1.Tilings != want || s2.Tilings != want {
+		t.Errorf("tilings streamed = %d (1 kind) / %d (2 kinds), want %d both — space must be enumerated once, not per pattern",
+			s1.Tilings, s2.Tilings, want)
+	}
+	if s2.Candidates != 2*s2.Admitted {
+		t.Errorf("candidates %d != kinds × admitted tilings %d", s2.Candidates, 2*s2.Admitted)
+	}
+
+	// The natural-tiling baseline path enumerates its reduction order
+	// once, too.
+	nat := ranaOpts()
+	nat.NaturalTiling = true
+	_, ns, err := ExploreLayer(l, cfg, nat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natWant := len(naturalTilings(l, cfg)); ns.Tilings != natWant {
+		t.Errorf("natural mode streamed %d tilings, want %d (enumerated once, not per kind)", ns.Tilings, natWant)
+	}
+}
+
+// TestBeamPlansAreFeasibleAndNoBetterThanExact: the beam may lose
+// schedule quality but never feasibility or determinism — its plan must
+// be valid for every zoo network, cost at least the exact argmin, and
+// reproduce run to run.
+func TestBeamPlansAreFeasibleAndNoBetterThanExact(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	beam := withStrategy(ranaOpts(), search.Beam)
+	beam.BeamWidth = 16
+	for _, net := range models.Benchmarks() {
+		exact, err := Schedule(net, cfg, ranaOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Schedule(net, cfg, beam)
+		if err != nil {
+			t.Fatalf("%s beam: %v", net.Name, err)
+		}
+		b, err := Schedule(net, cfg, beam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := json.Marshal(Encode(a))
+		bj, _ := json.Marshal(Encode(b))
+		if string(aj) != string(bj) {
+			t.Errorf("%s: beam schedule is not deterministic", net.Name)
+		}
+		for _, lp := range a.Layers {
+			if !lp.Analysis.Feasible {
+				t.Errorf("%s: beam chose an infeasible layer plan", net.Name)
+			}
+		}
+		if a.Energy.Total() < exact.Energy.Total()-1e-6 {
+			t.Errorf("%s: beam energy %.3e beats the exact argmin %.3e — impossible with a correct exact search",
+				net.Name, a.Energy.Total(), exact.Energy.Total())
+		}
+	}
+}
+
+// TestBeamEvaluatesAtMostWidthPerLayer: the whole point of the beam is
+// a hard per-layer exact-pricing budget.
+func TestBeamEvaluatesAtMostWidthPerLayer(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	opts := withStrategy(ranaOpts(), search.Beam)
+	opts.BeamWidth = 8
+	for _, l := range models.VGG().Layers {
+		_, s, err := ExploreLayer(l, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The feasibility-aware bound keeps the kept set winnable, so the
+		// rescan fallback (all kept candidates infeasible) never fires
+		// when any feasible candidate exists — the budget must hold.
+		if s.Evaluated > opts.BeamWidth {
+			t.Errorf("%s: beam priced %d candidates with width %d", l.Name, s.Evaluated, opts.BeamWidth)
+		}
+	}
+}
+
+// TestStrategyOptionValidation: unknown strategies and negative beam
+// widths are rejected at the options boundary.
+func TestStrategyOptionValidation(t *testing.T) {
+	o := ranaOpts()
+	o.Search = "simulated-annealing"
+	if err := o.Validate(); err == nil {
+		t.Error("unknown strategy validated")
+	}
+	o = ranaOpts()
+	o.BeamWidth = -1
+	if err := o.Validate(); err == nil {
+		t.Error("negative beam width validated")
+	}
+	for _, s := range search.Strategies() {
+		if err := withStrategy(ranaOpts(), s).Validate(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+// TestFixedTilingUnderEveryStrategy: the fixed-tiling baseline space is
+// a single point; every strategy must land on it.
+func TestFixedTilingUnderEveryStrategy(t *testing.T) {
+	cfg := hw.DaDianNao()
+	ti := pattern.Tiling{Tm: 64, Tn: 64, Tr: 1, Tc: 1}
+	for _, s := range search.Strategies() {
+		opts := withStrategy(ranaOpts(), s)
+		opts.Patterns = []pattern.Kind{pattern.WD}
+		opts.FixedTiling = &ti
+		plan, err := Schedule(models.AlexNet(), cfg, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		for _, lp := range plan.Layers {
+			if lp.Analysis.Tiling != ti {
+				t.Fatalf("%s: tiling %v escaped the fixed point", s, lp.Analysis.Tiling)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"rana/internal/models"
 	"rana/internal/pattern"
 	"rana/internal/sched"
+	"rana/internal/sched/search"
 )
 
 func TestLRUEviction(t *testing.T) {
@@ -118,18 +119,21 @@ func TestCanonicalKeySeparatesDistinctRequests(t *testing.T) {
 		scheduleKey(models.AlexNet(), cfg.WithBufferWords(cfg.BufferWords*2), defaultOpts()))
 
 	// The three ops namespace their keys.
-	record("compile", compileKey(models.AlexNet()))
+	record("compile", compileKey(models.AlexNet(), ""))
+	record("compile beam", compileKey(models.AlexNet(), search.Beam))
 	record("evaluate", evaluateKey("RANA*(E-5)", models.AlexNet()))
 	record("evaluate other design", evaluateKey("S+ID", models.AlexNet()))
 }
 
 func TestCanonicalKeyIsStable(t *testing.T) {
 	// The key feeds persistent client-side stores; accidental format
-	// drift should be loud. Recompute twice and check shape.
-	k1 := compileKey(models.AlexNet())
-	k2 := compileKey(models.AlexNet())
+	// drift should be loud. Recompute twice and check shape. The empty
+	// strategy resolves to the pruned default before hashing, so the two
+	// spellings must collide.
+	k1 := compileKey(models.AlexNet(), "")
+	k2 := compileKey(models.AlexNet(), search.Pruned)
 	if k1 != k2 {
-		t.Error("key not deterministic")
+		t.Error("empty strategy must hash like the resolved pruned default")
 	}
 	if len(k1) != 64 || strings.Trim(k1, "0123456789abcdef") != "" {
 		t.Errorf("key %q is not lowercase hex SHA-256", k1)

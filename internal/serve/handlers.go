@@ -17,6 +17,7 @@ import (
 
 	"rana/internal/platform"
 	"rana/internal/sched"
+	"rana/internal/sched/search"
 )
 
 // ScheduleResponse is the /v1/schedule response body.
@@ -31,6 +32,11 @@ type ScheduleResponse struct {
 	// Plan is the schedule in the shared wire encoding — the same
 	// format as the golden regression files and `rana-sched -json`.
 	Plan sched.PlanJSON `json:"plan"`
+	// Search echoes the resolved exploration strategy the schedule ran
+	// under — the client's pinned strategy, the pruned default, or the
+	// beam rung the degradation ladder substituted for a tight deadline.
+	// Empty on degraded responses (the uniform fallback does not search).
+	Search string `json:"search,omitempty"`
 	// Degraded marks a response served via the degradation ladder: the
 	// request's deadline budget was below the server's degrade budget,
 	// so this is a cheap uniform fallback schedule (natural tiling,
@@ -65,19 +71,29 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 		return nil, err
 	}
 	// The degradation ladder: an explicit deadline tightens the request
-	// context, and one too small for the full hybrid search swaps in the
-	// uniform fallback options. The degraded variant gets its own cache
-	// key ("schedule-degraded") because its body differs even when the
-	// resolved options coincide with a full request's.
+	// context. A deadline too small for the full hybrid search swaps in
+	// the uniform fallback options (bottom rung); one that clears the
+	// degrade budget but not the beam budget swaps the exploration
+	// strategy for the budgeted beam (middle rung) — but only when the
+	// client left the strategy to the server; a pinned "search" field is
+	// honored as written. The degraded variant gets its own cache key
+	// ("schedule-degraded") because its body differs even when the
+	// resolved options coincide with a full request's; the beam rung
+	// needs no such carve-out since the resolved strategy is already a
+	// cache-key component.
 	degraded := false
 	if req.DeadlineMS > 0 {
 		budget := time.Duration(req.DeadlineMS) * time.Millisecond
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, budget)
 		defer cancel()
-		if s.cfg.DegradeBudget > 0 && budget < s.cfg.DegradeBudget {
+		pinned := req.Options != nil && req.Options.Search != ""
+		switch {
+		case s.cfg.DegradeBudget > 0 && budget < s.cfg.DegradeBudget:
 			degraded = true
 			opts = opts.Fallback()
+		case s.cfg.BeamBudget > 0 && budget < s.cfg.BeamBudget && !pinned:
+			opts.Search = search.Beam
 		}
 	}
 	key := scheduleKey(net, cfg, opts)
@@ -102,6 +118,8 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 		if degraded {
 			resp.Degraded = true
 			resp.DegradedReason = degradedReason
+		} else {
+			resp.Search = string(opts.Search.Resolve())
 		}
 		return marshalBody(resp)
 	})
@@ -132,9 +150,13 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response,
 	if err != nil {
 		return nil, err
 	}
-	key := compileKey(net)
+	strategy, err := resolveSearch(req.Search)
+	if err != nil {
+		return nil, err
+	}
+	key := compileKey(net, strategy)
 	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
-		out, err := s.compileFn(ctx, net)
+		out, err := s.compileFn(ctx, net, strategy)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
 		}
@@ -231,9 +253,10 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"models":       benchmarkNames(),
-		"accelerators": builtinConfigNames(),
-		"designs":      designs,
+		"models":            benchmarkNames(),
+		"accelerators":      builtinConfigNames(),
+		"designs":           designs,
+		"search_strategies": searchStrategyNames(),
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 	"rana/internal/hw"
 	"rana/internal/models"
 	"rana/internal/sched"
+	"rana/internal/sched/search"
 )
 
 // canonicalLayer is one layer shape in hashing form.
@@ -60,6 +61,12 @@ type canonicalRequest struct {
 	NaturalTiling  bool    `json:"natural_tiling,omitempty"`
 	RetentionGuard float64 `json:"retention_guard,omitempty"`
 	FixedTiling    string  `json:"fixed_tiling,omitempty"`
+	// Search is the *resolved* strategy (never empty: the default is
+	// spelled out) so a request pinning "pruned" and one omitting the
+	// field collapse onto the same key. BeamWidth is the effective beam
+	// width, present only under the beam strategy.
+	Search    string `json:"search,omitempty"`
+	BeamWidth int    `json:"beam_width,omitempty"`
 
 	// Design names a Table IV point (evaluate only).
 	Design string `json:"design,omitempty"`
@@ -106,6 +113,10 @@ func (c *canonicalRequest) canonicalOptions(opts sched.Options) {
 		t := *opts.FixedTiling
 		c.FixedTiling = fmt.Sprintf("%d,%d,%d,%d", t.Tm, t.Tn, t.Tr, t.Tc)
 	}
+	c.Search = string(opts.Search.Resolve())
+	if opts.Search.Resolve() == search.Beam {
+		c.BeamWidth = search.EffectiveWidth(opts.BeamWidth)
+	}
 }
 
 // key hashes the canonical form.
@@ -145,9 +156,11 @@ func scheduleDegradedKey(net models.Network, cfg hw.Config, opts sched.Options) 
 	return c.key()
 }
 
-// compileKey is the cache key of a resolved /v1/compile request.
-func compileKey(net models.Network) string {
-	c := canonicalRequest{Op: "compile"}
+// compileKey is the cache key of a resolved /v1/compile request. The
+// resolved Stage 2 strategy is part of the key: compilations under
+// different strategies may legitimately produce different plans.
+func compileKey(net models.Network, strategy search.Strategy) string {
+	c := canonicalRequest{Op: "compile", Search: string(strategy.Resolve())}
 	c.canonicalNetwork(net)
 	return c.key()
 }

@@ -27,6 +27,7 @@ import (
 	"rana/internal/platform"
 	"rana/internal/retention"
 	"rana/internal/sched"
+	"rana/internal/sched/search"
 )
 
 // maxRequestBytes bounds a request body; the largest legitimate payload
@@ -92,6 +93,13 @@ type OptionsSpec struct {
 	NaturalTiling     bool        `json:"natural_tiling,omitempty"`
 	RetentionGuard    float64     `json:"retention_guard,omitempty"`
 	FixedTiling       *TilingSpec `json:"fixed_tiling,omitempty"`
+	// Search pins the exploration strategy: "exhaustive", "pruned" or
+	// "beam". Empty lets the server choose (the pruned default, or the
+	// beam rung of the degradation ladder under a tight deadline).
+	Search string `json:"search,omitempty"`
+	// BeamWidth bounds the beam's per-layer exact evaluations; only
+	// valid with search "beam". Zero selects the default width.
+	BeamWidth int `json:"beam_width,omitempty"`
 }
 
 // ScheduleRequest asks for a Stage-2 schedule of one network on one
@@ -118,6 +126,9 @@ type ScheduleRequest struct {
 type CompileRequest struct {
 	Model   string       `json:"model,omitempty"`
 	Network *NetworkSpec `json:"network,omitempty"`
+	// Search pins Stage 2's exploration strategy ("exhaustive", "pruned"
+	// or "beam"); empty selects the pruned default.
+	Search string `json:"search,omitempty"`
 }
 
 // EvaluateRequest asks for one Table IV design point priced on one
@@ -338,10 +349,46 @@ func resolveOptions(spec *OptionsSpec, cfg hw.Config) (sched.Options, error) {
 		}
 		opts.FixedTiling = &t
 	}
+	s, err := resolveSearch(spec.Search)
+	if err != nil {
+		return sched.Options{}, err
+	}
+	opts.Search = s
+	if spec.BeamWidth != 0 {
+		if spec.BeamWidth < 0 {
+			return sched.Options{}, badRequest("negative beam_width %d", spec.BeamWidth)
+		}
+		if opts.Search != search.Beam {
+			return sched.Options{}, badRequest(`beam_width requires "search": "beam"`)
+		}
+		opts.BeamWidth = spec.BeamWidth
+	}
 	if err := opts.Validate(); err != nil {
 		return sched.Options{}, badRequest("invalid options: %v", err)
 	}
 	return opts, nil
+}
+
+// searchStrategyNames lists the strategies the API accepts, in catalog
+// order.
+func searchStrategyNames() []string {
+	var names []string
+	for _, s := range search.Strategies() {
+		names = append(names, string(s))
+	}
+	return names
+}
+
+// resolveSearch maps a wire strategy name onto search.Strategy. The
+// empty string stays empty — "client didn't pin a strategy" — so the
+// degradation ladder knows it may substitute the beam rung; callees
+// resolve it to the pruned default otherwise.
+func resolveSearch(name string) (search.Strategy, error) {
+	s := search.Strategy(name)
+	if err := s.Validate(); err != nil {
+		return "", badRequest("invalid search %q (want one of %v)", name, searchStrategyNames())
+	}
+	return s, nil
 }
 
 // resolveDesign maps a Table IV design name onto the design point.

@@ -33,6 +33,7 @@ import (
 	"rana/internal/hw"
 	"rana/internal/models"
 	"rana/internal/sched"
+	"rana/internal/sched/search"
 	"rana/internal/serve/chaos"
 )
 
@@ -80,6 +81,13 @@ type Config struct {
 	// search. Defaults to 200 ms; negative disables degradation.
 	DegradeBudget time.Duration
 
+	// BeamBudget is the ladder's middle rung: a /v1/schedule request
+	// whose deadline clears DegradeBudget but falls below BeamBudget —
+	// and does not pin a "search" strategy itself — is explored with the
+	// budgeted beam strategy instead of the full branch-and-bound.
+	// Defaults to 1 s; negative disables the rung.
+	BeamBudget time.Duration
+
 	// Chaos, when non-nil, injects faults into the computation path
 	// (latency, stalls, cancellations, panics). Test/selfcheck only.
 	Chaos *chaos.Injector
@@ -117,6 +125,9 @@ func (c Config) withDefaults() Config {
 	if c.DegradeBudget == 0 {
 		c.DegradeBudget = 200 * time.Millisecond
 	}
+	if c.BeamBudget == 0 {
+		c.BeamBudget = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -129,7 +140,7 @@ type Server struct {
 	cache   *lru
 	flights *flightGroup
 	m       *metrics
-	vars    fmt.Stringer // the /metrics document
+	vars    fmt.Stringer  // the /metrics document
 	sem     chan struct{} // worker slots: computations executing
 	queue   chan struct{} // admission tokens: executing + waiting
 	breaker *breaker      // nil when disabled
@@ -142,7 +153,7 @@ type Server struct {
 	// Computation seams, overridable in tests to count executions or
 	// inject failures. Defaults are the real pipeline entry points.
 	scheduleFn func(ctx context.Context, net models.Network, cfg hw.Config, opts sched.Options) (*sched.Plan, error)
-	compileFn  func(ctx context.Context, net models.Network) (*core.Output, error)
+	compileFn  func(ctx context.Context, net models.Network, strategy search.Strategy) (*core.Output, error)
 }
 
 // New returns an unstarted server.
@@ -159,8 +170,10 @@ func New(cfg Config) *Server {
 		baseCtx:    base,
 		stop:       stop,
 		scheduleFn: sched.ScheduleContext,
-		compileFn: func(ctx context.Context, net models.Network) (*core.Output, error) {
-			return core.New().CompileContext(ctx, net)
+		compileFn: func(ctx context.Context, net models.Network, strategy search.Strategy) (*core.Output, error) {
+			f := core.New()
+			f.Search = strategy
+			return f.CompileContext(ctx, net)
 		},
 	}
 	if cfg.BreakerThreshold > 0 {

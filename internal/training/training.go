@@ -187,7 +187,7 @@ func (m *Method) Run(rate float64) Result {
 	// Longer, gentler retraining than pretraining: the weights must
 	// adjust to the injected failures without forgetting the task.
 	retrainCfg := m.cfg
-	retrainCfg.Epochs = maxInt(6, m.cfg.Epochs+m.cfg.Epochs/2)
+	retrainCfg.Epochs = max(6, m.cfg.Epochs+m.cfg.Epochs/2)
 	retrainCfg.LR = m.cfg.LR / 2
 	Train(net, m.train, retrainCfg, rate)
 	res.Retrained = AccuracyAvg(net, m.test, m.cfg, rate, trials)
@@ -226,13 +226,6 @@ func (m *Method) clonePretrained() *nn.Network {
 		copy(dst[i].W.Data, src[i].W.Data)
 	}
 	return clone
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // permutation returns a Fisher-Yates shuffle of [0, n).

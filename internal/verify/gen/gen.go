@@ -129,18 +129,18 @@ func (r *Rand) Tiling(l models.ConvLayer, cfg hw.Config) pattern.Tiling {
 	axis := func(dim, array int) int {
 		switch r.rng.Intn(3) {
 		case 0:
-			return minInt(array, dim)
+			return min(array, dim)
 		case 1:
 			return dim
 		default:
 			v := 1 << r.rng.Intn(4)
-			return minInt(v, dim)
+			return min(v, dim)
 		}
 	}
 	return pattern.Tiling{
 		Tm: axis(l.M/g, cfg.ArrayM),
 		Tn: axis(l.N/g, cfg.ArrayN),
-		Tr: minInt(r.rng.Intn(3)+1, l.R()),
+		Tr: min(r.rng.Intn(3)+1, l.R()),
 		Tc: axis(l.C(), cfg.ArrayN),
 	}
 }
@@ -201,11 +201,4 @@ func (r *Rand) Words(n int) []fixed.Word {
 		out[i] = fixed.Word(r.rng.Intn(2048) - 1024)
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
