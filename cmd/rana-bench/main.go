@@ -1,0 +1,219 @@
+// Command rana-bench records the scheduler performance trajectory: it
+// compiles the benchmark zoo twice per model — the sequential
+// un-memoized baseline against the optimized parallel+memoized default —
+// and writes a BENCH_sched.json snapshot (ns/op, allocs/op, candidates
+// evaluated, memo hit rate, speedup) so scheduler performance is
+// comparable PR over PR.
+//
+// Usage:
+//
+//	rana-bench                         # write BENCH_sched.json
+//	rana-bench -iters 5 -o bench.json  # more samples, custom path
+//	rana-bench -models AlexNet,ResNet  # subset of the zoo
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/memctrl"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/retention"
+	"rana/internal/sched"
+	"rana/internal/sched/search"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Run is one measured configuration of one model.
+type Run struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	Evaluated   int     `json:"candidates_evaluated"`
+	MemoHits    int     `json:"memo_hits"`
+	MemoMisses  int     `json:"memo_misses"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+	Workers     int     `json:"workers"`
+}
+
+// NetBench is one model's baseline/optimized pair.
+type NetBench struct {
+	Model     string  `json:"model"`
+	Layers    int     `json:"layers"`
+	Baseline  Run     `json:"baseline"`
+	Optimized Run     `json:"optimized"`
+	SpeedupX  float64 `json:"speedup_x"`
+}
+
+// Snapshot is the BENCH_sched.json document.
+type Snapshot struct {
+	GeneratedAt string     `json:"generated_at"`
+	GoVersion   string     `json:"go_version"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	Iters       int        `json:"iters"`
+	Networks    []NetBench `json:"networks"`
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rana-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "BENCH_sched.json", "output path for the benchmark snapshot")
+	iters := fs.Int("iters", 3, "timed compile iterations per configuration (the minimum is kept)")
+	modelsFlag := fs.String("models", "", "comma-separated zoo subset (default: every benchmark network)")
+	parallelism := fs.Int("parallelism", 0, "optimized run's search workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *iters < 1 {
+		fmt.Fprintln(stderr, "rana-bench: -iters must be >= 1")
+		return 2
+	}
+	nets, err := selectModels(*modelsFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-bench:", err)
+		return 2
+	}
+
+	cfg := hw.TestAcceleratorEDRAM()
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Iters:       *iters,
+	}
+	for _, net := range nets {
+		base := benchOpts()
+		base.Parallelism = 1
+		base.DisableMemo = true
+		opt := benchOpts()
+		opt.Parallelism = *parallelism
+
+		baseline, err := measure(net, cfg, base, *iters)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-bench:", err)
+			return 1
+		}
+		optimized, err := measure(net, cfg, opt, *iters)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-bench:", err)
+			return 1
+		}
+		nb := NetBench{
+			Model:     net.Name,
+			Layers:    len(net.Layers),
+			Baseline:  baseline,
+			Optimized: optimized,
+		}
+		if optimized.NsPerOp > 0 {
+			nb.SpeedupX = float64(baseline.NsPerOp) / float64(optimized.NsPerOp)
+		}
+		snap.Networks = append(snap.Networks, nb)
+		fmt.Fprintf(stdout, "%-10s %3d layers: baseline %8.2fms, optimized %8.2fms (%.2fx, memo %d/%d hits, %d evals)\n",
+			net.Name, nb.Layers,
+			float64(baseline.NsPerOp)/1e6, float64(optimized.NsPerOp)/1e6,
+			nb.SpeedupX, optimized.MemoHits, optimized.MemoHits+optimized.MemoMisses,
+			optimized.Evaluated)
+	}
+
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-bench:", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintln(stderr, "rana-bench:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return 0
+}
+
+// benchOpts is the measured design point: the full RANA option set the
+// golden schedules run under.
+func benchOpts() sched.Options {
+	return sched.Options{
+		Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
+		RefreshInterval: retention.TolerableRetentionTime,
+		Controller:      memctrl.RefreshOptimized{},
+	}
+}
+
+// measure compiles net iters times under opts and keeps the fastest
+// wall-clock sample (minimum is the standard noise-resistant estimator
+// for a deterministic workload); allocation numbers are averaged across
+// the iterations via MemStats deltas. One untimed warmup run absorbs
+// first-touch effects.
+func measure(net models.Network, cfg hw.Config, opts sched.Options, iters int) (Run, error) {
+	ctx := context.Background()
+	if _, _, err := sched.ExploreNetworkContext(ctx, net, cfg, opts); err != nil {
+		return Run{}, fmt.Errorf("%s: %w", net.Name, err)
+	}
+	var r Run
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	best := time.Duration(-1)
+	var stats sched.NetworkStats
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		_, st, err := sched.ExploreNetworkContext(ctx, net, cfg, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			return Run{}, fmt.Errorf("%s: %w", net.Name, err)
+		}
+		if best < 0 || elapsed < best {
+			best = elapsed
+		}
+		stats = st
+	}
+	runtime.ReadMemStats(&ms1)
+	r.NsPerOp = best.Nanoseconds()
+	r.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(iters)
+	r.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters)
+	r.Evaluated = stats.Search.Evaluated
+	r.MemoHits = stats.MemoHits
+	r.MemoMisses = stats.MemoMisses
+	if n := stats.MemoHits + stats.MemoMisses; n > 0 {
+		r.MemoHitRate = float64(stats.MemoHits) / float64(n)
+	}
+	r.Workers = search.EffectiveParallelism(opts.Parallelism)
+	return r, nil
+}
+
+// selectModels resolves the -models flag against the zoo.
+func selectModels(spec string) ([]models.Network, error) {
+	all := models.Benchmarks()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]models.Network, len(all))
+	var names []string
+	for _, n := range all {
+		byName[n.Name] = n
+		names = append(names, n.Name)
+	}
+	var out []models.Network
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		n, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown model %q (want one of %v)", name, names)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesSnapshot drives the full flow on the cheapest model and
+// checks the emitted document carries every field the trajectory
+// comparison needs.
+func TestRunWritesSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sched.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-models", "AlexNet", "-iters", "1", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("invalid snapshot JSON: %v", err)
+	}
+	if len(snap.Networks) != 1 || snap.Networks[0].Model != "AlexNet" {
+		t.Fatalf("networks = %+v, want one AlexNet entry", snap.Networks)
+	}
+	nb := snap.Networks[0]
+	if nb.Baseline.NsPerOp <= 0 || nb.Optimized.NsPerOp <= 0 {
+		t.Fatalf("missing timings: %+v", nb)
+	}
+	if nb.Baseline.Evaluated <= 0 {
+		t.Fatalf("baseline evaluated = %d, want > 0", nb.Baseline.Evaluated)
+	}
+	if nb.Baseline.MemoHits != 0 || nb.Baseline.MemoMisses != 0 {
+		t.Fatalf("baseline must not touch the memo: %+v", nb.Baseline)
+	}
+	if nb.Optimized.MemoMisses <= 0 {
+		t.Fatalf("optimized memo misses = %d, want > 0", nb.Optimized.MemoMisses)
+	}
+	if nb.Baseline.Workers != 1 || nb.Optimized.Workers < 1 {
+		t.Fatalf("workers: baseline %d, optimized %d", nb.Baseline.Workers, nb.Optimized.Workers)
+	}
+	if nb.SpeedupX <= 0 {
+		t.Fatalf("speedup = %v, want > 0", nb.SpeedupX)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Fatalf("stdout missing confirmation: %q", stdout.String())
+	}
+}
+
+// TestRunFlagErrors covers the exit-2 validation paths.
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-iters", "0"},
+		{"-models", "NopeNet"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}

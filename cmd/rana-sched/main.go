@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit the compiled plan in the shared wire format (the golden/serving encoding)")
 	server := fs.String("server", "", "compile on a ranad instance (base URL) instead of in process")
 	strategy := fs.String("search", "", `Stage 2 exploration strategy: "exhaustive", "pruned" or "beam" (default pruned)`)
+	parallelism := fs.Int("parallelism", 0, "per-layer search workers (0 = GOMAXPROCS; plans are identical at every level)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,8 +52,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rana-sched:", err)
 		return 2
 	}
+	if *parallelism < 0 || *parallelism > search.MaxParallelism {
+		fmt.Fprintf(stderr, "rana-sched: -parallelism %d outside [0, %d]\n", *parallelism, search.MaxParallelism)
+		return 2
+	}
 	if *server != "" {
-		return runRemote(*server, *model, *strategy, *export, *asJSON, stdout, stderr)
+		return runRemote(*server, *model, *strategy, *parallelism, *export, *asJSON, stdout, stderr)
 	}
 
 	var net rana.Network
@@ -69,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fw := rana.NewFramework()
 	fw.Search = search.Strategy(*strategy)
+	fw.Parallelism = *parallelism
 	out, err := fw.Compile(net)
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-sched:", err)

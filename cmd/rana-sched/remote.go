@@ -20,7 +20,7 @@ import (
 // -json prints the plan wire encoding, and the default prints the
 // compile summary numbers (the per-layer table needs the in-process
 // output and is only available locally).
-func runRemote(baseURL, model, strategy string, export, asJSON bool, stdout, stderr io.Writer) int {
+func runRemote(baseURL, model, strategy string, parallelism int, export, asJSON bool, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	rc := &serve.RetryClient{
@@ -32,9 +32,18 @@ func runRemote(baseURL, model, strategy string, export, asJSON bool, stdout, std
 	if asJSON {
 		// /v1/schedule carries the same plan wire encoding as local -json.
 		// A -search strategy pins the server's exploration (and opts the
-		// request out of the beam rung of the degradation ladder).
+		// request out of the beam rung of the degradation ladder);
+		// -parallelism rides along as a throughput hint that never changes
+		// the plan bytes.
+		options := map[string]any{}
 		if strategy != "" {
-			req["options"] = map[string]any{"search": strategy}
+			options["search"] = strategy
+		}
+		if parallelism > 0 {
+			options["parallelism"] = parallelism
+		}
+		if len(options) > 0 {
+			req["options"] = options
 		}
 		reqBody, err := json.Marshal(req)
 		if err != nil {
@@ -61,6 +70,9 @@ func runRemote(baseURL, model, strategy string, export, asJSON bool, stdout, std
 
 	if strategy != "" {
 		req["search"] = strategy
+	}
+	if parallelism > 0 {
+		req["parallelism"] = parallelism
 	}
 	reqBody, err := json.Marshal(req)
 	if err != nil {

@@ -11,6 +11,7 @@
 //	rana-verify -random 500 -seed 7      # randomized differential cases
 //	rana-verify -functional 5            # word-accurate cross-checks
 //	rana-verify -search 50               # search-strategy differential sweep
+//	rana-verify -parallel                # parallel/memoized ≡ sequential bytes
 //
 // The first divergence is reported with a minimized reproducer and the
 // command exits 1; usage errors exit 2.
@@ -47,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "seed for the randomized cases")
 	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
 	searchN := fs.Int("search", 0, "strategy differential: check pruned ≡ exhaustive on the selected networks plus this many random networks")
+	parallel := fs.Bool("parallel", false, "parallelism differential: check parallel/memoized plans ≡ sequential exhaustive bytes on the selected networks")
 	verbose := fs.Bool("v", false, "report every case, not just failures")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,6 +134,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *searchN > 0 {
 		n, f := sweepStrategies(stdout, stderr, nets, cfg, opts, *searchN, *seed, *verbose)
+		cases += n
+		failures += f
+	}
+	if *parallel {
+		n, f := sweepParallelism(stdout, stderr, nets, cfg, opts, *verbose)
 		cases += n
 		failures += f
 	}
@@ -238,6 +245,30 @@ func sweepStrategies(stdout, stderr io.Writer, nets []models.Network, cfg hw.Con
 			net.Layers = append(net.Layers, g.TinyLayer())
 		}
 		check(net.Name, net, c)
+	}
+	return cases, failures
+}
+
+// sweepParallelism runs the parallelism/memo differential oracle: every
+// worker count in the default sweep (1, 2, GOMAXPROCS), memo on and off,
+// must reproduce the sequential exhaustive plan byte-for-byte.
+func sweepParallelism(stdout, stderr io.Writer, nets []models.Network, cfg hw.Config, opts sched.Options, verbose bool) (cases, failures int) {
+	for _, net := range nets {
+		cases++
+		r, err := verify.CompareParallelism(net, cfg, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify:", err)
+			failures++
+			continue
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s parallelism\n%s\n", net.Name, indent(r.String()))
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "ok   %s\n", r)
+		}
 	}
 	return cases, failures
 }

@@ -45,6 +45,14 @@ type Framework struct {
 	// BeamWidth bounds search.Beam's per-layer exact evaluations; zero
 	// selects the default width.
 	BeamWidth int
+	// Parallelism bounds Stage 2's per-layer exploration worker pool
+	// (sched.Options.Parallelism): zero selects GOMAXPROCS, 1 the
+	// sequential reference path. Plans are byte-identical at every level.
+	Parallelism int
+	// Memo, when non-nil, shares layer-shape exploration results across
+	// compiles (sched.Options.Memo). Nil keeps the default per-compile
+	// memo; ranad installs a server-wide memo here.
+	Memo *sched.Memo
 }
 
 // New returns a framework on the paper's evaluation platform with the
@@ -83,6 +91,11 @@ type Output struct {
 	Layerwise []LayerConfig
 	// Energy is the estimated whole-network system energy.
 	Energy energy.Breakdown
+	// Stats is Stage 2's aggregate exploration work: summed search
+	// counters plus memo effectiveness. ranad's /metrics and the
+	// benchmark harness consume it; ExportConfig's wire projection
+	// excludes it, so recording work does not perturb cached bodies.
+	Stats sched.NetworkStats
 }
 
 // Compile runs the compilation phase (Stages 1 and 2) and derives the
@@ -131,8 +144,10 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		Controller:      memctrl.RefreshOptimized{},
 		Search:          f.Search,
 		BeamWidth:       f.BeamWidth,
+		Parallelism:     f.Parallelism,
+		Memo:            f.Memo,
 	}
-	plan, err := sched.ScheduleContext(ctx, net, cfg, opts)
+	plan, stats, err := sched.ExploreNetworkContext(ctx, net, cfg, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -149,6 +164,7 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		DividerRatio:       div.Ratio(),
 		Plan:               plan,
 		Energy:             plan.Energy,
+		Stats:              stats,
 	}
 	for i, lp := range plan.Layers {
 		out.Layerwise = append(out.Layerwise, LayerConfig{

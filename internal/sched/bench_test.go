@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"rana/internal/hw"
@@ -35,5 +36,45 @@ func BenchmarkScheduleLayerStrategies(b *testing.B) {
 			}
 			b.ReportMetric(float64(stats.Evaluated), "evals/op")
 		})
+	}
+}
+
+// BenchmarkCompileNetwork times whole-network scheduling over the model
+// zoo in two configurations: the sequential un-memoized baseline
+// (Parallelism 1, DisableMemo) against the optimized default (pooled
+// workers + per-compile layer-shape memo). The evals/op and memohit/op
+// metrics expose where the speedup comes from — ResNet and GoogLeNet
+// repeat shapes heavily, so their memoized runs evaluate a fraction of
+// the baseline's candidates.
+func BenchmarkCompileNetwork(b *testing.B) {
+	cfg := hw.TestAcceleratorEDRAM()
+	variants := []struct {
+		name string
+		tune func(*Options)
+	}{
+		{"baseline", func(o *Options) { o.Parallelism = 1; o.DisableMemo = true }},
+		{"optimized", func(o *Options) {}},
+	}
+	for _, net := range models.Benchmarks() {
+		for _, v := range variants {
+			opts := ranaOpts()
+			v.tune(&opts)
+			b.Run(net.Name+"/"+v.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var ns NetworkStats
+				for i := 0; i < b.N; i++ {
+					// Each iteration gets a fresh implicit memo (Options.Memo
+					// stays nil), so hit rates measure one compile, not an
+					// ever-warmer cache.
+					_, st, err := ExploreNetworkContext(context.Background(), net, cfg, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ns = st
+				}
+				b.ReportMetric(float64(ns.Search.Evaluated), "evals/op")
+				b.ReportMetric(float64(ns.MemoHits), "memohit/op")
+			})
+		}
 	}
 }

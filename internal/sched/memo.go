@@ -1,0 +1,198 @@
+package sched
+
+// Layer-shape memoization. Real networks repeat identical layer shapes —
+// ResNet-50's bottleneck blocks and GoogLeNet's inception branches reuse
+// a handful of shapes dozens of times — and the Fig. 13 exploration
+// depends only on (layer shape, accelerator config, scheduling options),
+// never on the layer's name or position. A Memo keys completed per-layer
+// explorations on that triple so each distinct shape is explored once
+// per compile (and, when a Memo is shared, once per process).
+//
+// Correctness: pattern.Analyze reconstructs Analysis.Layer equal to its
+// input layer, and every other LayerPlan field is a pure function of the
+// memo key, so a hit only needs Analysis.Layer patched to the requesting
+// layer's identity (Name/Stage) to be byte-identical to a fresh
+// exploration. Errors are never cached: their messages embed layer
+// names, and a transient failure must not poison every same-shaped
+// layer.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched/search"
+)
+
+// DefaultMemoCapacity bounds a Memo's entry count when NewMemo is given
+// no explicit capacity. Distinct layer shapes number in the dozens per
+// network, so 4096 comfortably holds a whole model zoo while bounding a
+// shared long-lived memo against hostile shape streams.
+const DefaultMemoCapacity = 4096
+
+// memoKey identifies one exploration problem. All three components are
+// comparable: the layer with identity (Name, Stage) cleared, the config
+// with Name cleared, and the canonical options signature.
+type memoKey struct {
+	layer models.ConvLayer
+	cfg   hw.Config
+	sig   string
+}
+
+// memoEntry is one in-flight or completed exploration. done is closed
+// when the owner finishes; ok reports whether lp/stats are valid.
+// Failed entries are removed from the table before done closes, so
+// waiters observing ok == false recompute individually.
+type memoEntry struct {
+	done  chan struct{}
+	lp    LayerPlan
+	stats search.Stats
+	ok    bool
+}
+
+// Memo caches per-layer exploration results across the layers of one
+// compile and, when shared, across compiles. Safe for concurrent use.
+// The zero value is not usable; call NewMemo.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*memoEntry
+	cap     int
+	hits    uint64
+	misses  uint64
+}
+
+// NewMemo returns a memo bounded to capacity entries (<= 0 selects
+// DefaultMemoCapacity). When the table is full, new shapes are explored
+// without being recorded — the memo degrades to a no-op, never evicts.
+func NewMemo(capacity int) *Memo {
+	if capacity <= 0 {
+		capacity = DefaultMemoCapacity
+	}
+	return &Memo{entries: make(map[memoKey]*memoEntry), cap: capacity}
+}
+
+// MemoStats is a point-in-time snapshot of a memo's effectiveness.
+type MemoStats struct {
+	// Hits counts lookups served from a completed (or in-flight) entry.
+	Hits uint64
+	// Misses counts lookups that had to explore.
+	Misses uint64
+	// Entries is the current table size.
+	Entries int
+}
+
+// Stats snapshots the memo counters.
+func (m *Memo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Entries: len(m.entries)}
+}
+
+// signature is the canonical options form the memo keys on — the same
+// resolution rules as the serving cache hashing (resolved strategy
+// spelled out, beam width only under beam, effective guard band,
+// controller by name) so equivalent spellings collapse onto one entry.
+// Parallelism, Memo, DisableMemo and Check are deliberately absent:
+// none of them changes a layer's resulting plan bytes.
+func (o Options) signature() string {
+	var sb strings.Builder
+	for _, k := range o.Patterns {
+		sb.WriteString(k.String())
+		sb.WriteByte(',')
+	}
+	fmt.Fprintf(&sb, "|refresh=%d", int64(o.RefreshInterval))
+	if o.Controller != nil {
+		fmt.Fprintf(&sb, "|ctrl=%s", o.Controller.Name())
+	}
+	if o.NaturalTiling {
+		sb.WriteString("|natural")
+	}
+	fmt.Fprintf(&sb, "|guard=%g", o.Guard())
+	if o.FixedTiling != nil {
+		t := *o.FixedTiling
+		fmt.Fprintf(&sb, "|fixed=%d,%d,%d,%d", t.Tm, t.Tn, t.Tr, t.Tc)
+	}
+	fmt.Fprintf(&sb, "|search=%s", o.Search.Resolve())
+	if o.Search.Resolve() == search.Beam {
+		fmt.Fprintf(&sb, "|beam=%d", search.EffectiveWidth(o.BeamWidth))
+	}
+	return sb.String()
+}
+
+// keyFor builds the memo key: layer identity and config name are
+// cleared (they do not influence exploration), and the options collapse
+// onto the canonical signature shared with the serving cache hashing —
+// resolved strategy spelled out, beam width only under beam, effective
+// guard band, controller by name.
+func keyFor(l models.ConvLayer, cfg hw.Config, opts Options) memoKey {
+	l.Name, l.Stage = "", ""
+	cfg.Name = ""
+	return memoKey{layer: l, cfg: cfg, sig: opts.signature()}
+}
+
+// explore returns the layer's plan through the memo: a completed entry
+// is returned with the layer identity patched in; otherwise the caller
+// explores (via compute) and publishes the result for same-shaped
+// layers. A nil memo degenerates to a plain compute call.
+func (m *Memo) explore(l models.ConvLayer, cfg hw.Config, opts Options,
+	compute func() (LayerPlan, search.Stats, error)) (LayerPlan, search.Stats, bool, error) {
+	if m == nil {
+		lp, stats, err := compute()
+		return lp, stats, false, err
+	}
+	key := keyFor(l, cfg, opts)
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		<-e.done
+		if !e.ok {
+			// The owner failed after we were counted as a hit; its
+			// entry is gone. Recompute without the memo — caching the
+			// failure would smear one layer's error (whose message
+			// names that layer) across every same-shaped layer.
+			lp, stats, err := compute()
+			return lp, stats, false, err
+		}
+		lp := e.lp
+		lp.Analysis.Layer = l
+		return lp, e.stats, true, nil
+	}
+	if len(m.entries) >= m.cap {
+		// Full: explore without recording. No counter bump — the
+		// table is saturated, hit/miss ratios stop being meaningful.
+		m.mu.Unlock()
+		lp, stats, err := compute()
+		return lp, stats, false, err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.misses++
+	m.mu.Unlock()
+
+	lp, stats, err := m.fill(key, e, compute)
+	return lp, stats, false, err
+}
+
+// fill runs the owner's exploration and publishes (or withdraws) the
+// entry. The deferred cleanup also fires on panic, so a poisoned
+// candidate cannot leave same-shaped waiters blocked forever.
+func (m *Memo) fill(key memoKey, e *memoEntry,
+	compute func() (LayerPlan, search.Stats, error)) (lp LayerPlan, stats search.Stats, err error) {
+	defer func() {
+		if !e.ok {
+			m.mu.Lock()
+			delete(m.entries, key)
+			m.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	lp, stats, err = compute()
+	if err != nil {
+		return lp, stats, err
+	}
+	e.lp, e.stats, e.ok = lp, stats, true
+	return lp, stats, nil
+}

@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched/search"
+)
+
+// TestMemoOnOffPlansIdentical is the satellite equality check: compiling
+// with the layer-shape memo enabled must produce wire bytes identical to
+// compiling with it disabled, on every zoo network, while actually
+// hitting on the shape-heavy models.
+func TestMemoOnOffPlansIdentical(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	for _, net := range models.Benchmarks() {
+		t.Run(net.Name, func(t *testing.T) {
+			off := ranaOpts()
+			off.DisableMemo = true
+			on := ranaOpts()
+
+			ctx := context.Background()
+			pOff, sOff, err := ExploreNetworkContext(ctx, net, cfg, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pOn, sOn, err := ExploreNetworkContext(ctx, net, cfg, on)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offJSON, err := json.Marshal(Encode(pOff))
+			if err != nil {
+				t.Fatal(err)
+			}
+			onJSON, err := json.Marshal(Encode(pOn))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(offJSON) != string(onJSON) {
+				t.Fatalf("memoized plan diverged from un-memoized plan:\n%.160s\nvs\n%.160s", onJSON, offJSON)
+			}
+			if sOff.MemoHits != 0 || sOff.MemoMisses != 0 {
+				t.Fatalf("DisableMemo still counted memo traffic: %+v", sOff)
+			}
+			if sOn.MemoHits+sOn.MemoMisses != len(net.Layers) {
+				t.Fatalf("memo accounting %d hits + %d misses != %d layers", sOn.MemoHits, sOn.MemoMisses, len(net.Layers))
+			}
+			if net.Name == "ResNet" && sOn.MemoHits == 0 {
+				t.Fatal("ResNet repeats shapes but the memo never hit")
+			}
+		})
+	}
+}
+
+// TestMemoSharedAcrossCompiles: an explicit Memo carries results from one
+// compile into the next — the second compile of the same network is all
+// hits, with identical plan bytes.
+func TestMemoSharedAcrossCompiles(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	net := models.ResNet()
+	opts := ranaOpts()
+	opts.Memo = NewMemo(0)
+
+	ctx := context.Background()
+	p1, s1, err := ExploreNetworkContext(ctx, net, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, s2, err := ExploreNetworkContext(ctx, net, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.MemoHits != len(net.Layers) || s2.MemoMisses != 0 {
+		t.Fatalf("second compile: %d hits, %d misses, want all %d layers hit", s2.MemoHits, s2.MemoMisses, len(net.Layers))
+	}
+	if s1.MemoMisses == 0 {
+		t.Fatalf("first compile reported no misses: %+v", s1)
+	}
+	j1, _ := json.Marshal(Encode(p1))
+	j2, _ := json.Marshal(Encode(p2))
+	if string(j1) != string(j2) {
+		t.Fatal("shared-memo recompile changed plan bytes")
+	}
+	ms := opts.Memo.Stats()
+	if ms.Hits == 0 || ms.Misses == 0 || ms.Entries == 0 {
+		t.Fatalf("memo stats %+v missing traffic", ms)
+	}
+}
+
+// memoFixture returns a layer/config/options triple for direct explore
+// calls.
+func memoFixture(t *testing.T) (models.ConvLayer, hw.Config, Options) {
+	t.Helper()
+	l, ok := models.AlexNet().Layer("conv3")
+	if !ok {
+		t.Fatal("missing fixture layer")
+	}
+	return l, hw.TestAcceleratorEDRAM(), ranaOpts()
+}
+
+// TestMemoDedupsConcurrentExplores: same-shaped layers racing through one
+// memo compute exactly once; every caller gets a plan carrying its own
+// layer identity.
+func TestMemoDedupsConcurrentExplores(t *testing.T) {
+	l, cfg, opts := memoFixture(t)
+	m := NewMemo(0)
+	var computes atomic.Int32
+	const callers = 16
+	var wg sync.WaitGroup
+	plans := make([]LayerPlan, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			li := l
+			li.Name = "alias"
+			// As in ExploreNetworkContext, the compute closure explores
+			// exactly the layer handed to the memo.
+			lp, _, _, err := m.explore(li, cfg, opts, func() (LayerPlan, search.Stats, error) {
+				computes.Add(1)
+				return exploreLayer(li, cfg, opts)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = lp
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1", n)
+	}
+	for i, lp := range plans {
+		if lp.Analysis.Layer.Name != "alias" {
+			t.Fatalf("caller %d got layer identity %q, want patched alias", i, lp.Analysis.Layer.Name)
+		}
+	}
+}
+
+// TestMemoErrorsNeverCached: a failing compute must not poison the key —
+// the next caller recomputes and can succeed.
+func TestMemoErrorsNeverCached(t *testing.T) {
+	l, cfg, opts := memoFixture(t)
+	m := NewMemo(0)
+	boom := errors.New("transient")
+	_, _, hit, err := m.explore(l, cfg, opts, func() (LayerPlan, search.Stats, error) {
+		return LayerPlan{}, search.Stats{}, boom
+	})
+	if !errors.Is(err, boom) || hit {
+		t.Fatalf("explore = hit=%v err=%v, want miss with the compute error", hit, err)
+	}
+	if ms := m.Stats(); ms.Entries != 0 {
+		t.Fatalf("failed compute left %d entries", ms.Entries)
+	}
+	lp, _, hit, err := m.explore(l, cfg, opts, func() (LayerPlan, search.Stats, error) {
+		return exploreLayer(l, cfg, opts)
+	})
+	if err != nil || hit {
+		t.Fatalf("recompute after failure: hit=%v err=%v", hit, err)
+	}
+	if lp.Analysis.Layer.Name != l.Name {
+		t.Fatal("recompute returned wrong layer")
+	}
+}
+
+// TestMemoCapacityFullComputesWithoutRecording: a saturated table
+// degrades to a pass-through — no eviction, no new entries, correct
+// results.
+func TestMemoCapacityFullComputesWithoutRecording(t *testing.T) {
+	net := models.AlexNet()
+	cfg := hw.TestAcceleratorEDRAM()
+	opts := ranaOpts()
+	m := NewMemo(1)
+	for i, l := range net.Layers {
+		lp, _, _, err := m.explore(l, cfg, opts, func() (LayerPlan, search.Stats, error) {
+			return exploreLayer(l, cfg, opts)
+		})
+		if err != nil {
+			t.Fatalf("layer %d: %v", i, err)
+		}
+		if lp.Analysis.Layer.Name != l.Name {
+			t.Fatalf("layer %d: wrong identity %q", i, lp.Analysis.Layer.Name)
+		}
+	}
+	if ms := m.Stats(); ms.Entries != 1 {
+		t.Fatalf("capacity-1 memo holds %d entries", ms.Entries)
+	}
+}
+
+// TestMemoNilReceiverComputes: a nil memo is a plain compute call.
+func TestMemoNilReceiverComputes(t *testing.T) {
+	l, cfg, opts := memoFixture(t)
+	var m *Memo
+	lp, _, hit, err := m.explore(l, cfg, opts, func() (LayerPlan, search.Stats, error) {
+		return exploreLayer(l, cfg, opts)
+	})
+	if err != nil || hit {
+		t.Fatalf("nil memo: hit=%v err=%v", hit, err)
+	}
+	if lp.Analysis.Layer.Name != l.Name {
+		t.Fatal("nil memo returned wrong layer")
+	}
+}
+
+// TestMemoSignatureSeparatesPlanRelevantOptions: options that change plan
+// bytes must key separately; throughput knobs must collapse.
+func TestMemoSignatureSeparatesPlanRelevantOptions(t *testing.T) {
+	a := ranaOpts()
+	b := ranaOpts()
+	b.Parallelism = 7
+	b.DisableMemo = true
+	if a.signature() != b.signature() {
+		t.Fatal("throughput knobs leaked into the memo signature")
+	}
+	c := ranaOpts()
+	c.Search = search.Beam
+	if a.signature() == c.signature() {
+		t.Fatal("search strategy missing from the memo signature")
+	}
+	d := ranaOpts()
+	d.NaturalTiling = true
+	if a.signature() == d.signature() {
+		t.Fatal("natural tiling missing from the memo signature")
+	}
+}

@@ -73,6 +73,26 @@ type Options struct {
 	// selects search.DefaultBeamWidth. Ignored by other strategies.
 	BeamWidth int
 
+	// Parallelism bounds the worker goroutines each layer's exploration
+	// fans out across its candidate space (search.Options.Parallelism).
+	// Zero selects GOMAXPROCS; 1 forces the sequential reference path.
+	// Plans are byte-identical at every level, so Parallelism is a
+	// throughput knob, not a semantic one — it is excluded from the memo
+	// key and the serving cache key.
+	Parallelism int
+
+	// Memo, when non-nil, shares completed layer-shape explorations
+	// across layers and across schedules (see Memo). When nil,
+	// ScheduleContext builds a private per-compile memo unless
+	// DisableMemo is set; the layer-level entry points (ScheduleLayer,
+	// ExploreLayer) never memoize on their own.
+	Memo *Memo `json:"-"`
+
+	// DisableMemo turns off the implicit per-compile memo — the
+	// benchmark baseline and the memo-equality oracle use it to compare
+	// against un-memoized exploration.
+	DisableMemo bool
+
 	// Check, when non-nil, is invoked on the assembled plan before
 	// Schedule returns — the seam the verification harness
 	// (internal/verify) uses to enforce plan invariants at schedule time.
@@ -203,19 +223,50 @@ func Schedule(net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
 // serving subsystem, CLIs under signal control) use this entry point;
 // Schedule is ScheduleContext under context.Background().
 func ScheduleContext(ctx context.Context, net models.Network, cfg hw.Config, opts Options) (*Plan, error) {
+	p, _, err := ExploreNetworkContext(ctx, net, cfg, opts)
+	return p, err
+}
+
+// NetworkStats aggregates one whole-network schedule's exploration work.
+// Search sums only the work actually performed — a memo hit contributes
+// nothing to it, exactly like the exploration it skipped.
+type NetworkStats struct {
+	// Search is the summed per-layer search work (Workers keeps the max).
+	Search search.Stats
+	// MemoHits counts layers served from the memo.
+	MemoHits int
+	// MemoMisses counts layers that had to explore. Hits + Misses equals
+	// the layer count unless the memo was nil, disabled or saturated.
+	MemoMisses int
+}
+
+// ExploreNetworkContext is ScheduleContext with the aggregate work
+// accounting exposed: summed search counters plus memo effectiveness.
+// The benchmark harness and ranad's /metrics consume the stats.
+func ExploreNetworkContext(ctx context.Context, net models.Network, cfg hw.Config, opts Options) (*Plan, NetworkStats, error) {
+	var ns NetworkStats
 	if err := net.Validate(); err != nil {
-		return nil, err
+		return nil, ns, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, ns, err
 	}
 	if err := opts.Validate(); err != nil {
-		return nil, err
+		return nil, ns, err
+	}
+	memo := opts.Memo
+	if memo == nil && !opts.DisableMemo {
+		// Default-on per-compile memo: repeated shapes inside one network
+		// (ResNet bottlenecks, inception branches) schedule once. Shared
+		// cross-compile memos are opt-in via Options.Memo.
+		memo = NewMemo(0)
 	}
 	p := &Plan{Network: net, Config: cfg, Options: opts}
 	// Layers are independent optimization problems (Fig. 13 schedules
 	// them one by one); explore them in parallel and aggregate in order.
 	plans := make([]LayerPlan, len(net.Layers))
+	stats := make([]search.Stats, len(net.Layers))
+	hits := make([]bool, len(net.Layers))
 	errs := make([]error, len(net.Layers))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -245,31 +296,42 @@ launch:
 				}
 			}()
 			// opts was validated once above; skip the per-layer re-check.
-			plans[i], errs[i] = scheduleLayer(l, cfg, opts)
+			plans[i], stats[i], hits[i], errs[i] = memo.explore(l, cfg, opts,
+				func() (LayerPlan, search.Stats, error) { return exploreLayer(l, cfg, opts) })
 		}(i, l)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			if ctx.Err() != nil && err == ctx.Err() {
-				return nil, fmt.Errorf("sched: %s: canceled at layer %d/%d (%s): %w",
+				return nil, ns, fmt.Errorf("sched: %s: canceled at layer %d/%d (%s): %w",
 					net.Name, i+1, len(net.Layers), net.Layers[i].Name, err)
 			}
-			return nil, fmt.Errorf("sched: %s/%s: %w", net.Name, net.Layers[i].Name, err)
+			return nil, ns, fmt.Errorf("sched: %s/%s: %w", net.Name, net.Layers[i].Name, err)
 		}
 	}
-	for _, lp := range plans {
+	for i, lp := range plans {
 		p.Layers = append(p.Layers, lp)
 		p.Totals.Add(lp.Counts)
 		p.Energy.Add(lp.Energy)
 		p.ExecTime += lp.Analysis.ExecTime
+		if hits[i] {
+			ns.MemoHits++
+		} else {
+			// With no memo at all there are no misses to report — only
+			// the search work itself.
+			if memo != nil {
+				ns.MemoMisses++
+			}
+			ns.Search.Add(stats[i])
+		}
 	}
 	if opts.Check != nil {
 		if err := opts.Check(p); err != nil {
-			return nil, fmt.Errorf("sched: plan check: %w", err)
+			return nil, ns, fmt.Errorf("sched: plan check: %w", err)
 		}
 	}
-	return p, nil
+	return p, ns, nil
 }
 
 // ScheduleLayer explores the configured pattern × tiling space for one
@@ -335,7 +397,7 @@ func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, s
 				Value:    lp,
 			}, nil
 		},
-	}, search.Options{Strategy: opts.Search, BeamWidth: opts.BeamWidth})
+	}, search.Options{Strategy: opts.Search, BeamWidth: opts.BeamWidth, Parallelism: opts.Parallelism})
 	if err != nil {
 		return LayerPlan{}, r.Stats, err
 	}

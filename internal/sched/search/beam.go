@@ -1,6 +1,10 @@
 package search
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
 
 // scored is one candidate with its lower bound, awaiting exact pricing.
 type scored struct {
@@ -37,8 +41,17 @@ func (h *beamHeap) Pop() any          { old := *h; n := len(old); x := old[n-1];
 // none of the kept candidates turns out feasible, the bound budget was
 // spent on infeasible space — fall back to a full branch-and-bound
 // rescan so Beam never reports "no feasible tiling" when one exists.
-func beam[T any](p Problem[T], width int) (Result[T], error) {
+//
+// Beam composes with parallelism: the bounding pass stays sequential
+// (it is the cheap streaming part and keeps the kept set trivially
+// deterministic), while the expensive exact pricing of the kept set
+// fans out across the worker pool. The survivors are sorted into
+// canonical order *before* the fan-out and reduced in that same order
+// afterwards, so the first-wins strict-< rule sees them exactly as the
+// sequential loop would.
+func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 	var r Result[T]
+	r.Stats.Workers = 1
 	kept := make(beamHeap, 0, width)
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
@@ -75,12 +88,12 @@ func beam[T any](p Problem[T], width int) (Result[T], error) {
 	ordered := make([]scored, len(kept))
 	copy(ordered, kept)
 	sortCanonical(ordered)
-	for _, s := range ordered {
-		out, err := p.Evaluate(s.c.Kind, s.c.Tiling)
-		if err != nil {
-			return Result[T]{}, err
-		}
-		r.Stats.Evaluated++
+	outs, firstErr := priceOrdered(p, ordered, workers, &r.Stats)
+	if firstErr != nil {
+		return Result[T]{}, firstErr
+	}
+	for i, s := range ordered {
+		out := outs[i]
 		if !out.Feasible {
 			continue
 		}
@@ -90,14 +103,98 @@ func beam[T any](p Problem[T], width int) (Result[T], error) {
 	}
 	if !r.Found {
 		p.Space.Reset()
-		full, err := scan(p, p.Bound != nil)
+		var full Result[T]
+		var err error
+		if workers > 1 {
+			full, err = scanParallel(p, p.Bound != nil, workers)
+		} else {
+			full, err = scan(p, p.Bound != nil)
+		}
 		if err != nil {
 			return Result[T]{}, err
 		}
-		full.Stats.add(r.Stats)
+		full.Stats.Add(r.Stats)
 		return full, nil
 	}
 	return r, nil
+}
+
+// priceOrdered evaluates the canonically sorted survivors, fanning the
+// exact pricer across the worker pool when workers > 1. Results land in
+// an index-aligned slice so the caller's sequential reduction is
+// oblivious to evaluation order; on errors the canonically earliest one
+// wins (index order == canonical order here).
+func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Stats) ([]Outcome[T], error) {
+	outs := make([]Outcome[T], len(ordered))
+	if workers > len(ordered) {
+		workers = len(ordered)
+	}
+	if workers <= 1 {
+		for i, s := range ordered {
+			out, err := p.Evaluate(s.c.Kind, s.c.Tiling)
+			if err != nil {
+				return nil, err
+			}
+			stats.Evaluated++
+			outs[i] = out
+		}
+		return outs, nil
+	}
+	if workers > stats.Workers {
+		stats.Workers = workers
+	}
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, len(ordered))
+		panics = make([]*workerPanic, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics[w] = &workerPanic{Value: v, Stack: stack()}
+					failed.Store(true)
+				}
+			}()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(ordered) {
+					return
+				}
+				out, err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				outs[i] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, pv := range panics {
+		if pv != nil {
+			panic(pv)
+		}
+	}
+	evaluated := 0
+	var firstErr error
+	for i := range ordered {
+		if errs[i] != nil {
+			firstErr = errs[i]
+			break
+		}
+		evaluated++
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.Evaluated += evaluated
+	return outs, nil
 }
 
 // sortCanonical orders survivors by (kind index, tiling index) — the

@@ -20,10 +20,17 @@
 // argmins can never silently flip between strategies or refactors:
 // lexicographic (energy, kind index, tiling index) — exactly the
 // pattern-major strict-< first-wins rule of the historical loop.
+//
+// Every strategy also runs at any parallelism level with byte-identical
+// results: Options.Parallelism partitions the candidate space across a
+// bounded worker pool sharing the incumbent's exact energy through an
+// atomic bound (parallel.go), and the reduction re-applies the canonical
+// preference order, so plans never move with the worker count.
 package search
 
 import (
 	"fmt"
+	"runtime"
 
 	"rana/internal/pattern"
 )
@@ -79,6 +86,25 @@ func EffectiveWidth(w int) int {
 	return w
 }
 
+// MaxParallelism caps the worker pool one Run may fan out. The cap
+// bounds goroutine count against hostile or mistaken configuration;
+// beyond the machine's core count extra workers only add contention.
+const MaxParallelism = 256
+
+// EffectiveParallelism resolves a configured parallelism level: zero (or
+// negative) selects GOMAXPROCS, and every level is capped at
+// MaxParallelism. The result is the worker bound, not a promise — a Run
+// never spawns more workers than it has tilings to scan.
+func EffectiveParallelism(p int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > MaxParallelism {
+		p = MaxParallelism
+	}
+	return p
+}
+
 // Candidate identifies one (pattern kind, tiling) point of the space.
 // KindIdx and TilingIdx are the enumeration positions the tie-breaking
 // order is defined over.
@@ -123,6 +149,13 @@ type Problem[T any] struct {
 type Options struct {
 	Strategy  Strategy
 	BeamWidth int // Beam only; 0 selects DefaultBeamWidth
+	// Parallelism bounds the worker goroutines one Run fans out across
+	// the candidate space. Zero selects GOMAXPROCS; 1 forces the
+	// sequential reference path. Results are byte-identical at every
+	// level (see parallel.go for the argument); only Stats work
+	// attribution (Bounded/Pruned/Evaluated splits) may shift, since
+	// how much pruning the shared bound achieves depends on timing.
+	Parallelism int
 }
 
 // Stats counts the work one Run performed — the currency the pruning
@@ -143,16 +176,22 @@ type Stats struct {
 	// Evaluated counts exact evaluations — the expensive operation the
 	// strategies exist to minimize.
 	Evaluated int
+	// Workers is the worker-pool size the run actually used (1 on the
+	// sequential path). Aggregation keeps the maximum, not a sum.
+	Workers int
 }
 
-// add accumulates other into s.
-func (s *Stats) add(other Stats) {
+// Add accumulates other into s: counters sum, Workers keeps the max.
+func (s *Stats) Add(other Stats) {
 	s.Tilings += other.Tilings
 	s.Admitted += other.Admitted
 	s.Candidates += other.Candidates
 	s.Bounded += other.Bounded
 	s.Pruned += other.Pruned
 	s.Evaluated += other.Evaluated
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
 }
 
 // Result is one Run's outcome.
@@ -170,13 +209,20 @@ func Run[T any](p Problem[T], o Options) (Result[T], error) {
 	if err := o.Strategy.Validate(); err != nil {
 		return Result[T]{}, err
 	}
+	workers := EffectiveParallelism(o.Parallelism)
 	switch o.Strategy.Resolve() {
 	case Exhaustive:
+		if workers > 1 {
+			return scanParallel(p, false, workers)
+		}
 		return scan(p, false)
 	case Pruned:
+		if workers > 1 {
+			return scanParallel(p, p.Bound != nil, workers)
+		}
 		return scan(p, p.Bound != nil)
 	default: // Beam; Validate covered the rest
-		return beam(p, EffectiveWidth(o.BeamWidth))
+		return beam(p, EffectiveWidth(o.BeamWidth), workers)
 	}
 }
 
@@ -201,6 +247,7 @@ func prefer(e float64, c Candidate, be float64, bc Candidate) bool {
 // pass over the tiling space, all pattern kinds priced per tiling.
 func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 	var r Result[T]
+	r.Stats.Workers = 1
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
 		if !ok {

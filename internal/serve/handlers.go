@@ -96,11 +96,21 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 			opts.Search = search.Beam
 		}
 	}
+	// Parallelism and the shared memo ride along *outside* the cache key:
+	// plans are byte-identical at every worker count, so requests
+	// differing only here must share one entry. The ladder composes with
+	// both — a beam-rung (or degraded) computation still fans its pricing
+	// across the workers and still hits the shared memo.
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.Parallelism
+	}
+	opts.Memo = s.memo
 	key := scheduleKey(net, cfg, opts)
 	if degraded {
 		key = scheduleDegradedKey(net, cfg, opts)
 	}
 	resp, err := s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+		s.m.computed(search.EffectiveParallelism(opts.Parallelism))
 		plan, err := s.scheduleFn(ctx, net, cfg, opts)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
@@ -154,9 +164,17 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response,
 	if err != nil {
 		return nil, err
 	}
+	if err := validateParallelism(req.Parallelism); err != nil {
+		return nil, err
+	}
+	parallelism := req.Parallelism
+	if parallelism == 0 {
+		parallelism = s.cfg.Parallelism
+	}
 	key := compileKey(net, strategy)
 	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
-		out, err := s.compileFn(ctx, net, strategy)
+		s.m.computed(search.EffectiveParallelism(parallelism))
+		out, err := s.compileFn(ctx, net, strategy, parallelism)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
 		}

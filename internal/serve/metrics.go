@@ -10,6 +10,7 @@ import (
 	"expvar"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -39,6 +40,11 @@ type metrics struct {
 	// concurrency-safe).
 	Statuses expvar.Map
 
+	// Parallelism counts computations per effective search worker count
+	// (key = the resolved level, e.g. "4"). Only actual computations are
+	// counted — cache hits and dedup joins did no search work.
+	Parallelism expvar.Map
+
 	mu   sync.Mutex
 	lats [latWindow]time.Duration
 	n    int // total observations; lats is a ring at n % latWindow
@@ -48,7 +54,13 @@ type metrics struct {
 func newMetrics() *metrics {
 	m := &metrics{}
 	m.Statuses.Init()
+	m.Parallelism.Init()
 	return m
+}
+
+// computed records one computation's effective parallelism level.
+func (m *metrics) computed(workers int) {
+	m.Parallelism.Add(strconv.Itoa(workers), 1)
 }
 
 // status records one response's endpoint and status class.
@@ -101,6 +113,7 @@ func (m *metrics) expvarMap() *expvar.Map {
 	em.Set("breaker_open_total", &m.BreakerOpenTotal)
 	em.Set("breaker_fast_fails", &m.BreakerFastFails)
 	em.Set("statuses", &m.Statuses)
+	em.Set("parallelism", &m.Parallelism)
 	em.Set("latency_p50_ms", expvar.Func(func() any {
 		p50, _ := m.quantiles()
 		return float64(p50) / float64(time.Millisecond)

@@ -100,6 +100,12 @@ type OptionsSpec struct {
 	// BeamWidth bounds the beam's per-layer exact evaluations; only
 	// valid with search "beam". Zero selects the default width.
 	BeamWidth int `json:"beam_width,omitempty"`
+	// Parallelism bounds the per-layer search worker pool. Zero selects
+	// the server's default (its -parallelism flag, or GOMAXPROCS). Plans
+	// are byte-identical at every level, so the field never enters the
+	// cache key: requests differing only here share one entry, and the
+	// response body does not echo it.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // ScheduleRequest asks for a Stage-2 schedule of one network on one
@@ -129,6 +135,10 @@ type CompileRequest struct {
 	// Search pins Stage 2's exploration strategy ("exhaustive", "pruned"
 	// or "beam"); empty selects the pruned default.
 	Search string `json:"search,omitempty"`
+	// Parallelism bounds Stage 2's per-layer search worker pool; zero
+	// selects the server default. Excluded from the cache key (plans are
+	// byte-identical at every level).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // EvaluateRequest asks for one Table IV design point priced on one
@@ -363,10 +373,28 @@ func resolveOptions(spec *OptionsSpec, cfg hw.Config) (sched.Options, error) {
 		}
 		opts.BeamWidth = spec.BeamWidth
 	}
+	if err := validateParallelism(spec.Parallelism); err != nil {
+		return sched.Options{}, err
+	}
+	opts.Parallelism = spec.Parallelism
 	if err := opts.Validate(); err != nil {
 		return sched.Options{}, badRequest("invalid options: %v", err)
 	}
 	return opts, nil
+}
+
+// validateParallelism gates a request's worker-count knob: zero defers
+// to the server default, and the cap bounds goroutine fan-out against
+// hostile values (the search engine clamps again, but a clearly absurd
+// request deserves a 400, not a silent clamp).
+func validateParallelism(p int) error {
+	if p < 0 {
+		return badRequest("negative parallelism %d", p)
+	}
+	if p > search.MaxParallelism {
+		return badRequest("parallelism %d above the maximum %d", p, search.MaxParallelism)
+	}
+	return nil
 }
 
 // searchStrategyNames lists the strategies the API accepts, in catalog

@@ -208,9 +208,9 @@ func TestCompileHonorsSearchStrategy(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	var got []search.Strategy
 	inner := s.compileFn
-	s.compileFn = func(ctx context.Context, net models.Network, strategy search.Strategy) (*core.Output, error) {
+	s.compileFn = func(ctx context.Context, net models.Network, strategy search.Strategy, parallelism int) (*core.Output, error) {
 		got = append(got, strategy)
-		return inner(ctx, net, strategy)
+		return inner(ctx, net, strategy, parallelism)
 	}
 	post(t, ts.URL+"/v1/compile", `{"network": `+tinyNetJSON+`}`).Body.Close()
 	post(t, ts.URL+"/v1/compile", `{"network": `+tinyNetJSON+`, "search": "beam"}`).Body.Close()

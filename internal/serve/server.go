@@ -21,6 +21,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net"
 	"net/http"
@@ -88,6 +89,20 @@ type Config struct {
 	// Defaults to 1 s; negative disables the rung.
 	BeamBudget time.Duration
 
+	// Parallelism is the default per-layer search worker count applied
+	// to computations whose request does not pin one. Zero selects
+	// GOMAXPROCS (search.EffectiveParallelism). Plans are byte-identical
+	// at every level, so this is a throughput knob only — it is excluded
+	// from cache keys, and requests differing only in parallelism share
+	// cache entries.
+	Parallelism int
+
+	// MemoEntries bounds the server-wide layer-shape memo shared across
+	// every schedule and compile computation (sched.Memo). Zero selects
+	// sched.DefaultMemoCapacity; negative disables the shared memo
+	// (each compile still keeps its private per-compile memo).
+	MemoEntries int
+
 	// Chaos, when non-nil, injects faults into the computation path
 	// (latency, stalls, cancellations, panics). Test/selfcheck only.
 	Chaos *chaos.Injector
@@ -150,10 +165,14 @@ type Server struct {
 
 	httpSrv *http.Server
 
+	// memo is the server-wide layer-shape exploration memo, shared by
+	// every schedule and compile computation; nil when disabled.
+	memo *sched.Memo
+
 	// Computation seams, overridable in tests to count executions or
 	// inject failures. Defaults are the real pipeline entry points.
 	scheduleFn func(ctx context.Context, net models.Network, cfg hw.Config, opts sched.Options) (*sched.Plan, error)
-	compileFn  func(ctx context.Context, net models.Network, strategy search.Strategy) (*core.Output, error)
+	compileFn  func(ctx context.Context, net models.Network, strategy search.Strategy, parallelism int) (*core.Output, error)
 }
 
 // New returns an unstarted server.
@@ -169,19 +188,32 @@ func New(cfg Config) *Server {
 		queue:      make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		baseCtx:    base,
 		stop:       stop,
-		scheduleFn: sched.ScheduleContext,
-		compileFn: func(ctx context.Context, net models.Network, strategy search.Strategy) (*core.Output, error) {
-			f := core.New()
-			f.Search = strategy
-			return f.CompileContext(ctx, net)
-		},
+	}
+	if cfg.MemoEntries >= 0 {
+		s.memo = sched.NewMemo(cfg.MemoEntries)
+	}
+	s.scheduleFn = sched.ScheduleContext
+	s.compileFn = func(ctx context.Context, net models.Network, strategy search.Strategy, parallelism int) (*core.Output, error) {
+		f := core.New()
+		f.Search = strategy
+		f.Parallelism = parallelism
+		f.Memo = s.memo
+		return f.CompileContext(ctx, net)
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerBackoff,
 			func() { s.m.BreakerOpenTotal.Add(1) })
 	}
 	s.flights.onDone = s.computationDone
-	s.vars = s.m.expvarMap()
+	vars := s.m.expvarMap()
+	if s.memo != nil {
+		// The shared memo's counters are read live at scrape time — they
+		// advance inside computations, not on the request path.
+		vars.Set("memo_hits", expvar.Func(func() any { return s.memo.Stats().Hits }))
+		vars.Set("memo_misses", expvar.Func(func() any { return s.memo.Stats().Misses }))
+		vars.Set("memo_entries", expvar.Func(func() any { return s.memo.Stats().Entries }))
+	}
+	s.vars = vars
 	s.httpSrv = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           s.Handler(),

@@ -62,9 +62,10 @@ func Walk(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config) T
 		g = 1
 	}
 	tr := Trace{Layer: l, Pattern: k, Tiling: t}
+	var sc odScratch
 	var clock uint64
 	for i := 0; i < g; i++ {
-		clock = walkGroup(&tr, sub, k, t, cfg, clock, nil)
+		clock = walkGroup(&tr, sub, k, t, cfg, clock, nil, &sc)
 	}
 	tr.Cycles = clock
 	tr.ExecTime = cyclesDur(clock, cfg)
@@ -93,19 +94,63 @@ func WalkWithTrace(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.
 	}
 	tr := Trace{Layer: l, Pattern: k, Tiling: t}
 	mem := &trace.Trace{FrequencyHz: cfg.FrequencyHz}
+	// The tile counts determine the event count exactly; reserving the
+	// whole stream up front turns the per-event Append growth (the explore
+	// loop's dominant allocation) into a single slab.
+	mem.Grow(g * groupEventCount(sub, k, t))
+	var sc odScratch
 	var clock uint64
 	for i := 0; i < g; i++ {
-		clock = walkGroup(&tr, sub, k, t, cfg, clock, mem)
+		clock = walkGroup(&tr, sub, k, t, cfg, clock, mem, &sc)
 	}
 	tr.Cycles = clock
 	tr.ExecTime = cyclesDur(clock, cfg)
 	return tr, mem
 }
 
+// odScratch is the OD pattern's per-region bookkeeping, reused across
+// the groups of one walk so grouped layers do not reallocate it per
+// group. ensure resizes and clears it for a fresh group.
+type odScratch struct {
+	lastTouch []uint64
+	touched   []bool
+}
+
+// ensure returns cleared slices covering n regions.
+func (s *odScratch) ensure(n int) ([]uint64, []bool) {
+	if cap(s.lastTouch) < n {
+		s.lastTouch = make([]uint64, n)
+		s.touched = make([]bool, n)
+	}
+	s.lastTouch = s.lastTouch[:n]
+	s.touched = s.touched[:n]
+	clear(s.touched) // lastTouch is only read where touched is set
+	return s.lastTouch, s.touched
+}
+
+// groupEventCount returns the exact number of trace events one
+// ungrouped-group walk emits — the mirror of walkGroup's emit calls.
+func groupEventCount(l models.ConvLayer, k pattern.Kind, t pattern.Tiling) int {
+	nM := ceilDiv(l.M, t.Tm)
+	nN := ceilDiv(l.N, t.Tn)
+	nRC := ceilDiv(l.R(), t.Tr) * ceilDiv(l.C(), t.Tc)
+	switch k {
+	case pattern.ID, pattern.WD:
+		// Input + weight read per innermost step, output write per (m, rc).
+		return 2*nM*nN*nRC + nM*nRC
+	case pattern.OD:
+		// Weight read per (n, m), input read per step, output write per
+		// step plus a read-modify read on every revisit (n > 0).
+		return nN*nM + nN*nM*nRC + nM*nRC*(2*nN-1)
+	default:
+		return 0 // walkGroup panics on unknown kinds before appending
+	}
+}
+
 // walkGroup walks one ungrouped (sub-)layer starting at the given clock
 // and returns the advanced clock. When mem is non-nil, every buffer
 // access burst is recorded as a trace event.
-func walkGroup(tr *Trace, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, clock uint64, mem *trace.Trace) uint64 {
+func walkGroup(tr *Trace, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, clock uint64, mem *trace.Trace, sc *odScratch) uint64 {
 	emit := func(cycle uint64, op trace.Op, dt trace.DataType, addr, words uint64) {
 		if mem != nil {
 			mem.Append(trace.Event{Cycle: cycle, Op: op, Type: dt, Addr: addr, Words: words})
@@ -153,8 +198,7 @@ func walkGroup(tr *Trace, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, 
 	case pattern.OD: // order N (3rd), M (2nd), RC (1st)
 		// Outputs: per-region update gaps. lastTouch[m][rc] tracks the
 		// previous write of each output tile region.
-		lastTouch := make([]uint64, nM*nR*nC)
-		touched := make([]bool, nM*nR*nC)
+		lastTouch, touched := sc.ensure(nM * nR * nC)
 		for n := 0; n < nN; n++ {
 			slabStart := clock // this n-slab of inputs loaded now
 			for m := 0; m < nM; m++ {

@@ -319,3 +319,43 @@ func TestTraceSerializationEndToEnd(t *testing.T) {
 		t.Error("counts differ after round trip")
 	}
 }
+
+// TestGroupEventCountExact pins the walker's event-count precomputation
+// to reality: the trace must come back exactly at the predicted length
+// with no spare capacity, proving WalkWithTrace's single up-front Grow
+// covers the whole stream (the hot-loop allocation fix).
+func TestGroupEventCountExact(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	layers := []models.ConvLayer{}
+	for _, net := range []models.Network{models.AlexNet(), models.VGG()} {
+		layers = append(layers, net.Layers...)
+	}
+	for _, l := range layers {
+		ti := pattern.Tiling{
+			Tm: min(cfg.ArrayM, l.M),
+			Tn: min(cfg.ArrayN, l.N),
+			Tr: 1,
+			Tc: min(cfg.ArrayN, l.C()),
+		}
+		for _, k := range pattern.Kinds {
+			_, mem := WalkWithTrace(l, k, ti, cfg)
+			g := l.Groups
+			sub := l
+			if g > 1 {
+				sub.N /= g
+				sub.M /= g
+				sub.Groups = 1
+			} else {
+				g = 1
+			}
+			want := g * groupEventCount(sub, k, ti)
+			if len(mem.Events) != want {
+				t.Fatalf("%s/%v: predicted %d events, walker emitted %d", l.Name, k, want, len(mem.Events))
+			}
+			if cap(mem.Events) != want {
+				t.Errorf("%s/%v: event slice cap %d != %d — Append reallocated or Grow over-reserved",
+					l.Name, k, cap(mem.Events), want)
+			}
+		}
+	}
+}

@@ -73,6 +73,19 @@ type Trace struct {
 	Events      []Event
 }
 
+// Grow pre-reserves capacity for at least n more events, so a producer
+// that knows its event count up front (the loop-nest walker knows it
+// exactly from the tile counts) appends without any intermediate
+// reallocation or copying.
+func (t *Trace) Grow(n int) {
+	if n <= 0 || cap(t.Events)-len(t.Events) >= n {
+		return
+	}
+	ev := make([]Event, len(t.Events), len(t.Events)+n)
+	copy(ev, t.Events)
+	t.Events = ev
+}
+
 // Append adds one event. Events must be appended in non-decreasing cycle
 // order; Append panics otherwise (the simulator emits them in order, so
 // disorder is a bug).

@@ -1,0 +1,134 @@
+package verify
+
+// The parallelism/memoization differential oracle. PR 5 fans the Fig. 13
+// exploration across a shared-bound worker pool and memoizes repeated
+// layer shapes; both are pure throughput features — the plan bytes on
+// the wire must not move. The determinism argument lives with the search
+// code (strictly-greater pruning against an exact feasible bound, fold
+// through the canonical preference order); this oracle is the check: the
+// sequential exhaustive un-memoized reference is compared byte-for-byte
+// against parallel pruned runs at several worker counts, with the memo
+// on and off.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched"
+	"rana/internal/sched/search"
+)
+
+// ParallelismReport collects one network's divergences across
+// parallelism levels and memo modes.
+type ParallelismReport struct {
+	Network string
+	// Levels are the worker counts that were compared (after resolving
+	// the defaults).
+	Levels      []int
+	Divergences []Divergence
+}
+
+// OK reports whether every configuration reproduced the reference plan.
+func (r *ParallelismReport) OK() bool { return len(r.Divergences) == 0 }
+
+// String summarizes the report, one divergence per line.
+func (r *ParallelismReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("%s: plans byte-identical at parallelism %v (memo on and off)",
+			r.Network, r.Levels)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d parallelism divergences\n", r.Network, len(r.Divergences))
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// DefaultParallelismLevels is the sweep the ISSUE prescribes: sequential,
+// the smallest truly concurrent pool, and the full machine.
+func DefaultParallelismLevels() []int {
+	levels := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		levels = append(levels, p)
+	}
+	return levels
+}
+
+// CompareParallelism schedules one network under the sequential
+// exhaustive un-memoized reference, then re-schedules it pruned AND
+// exhaustive at every requested parallelism level with the layer-shape
+// memo both enabled and disabled, and reports any configuration whose
+// wire encoding differs from the reference bytes. Infeasible networks
+// must be rejected by every configuration alike.
+//
+// levels defaults to DefaultParallelismLevels() when empty. opts.Search,
+// opts.Parallelism, opts.Memo and opts.DisableMemo are overridden per
+// run; everything else is compared as given.
+func CompareParallelism(net models.Network, cfg hw.Config, opts sched.Options, levels ...int) (*ParallelismReport, error) {
+	if len(levels) == 0 {
+		levels = DefaultParallelismLevels()
+	}
+	r := &ParallelismReport{Network: net.Name, Levels: levels}
+
+	variant := func(s search.Strategy, workers int, memo bool) sched.Options {
+		o := opts
+		o.Search = s
+		o.Parallelism = workers
+		o.Memo = nil
+		o.DisableMemo = !memo
+		return o
+	}
+	ref := variant(search.Exhaustive, 1, false)
+	refPlan, refErr := sched.Schedule(net, cfg, ref)
+	var refJSON []byte
+	if refErr == nil {
+		var err error
+		refJSON, err = json.Marshal(sched.Encode(refPlan))
+		if err != nil {
+			return nil, fmt.Errorf("verify: encoding reference plan: %w", err)
+		}
+	}
+
+	for _, workers := range levels {
+		for _, s := range []search.Strategy{search.Exhaustive, search.Pruned} {
+			for _, memo := range []bool{false, true} {
+				name := fmt.Sprintf("%s/p%d/memo=%t", s, workers, memo)
+				plan, err := sched.Schedule(net, cfg, variant(s, workers, memo))
+				if (refErr == nil) != (err == nil) {
+					r.diverge2("parallel/error/"+name, errString(refErr), errString(err))
+					continue
+				}
+				if refErr != nil {
+					if refErr.Error() != err.Error() {
+						r.diverge2("parallel/error-text/"+name, refErr, err)
+					}
+					continue
+				}
+				got, err := json.Marshal(sched.Encode(plan))
+				if err != nil {
+					return nil, fmt.Errorf("verify: encoding %s plan: %w", name, err)
+				}
+				if string(got) != string(refJSON) {
+					r.diverge2("parallel/plan-bytes/"+name,
+						fmt.Sprintf("%.120s", refJSON), fmt.Sprintf("%.120s", got))
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// diverge2 appends a divergence against the sequential reference.
+func (r *ParallelismReport) diverge2(check string, want, got any) {
+	r.Divergences = append(r.Divergences, Divergence{
+		Check:  check,
+		Models: [2]string{"sequential-exhaustive", "parallel"},
+		Want:   fmt.Sprint(want),
+		Got:    fmt.Sprint(got),
+	})
+}
