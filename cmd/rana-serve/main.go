@@ -26,6 +26,8 @@ import (
 
 	"rana/internal/serve"
 	"rana/internal/serve/chaos"
+	"rana/internal/serve/shard"
+	"rana/internal/serve/store"
 )
 
 func main() {
@@ -53,11 +55,70 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	chaosSpec := fs.String("chaos", "", `fault injection spec, e.g. "panic=7,latency=3:50ms,cancel=11,starve=13:200ms,seed=42" (testing only)`)
 	selfcheck := fs.Bool("selfcheck", false, "run the end-to-end robustness selfcheck instead of serving; exit 0 on pass")
 	quiet := fs.Bool("quiet", false, "suppress per-request logs")
+	storePath := fs.String("store", "", "persistent plan store path; replayed into the cache on startup (empty disables)")
+	storeSync := fs.Duration("store-sync", 0, "plan store fsync batching interval (0 = default 100ms, negative = fsync every put)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "plan store size bound; the log compacts down keeping newest entries (0 = unbounded)")
+	peers := fs.String("peers", "", `fleet membership as "id=url,id=url"; requires -shard-id naming this node`)
+	shardID := fs.String("shard-id", "", "this node's id within -peers")
+	jobCap := fs.Int("jobs", 0, "async batch job table capacity (0 = 64, negative disables the batch API)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *selfcheck {
 		return runSelfcheck(stdout, stderr)
+	}
+
+	var ring *shard.Ring
+	switch {
+	case *peers != "" && *shardID == "":
+		fmt.Fprintln(stderr, "ranad: -peers requires -shard-id")
+		return 2
+	case *peers == "" && *shardID != "":
+		fmt.Fprintln(stderr, "ranad: -shard-id requires -peers")
+		return 2
+	case *peers != "":
+		nodes, err := shard.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(stderr, "ranad:", err)
+			return 2
+		}
+		r, err := shard.New(nodes, 0)
+		if err != nil {
+			fmt.Fprintln(stderr, "ranad:", err)
+			return 2
+		}
+		if _, ok := r.Node(*shardID); !ok {
+			fmt.Fprintf(stderr, "ranad: -shard-id %q is not in -peers\n", *shardID)
+			return 2
+		}
+		ring = r
+	}
+
+	var planStore *store.Store
+	if *storePath != "" {
+		st, err := store.Open(*storePath, store.Options{
+			SyncInterval: *storeSync,
+			MaxBytes:     *storeMaxBytes,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ranad:", err)
+			return 1
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(stderr, "ranad: store close:", err)
+			}
+		}()
+		stats := st.Stats()
+		fmt.Fprintf(stderr, "ranad: plan store %s: %d entries replayed (%d bytes", *storePath, stats.Replayed, stats.FileBytes)
+		if stats.DroppedTailBytes > 0 {
+			fmt.Fprintf(stderr, ", %d torn tail bytes dropped", stats.DroppedTailBytes)
+		}
+		fmt.Fprintln(stderr, ")")
+		planStore = st
 	}
 
 	var injector *chaos.Injector
@@ -88,6 +149,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Parallelism:      *parallelism,
 		MemoEntries:      *memoEntries,
 		Chaos:            injector,
+		Store:            planStore,
+		Ring:             ring,
+		ShardID:          *shardID,
+		JobCapacity:      *jobCap,
 		Logf: func(format string, args ...any) {
 			if !*quiet {
 				logf(format, args...)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -161,5 +162,87 @@ func TestBadAddr(t *testing.T) {
 	var buf bytes.Buffer
 	if code := run([]string{"-addr", "256.256.256.256:99999"}, &buf, &buf, nil); code != 1 {
 		t.Errorf("bad addr exit = %d, want 1: %s", code, buf.String())
+	}
+}
+
+// Shard flag misuse is a usage error, diagnosed before any listener.
+func TestShardFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"peers without shard-id", []string{"-peers", "a=http://x"}, "-peers requires -shard-id"},
+		{"shard-id without peers", []string{"-shard-id", "a"}, "-shard-id requires -peers"},
+		{"malformed peers", []string{"-peers", "nope", "-shard-id", "a"}, `is not "id=url"`},
+		{"shard-id not a member", []string{"-peers", "a=http://x", "-shard-id", "b"}, "not in -peers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if code := run(tc.args, &buf, &buf, nil); code != 2 {
+				t.Fatalf("exit %d, want 2: %s", code, buf.String())
+			}
+			if !strings.Contains(buf.String(), tc.want) {
+				t.Errorf("diagnostic %q missing %q", buf.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestStoreFlagReplayAcrossRestart: a ranad started with -store logs the
+// replay line, and a second ranad over the same file replays the entries
+// the first one computed.
+func TestStoreFlagReplayAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+
+	url, exit, logs := startRanad(t, "-quiet", "-store", path)
+	resp, err := http.Post(url+"/v1/schedule", "application/json",
+		strings.NewReader(`{"model": "AlexNet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("schedule: status %d", resp.StatusCode)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d after SIGTERM: %s", code, logs.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("ranad did not exit after SIGTERM")
+	}
+	if !strings.Contains(logs.String(), "0 entries replayed") {
+		t.Errorf("first start should replay an empty store: %s", logs.String())
+	}
+
+	_, exit2, logs2 := startRanad(t, "-quiet", "-store", path)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit2:
+		if code != 0 {
+			t.Fatalf("restart exit %d: %s", code, logs2.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("restarted ranad did not exit after SIGTERM")
+	}
+	if !strings.Contains(logs2.String(), "1 entries replayed") {
+		t.Errorf("restart should replay the computed plan: %s", logs2.String())
+	}
+}
+
+// TestBadStorePath: an unopenable store path is a startup failure.
+func TestBadStorePath(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-store", t.TempDir()}, &buf, &buf, nil); code != 1 {
+		t.Errorf("directory as store path: exit %d, want 1: %s", code, buf.String())
 	}
 }

@@ -12,12 +12,14 @@
 //	rana-verify -functional 5            # word-accurate cross-checks
 //	rana-verify -search 50               # search-strategy differential sweep
 //	rana-verify -parallel                # parallel/memoized ≡ sequential bytes
+//	rana-verify -nodes URL,URL -reference URL  # fleet nodes ≡ single-node bytes
 //
 // The first divergence is reported with a minimized reproducer and the
 // command exits 1; usage errors exit 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
 	searchN := fs.Int("search", 0, "strategy differential: check pruned ≡ exhaustive on the selected networks plus this many random networks")
 	parallel := fs.Bool("parallel", false, "parallelism differential: check parallel/memoized plans ≡ sequential exhaustive bytes on the selected networks")
+	nodesList := fs.String("nodes", "", "cross-node conformance: comma-separated fleet node URLs; every node must answer the zoo byte-identically to -reference (runs only this sweep)")
+	refURL := fs.String("reference", "", "single-node ranad URL the -nodes sweep compares against")
 	verbose := fs.Bool("v", false, "report every case, not just failures")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +67,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-verify:", err)
 		return 2
+	}
+
+	// The nodes sweep talks to live ranad processes, not in-process
+	// models; it runs alone so a fleet check never silently depends on
+	// local model state.
+	if *nodesList != "" || *refURL != "" {
+		if *nodesList == "" || *refURL == "" {
+			fmt.Fprintln(stderr, "rana-verify: -nodes and -reference must be given together")
+			return 2
+		}
+		return sweepNodes(stdout, stderr, nets, *refURL, strings.Split(*nodesList, ","), *verbose)
 	}
 
 	tol := verify.DefaultTolerances()
@@ -271,6 +286,49 @@ func sweepParallelism(stdout, stderr io.Writer, nets []models.Network, cfg hw.Co
 		}
 	}
 	return cases, failures
+}
+
+// sweepNodes runs the cross-node conformance oracle against live ranad
+// processes: every fleet node must answer each zoo schedule and compile
+// request byte-identically to the reference node.
+func sweepNodes(stdout, stderr io.Writer, nets []models.Network, reference string, nodes []string, verbose bool) int {
+	urls := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n = strings.TrimSpace(n); n != "" {
+			urls = append(urls, n)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(stderr, "rana-verify: -nodes lists no URLs")
+		return 2
+	}
+	ctx := context.Background()
+	cases, failures := 0, 0
+	for _, net := range nets {
+		body := []byte(fmt.Sprintf(`{"model": %q}`, net.Name))
+		for _, path := range []string{"/v1/schedule", "/v1/compile"} {
+			cases++
+			r, err := verify.CompareNodes(ctx, nil, reference, urls, path, body)
+			if err != nil {
+				fmt.Fprintln(stderr, "rana-verify:", err)
+				return 1
+			}
+			if !r.OK() {
+				failures++
+				fmt.Fprintf(stdout, "FAIL %s %s\n%s\n", net.Name, path, indent(r.String()))
+				continue
+			}
+			if verbose {
+				fmt.Fprintf(stdout, "ok   %s\n", r)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(stdout, "rana-verify: %d of %d node cases FAILED\n", failures, cases)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rana-verify: %d node cases ok (%d nodes byte-identical to %s)\n", cases, len(urls), reference)
+	return 0
 }
 
 // parsePatterns maps a comma-separated list onto pattern kinds.

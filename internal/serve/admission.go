@@ -17,6 +17,7 @@ package serve
 // pathological request shape cannot take down service for the rest.
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -35,6 +36,19 @@ func (s *Server) admit() error {
 			msg:        "server saturated: admission queue full",
 			retryAfter: s.cfg.RetryAfter,
 		}
+	}
+}
+
+// admitWait reserves a queue token for one async computation, waiting
+// for one instead of shedding: a batch-job entry holds no HTTP
+// connection, so there is no client to bounce a 429 to, and the job
+// table already bounds how much deferred work can pile up here.
+func (s *Server) admitWait(ctx context.Context) error {
+	select {
+	case s.queue <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -37,6 +37,10 @@ type RetryClient struct {
 	Budget time.Duration
 	// Seed makes the jitter deterministic for tests; 0 seeds from 1.
 	Seed int64
+	// Header, when non-nil, is added to every attempt of every request.
+	// The shard router uses it to mark forwarded requests so rings never
+	// loop a key between nodes.
+	Header http.Header
 	// Logf observes retries; nil discards.
 	Logf func(format string, args ...any)
 
@@ -105,6 +109,11 @@ func (c *RetryClient) Do(ctx context.Context, method, url string, body []byte) (
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, vs := range c.Header {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
 		}
 		resp, err := hc.Do(req)
 		var retryAfter time.Duration

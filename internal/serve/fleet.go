@@ -1,0 +1,124 @@
+package serve
+
+// The shard-routing layer. With a Ring configured, every keyed
+// computation first asks who owns the key. A key owned by this node (or
+// already satisfiable from the local cache tiers) is served locally;
+// anything else is forwarded to its owner byte-for-byte over
+// RetryClient, which preserves the overload contract — the owner's 429
+// + Retry-After and breaker 503s drive the client's backoff like any
+// other caller's.
+//
+// Forwarding is capped at one hop by the ForwardedHeader marker: a
+// node receiving a forwarded request always serves it locally, so two
+// nodes with momentarily divergent ring views (a rolling restart with
+// different -peers) bounce a key at most once instead of looping.
+// And forwarding failure is never request failure: if the owner is
+// down, slow, or shedding, the node falls back to computing locally —
+// in a ring partition the fleet degrades to N independent ranads, each
+// still serving byte-identical plans (the plan is a pure function of
+// the key), just without the work partitioning.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"rana/internal/serve/shard"
+)
+
+// ForwardedHeader marks a request forwarded by a ring peer (its value
+// is the sending node's shard ID). Receivers serve such requests
+// locally, never re-forwarding.
+const ForwardedHeader = "X-Rana-Forwarded"
+
+// rawBodyKey carries the buffered request body through the handler
+// context so the router can forward it byte-for-byte; forwardedKey
+// carries the one-hop marker.
+type rawBodyKey struct{}
+type forwardedKey struct{}
+
+// routedCached is cachedMode behind the shard router: serve key from
+// the local cache tiers if possible, otherwise compute locally when
+// this node owns key (or no ring is configured, or the request already
+// took its one forwarding hop), otherwise forward to the owner. path
+// and raw are the endpoint and exact body to replay on the owner.
+func (s *Server) routedCached(ctx context.Context, path string, raw []byte, forwarded bool, key string, wait bool, compute func(ctx context.Context) ([]byte, error)) (*response, error) {
+	ring := s.cfg.Ring
+	if ring == nil {
+		return s.cachedMode(ctx, key, wait, compute)
+	}
+	owner := ring.Owner(key)
+	if owner.ID == s.self.ID || forwarded {
+		return s.cachedMode(ctx, key, wait, compute)
+	}
+	// Local tiers first: a previously forwarded (and locally remembered)
+	// plan needs no network hop.
+	if body, ok := s.cache.Get(key); ok {
+		s.m.CacheHits.Add(1)
+		return &response{body: body, key: key, source: "hit"}, nil
+	}
+	if s.cfg.Store != nil {
+		if body, ok := s.cfg.Store.Get(key); ok {
+			s.m.StoreHits.Add(1)
+			s.cache.Add(key, body)
+			return &response{body: body, key: key, source: "store"}, nil
+		}
+	}
+	resp, err := s.forward(ctx, owner, path, raw, key)
+	if err == nil {
+		return resp, nil
+	}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		// The owner rejected the request deterministically; mirror it.
+		return nil, err
+	}
+	// The owner is unreachable or overloaded: degrade to local
+	// computation rather than failing the request.
+	s.m.ForwardFails.Add(1)
+	s.cfg.Logf("ranad: forward %s to %s (%s) failed: %v; computing locally", key, owner.ID, owner.URL, err)
+	return s.cachedMode(ctx, key, wait, compute)
+}
+
+// forward replays the request on the owner node. It returns (resp, nil)
+// on success, an *apiError to mirror when the owner answered with a
+// deterministic client-side rejection, and any other error — transport
+// failure or retry-exhausted overload — as the caller's cue to fall
+// back to local computation.
+func (s *Server) forward(ctx context.Context, owner shard.Node, path string, raw []byte, key string) (*response, error) {
+	s.m.Forwards.Add(1)
+	body, status, err := s.cfg.ForwardClient.PostJSON(ctx, owner.URL+path, raw)
+	if err != nil {
+		return nil, fmt.Errorf("posting to %s: %w", owner.URL, err)
+	}
+	switch {
+	case status == http.StatusOK:
+		// The owner's bytes are the canonical plan; remember them locally
+		// so repeats (and restarts, via the store) skip the hop.
+		s.remember(key, body)
+		return &response{body: body, key: key, source: "forward"}, nil
+	case status >= 400 && status < 500 && status != http.StatusTooManyRequests:
+		// A deterministic rejection (400/404/422): this node would reject
+		// identically, so mirror the owner's verdict instead of burning a
+		// local computation on a doomed request.
+		msg := fmt.Sprintf("owner %s rejected: status %d", owner.ID, status)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &apiError{status: status, msg: msg}
+	default:
+		return nil, fmt.Errorf("owner %s answered status %d", owner.ID, status)
+	}
+}
+
+// routeInputs unpacks what api() buffered for the router.
+func routeInputs(ctx context.Context) (raw []byte, forwarded bool) {
+	raw, _ = ctx.Value(rawBodyKey{}).([]byte)
+	forwarded, _ = ctx.Value(forwardedKey{}).(bool)
+	return raw, forwarded
+}

@@ -1,0 +1,248 @@
+package serve
+
+// Race-focused shard-router test, meaningful under `go test -race`:
+// concurrent clients hammer a 3-node in-process ring while one node
+// restarts mid-stream. Every response must be byte-identical to a
+// single-node ranad, no request may fail, no node instance may compute
+// one key twice, and the restarted node must come back warm from its
+// store (zero computations).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/sched"
+	"rana/internal/serve/shard"
+	"rana/internal/serve/store"
+)
+
+// netCounter counts schedule computations per network name.
+type netCounter struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newNetCounter() *netCounter { return &netCounter{m: make(map[string]int)} }
+
+func (c *netCounter) inc(name string) {
+	c.mu.Lock()
+	c.m[name]++
+	c.mu.Unlock()
+}
+
+// snapshot returns a copy of the per-network counts.
+func (c *netCounter) snapshot() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+func countingByNetwork(c *netCounter) func(context.Context, models.Network, hw.Config, sched.Options) (*sched.Plan, error) {
+	return func(ctx context.Context, net models.Network, cfg hw.Config, opts sched.Options) (*sched.Plan, error) {
+		c.inc(net.Name)
+		return sched.ScheduleContext(ctx, net, cfg, opts)
+	}
+}
+
+// ringScheduleBody builds the i-th distinct tiny schedule request.
+func ringScheduleBody(i int) string {
+	return fmt.Sprintf(`{"network": {"name": "ring-%d", "layers": [
+		{"name": "l0", "n": 2, "h": %d, "l": %d, "m": 4, "k": 3, "s": 1, "p": 1}
+	]}}`, i, 6+i, 6+i)
+}
+
+func TestRingByteIdentityAcrossNodeRestart(t *testing.T) {
+	const numKeys = 12
+
+	// Reference: a plain single-node ranad.
+	_, refTS := newTestServer(t, Config{})
+	reqs := make([]string, numKeys)
+	ref := make([][]byte, numKeys)
+	for i := range reqs {
+		reqs[i] = ringScheduleBody(i)
+		resp := post(t, refTS.URL+"/v1/schedule", reqs[i])
+		ref[i] = readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("reference request %d: status %d: %s", i, resp.StatusCode, ref[i])
+		}
+	}
+
+	// Three sharded nodes on real listeners (ring URLs must exist before
+	// the servers do).
+	ids := []string{"n0", "n1", "n2"}
+	lns := make([]net.Listener, 3)
+	ringNodes := make([]shard.Node, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ringNodes[i] = shard.Node{ID: ids[i], URL: "http://" + ln.Addr().String()}
+	}
+	storePath := filepath.Join(t.TempDir(), "n2-plans.log")
+
+	mkNode := func(i int, st *store.Store, c *netCounter) *Server {
+		ring, err := shard.New(ringNodes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{
+			Ring:    ring,
+			ShardID: ids[i],
+			Store:   st,
+			ForwardClient: &RetryClient{
+				MaxAttempts: 2,
+				BaseBackoff: 10 * time.Millisecond,
+				Budget:      3 * time.Second,
+			},
+		})
+		s.scheduleFn = countingByNetwork(c)
+		return s
+	}
+
+	counters := []*netCounter{newNetCounter(), newNetCounter(), newNetCounter()}
+	st2 := openStore(t, storePath)
+	servers := make([]*Server, 3)
+	for i := range servers {
+		var st *store.Store
+		if i == 2 {
+			st = st2
+		}
+		servers[i] = mkNode(i, st, counters[i])
+		go servers[i].Serve(lns[i])
+		t.Cleanup(func() { servers[i].Shutdown(context.Background()) })
+	}
+	urls := []string{ringNodes[0].URL, ringNodes[1].URL, ringNodes[2].URL}
+
+	// checkOne posts request i to url and asserts 200 + reference bytes.
+	checkOne := func(url string, i int, phase string) bool {
+		resp, err := http.Post(url+"/v1/schedule", "application/json", strings.NewReader(reqs[i]))
+		if err != nil {
+			t.Errorf("%s: request %d to %s: %v", phase, i, url, err)
+			return false
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			t.Errorf("%s: request %d to %s: %v", phase, i, url, rerr)
+			return false
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: request %d to %s: status %d: %s", phase, i, url, resp.StatusCode, body)
+			return false
+		}
+		if !bytes.Equal(body, ref[i]) {
+			t.Errorf("%s: request %d to %s: body diverges from single-node reference", phase, i, url)
+			return false
+		}
+		return true
+	}
+
+	// Phase 1 — warm the ring: every key through nodes 0 and 1, so each
+	// owner computes (and node 2 persists) its share.
+	for i := range reqs {
+		if !checkOne(urls[0], i, "warm") || !checkOne(urls[1], i, "warm") {
+			t.FailNow()
+		}
+	}
+	if st2.Len() == 0 {
+		t.Fatal("node 2 owns no keys of the test set; grow numKeys")
+	}
+
+	// Phase 2 — concurrent clients on the surviving nodes while node 2
+	// restarts mid-stream.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !checkOne(urls[c%2], (c+n)%numKeys, "restart-stream") {
+					return
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := servers[2].Shutdown(shCtx); err != nil {
+		t.Errorf("node 2 shutdown: %v", err)
+	}
+	shCancel()
+	if err := st2.Close(); err != nil {
+		t.Errorf("node 2 store close: %v", err)
+	}
+
+	// Bring node 2 back on the same address, warm from its store, with a
+	// fresh counter that must stay at zero.
+	st2b := openStore(t, storePath)
+	addr2 := lns[2].Addr().String()
+	var ln2b net.Listener
+	for attempt := 0; ; attempt++ {
+		var err error
+		ln2b, err = net.Listen("tcp", addr2)
+		if err == nil {
+			break
+		}
+		if attempt > 100 {
+			t.Fatalf("rebinding %s: %v", addr2, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	restartCounter := newNetCounter()
+	s2b := mkNode(2, st2b, restartCounter)
+	go s2b.Serve(ln2b)
+	t.Cleanup(func() { s2b.Shutdown(context.Background()) })
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Phase 3 — the full ring, including the restarted node, answers
+	// every key byte-identically.
+	for i := range reqs {
+		for _, url := range urls {
+			checkOne(url, i, "post-restart")
+		}
+	}
+
+	// No node instance may have computed one key twice: the cache and
+	// singleflight make recomputation a correctness bug, not a perf one.
+	for i, c := range append(counters, restartCounter) {
+		for name, n := range c.snapshot() {
+			if n > 1 {
+				t.Errorf("node instance %d computed %q %d times, want at most once", i, name, n)
+			}
+		}
+	}
+	// And the restarted node served purely from its replayed store.
+	if n := len(restartCounter.snapshot()); n != 0 {
+		t.Errorf("restarted node computed %d networks, want 0 (warm restart)", n)
+	}
+}

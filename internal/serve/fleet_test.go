@@ -1,0 +1,174 @@
+package serve
+
+// Warm-restart tests for the persistent plan store: a ranad restarted
+// over its store must serve a previously compiled zoo entirely from the
+// replayed log — byte-identical bodies, zero scheduler or compiler
+// invocations — and a store larger than the LRU must still avoid
+// recompiles via the read-through tier.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"rana/internal/core"
+	"rana/internal/models"
+	"rana/internal/sched/search"
+	"rana/internal/serve/store"
+)
+
+// countCompiles wraps the server's compileFn with an execution counter,
+// mirroring countingScheduleFn.
+func countCompiles(s *Server, calls *atomic.Int64) {
+	inner := s.compileFn
+	s.compileFn = func(ctx context.Context, net models.Network, strategy search.Strategy, parallelism int) (*core.Output, error) {
+		calls.Add(1)
+		return inner(ctx, net, strategy, parallelism)
+	}
+}
+
+// zooRequests is one schedule and one compile request per benchmark
+// network — the "whole zoo" workload of the warm-restart contract.
+func zooRequests() []struct{ path, body string } {
+	var reqs []struct{ path, body string }
+	for _, m := range models.Benchmarks() {
+		reqs = append(reqs,
+			struct{ path, body string }{"/v1/schedule", fmt.Sprintf(`{"model": %q}`, m.Name)},
+			struct{ path, body string }{"/v1/compile", fmt.Sprintf(`{"model": %q}`, m.Name)})
+	}
+	return reqs
+}
+
+func openStore(t *testing.T, path string) *store.Store {
+	t.Helper()
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestWarmRestartServesZooFromStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	reqs := zooRequests()
+
+	// Cold ranad: compile and schedule the zoo, recording every body.
+	st := openStore(t, path)
+	var calls atomic.Int64
+	s, ts := newTestServer(t, Config{Store: st})
+	s.scheduleFn = countingScheduleFn(&calls, nil)
+	countCompiles(s, &calls)
+	want := make([][]byte, len(reqs))
+	for i, rq := range reqs {
+		resp := post(t, ts.URL+rq.path, rq.body)
+		body := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s %s: status %d: %s", rq.path, rq.body, resp.StatusCode, body)
+		}
+		want[i] = body
+	}
+	if calls.Load() == 0 {
+		t.Fatal("cold server computed nothing; the counting seams are not wired")
+	}
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm restart: a fresh server over the replayed store must serve
+	// the whole zoo with zero computations.
+	st2 := openStore(t, path)
+	if st2.Stats().Replayed != len(reqs) {
+		t.Fatalf("replayed %d entries, want %d", st2.Stats().Replayed, len(reqs))
+	}
+	var calls2 atomic.Int64
+	s2, ts2 := newTestServer(t, Config{Store: st2})
+	s2.scheduleFn = countingScheduleFn(&calls2, nil)
+	countCompiles(s2, &calls2)
+	for i, rq := range reqs {
+		resp := post(t, ts2.URL+rq.path, rq.body)
+		body := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("warm %s %s: status %d: %s", rq.path, rq.body, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Errorf("warm %s %s: body differs from the cold computation", rq.path, rq.body)
+		}
+		if src := resp.Header.Get("X-Rana-Cache"); src != "hit" {
+			t.Errorf("warm %s %s: X-Rana-Cache = %q, want hit (warm-filled LRU)", rq.path, rq.body, src)
+		}
+	}
+	if n := calls2.Load(); n != 0 {
+		t.Fatalf("warm restart ran %d computations, want 0", n)
+	}
+	ts2.Close()
+	s2.Shutdown(context.Background())
+	st2.Close()
+
+	// A warm restart with an LRU smaller than the store must still not
+	// recompute: entries that lost the warm-fill race are served through
+	// the store read-through tier.
+	st3 := openStore(t, path)
+	var calls3 atomic.Int64
+	s3, ts3 := newTestServer(t, Config{Store: st3, CacheEntries: 1})
+	s3.scheduleFn = countingScheduleFn(&calls3, nil)
+	countCompiles(s3, &calls3)
+	fromStore := 0
+	for i, rq := range reqs {
+		resp := post(t, ts3.URL+rq.path, rq.body)
+		body := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("tiny-LRU %s %s: status %d: %s", rq.path, rq.body, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, want[i]) {
+			t.Errorf("tiny-LRU %s %s: body differs from the cold computation", rq.path, rq.body)
+		}
+		if resp.Header.Get("X-Rana-Cache") == "store" {
+			fromStore++
+		}
+	}
+	if n := calls3.Load(); n != 0 {
+		t.Fatalf("tiny-LRU warm restart ran %d computations, want 0", n)
+	}
+	if fromStore == 0 {
+		t.Error("no response was served via the store read-through; the tier is not exercised")
+	}
+}
+
+// TestStoreDeterminismTripwire locks in the content-addressing
+// invariant at the store layer: re-putting a key with different bytes
+// is an error, identical bytes a no-op.
+func TestStoreDeterminismTripwire(t *testing.T) {
+	st := openStore(t, filepath.Join(t.TempDir(), "plans.log"))
+	key := scheduleDigest(t)
+	if err := st.Put(key, []byte("plan-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(key, []byte("plan-a")); err != nil {
+		t.Fatalf("identical re-put: %v", err)
+	}
+	if err := st.Put(key, []byte("plan-b")); err == nil {
+		t.Fatal("divergent re-put accepted; the determinism tripwire is dead")
+	}
+	if st.Stats().DupPuts != 1 {
+		t.Errorf("DupPuts = %d, want 1", st.Stats().DupPuts)
+	}
+}
+
+// scheduleDigest returns a real canonical request key, tying the store
+// tests to the actual hash the server keys by.
+func scheduleDigest(t *testing.T) string {
+	t.Helper()
+	w, err := New(Config{}).prepareSchedule(ScheduleRequest{Model: "AlexNet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.key
+}

@@ -50,11 +50,23 @@ type ScheduleResponse struct {
 // hits, misses and dedups.
 const degradedReason = "deadline budget below the full-search threshold; served the uniform fallback schedule"
 
-func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response, error) {
-	var req ScheduleRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
+// work is one prepared keyed computation: the canonical cache key, the
+// request's explicit deadline (0 = none), whether the degradation
+// ladder bottomed out, and the computation itself. The sync handlers
+// and the async batch entries share this form — a batch entry is
+// exactly a sync request minus the held HTTP connection, so preparing
+// both through one path keeps their bytes identical by construction.
+type work struct {
+	key      string
+	deadline time.Duration
+	degraded bool
+	compute  func(ctx context.Context) ([]byte, error)
+}
+
+// prepareSchedule resolves a ScheduleRequest into its work: validation,
+// defaulting, the degradation ladder, the canonical key, and the
+// computation closure.
+func (s *Server) prepareSchedule(req ScheduleRequest) (*work, error) {
 	if req.DeadlineMS < 0 {
 		return nil, badRequest("negative deadline_ms %d", req.DeadlineMS)
 	}
@@ -81,18 +93,15 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 	// resolved options coincide with a full request's; the beam rung
 	// needs no such carve-out since the resolved strategy is already a
 	// cache-key component.
-	degraded := false
+	w := &work{}
 	if req.DeadlineMS > 0 {
-		budget := time.Duration(req.DeadlineMS) * time.Millisecond
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, budget)
-		defer cancel()
+		w.deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 		pinned := req.Options != nil && req.Options.Search != ""
 		switch {
-		case s.cfg.DegradeBudget > 0 && budget < s.cfg.DegradeBudget:
-			degraded = true
+		case s.cfg.DegradeBudget > 0 && w.deadline < s.cfg.DegradeBudget:
+			w.degraded = true
 			opts = opts.Fallback()
-		case s.cfg.BeamBudget > 0 && budget < s.cfg.BeamBudget && !pinned:
+		case s.cfg.BeamBudget > 0 && w.deadline < s.cfg.BeamBudget && !pinned:
 			opts.Search = search.Beam
 		}
 	}
@@ -105,11 +114,13 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 		opts.Parallelism = s.cfg.Parallelism
 	}
 	opts.Memo = s.memo
-	key := scheduleKey(net, cfg, opts)
-	if degraded {
-		key = scheduleDegradedKey(net, cfg, opts)
+	if w.degraded {
+		w.key = scheduleDegradedKey(net, cfg, opts)
+	} else {
+		w.key = scheduleKey(net, cfg, opts)
 	}
-	resp, err := s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+	degraded := w.degraded
+	w.compute = func(ctx context.Context) ([]byte, error) {
 		s.m.computed(search.EffectiveParallelism(opts.Parallelism))
 		plan, err := s.scheduleFn(ctx, net, cfg, opts)
 		if err != nil {
@@ -132,8 +143,27 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 			resp.Search = string(opts.Search.Resolve())
 		}
 		return marshalBody(resp)
-	})
-	if err == nil && degraded {
+	}
+	return w, nil
+}
+
+func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response, error) {
+	var req ScheduleRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	w, err := s.prepareSchedule(req)
+	if err != nil {
+		return nil, err
+	}
+	if w.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.deadline)
+		defer cancel()
+	}
+	raw, forwarded := routeInputs(ctx)
+	resp, err := s.routedCached(ctx, "/v1/schedule", raw, forwarded, w.key, false, w.compute)
+	if err == nil && w.degraded {
 		s.m.Degraded.Add(1)
 	}
 	return resp, err
@@ -151,11 +181,8 @@ type CompileResponse struct {
 	Plan                 sched.PlanJSON  `json:"plan"`
 }
 
-func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response, error) {
-	var req CompileRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return nil, err
-	}
+// prepareCompile resolves a CompileRequest into its work.
+func (s *Server) prepareCompile(req CompileRequest) (*work, error) {
 	net, err := resolveNetwork(req.Model, req.Network)
 	if err != nil {
 		return nil, err
@@ -171,8 +198,8 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response,
 	if parallelism == 0 {
 		parallelism = s.cfg.Parallelism
 	}
-	key := compileKey(net, strategy)
-	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+	w := &work{key: compileKey(net, strategy)}
+	w.compute = func(ctx context.Context) ([]byte, error) {
 		s.m.computed(search.EffectiveParallelism(parallelism))
 		out, err := s.compileFn(ctx, net, strategy, parallelism)
 		if err != nil {
@@ -190,7 +217,21 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response,
 			Artifact:             json.RawMessage(artifact.Bytes()),
 			Plan:                 sched.Encode(out.Plan),
 		})
-	})
+	}
+	return w, nil
+}
+
+func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response, error) {
+	var req CompileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	w, err := s.prepareCompile(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, forwarded := routeInputs(ctx)
+	return s.routedCached(ctx, "/v1/compile", raw, forwarded, w.key, false, w.compute)
 }
 
 // EnergyJSON is an energy breakdown on the wire (picojoules).
@@ -224,7 +265,8 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 		return nil, err
 	}
 	key := evaluateKey(d.Name, net)
-	return s.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
+	raw, forwarded := routeInputs(ctx)
+	return s.routedCached(ctx, "/v1/evaluate", raw, forwarded, key, false, func(ctx context.Context) ([]byte, error) {
 		res, err := platform.Test().EvaluateContext(ctx, d, net)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
@@ -248,12 +290,29 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 // handleHealthz reports liveness; it never touches the worker pool, so
 // it answers even when every slot is busy.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"status":    "ok",
 		"in_flight": s.m.InFlight.Value(),
 		"cached":    s.cache.Len(),
-	})
+	}
+	if s.cfg.Ring != nil {
+		var peers []string
+		for _, n := range s.cfg.Ring.Nodes() {
+			peers = append(peers, n.ID)
+		}
+		doc["shard_id"] = s.self.ID
+		doc["peers"] = peers
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		doc["store_entries"] = st.Entries
+		doc["store_bytes"] = st.FileBytes
+	}
+	if s.jobs != nil {
+		doc["jobs"] = s.jobs.len()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
 }
 
 // handleMetrics serves the expvar document.

@@ -35,6 +35,18 @@ type metrics struct {
 	BreakerOpenTotal expvar.Int // per-key breaker closed→open transitions
 	BreakerFastFails expvar.Int // requests fast-failed by an open breaker
 
+	// Fleet counters.
+	StoreHits       expvar.Int // responses served from the persistent plan store
+	Forwards        expvar.Int // computations forwarded to their ring owner
+	ForwardFails    expvar.Int // forwards that fell back to local computation
+	ForwardedServed expvar.Int // requests served because a peer forwarded them here
+
+	// Async job counters.
+	JobsAccepted expvar.Int // batch jobs accepted (202)
+	JobsDone     expvar.Int // batch jobs run to completion
+	JobsCanceled expvar.Int // batch jobs canceled before completion
+	JobsEvicted  expvar.Int // finished jobs evicted to bound the table
+
 	// Statuses counts responses per endpoint and status class, with
 	// keys like "schedule_2xx" or "healthz_5xx" (expvar.Map.Add is
 	// concurrency-safe).
@@ -112,6 +124,14 @@ func (m *metrics) expvarMap() *expvar.Map {
 	em.Set("degraded", &m.Degraded)
 	em.Set("breaker_open_total", &m.BreakerOpenTotal)
 	em.Set("breaker_fast_fails", &m.BreakerFastFails)
+	em.Set("store_hits", &m.StoreHits)
+	em.Set("forwards", &m.Forwards)
+	em.Set("forward_fails", &m.ForwardFails)
+	em.Set("forwarded_served", &m.ForwardedServed)
+	em.Set("jobs_accepted", &m.JobsAccepted)
+	em.Set("jobs_done", &m.JobsDone)
+	em.Set("jobs_canceled", &m.JobsCanceled)
+	em.Set("jobs_evicted", &m.JobsEvicted)
 	em.Set("statuses", &m.Statuses)
 	em.Set("parallelism", &m.Parallelism)
 	em.Set("latency_p50_ms", expvar.Func(func() any {

@@ -18,11 +18,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -36,6 +38,8 @@ import (
 	"rana/internal/sched"
 	"rana/internal/sched/search"
 	"rana/internal/serve/chaos"
+	"rana/internal/serve/shard"
+	"rana/internal/serve/store"
 )
 
 // Config parameterizes a Server.
@@ -107,6 +111,29 @@ type Config struct {
 	// (latency, stalls, cancellations, panics). Test/selfcheck only.
 	Chaos *chaos.Injector
 
+	// Store, when non-nil, is the persistent plan store. On construction
+	// the server replays it into the LRU (warm restart); at runtime it is
+	// a read-through/write-behind layer under the LRU, so every computed
+	// plan survives a restart. The server does not Close it — the owner
+	// (cmd/rana-serve) does, after Shutdown.
+	Store *store.Store
+
+	// Ring, when non-nil, makes this server one shard of a fleet: keys
+	// whose ring owner is another node are forwarded there instead of
+	// computed locally. ShardID must name this node's ring membership.
+	Ring    *shard.Ring
+	ShardID string
+
+	// ForwardClient posts forwarded requests to peer nodes. Defaults to
+	// a RetryClient with a short budget so a dead peer degrades into
+	// local computation quickly. The server stamps its forwarding marker
+	// header onto it.
+	ForwardClient *RetryClient
+
+	// JobCapacity bounds the async batch job table. Defaults to 64;
+	// negative disables the batch API.
+	JobCapacity int
+
 	// Logf receives request logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -143,6 +170,12 @@ func (c Config) withDefaults() Config {
 	if c.BeamBudget == 0 {
 		c.BeamBudget = time.Second
 	}
+	if c.JobCapacity == 0 {
+		c.JobCapacity = 64
+	}
+	if c.JobCapacity < 0 {
+		c.JobCapacity = 0
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -169,6 +202,13 @@ type Server struct {
 	// every schedule and compile computation; nil when disabled.
 	memo *sched.Memo
 
+	// jobs is the async batch job table; nil when the batch API is
+	// disabled (JobCapacity < 0).
+	jobs *jobTable
+
+	// self is this node's ring membership; zero when not sharded.
+	self shard.Node
+
 	// Computation seams, overridable in tests to count executions or
 	// inject failures. Defaults are the real pipeline entry points.
 	scheduleFn func(ctx context.Context, net models.Network, cfg hw.Config, opts sched.Options) (*sched.Plan, error)
@@ -180,14 +220,14 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		cache:      newLRU(cfg.CacheEntries),
-		flights:    newFlightGroup(base),
-		m:          newMetrics(),
-		sem:        make(chan struct{}, cfg.Workers),
-		queue:      make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		baseCtx:    base,
-		stop:       stop,
+		cfg:     cfg,
+		cache:   newLRU(cfg.CacheEntries),
+		flights: newFlightGroup(base),
+		m:       newMetrics(),
+		sem:     make(chan struct{}, cfg.Workers),
+		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		baseCtx: base,
+		stop:    stop,
 	}
 	if cfg.MemoEntries >= 0 {
 		s.memo = sched.NewMemo(cfg.MemoEntries)
@@ -205,7 +245,54 @@ func New(cfg Config) *Server {
 			func() { s.m.BreakerOpenTotal.Add(1) })
 	}
 	s.flights.onDone = s.computationDone
+	if cfg.JobCapacity > 0 {
+		s.jobs = newJobTable(cfg.JobCapacity)
+	}
+	if cfg.Ring != nil {
+		// A ring without a resolvable self is a programmer error (the CLI
+		// validates -shard-id against -peers before constructing one).
+		self, ok := cfg.Ring.Node(cfg.ShardID)
+		if !ok {
+			panic(fmt.Sprintf("serve: ShardID %q is not a member of the ring", cfg.ShardID))
+		}
+		s.self = self
+		if s.cfg.ForwardClient == nil {
+			s.cfg.ForwardClient = &RetryClient{MaxAttempts: 2, Budget: 10 * time.Second}
+		}
+		if s.cfg.ForwardClient.Header == nil {
+			s.cfg.ForwardClient.Header = http.Header{}
+		}
+		s.cfg.ForwardClient.Header.Set(ForwardedHeader, cfg.ShardID)
+	}
+	if cfg.Store != nil {
+		// Warm restart: replay every persisted plan into the LRU so the
+		// first request after a restart is a cache hit, not a recompile.
+		// Range yields oldest first, so when the store holds more entries
+		// than the LRU the newest plans win the cache slots (the rest stay
+		// reachable via the read-through path).
+		n := 0
+		if err := cfg.Store.Range(func(key string, body []byte) error {
+			s.cache.Add(key, body)
+			n++
+			return nil
+		}); err != nil {
+			cfg.Logf("ranad: warm-fill from %s stopped: %v", cfg.Store.Path(), err)
+		}
+		cfg.Logf("ranad: warm-filled %d plans from %s", n, cfg.Store.Path())
+	}
 	vars := s.m.expvarMap()
+	if cfg.Ring != nil {
+		vars.Set("shard_id", expvar.Func(func() any { return s.self.ID }))
+		vars.Set("ring_nodes", expvar.Func(func() any { return cfg.Ring.Len() }))
+	}
+	if cfg.Store != nil {
+		vars.Set("store_entries", expvar.Func(func() any { return cfg.Store.Stats().Entries }))
+		vars.Set("store_bytes", expvar.Func(func() any { return cfg.Store.Stats().FileBytes }))
+		vars.Set("store_replayed", expvar.Func(func() any { return cfg.Store.Stats().Replayed }))
+	}
+	if s.jobs != nil {
+		vars.Set("jobs_tracked", expvar.Func(func() any { return s.jobs.len() }))
+	}
 	if s.memo != nil {
 		// The shared memo's counters are read live at scrape time — they
 		// advance inside computations, not on the request path.
@@ -233,6 +320,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/compile", s.api("compile", s.handleCompile))
 	mux.Handle("/v1/evaluate", s.api("evaluate", s.handleEvaluate))
 	mux.HandleFunc("/v1/catalog", s.counted("catalog", s.handleCatalog))
+	if s.jobs != nil {
+		mux.Handle("/v1/compile-batch", s.api("compile_batch", s.handleCompileBatch))
+		mux.HandleFunc("/v1/jobs/", s.handleJob)
+	}
 	return mux
 }
 
@@ -278,7 +369,20 @@ func (s *Server) api(name string, h func(ctx context.Context, r *http.Request) (
 		defer s.m.InFlight.Add(-1)
 		defer func() { s.m.observe(time.Since(start)) }()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		// Buffer the body so the shard router can forward the request
+		// byte-for-byte; handlers keep decoding from r.Body unchanged.
+		raw, rerr := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+		if rerr != nil {
+			s.m.status(name, s.error(w, badRequest("reading request body: %v", rerr)))
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(raw))
+		rctx := context.WithValue(r.Context(), rawBodyKey{}, raw)
+		if r.Header.Get(ForwardedHeader) != "" {
+			s.m.ForwardedServed.Add(1)
+			rctx = context.WithValue(rctx, forwardedKey{}, true)
+		}
+		ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
 		defer cancel()
 
 		resp, err := s.guard(name, func() (*response, error) { return h(ctx, r) })
@@ -288,12 +392,17 @@ func (s *Server) api(name string, h func(ctx context.Context, r *http.Request) (
 			s.cfg.Logf("ranad: %s %s -> %d: %v (%v)", r.Method, r.URL.Path, status, err, time.Since(start))
 			return
 		}
+		status := resp.status
+		if status == 0 {
+			status = http.StatusOK
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Rana-Cache", resp.source)
 		w.Header().Set("X-Rana-Key", resp.key)
+		w.WriteHeader(status)
 		w.Write(resp.body)
-		s.m.status(name, http.StatusOK)
-		s.cfg.Logf("ranad: %s %s -> 200 %s (%v)", r.Method, r.URL.Path, resp.source, time.Since(start))
+		s.m.status(name, status)
+		s.cfg.Logf("ranad: %s %s -> %d %s (%v)", r.Method, r.URL.Path, status, resp.source, time.Since(start))
 	})
 }
 
@@ -331,7 +440,8 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 type response struct {
 	body   []byte
 	key    string
-	source string // "hit", "miss" or "dedup"
+	source string // "hit", "miss", "dedup", "store", "forward" or "job"
+	status int    // HTTP status; 0 means 200
 }
 
 // error writes a JSON error response, counts it, and returns the
@@ -381,17 +491,35 @@ func isPanic(err error) bool {
 	return errors.As(err, &pe) || errors.As(err, &spe)
 }
 
-// cached runs the cache → singleflight → worker-pool path shared by
-// every computing endpoint: return the cached body for key if present,
-// otherwise join or start the single computation for key, bounded by
-// the worker pool, and cache its result.
+// cached runs the cache → store → singleflight → worker-pool path
+// shared by every computing endpoint: return the cached body for key if
+// present, otherwise join or start the single computation for key,
+// bounded by the worker pool, and cache its result.
 func (s *Server) cached(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (*response, error) {
+	return s.cachedMode(ctx, key, false, compute)
+}
+
+// cachedMode is cached with the admission mode explicit: synchronous
+// requests shed immediately when the queue is full (wait=false, the
+// 429 + Retry-After contract), while async batch entries wait for a
+// token (wait=true — a job holding no HTTP connection has nowhere to
+// bounce a 429 to, and the job table already bounds outstanding work).
+func (s *Server) cachedMode(ctx context.Context, key string, wait bool, compute func(ctx context.Context) ([]byte, error)) (*response, error) {
 	if body, ok := s.cache.Get(key); ok {
 		s.m.CacheHits.Add(1)
 		return &response{body: body, key: key, source: "hit"}, nil
 	}
-	// The breaker gates *starting or joining* a computation, never
-	// serving from cache: cached bytes are proven good.
+	// The persistent store is the second cache tier: entries evicted
+	// from the LRU (or never warm-filled into it) are still served
+	// without recompiling. Like the LRU, it is consulted before the
+	// breaker — persisted bytes are proven good.
+	if s.cfg.Store != nil {
+		if body, ok := s.cfg.Store.Get(key); ok {
+			s.m.StoreHits.Add(1)
+			s.cache.Add(key, body)
+			return &response{body: body, key: key, source: "store"}, nil
+		}
+	}
 	if wait, ok := s.breaker.allow(key); !ok {
 		s.m.BreakerFastFails.Add(1)
 		return nil, &apiError{
@@ -404,7 +532,11 @@ func (s *Server) cached(ctx context.Context, key string, compute func(ctx contex
 		// Admission and the worker slot are per *computation*, not per
 		// request: a hundred deduplicated requests cost one queue token
 		// and one slot, and joining an existing flight is never shed.
-		if err := s.admit(); err != nil {
+		if wait {
+			if err := s.admitWait(fctx); err != nil {
+				return nil, err
+			}
+		} else if err := s.admit(); err != nil {
 			return nil, err
 		}
 		defer s.releaseQueue()
@@ -421,7 +553,7 @@ func (s *Server) cached(ctx context.Context, key string, compute func(ctx contex
 		}
 		body, err := compute(fctx)
 		if err == nil {
-			s.cache.Add(key, body)
+			s.remember(key, body)
 		}
 		return body, err
 	})
@@ -438,6 +570,20 @@ func (s *Server) cached(ctx context.Context, key string, compute func(ctx contex
 		source = "dedup"
 	}
 	return &response{body: body, key: key, source: source}, nil
+}
+
+// remember records a proven-good response body in both cache tiers.
+// A store write failure is logged, never surfaced: the bytes are
+// correct and servable, durability is best-effort. The one exception
+// worth shouting about is the store's determinism tripwire — a re-put
+// of the same key with different bytes — which Put rejects.
+func (s *Server) remember(key string, body []byte) {
+	s.cache.Add(key, body)
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(key, body); err != nil {
+			s.cfg.Logf("ranad: store put %s: %v", key, err)
+		}
+	}
 }
 
 // computationDone observes every flight's outcome exactly once (the

@@ -1,0 +1,160 @@
+// Package shard routes ranad's canonical key space across a fleet of
+// nodes with a consistent-hash ring.
+//
+// Every node is placed on a 64-bit hash circle at Replicas virtual
+// points; a key is owned by the node whose first virtual point follows
+// the key's hash (clockwise). The construction is deterministic from
+// the membership list alone — nodes are sorted by ID and the ring is
+// independent of spec order — so every node in a fleet, handed the same
+// -peers flag, computes the identical owner for every key without any
+// coordination. Consistency is the point: adding or removing one node
+// moves only ~1/N of the key space, so a rolling restart does not
+// reshuffle (and therefore recompile) the world.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// DefaultReplicas is the virtual-point count per node. 128 points keeps
+// the expected imbalance across a small fleet within a few percent.
+const DefaultReplicas = 128
+
+// Node is one ring member: an ID (stable across restarts; the -shard-id
+// flag) and the base URL peers forward to.
+type Node struct {
+	ID  string
+	URL string
+}
+
+// Ring is an immutable consistent-hash ring. Safe for concurrent use.
+type Ring struct {
+	nodes  []Node // sorted by ID
+	points []point
+}
+
+// point is one virtual node position on the hash circle.
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// New builds a ring over the given nodes. IDs must be unique and
+// non-empty; URLs must be absolute http(s) URLs. replicas <= 0 selects
+// DefaultReplicas.
+func New(nodes []Node, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("shard: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	seen := make(map[string]bool, len(sorted))
+	for _, n := range sorted {
+		if n.ID == "" {
+			return nil, errors.New("shard: node with empty ID")
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("shard: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+		u, err := url.Parse(n.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("shard: node %q URL %q is not an absolute http(s) URL", n.ID, n.URL)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		points: make([]point, 0, len(sorted)*replicas),
+	}
+	for i, n := range sorted {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n.ID, v)), node: i})
+		}
+	}
+	// Ties (two virtual points at one hash) are broken by node ID so
+	// every fleet member sorts the circle identically.
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return r.nodes[a.node].ID < r.nodes[b.node].ID
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a run through a splitmix64 finalizer. Plain FNV-1a
+// clusters badly on short, similar inputs like "a#0".."a#127", which
+// skews ring balance; the finalizer's avalanche fixes that while
+// keeping the function cheap and dependency-free.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Owner returns the node owning key: the first virtual point at or
+// after the key's position, wrapping around the circle.
+func (r *Ring) Owner(key string) Node {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the membership, sorted by ID.
+func (r *Ring) Nodes() []Node {
+	return append([]Node(nil), r.nodes...)
+}
+
+// Node returns the member with the given ID.
+func (r *Ring) Node(id string) (Node, bool) {
+	for _, n := range r.nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// ParsePeers parses a fleet membership spec of the form
+// "id1=http://host:port,id2=http://host:port". Whitespace around
+// entries is ignored; validation (unique IDs, absolute URLs) happens in
+// New.
+func ParsePeers(spec string) ([]Node, error) {
+	var nodes []Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, u, ok := strings.Cut(part, "=")
+		if !ok || id == "" || u == "" {
+			return nil, fmt.Errorf(`shard: peer %q is not "id=url"`, part)
+		}
+		nodes = append(nodes, Node{ID: strings.TrimSpace(id), URL: strings.TrimSpace(u)})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("shard: no peers in %q", spec)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "a", URL: "http://10.0.0.1:8080"},
+		{ID: "b", URL: "http://10.0.0.2:8080"},
+		{ID: "c", URL: "http://10.0.0.3:8080"},
+	}
+}
+
+// The ring must be a pure function of membership: any ordering of the
+// same node set owns every key identically. This is what lets each
+// fleet member compute ownership locally from its -peers flag.
+func TestOwnerDeterministicAcrossSpecOrder(t *testing.T) {
+	nodes := threeNodes()
+	orders := [][]Node{
+		{nodes[0], nodes[1], nodes[2]},
+		{nodes[2], nodes[0], nodes[1]},
+		{nodes[1], nodes[2], nodes[0]},
+	}
+	rings := make([]*Ring, len(orders))
+	for i, o := range orders {
+		r, err := New(o, 0)
+		if err != nil {
+			t.Fatalf("New(order %d): %v", i, err)
+		}
+		rings[i] = r
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := rings[0].Owner(key).ID
+		for j := 1; j < len(rings); j++ {
+			if got := rings[j].Owner(key).ID; got != want {
+				t.Fatalf("key %q: ring %d says %q, ring 0 says %q", key, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDistributionIsRoughlyBalanced(t *testing.T) {
+	r, err := New(threeNodes(), DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const total = 10000
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("model-%d/layer-%d", i, i*7)).ID]++
+	}
+	for id, n := range counts {
+		frac := float64(n) / total
+		if frac < 0.20 || frac > 0.45 {
+			t.Errorf("node %q owns %.1f%% of keys; want roughly a third (20%%..45%%)", id, frac*100)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// Adding one node to a 3-node ring must only move keys that the new
+// node claims — nothing shuffles between the surviving nodes, and the
+// moved fraction stays near 1/4.
+func TestAddingANodeMovesOnlyItsShare(t *testing.T) {
+	before, err := New(threeNodes(), DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(append(threeNodes(), Node{ID: "d", URL: "http://10.0.0.4:8080"}), DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 10000
+	moved := 0
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := before.Owner(key).ID, after.Owner(key).ID
+		if was != is {
+			moved++
+			if is != "d" {
+				t.Fatalf("key %q moved %q -> %q: only the new node may gain keys", key, was, is)
+			}
+		}
+	}
+	if frac := float64(moved) / total; frac > 0.5 {
+		t.Errorf("adding 1 node to 3 moved %.1f%% of keys; want ~25%%, certainly < 50%%", frac*100)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r, err := New([]Node{{ID: "solo", URL: "http://localhost:9000"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)).ID; got != "solo" {
+			t.Fatalf("single-node ring routed key to %q", got)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", r.Len())
+	}
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []Node
+		frag  string
+	}{
+		{"empty", nil, "at least one node"},
+		{"empty ID", []Node{{ID: "", URL: "http://x:1"}}, "empty ID"},
+		{"duplicate ID", []Node{{ID: "a", URL: "http://x:1"}, {ID: "a", URL: "http://y:1"}}, "duplicate"},
+		{"relative URL", []Node{{ID: "a", URL: "localhost:8080"}}, "http(s)"},
+		{"bad scheme", []Node{{ID: "a", URL: "ftp://x:1"}}, "http(s)"},
+		{"no host", []Node{{ID: "a", URL: "http://"}}, "http(s)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.nodes, 0); err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("New(%v) error = %v, want mention of %q", tc.nodes, err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	r, err := New(threeNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := r.Node("b")
+	if !ok || n.URL != "http://10.0.0.2:8080" {
+		t.Fatalf("Node(b) = %+v, %v", n, ok)
+	}
+	if _, ok := r.Node("zz"); ok {
+		t.Fatal("Node(zz) found a ghost member")
+	}
+	ids := make([]string, 0, 3)
+	for _, n := range r.Nodes() {
+		ids = append(ids, n.ID)
+	}
+	if strings.Join(ids, ",") != "a,b,c" {
+		t.Fatalf("Nodes() order = %v, want sorted by ID", ids)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("n0=http://h0:8080, n1=http://h1:8080 ,n2=http://h2:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[1].ID != "n1" || nodes[1].URL != "http://h1:8080" {
+		t.Fatalf("ParsePeers = %+v", nodes)
+	}
+	for _, bad := range []string{"", "  ,  ", "justanid", "=http://x:1", "id="} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted garbage", bad)
+		}
+	}
+}

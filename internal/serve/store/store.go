@@ -1,0 +1,577 @@
+// Package store is ranad's persistent plan store: an append-only,
+// CRC-framed log of content-addressed response bodies keyed by the
+// canonical resolved-request SHA-256 the serving layer already computes.
+//
+// The compile step is expensive and deterministic, so a plan computed
+// once is an artifact worth keeping across restarts: on startup the log
+// is replayed and the recovered bodies warm-fill the serving LRU, so a
+// restarted node answers previously compiled requests byte-identically
+// without invoking the scheduler at all.
+//
+// Log format (all integers little-endian):
+//
+//	header   8 bytes  "RANAPST1"
+//	record   u32 bodyLen | 32-byte key | body | u32 CRC-32C
+//
+// The trailing checksum covers the length prefix, the key and the body,
+// so a torn write, a corrupted length, or a flipped body byte all fail
+// verification. Recovery is prefix-valid by construction: replay stops
+// at the first frame that is short or fails its checksum, and Open
+// truncates the file back to the valid prefix so the next append starts
+// on a frame boundary. A crash can therefore lose at most the entries
+// whose fsync had not yet completed — it can never resurrect a torn or
+// corrupted plan.
+//
+// Durability is batched: appends land in the OS page cache immediately
+// and a background flusher fsyncs every SyncInterval (group commit), so
+// a burst of compiles costs one disk sync, not one per plan. Close and
+// Sync force the batch out. The log is bounded by MaxBytes: beyond it a
+// compaction rewrites the newest entries into a fresh log and atomically
+// renames it into place, dropping the oldest plans first (they are the
+// ones a warm LRU would evict anyway).
+//
+// Keys are content addresses: a key maps to exactly one body forever.
+// Re-putting a key with identical bytes is a cheap no-op; re-putting it
+// with different bytes is reported as an error, because it means the
+// supposedly deterministic compile pipeline produced two different
+// plans for one resolved request — the exact invariant the cross-node
+// conformance oracle (verify.CompareNodes) exists to protect.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	// logMagic identifies a plan log; the trailing byte versions the
+	// frame format.
+	logMagic  = "RANAPST1"
+	headerLen = len(logMagic)
+
+	// keyLen is the raw length of a content address (SHA-256).
+	keyLen = 32
+
+	// frameOverhead is a record's size beyond its body: the u32 length
+	// prefix, the key, and the trailing u32 CRC.
+	frameOverhead = 4 + keyLen + 4
+
+	// MaxBody bounds one stored body. Response bodies are at most a few
+	// MB (a full GoogLeNet compile artifact is ~1 MB); anything larger
+	// in the log is corruption, not data.
+	MaxBody = 16 << 20
+)
+
+// castagnoli is the CRC-32C polynomial — the usual choice for storage
+// framing (iSCSI, ext4, Btrfs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options parameterizes a Store.
+type Options struct {
+	// SyncInterval is the fsync batching period: appends become durable
+	// at the next tick. Zero selects 100 ms; negative fsyncs on every
+	// Put (durable but slow — tests and paranoid deployments).
+	SyncInterval time.Duration
+
+	// MaxBytes bounds the log file. Beyond it a compaction drops the
+	// oldest entries until the log fits in about 80% of the bound. Zero
+	// means unbounded.
+	MaxBytes int64
+
+	// Logf observes replay, truncation and compaction; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of a store's state.
+type Stats struct {
+	Entries          int   // live entries in the index
+	FileBytes        int64 // current log size, header included
+	Replayed         int   // entries recovered by Open's replay
+	DroppedTailBytes int64 // torn/corrupt tail bytes truncated by Open
+	Puts             int64 // new entries appended
+	DupPuts          int64 // byte-identical re-puts skipped
+	Compactions      int64 // log rewrites (bound exceeded or Open found garbage)
+}
+
+// ref locates one live record in the log.
+type ref struct {
+	off     int64 // file offset of the record's length prefix
+	bodyLen int
+}
+
+// Store is one open plan log. All methods are safe for concurrent use.
+type Store struct {
+	path string
+	opts Options
+
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	index map[[keyLen]byte]ref
+	size  int64 // current append offset (= file size)
+	dirty bool  // bytes written since the last fsync
+	stats Stats
+
+	closed    bool
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (creating if absent) the plan log at path, replays it,
+// truncates any torn tail, and starts the background fsync batcher.
+func Open(path string, opts Options) (*Store, error) {
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = 100 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		path:  path,
+		opts:  opts,
+		f:     f,
+		index: make(map[[keyLen]byte]ref),
+	}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.MaxBytes > 0 && s.size > opts.MaxBytes {
+		if err := s.compactLocked(opts.MaxBytes * 4 / 5); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if opts.SyncInterval > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flusher()
+	}
+	return s, nil
+}
+
+// load replays the log, builds the index, and truncates the file back
+// to the longest valid prefix.
+func (s *Store) load() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := s.f.WriteString(logMagic); err != nil {
+			return fmt.Errorf("store: writing header: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing header: %w", err)
+		}
+		s.size = int64(headerLen)
+		s.w = bufio.NewWriter(s.f)
+		return nil
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(s.f, hdr); err != nil || string(hdr) != logMagic {
+		return fmt.Errorf("store: %s is not a plan log (bad magic)", s.path)
+	}
+	off := int64(headerLen)
+	valid := scanFrames(io.NewSectionReader(s.f, off, info.Size()-off), func(key [keyLen]byte, body []byte) {
+		s.setRef(key, ref{off: off, bodyLen: len(body)})
+		off += int64(frameOverhead + len(body))
+		s.stats.Replayed++
+	})
+	s.size = int64(headerLen) + valid
+	if info.Size() > s.size {
+		s.stats.DroppedTailBytes = info.Size() - s.size
+		s.opts.Logf("store: %s: dropping %d torn/corrupt tail bytes (replayed %d entries)",
+			s.path, s.stats.DroppedTailBytes, s.stats.Replayed)
+		if err := s.f.Truncate(s.size); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing truncation: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.w = bufio.NewWriter(s.f)
+	return nil
+}
+
+// setRef installs a record in the index. Duplicate keys (possible in
+// logs written before re-put skipping, or across crash/retry windows)
+// resolve to the latest record, matching replay order.
+func (s *Store) setRef(key [keyLen]byte, r ref) {
+	if _, ok := s.index[key]; !ok {
+		s.stats.Entries++
+	}
+	s.index[key] = r
+}
+
+// scanFrames decodes CRC-framed records from r, calling fn for each
+// frame whose checksum verifies, and returns the byte length of the
+// valid prefix. It stops — without error — at the first short, torn or
+// corrupt frame: the recovery contract is "the longest intact prefix",
+// never a partial or damaged entry.
+func scanFrames(r io.Reader, fn func(key [keyLen]byte, body []byte)) int64 {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var valid int64
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return valid
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[:])
+		if bodyLen > MaxBody {
+			return valid
+		}
+		rest := make([]byte, keyLen+int(bodyLen)+4)
+		if _, err := io.ReadFull(br, rest); err != nil {
+			return valid
+		}
+		payload := rest[:keyLen+int(bodyLen)]
+		sum := crc32.Update(crc32.Checksum(hdr[:], castagnoli), castagnoli, payload)
+		if sum != binary.LittleEndian.Uint32(rest[len(payload):]) {
+			return valid
+		}
+		var key [keyLen]byte
+		copy(key[:], payload[:keyLen])
+		fn(key, payload[keyLen:])
+		valid += int64(4 + len(rest))
+	}
+}
+
+// encodeFrame renders one record in the wire framing.
+func encodeFrame(key [keyLen]byte, body []byte) []byte {
+	frame := make([]byte, frameOverhead+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], key[:])
+	copy(frame[4+keyLen:], body)
+	sum := crc32.Checksum(frame[:4+keyLen+len(body)], castagnoli)
+	binary.LittleEndian.PutUint32(frame[4+keyLen+len(body):], sum)
+	return frame
+}
+
+// parseKey decodes a 64-char hex SHA-256 content address.
+func parseKey(key string) ([keyLen]byte, error) {
+	var k [keyLen]byte
+	if len(key) != 2*keyLen {
+		return k, fmt.Errorf("store: key %q is not a sha256 hex digest", key)
+	}
+	if _, err := hex.Decode(k[:], []byte(key)); err != nil {
+		return k, fmt.Errorf("store: key %q is not a sha256 hex digest", key)
+	}
+	return k, nil
+}
+
+// Put appends one content-addressed body. A byte-identical re-put is a
+// no-op; a re-put with different bytes is an error (a determinism
+// violation upstream, never silently overwritten).
+func (s *Store) Put(key string, body []byte) error {
+	k, err := parseKey(key)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxBody {
+		return fmt.Errorf("store: body for %s is %d bytes, max %d", key, len(body), MaxBody)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if r, ok := s.index[k]; ok {
+		prev, err := s.readBodyLocked(r)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(prev, body) {
+			return fmt.Errorf("store: key %s: new body differs from the stored entry (content-addressed log; upstream determinism violation)", key)
+		}
+		s.stats.DupPuts++
+		return nil
+	}
+	frame := encodeFrame(k, body)
+	if _, err := s.w.Write(frame); err != nil {
+		return fmt.Errorf("store: appending %s: %w", key, err)
+	}
+	s.setRef(k, ref{off: s.size, bodyLen: len(body)})
+	s.size += int64(len(frame))
+	s.dirty = true
+	s.stats.Puts++
+	if s.opts.SyncInterval < 0 {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if s.opts.MaxBytes > 0 && s.size > s.opts.MaxBytes {
+		return s.compactLocked(s.opts.MaxBytes * 4 / 5)
+	}
+	return nil
+}
+
+// Get returns the stored body for key. Only CRC-verified bytes are ever
+// returned.
+func (s *Store) Get(key string) ([]byte, bool) {
+	k, err := parseKey(key)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	r, ok := s.index[k]
+	if !ok {
+		return nil, false
+	}
+	body, err := s.readBodyLocked(r)
+	if err != nil {
+		s.opts.Logf("store: reading %s: %v", key, err)
+		return nil, false
+	}
+	return body, true
+}
+
+// readBodyLocked reads and CRC-verifies one record's body.
+func (s *Store) readBodyLocked(r ref) ([]byte, error) {
+	// Pending appends may still sit in the writer; flush so ReadAt sees
+	// every indexed record.
+	if err := s.w.Flush(); err != nil {
+		return nil, fmt.Errorf("store: flushing before read: %w", err)
+	}
+	frame := make([]byte, frameOverhead+r.bodyLen)
+	if _, err := s.f.ReadAt(frame, r.off); err != nil {
+		return nil, fmt.Errorf("store: reading record at %d: %w", r.off, err)
+	}
+	payload := frame[:4+keyLen+r.bodyLen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[len(payload):]) {
+		return nil, fmt.Errorf("store: record at %d failed its checksum", r.off)
+	}
+	return frame[4+keyLen : 4+keyLen+r.bodyLen], nil
+}
+
+// Range calls fn for every live entry in log (append) order, oldest
+// first — so a warm-filled LRU ends with the newest plans most recently
+// used. fn returning an error stops the walk.
+func (s *Store) Range(fn func(key string, body []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	for _, e := range s.orderedLocked() {
+		body, err := s.readBodyLocked(e.ref)
+		if err != nil {
+			return err
+		}
+		if err := fn(hex.EncodeToString(e.key[:]), body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type orderedRef struct {
+	key [keyLen]byte
+	ref ref
+}
+
+// orderedLocked returns the live records sorted by file offset.
+func (s *Store) orderedLocked() []orderedRef {
+	out := make([]orderedRef, 0, len(s.index))
+	for k, r := range s.index {
+		out = append(out, orderedRef{key: k, ref: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ref.off < out[j].ref.off })
+	return out
+}
+
+// Compact rewrites the log keeping only live entries; a positive budget
+// additionally drops the oldest entries until the kept frames fit in
+// budget bytes (header excluded).
+func (s *Store) Compact(budget int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.compactLocked(budget)
+}
+
+func (s *Store) compactLocked(budget int64) error {
+	ordered := s.orderedLocked()
+	// Keep the newest entries whose frames fit in the budget.
+	keepFrom := 0
+	if budget > 0 {
+		var kept int64
+		keepFrom = len(ordered)
+		for i := len(ordered) - 1; i >= 0; i-- {
+			sz := int64(frameOverhead + ordered[i].ref.bodyLen)
+			if kept+sz > budget {
+				break
+			}
+			kept += sz
+			keepFrom = i
+		}
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+	tw := bufio.NewWriter(tmp)
+	if _, err := tw.WriteString(logMagic); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	newIndex := make(map[[keyLen]byte]ref, len(ordered)-keepFrom)
+	off := int64(headerLen)
+	for _, e := range ordered[keepFrom:] {
+		body, err := s.readBodyLocked(e.ref)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		frame := encodeFrame(e.key, body)
+		if _, err := tw.Write(frame); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+		newIndex[e.key] = ref{off: off, bodyLen: len(body)}
+		off += int64(len(frame))
+	}
+	if err := tw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening after compaction: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: reopening after compaction: %w", err)
+	}
+	dropped := keepFrom
+	s.f.Close()
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.index = newIndex
+	s.stats.Entries = len(newIndex)
+	s.size = off
+	s.dirty = false
+	s.stats.Compactions++
+	s.opts.Logf("store: %s: compacted to %d entries (%d bytes), dropped %d oldest", s.path, len(newIndex), off, dropped)
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the log.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing: %w", err)
+	}
+	if !s.dirty {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing: %w", err)
+	}
+	s.dirty = false
+	return nil
+}
+
+// flusher is the fsync batcher: it makes appends durable once per
+// SyncInterval instead of once per Put.
+func (s *Store) flusher() {
+	defer close(s.flushDone)
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				if err := s.syncLocked(); err != nil {
+					s.opts.Logf("store: background sync: %v", err)
+				}
+			}
+			s.mu.Unlock()
+		case <-s.flushStop:
+			return
+		}
+	}
+}
+
+// Close syncs and closes the log. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.syncLocked()
+	s.closed = true
+	if cerr := s.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: closing: %w", cerr)
+	}
+	s.mu.Unlock()
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
+	}
+	return err
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.FileBytes = s.size
+	return st
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Entries
+}
+
+// Path returns the log's file path.
+func (s *Store) Path() string { return s.path }

@@ -1,0 +1,406 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testKey derives a distinct content address from a seed.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// testBody derives a deterministic pseudo-random body of varied length.
+func testBody(i int) []byte {
+	n := 17 + (i*37)%211
+	b := make([]byte, n)
+	x := uint32(2463534242 + i)
+	for j := range b {
+		// xorshift32: cheap, seeded, reproducible.
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		b[j] = byte(x)
+	}
+	return b
+}
+
+// openTemp opens a store on a fresh temp path with per-put fsync (tests
+// want determinism, not batching).
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plans.log")
+	s, err := Open(path, Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func TestPutGetReopen(t *testing.T) {
+	s, path := openTemp(t)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		body, ok := s.Get(testKey(i))
+		if !ok || !bytes.Equal(body, testBody(i)) {
+			t.Fatalf("Get(%d): ok=%v, body mismatch", i, ok)
+		}
+	}
+	if _, ok := s.Get(testKey(n + 1)); ok {
+		t.Error("Get of an absent key reported ok")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay must recover every entry, in order.
+	s2, err := Open(path, Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Replayed; got != n {
+		t.Errorf("replayed %d entries, want %d", got, n)
+	}
+	var i int
+	err = s2.Range(func(key string, body []byte) error {
+		if key != testKey(i) || !bytes.Equal(body, testBody(i)) {
+			return fmt.Errorf("entry %d: key/body mismatch", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Errorf("Range visited %d entries, want %d", i, n)
+	}
+}
+
+func TestDuplicatePuts(t *testing.T) {
+	s, _ := openTemp(t)
+	key := testKey(1)
+	if err := s.Put(key, testBody(1)); err != nil {
+		t.Fatal(err)
+	}
+	size := s.Stats().FileBytes
+	// Identical re-put: a no-op, no log growth.
+	if err := s.Put(key, testBody(1)); err != nil {
+		t.Fatalf("identical re-put: %v", err)
+	}
+	if got := s.Stats(); got.FileBytes != size || got.DupPuts != 1 {
+		t.Errorf("after identical re-put: bytes %d (want %d), dup puts %d (want 1)", got.FileBytes, size, got.DupPuts)
+	}
+	// Conflicting re-put: a determinism violation, loudly rejected.
+	err := s.Put(key, []byte("different bytes"))
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("conflicting re-put error = %v, want determinism violation", err)
+	}
+	// The original bytes survive.
+	if body, ok := s.Get(key); !ok || !bytes.Equal(body, testBody(1)) {
+		t.Error("stored body changed after a rejected conflicting put")
+	}
+}
+
+func TestRejectsBadKeys(t *testing.T) {
+	s, _ := openTemp(t)
+	for _, key := range []string{"", "abc", strings.Repeat("z", 64), strings.Repeat("a", 63)} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a non-digest key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) reported ok for a non-digest key", key)
+		}
+	}
+}
+
+func TestCompactionBoundsTheLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	const maxBytes = 4096
+	s, err := Open(path, Options{SyncInterval: -1, MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.FileBytes > maxBytes {
+		t.Errorf("log is %d bytes, bound %d", st.FileBytes, maxBytes)
+	}
+	if st.Compactions == 0 {
+		t.Error("no compactions ran")
+	}
+	if st.Entries >= n {
+		t.Errorf("compaction kept all %d entries", st.Entries)
+	}
+	// The newest entry always survives; the oldest is long gone.
+	if _, ok := s.Get(testKey(n - 1)); !ok {
+		t.Error("newest entry missing after compaction")
+	}
+	if _, ok := s.Get(testKey(0)); ok {
+		t.Error("oldest entry survived a full compaction cycle")
+	}
+	// A reopen replays the compacted log cleanly.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, want := s2.Len(), st.Entries; got != want {
+		t.Errorf("reopened compacted log has %d entries, want %d", got, want)
+	}
+	if _, ok := s2.Get(testKey(n - 1)); !ok {
+		t.Error("newest entry missing after reopen")
+	}
+}
+
+func TestExplicitCompactIsAFullDefrag(t *testing.T) {
+	s, _ := openTemp(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(testKey(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 10 {
+		t.Errorf("budget-0 compaction dropped entries: %d left", got)
+	}
+	for i := 0; i < 10; i++ {
+		if body, ok := s.Get(testKey(i)); !ok || !bytes.Equal(body, testBody(i)) {
+			t.Fatalf("entry %d lost or damaged by compaction", i)
+		}
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	s, err := Open(path, Options{SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(testKey(0), testBody(0)); err != nil {
+		t.Fatal(err)
+	}
+	// The flusher must make the entry durable without Close.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		dirty := s.dirty
+		s.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The bytes are visible to an independent reader (i.e. flushed out
+	// of the buffered writer, not just scheduled).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	scanFrames(bytes.NewReader(raw[headerLen:]), func([keyLen]byte, []byte) { n++ })
+	if n != 1 {
+		t.Errorf("independent replay sees %d entries, want 1", n)
+	}
+}
+
+func TestClosedStoreRefusesWork(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(0), testBody(0)); err == nil {
+		t.Error("Put succeeded on a closed store")
+	}
+	if _, ok := s.Get(testKey(0)); ok {
+		t.Error("Get succeeded on a closed store")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+// TestCrashRecoveryEveryTruncationOffset is the crash-recovery property
+// test: a log truncated at EVERY byte offset must recover exactly the
+// prefix of entries whose frames are fully contained in the remaining
+// bytes — never a torn entry, never a corrupted one.
+func TestCrashRecoveryEveryTruncationOffset(t *testing.T) {
+	full, bounds := buildLog(t, 8)
+	dir := t.TempDir()
+	for cut := 0; cut <= len(full); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.log", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(path, Options{SyncInterval: -1})
+		if cut < headerLen {
+			// Not even a header: Open must refuse (empty file excepted —
+			// that is a fresh log).
+			if cut == 0 {
+				if err != nil {
+					t.Fatalf("cut %d: fresh-log open failed: %v", cut, err)
+				}
+				s.Close()
+			} else if err == nil {
+				s.Close()
+				t.Fatalf("cut %d: opened a log with a truncated header", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := intactPrefix(bounds, cut)
+		if got := s.Len(); got != want {
+			s.Close()
+			t.Fatalf("cut %d: recovered %d entries, want %d", cut, got, want)
+		}
+		verifyPrefix(t, s, want)
+		s.Close()
+	}
+}
+
+// TestCrashRecoverySeededCorruption flips single bytes at seeded offsets:
+// replay must recover exactly the entries before the damaged frame, and
+// never return damaged bytes.
+func TestCrashRecoverySeededCorruption(t *testing.T) {
+	full, bounds := buildLog(t, 8)
+	dir := t.TempDir()
+	x := uint32(12345)
+	for trial := 0; trial < 300; trial++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		off := int(x) % len(full)
+		if off < 0 {
+			off = -off
+		}
+		corrupt := append([]byte(nil), full...)
+		corrupt[off] ^= 0x41
+		path := filepath.Join(dir, fmt.Sprintf("flip-%d.log", trial))
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(path, Options{SyncInterval: -1})
+		if off < headerLen {
+			if err == nil {
+				s.Close()
+				t.Fatalf("trial %d: opened a log with a corrupted header (offset %d)", trial, off)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The flipped byte lives inside exactly one frame; every frame
+		// before it must survive, the damaged one and everything after
+		// must be dropped (prefix-valid recovery).
+		want := frameIndexAt(bounds, off)
+		if got := s.Len(); got != want {
+			s.Close()
+			t.Fatalf("trial %d (offset %d): recovered %d entries, want %d", trial, off, got, want)
+		}
+		verifyPrefix(t, s, want)
+		s.Close()
+	}
+}
+
+// buildLog writes n entries through a real store and returns the raw log
+// bytes plus each frame's end offset.
+func buildLog(t *testing.T, n int) (raw []byte, frameEnds []int) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "full.log")
+	s, err := Open(path, Options{SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := headerLen
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testBody(i)); err != nil {
+			t.Fatal(err)
+		}
+		end += frameOverhead + len(testBody(i))
+		frameEnds = append(frameEnds, end)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != end {
+		t.Fatalf("log is %d bytes, expected %d", len(raw), end)
+	}
+	return raw, frameEnds
+}
+
+// intactPrefix counts the frames fully contained in the first cut bytes.
+func intactPrefix(frameEnds []int, cut int) int {
+	n := 0
+	for _, end := range frameEnds {
+		if end <= cut {
+			n++
+		}
+	}
+	return n
+}
+
+// frameIndexAt returns the index of the frame containing byte offset
+// off — equivalently, the number of frames wholly before it.
+func frameIndexAt(frameEnds []int, off int) int {
+	for i, end := range frameEnds {
+		if off < end {
+			return i
+		}
+	}
+	return len(frameEnds)
+}
+
+// verifyPrefix asserts the store holds exactly entries [0, want) with
+// pristine bodies.
+func verifyPrefix(t *testing.T, s *Store, want int) {
+	t.Helper()
+	for i := 0; i < want; i++ {
+		body, ok := s.Get(testKey(i))
+		if !ok {
+			t.Fatalf("entry %d missing from recovered prefix of %d", i, want)
+		}
+		if !bytes.Equal(body, testBody(i)) {
+			t.Fatalf("entry %d recovered with damaged bytes", i)
+		}
+	}
+	if _, ok := s.Get(testKey(want)); ok {
+		t.Fatalf("entry %d beyond the intact prefix was recovered", want)
+	}
+}

@@ -1,0 +1,113 @@
+package verify
+
+// The cross-node conformance oracle. PR 6 turns ranad into a fleet: a
+// consistent-hash ring shards the key space, a persistent plan store
+// warm-restarts nodes, and forwarded requests are served by the key's
+// owner. None of that is allowed to move a single plan byte — the
+// headline fleet claim is that any replica, warm or cold, local or
+// forwarding, answers a request byte-identically to a lone single-node
+// ranad. CompareNodes is that check: it posts one request body to a
+// reference ranad and to every fleet node, and reports any node whose
+// status or body diverges from the reference's.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"rana/internal/serve"
+)
+
+// NodesReport collects one request's divergences across a node set.
+type NodesReport struct {
+	// Path and Body identify the request that was replayed, e.g.
+	// "/v1/schedule" with `{"model": "AlexNet"}`.
+	Path string
+	Body string
+	// Reference is the single-node URL every node was compared against.
+	Reference string
+	// Nodes are the fleet URLs that were compared.
+	Nodes       []string
+	Divergences []Divergence
+}
+
+// OK reports whether every node reproduced the reference response.
+func (r *NodesReport) OK() bool { return len(r.Divergences) == 0 }
+
+// String summarizes the report, one divergence per line.
+func (r *NodesReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("%s %s: %d nodes byte-identical to the reference",
+			r.Path, r.Body, len(r.Nodes))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s: %d node divergences\n", r.Path, r.Body, len(r.Divergences))
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// diverge appends a divergence between the reference and one node.
+func (r *NodesReport) diverge(check, node string, want, got any) {
+	r.Divergences = append(r.Divergences, Divergence{
+		Check:  check,
+		Models: [2]string{"reference", node},
+		Want:   fmt.Sprint(want),
+		Got:    fmt.Sprint(got),
+	})
+}
+
+// defaultNodesClient keeps one conformance sweep from stalling for the
+// full 30 s client budget on a dead node.
+func defaultNodesClient() *serve.RetryClient {
+	return &serve.RetryClient{
+		MaxAttempts: 3,
+		BaseBackoff: 50 * time.Millisecond,
+		Budget:      10 * time.Second,
+	}
+}
+
+// CompareNodes posts path+body to the reference ranad and then to every
+// node URL, and reports any node whose HTTP status or response bytes
+// differ from the reference's. Plans are a pure function of the
+// canonical request key, so a healthy fleet — whatever node owns the
+// key, wherever the request lands, warm or cold — must reproduce the
+// reference bytes exactly; a 200 with different bytes and a non-200
+// where the reference succeeded are both divergences, not transport
+// errors.
+//
+// client may be nil, selecting a short-budget RetryClient. An error is
+// returned only when the reference itself is unreachable — without its
+// answer there is nothing to conform to.
+func CompareNodes(ctx context.Context, client *serve.RetryClient, reference string, nodes []string, path string, body []byte) (*NodesReport, error) {
+	if client == nil {
+		client = defaultNodesClient()
+	}
+	r := &NodesReport{Path: path, Body: string(body), Reference: reference, Nodes: nodes}
+
+	refBody, refStatus, err := client.PostJSON(ctx, reference+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("verify: reference %s%s: %w", reference, path, err)
+	}
+
+	for _, node := range nodes {
+		got, status, err := client.PostJSON(ctx, node+path, body)
+		if err != nil {
+			r.diverge("nodes/transport", node, fmt.Sprintf("status %d", refStatus), err)
+			continue
+		}
+		if status != refStatus {
+			r.diverge("nodes/status", node,
+				fmt.Sprintf("%d: %.120s", refStatus, refBody),
+				fmt.Sprintf("%d: %.120s", status, got))
+			continue
+		}
+		if string(got) != string(refBody) {
+			r.diverge("nodes/body-bytes", node,
+				fmt.Sprintf("%.120s", refBody), fmt.Sprintf("%.120s", got))
+		}
+	}
+	return r, nil
+}
