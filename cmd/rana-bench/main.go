@@ -10,6 +10,11 @@
 //	rana-bench                         # write BENCH_sched.json
 //	rana-bench -iters 5 -o bench.json  # more samples, custom path
 //	rana-bench -models AlexNet,ResNet  # subset of the zoo
+//	rana-bench -backends approx-dram,reram@fast-write  # backend cells
+//
+// Each snapshot entry is keyed by (network, strategy, backend): the
+// default-adapter cell is always measured so trajectories stay
+// comparable PR over PR, and -backends adds extra cells per model.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"rana/internal/hw"
+	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
@@ -36,8 +42,12 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// Run is one measured configuration of one model.
+// Run is one measured configuration of one model. Strategy labels the
+// scheduling strategy the sample ran under, so a flattened snapshot
+// stays keyed by (network, strategy, backend) without relying on the
+// enclosing field name.
 type Run struct {
+	Strategy    string  `json:"strategy"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
 	BytesPerOp  uint64  `json:"bytes_per_op"`
@@ -48,9 +58,13 @@ type Run struct {
 	Workers     int     `json:"workers"`
 }
 
-// NetBench is one model's baseline/optimized pair.
+// NetBench is one (network, strategy, backend) cell: the model's
+// baseline/optimized strategy pair measured through one memory backend.
+// Backend is the "-backend" spec verbatim; empty means the platform's
+// default technology adapter, keeping legacy snapshots comparable.
 type NetBench struct {
 	Model     string  `json:"model"`
+	Backend   string  `json:"backend,omitempty"`
 	Layers    int     `json:"layers"`
 	Baseline  Run     `json:"baseline"`
 	Optimized Run     `json:"optimized"`
@@ -74,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	iters := fs.Int("iters", 3, "timed compile iterations per configuration (the minimum is kept)")
 	modelsFlag := fs.String("models", "", "comma-separated zoo subset (default: every benchmark network)")
 	parallelism := fs.Int("parallelism", 0, "optimized run's search workers (0 = GOMAXPROCS)")
+	backendsFlag := fs.String("backends", "", `comma-separated memory backend specs ("name" or "name@point") measured per model; empty means the default technology adapter only`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,6 +97,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	nets, err := selectModels(*modelsFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-bench:", err)
+		return 2
+	}
+	backends, err := selectBackends(*backendsFlag)
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-bench:", err)
 		return 2
@@ -95,37 +115,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Iters:       *iters,
 	}
 	for _, net := range nets {
-		base := benchOpts()
-		base.Parallelism = 1
-		base.DisableMemo = true
-		opt := benchOpts()
-		opt.Parallelism = *parallelism
+		for _, spec := range backends {
+			base := benchOpts(spec)
+			base.Parallelism = 1
+			base.DisableMemo = true
+			opt := benchOpts(spec)
+			opt.Parallelism = *parallelism
 
-		baseline, err := measure(net, cfg, base, *iters)
-		if err != nil {
-			fmt.Fprintln(stderr, "rana-bench:", err)
-			return 1
+			baseline, err := measure(net, cfg, base, *iters)
+			if err != nil {
+				fmt.Fprintln(stderr, "rana-bench:", err)
+				return 1
+			}
+			baseline.Strategy = "sequential"
+			optimized, err := measure(net, cfg, opt, *iters)
+			if err != nil {
+				fmt.Fprintln(stderr, "rana-bench:", err)
+				return 1
+			}
+			optimized.Strategy = "parallel-memoized"
+			nb := NetBench{
+				Model:     net.Name,
+				Backend:   spec,
+				Layers:    len(net.Layers),
+				Baseline:  baseline,
+				Optimized: optimized,
+			}
+			if optimized.NsPerOp > 0 {
+				nb.SpeedupX = float64(baseline.NsPerOp) / float64(optimized.NsPerOp)
+			}
+			snap.Networks = append(snap.Networks, nb)
+			label := net.Name
+			if spec != "" {
+				label += "/" + spec
+			}
+			fmt.Fprintf(stdout, "%-24s %3d layers: baseline %8.2fms, optimized %8.2fms (%.2fx, memo %d/%d hits, %d evals)\n",
+				label, nb.Layers,
+				float64(baseline.NsPerOp)/1e6, float64(optimized.NsPerOp)/1e6,
+				nb.SpeedupX, optimized.MemoHits, optimized.MemoHits+optimized.MemoMisses,
+				optimized.Evaluated)
 		}
-		optimized, err := measure(net, cfg, opt, *iters)
-		if err != nil {
-			fmt.Fprintln(stderr, "rana-bench:", err)
-			return 1
-		}
-		nb := NetBench{
-			Model:     net.Name,
-			Layers:    len(net.Layers),
-			Baseline:  baseline,
-			Optimized: optimized,
-		}
-		if optimized.NsPerOp > 0 {
-			nb.SpeedupX = float64(baseline.NsPerOp) / float64(optimized.NsPerOp)
-		}
-		snap.Networks = append(snap.Networks, nb)
-		fmt.Fprintf(stdout, "%-10s %3d layers: baseline %8.2fms, optimized %8.2fms (%.2fx, memo %d/%d hits, %d evals)\n",
-			net.Name, nb.Layers,
-			float64(baseline.NsPerOp)/1e6, float64(optimized.NsPerOp)/1e6,
-			nb.SpeedupX, optimized.MemoHits, optimized.MemoHits+optimized.MemoMisses,
-			optimized.Evaluated)
 	}
 
 	doc, err := json.MarshalIndent(snap, "", "  ")
@@ -143,13 +172,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // benchOpts is the measured design point: the full RANA option set the
-// golden schedules run under.
-func benchOpts() sched.Options {
-	return sched.Options{
+// golden schedules run under, through the given backend spec (empty =
+// the default technology adapter).
+func benchOpts(spec string) sched.Options {
+	opts := sched.Options{
 		Patterns:        []pattern.Kind{pattern.OD, pattern.WD},
 		RefreshInterval: retention.TolerableRetentionTime,
 		Controller:      memctrl.RefreshOptimized{},
 	}
+	if spec != "" {
+		opts.Backend = spec
+		if i := strings.IndexByte(spec, '@'); i >= 0 {
+			opts.Backend, opts.OperatingPoint = spec[:i], spec[i+1:]
+		}
+	}
+	return opts
+}
+
+// selectBackends validates the -backends flag against the registry. The
+// empty spec — the default adapter — is always first so every snapshot
+// carries the legacy-comparable cell.
+func selectBackends(flagVal string) ([]string, error) {
+	out := []string{""}
+	if flagVal == "" {
+		return out, nil
+	}
+	seen := map[string]bool{"": true}
+	for _, spec := range strings.Split(flagVal, ",") {
+		spec = strings.TrimSpace(spec)
+		if seen[spec] {
+			continue
+		}
+		if _, _, err := mem.ParseSpec(spec); err != nil {
+			return nil, err
+		}
+		seen[spec] = true
+		out = append(out, spec)
+	}
+	return out, nil
 }
 
 // measure compiles net iters times under opts and keeps the fastest

@@ -9,6 +9,8 @@
 //	rana-sched -model AlexNet -export   # serialized compilation artifact
 //	rana-sched -model AlexNet -json     # plan in the shared wire format
 //	rana-sched -model VGG -server http://ranad:8080   # compile remotely
+//	rana-sched -model AlexNet -backend approx-dram          # open point axis
+//	rana-sched -model AlexNet -backend approx-dram@v0.8     # pinned point
 //
 // With -server the compilation runs on a ranad instance instead of in
 // process, through the retrying client: 429 (shed) and 503
@@ -22,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"rana"
+	"rana/internal/mem"
 	"rana/internal/sched/search"
 )
 
@@ -41,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	server := fs.String("server", "", "compile on a ranad instance (base URL) instead of in process")
 	strategy := fs.String("search", "", `Stage 2 exploration strategy: "exhaustive", "pruned" or "beam" (default pruned)`)
 	parallelism := fs.Int("parallelism", 0, "per-layer search workers (0 = GOMAXPROCS; plans are identical at every level)")
+	backendSpec := fs.String("backend", "", `memory backend "name" or "name@point" (default: the platform's technology adapter; a bare name searches every point within the error budget)`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -56,8 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rana-sched: -parallelism %d outside [0, %d]\n", *parallelism, search.MaxParallelism)
 		return 2
 	}
+	backend, point, err := splitBackendSpec(*backendSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "rana-sched:", err)
+		return 2
+	}
 	if *server != "" {
-		return runRemote(*server, *model, *strategy, *parallelism, *export, *asJSON, stdout, stderr)
+		if backend != "" && !*asJSON {
+			fmt.Fprintln(stderr, "rana-sched: -backend with -server requires -json (the compile endpoint has no backend axis)")
+			return 2
+		}
+		return runRemote(*server, *model, *strategy, backend, point, *parallelism, *export, *asJSON, stdout, stderr)
 	}
 
 	var net rana.Network
@@ -75,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fw := rana.NewFramework()
 	fw.Search = search.Strategy(*strategy)
 	fw.Parallelism = *parallelism
+	fw.Backend = backend
+	fw.OperatingPoint = point
 	out, err := fw.Compile(net)
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-sched:", err)
@@ -120,5 +136,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	e := out.Energy
 	fmt.Fprintf(stdout, "energy: computing %.3f mJ, buffer %.3f mJ, refresh %.3f mJ, off-chip %.3f mJ, total %.3f mJ\n",
 		e.Computing/1e9, e.BufferAccess/1e9, e.Refresh/1e9, e.OffChip/1e9, e.Total()/1e9)
+	if e.Wear > 0 {
+		fmt.Fprintf(stdout, "wear: %.3f mJ\n", e.Wear/1e9)
+	}
 	return 0
+}
+
+// splitBackendSpec validates a -backend flag against the registry and
+// splits it into the (backend, point) pair the framework takes. A bare
+// backend name leaves the point empty — the open search axis — which is
+// why this does not reuse ParseSpec's nominal-defaulting directly.
+func splitBackendSpec(spec string) (backend, point string, err error) {
+	if spec == "" {
+		return "", "", nil
+	}
+	if _, _, err := mem.ParseSpec(spec); err != nil {
+		return "", "", err
+	}
+	backend = spec
+	if i := strings.IndexByte(spec, '@'); i >= 0 {
+		backend, point = spec[:i], spec[i+1:]
+	}
+	return backend, point, nil
 }

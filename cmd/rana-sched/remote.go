@@ -20,7 +20,7 @@ import (
 // -json prints the plan wire encoding, and the default prints the
 // compile summary numbers (the per-layer table needs the in-process
 // output and is only available locally).
-func runRemote(baseURL, model, strategy string, parallelism int, export, asJSON bool, stdout, stderr io.Writer) int {
+func runRemote(baseURL, model, strategy, backend, point string, parallelism int, export, asJSON bool, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	rc := &serve.RetryClient{
@@ -41,6 +41,12 @@ func runRemote(baseURL, model, strategy string, parallelism int, export, asJSON 
 		}
 		if parallelism > 0 {
 			options["parallelism"] = parallelism
+		}
+		if backend != "" {
+			options["backend"] = backend
+		}
+		if point != "" {
+			options["operating_point"] = point
 		}
 		if len(options) > 0 {
 			req["options"] = options

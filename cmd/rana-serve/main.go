@@ -21,9 +21,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rana/internal/mem"
 	"rana/internal/serve"
 	"rana/internal/serve/chaos"
 	"rana/internal/serve/shard"
@@ -61,11 +63,25 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	peers := fs.String("peers", "", `fleet membership as "id=url,id=url"; requires -shard-id naming this node`)
 	shardID := fs.String("shard-id", "", "this node's id within -peers")
 	jobCap := fs.Int("jobs", 0, "async batch job table capacity (0 = 64, negative disables the batch API)")
+	backendsFlag := fs.String("backends", "", "comma-separated memory-backend allowlist; requests naming any other backend get a 400 (empty = every registered backend; the default adapter is always admitted)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *selfcheck {
 		return runSelfcheck(stdout, stderr)
+	}
+
+	var allowedBackends []string
+	if *backendsFlag != "" {
+		for _, name := range strings.Split(*backendsFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := mem.Lookup(name); !ok {
+				fmt.Fprintf(stderr, "ranad: -backends: unknown backend %q (have %s)\n",
+					name, strings.Join(mem.Names(), ", "))
+				return 2
+			}
+			allowedBackends = append(allowedBackends, name)
+		}
 	}
 
 	var ring *shard.Ring
@@ -153,6 +169,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Ring:             ring,
 		ShardID:          *shardID,
 		JobCapacity:      *jobCap,
+		AllowedBackends:  allowedBackends,
 		Logf: func(format string, args ...any) {
 			if !*quiet {
 				logf(format, args...)

@@ -11,6 +11,7 @@
 //	rana-verify -random 500 -seed 7      # randomized differential cases
 //	rana-verify -functional 5            # word-accurate cross-checks
 //	rana-verify -search 50               # search-strategy differential sweep
+//	rana-verify -backends                # memory-backend differential sweep
 //	rana-verify -parallel                # parallel/memoized ≡ sequential bytes
 //	rana-verify -nodes URL,URL -reference URL  # fleet nodes ≡ single-node bytes
 //
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"rana/internal/hw"
+	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
@@ -50,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "seed for the randomized cases")
 	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
 	searchN := fs.Int("search", 0, "strategy differential: check pruned ≡ exhaustive on the selected networks plus this many random networks")
+	backends := fs.Bool("backends", false, "backend differential: sweep the memory-backend registry (default ≡ legacy bytes, invariants and bounds at every admissible operating point, functional spot checks)")
 	parallel := fs.Bool("parallel", false, "parallelism differential: check parallel/memoized plans ≡ sequential exhaustive bytes on the selected networks")
 	nodesList := fs.String("nodes", "", "cross-node conformance: comma-separated fleet node URLs; every node must answer the zoo byte-identically to -reference (runs only this sweep)")
 	refURL := fs.String("reference", "", "single-node ranad URL the -nodes sweep compares against")
@@ -154,6 +157,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel {
 		n, f := sweepParallelism(stdout, stderr, nets, cfg, opts, *verbose)
+		cases += n
+		failures += f
+	}
+	if *backends {
+		n, f := sweepBackends(stdout, stderr, nets, cfg, opts, *seed, tol, *verbose)
 		cases += n
 		failures += f
 	}
@@ -283,6 +291,54 @@ func sweepParallelism(stdout, stderr io.Writer, nets []models.Network, cfg hw.Co
 		}
 		if verbose {
 			fmt.Fprintf(stdout, "ok   %s\n", r)
+		}
+	}
+	return cases, failures
+}
+
+// sweepBackends runs the memory-backend differential oracle on every
+// selected network — explicit default backend ≡ legacy bytes, the whole
+// registry's admissible operating points pass the invariant and bound
+// checks — plus a word-accurate functional spot check of every buffer
+// backend's failure injector on a tiny layer.
+func sweepBackends(stdout, stderr io.Writer, nets []models.Network, cfg hw.Config, opts sched.Options, seed uint64, tol verify.Tolerances, verbose bool) (cases, failures int) {
+	for _, net := range nets {
+		cases++
+		r, err := verify.CompareBackends(net, cfg, opts, tol)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify:", err)
+			failures++
+			continue
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s backends\n%s\n", net.Name, indent(r.String()))
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "ok   %s\n", r)
+		}
+	}
+	g := gen.New(seed)
+	l := g.TinyLayer()
+	for _, bk := range mem.Buffers() {
+		for _, p := range bk.Points() {
+			spec := bk.Name() + "@" + p.Name
+			cases++
+			r, err := verify.CompareBackendFunctional(spec, l, cfg, seed, tol)
+			if err != nil {
+				fmt.Fprintln(stderr, "rana-verify: backend functional:", err)
+				failures++
+				continue
+			}
+			if !r.OK() {
+				failures++
+				fmt.Fprintf(stdout, "FAIL functional %s\n%s\n", spec, indent(r.String()))
+				continue
+			}
+			if verbose {
+				fmt.Fprintf(stdout, "ok   functional %s\n", spec)
+			}
 		}
 	}
 	return cases, failures

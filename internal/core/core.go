@@ -53,6 +53,17 @@ type Framework struct {
 	// compiles (sched.Options.Memo). Nil keeps the default per-compile
 	// memo; ranad installs a server-wide memo here.
 	Memo *sched.Memo
+	// Backend names the memory-technology backend Stage 2 prices buffers
+	// with (sched.Options.Backend); empty selects the platform's default
+	// technology adapter — the historical hard-wired path, byte for byte.
+	Backend string
+	// OperatingPoint pins one of the backend's operating points; empty
+	// searches over every point within the error budget.
+	OperatingPoint string
+	// ErrorBudget caps the bit-error rate of admissible operating points
+	// (sched.Options.ErrorBudget); zero selects the paper's tolerable
+	// failure rate.
+	ErrorBudget float64
 }
 
 // New returns a framework on the paper's evaluation platform with the
@@ -146,6 +157,9 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		BeamWidth:       f.BeamWidth,
 		Parallelism:     f.Parallelism,
 		Memo:            f.Memo,
+		Backend:         f.Backend,
+		OperatingPoint:  f.OperatingPoint,
+		ErrorBudget:     f.ErrorBudget,
 	}
 	plan, stats, err := sched.ExploreNetworkContext(ctx, net, cfg, opts)
 	if err != nil {

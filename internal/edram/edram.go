@@ -36,8 +36,14 @@ type Buffer struct {
 	charged []time.Duration
 	touched []bool
 	// weakest[i] caches the word's sampled per-bit retention times as the
-	// minimum per bit position, lazily initialized.
+	// minimum per bit position, lazily initialized. Slices are carved out
+	// of retArena blocks, not allocated per word: a huge sparse buffer
+	// pays one block allocation per retArenaWords first-touched words
+	// instead of one per word.
 	weakest [][]time.Duration
+	// retArena is the tail of the current arena block, carved in
+	// fixed.WordBits-sized runs by cellRetention.
+	retArena []time.Duration
 
 	reads, writes, refreshes uint64
 	corruptedReads           uint64
@@ -132,11 +138,26 @@ func (b *Buffer) Read(addr int, now time.Duration) fixed.Word {
 	return fixed.FromBits(raw)
 }
 
+// retArenaWords is how many words' retention samples one arena block
+// holds. At 16 bits × 8 bytes a block is 32 KB — big enough to amortize
+// allocation to ~1/256th of a slice-per-word scheme, small enough that
+// a barely-touched buffer wastes at most one block.
+const retArenaWords = 256
+
 // cellRetention lazily samples the 16 per-bit cell retention times of a
-// word from the distribution.
+// word from the distribution. First touches draw exactly fixed.WordBits
+// samples in bit order (the deterministic-replay contract: the RNG
+// stream depends only on the touch sequence, not on how the backing
+// storage is allocated), and the sample slice is carved from the arena
+// with a full capacity cap so no caller can grow one word's run into
+// its neighbor's.
 func (b *Buffer) cellRetention(addr int) []time.Duration {
 	if b.weakest[addr] == nil {
-		rs := make([]time.Duration, fixed.WordBits)
+		if len(b.retArena) < fixed.WordBits {
+			b.retArena = make([]time.Duration, retArenaWords*fixed.WordBits)
+		}
+		rs := b.retArena[:fixed.WordBits:fixed.WordBits]
+		b.retArena = b.retArena[fixed.WordBits:]
 		for i := range rs {
 			rs[i] = b.dist.SampleCellRetention(b.rng)
 		}

@@ -207,3 +207,55 @@ func TestStatsCounters(t *testing.T) {
 		t.Errorf("stats = %+v", s)
 	}
 }
+
+// TestLazySamplingAllocationBound pins the arena contract: first-touch
+// sampling of n words costs ~n/retArenaWords block allocations, not one
+// slice per word, and the carved runs stay independent (full cap, no
+// neighbor bleed).
+func TestLazySamplingAllocationBound(t *testing.T) {
+	const words = 4 * retArenaWords
+	b := newTestBuffer(t, 1, words)
+	avg := testing.AllocsPerRun(1, func() {
+		for addr := 0; addr < words; addr++ {
+			b.Read(addr, time.Second) // decayed read forces sampling
+		}
+	})
+	// The second run re-reads already-sampled words, so the measured run
+	// allocates nothing beyond noise; the bound is deliberately loose.
+	if avg > float64(words)/retArenaWords+4 {
+		t.Errorf("sampling %d words averaged %.0f allocs, want O(%d) blocks",
+			words, avg, words/retArenaWords)
+	}
+	// Neighboring words' retention runs must not alias.
+	r0 := b.cellRetention(0)
+	r1 := b.cellRetention(1)
+	if &r0[0] == &r1[0] {
+		t.Fatal("adjacent words share a retention run")
+	}
+	if cap(r0) != fixed.WordBits {
+		t.Errorf("retention run cap = %d, want %d (full cap against bleed)", cap(r0), fixed.WordBits)
+	}
+	old := r1[0]
+	_ = append(r0[:fixed.WordBits], time.Hour) // would bleed without the cap
+	if r1[0] != old {
+		t.Fatal("append through word 0's run overwrote word 1's samples")
+	}
+}
+
+// BenchmarkLazySampling measures first-touch sampling cost over a huge
+// sparse buffer. The arena keeps allocs/op at ~1/retArenaWords — run
+// with -benchmem (ReportAllocs is on) to watch the bound.
+func BenchmarkLazySampling(bm *testing.B) {
+	bm.ReportAllocs()
+	buf, err := New(64, 1<<16, retention.Typical(), 42) // 4M words, sparse touch
+	if err != nil {
+		bm.Fatal(err)
+	}
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		// Stride through the buffer so every read is a fresh first touch
+		// until the address space wraps.
+		addr := (i * 8191) % buf.Words()
+		buf.Read(addr, time.Second)
+	}
+}

@@ -105,6 +105,11 @@ type Counts struct {
 	Refreshes uint64
 	// DDRAccesses is βd, off-chip reads+writes.
 	DDRAccesses uint64
+	// BufferWrites is the subset of BufferAccesses that write the
+	// buffer cell array — DDR fills plus output stores. Only wear-prone
+	// technologies (Table.WearPJ > 0) price it; the Eq. 14 terms above
+	// are unaffected.
+	BufferWrites uint64
 }
 
 // Add accumulates other into c.
@@ -113,20 +118,26 @@ func (c *Counts) Add(other Counts) {
 	c.BufferAccesses += other.BufferAccesses
 	c.Refreshes += other.Refreshes
 	c.DDRAccesses += other.DDRAccesses
+	c.BufferWrites += other.BufferWrites
 }
 
 // Breakdown is a system energy split by source, in picojoules, matching
-// the stacked bars of Figs. 1 and 15–19.
+// the stacked bars of Figs. 1 and 15–19. Wear extends Eq. 14 with the
+// ageing cost wear-prone memory backends charge per buffer write; it is
+// zero for the paper's SRAM/eDRAM technologies, and adding a zero Wear
+// term leaves Total bit-identical (every component is non-negative).
 type Breakdown struct {
 	Computing    float64
 	BufferAccess float64
 	Refresh      float64
 	OffChip      float64
+	Wear         float64 `json:"Wear,omitempty"`
 }
 
-// Total returns the summed system energy in picojoules (Eq. 14).
+// Total returns the summed system energy in picojoules (Eq. 14, plus
+// the wear term for backends that charge one).
 func (b Breakdown) Total() float64 {
-	return b.Computing + b.BufferAccess + b.Refresh + b.OffChip
+	return b.Computing + b.BufferAccess + b.Refresh + b.OffChip + b.Wear
 }
 
 // AcceleratorEnergy returns system energy excluding off-chip access, the
@@ -141,6 +152,7 @@ func (b *Breakdown) Add(other Breakdown) {
 	b.BufferAccess += other.BufferAccess
 	b.Refresh += other.Refresh
 	b.OffChip += other.OffChip
+	b.Wear += other.Wear
 }
 
 // Scale returns the breakdown with every component multiplied by k.
@@ -150,6 +162,7 @@ func (b Breakdown) Scale(k float64) Breakdown {
 		BufferAccess: b.BufferAccess * k,
 		Refresh:      b.Refresh * k,
 		OffChip:      b.OffChip * k,
+		Wear:         b.Wear * k,
 	}
 }
 
@@ -163,15 +176,50 @@ func (b Breakdown) Normalize(reference Breakdown) Breakdown {
 	return b.Scale(1 / t)
 }
 
+// Table is the per-16-bit-word energy table of one memory-backend
+// operating point — the generalization of the BufferTech constants that
+// lets non-paper technologies (reduced-voltage approximate DRAM, wear-
+// prone ReRAM) price through the identical Eq. 14 float path. MAC and
+// DDR energies stay the package constants: operating points vary the
+// on-chip buffer, not the arithmetic or the off-chip channel.
+type Table struct {
+	// AccessPJ prices one buffer access (βb).
+	AccessPJ float64
+	// RefreshPJ prices one word refresh (γ); zero for non-refreshing
+	// technologies.
+	RefreshPJ float64
+	// WearPJ is the amortized ageing cost charged per buffer write;
+	// zero for wear-free technologies.
+	WearPJ float64
+}
+
+// Tech returns the technology's nominal energy table. SystemTable with
+// this table is bit-identical to System: the same multiplications on
+// the same constants, plus a zero wear term.
+func (t BufferTech) Table() Table {
+	return Table{AccessPJ: t.AccessPJ(), RefreshPJ: t.RefreshPJ()}
+}
+
+// SystemTable evaluates Eq. 14 (plus the wear extension) for the given
+// operation counts against one operating point's energy table. This is
+// the single pricing path of the scheduler, its admissible lower bound
+// and the backend registry — pricing through one code path is what
+// makes the bound-≤-exact argument hold at the float level for every
+// backend, not just the paper's.
+func SystemTable(c Counts, t Table) Breakdown {
+	return Breakdown{
+		Computing:    float64(c.MACs) * MACpJ,
+		BufferAccess: float64(c.BufferAccesses) * t.AccessPJ,
+		Refresh:      float64(c.Refreshes) * t.RefreshPJ,
+		OffChip:      float64(c.DDRAccesses) * DDRAccessPJ,
+		Wear:         float64(c.BufferWrites) * t.WearPJ,
+	}
+}
+
 // System evaluates Eq. 14 for the given operation counts and buffer
 // technology.
 func System(c Counts, tech BufferTech) Breakdown {
-	return Breakdown{
-		Computing:    float64(c.MACs) * MACpJ,
-		BufferAccess: float64(c.BufferAccesses) * tech.AccessPJ(),
-		Refresh:      float64(c.Refreshes) * tech.RefreshPJ(),
-		OffChip:      float64(c.DDRAccesses) * DDRAccessPJ,
-	}
+	return SystemTable(c, tech.Table())
 }
 
 // EqualAreaEDRAMBytes returns the eDRAM capacity in bytes that fits in the

@@ -102,9 +102,9 @@ func TestNormalizePanicsOnZero(t *testing.T) {
 }
 
 func TestCountsAdd(t *testing.T) {
-	a := Counts{MACs: 1, BufferAccesses: 2, Refreshes: 3, DDRAccesses: 4}
-	a.Add(Counts{MACs: 10, BufferAccesses: 20, Refreshes: 30, DDRAccesses: 40})
-	if a != (Counts{11, 22, 33, 44}) {
+	a := Counts{MACs: 1, BufferAccesses: 2, Refreshes: 3, DDRAccesses: 4, BufferWrites: 5}
+	a.Add(Counts{MACs: 10, BufferAccesses: 20, Refreshes: 30, DDRAccesses: 40, BufferWrites: 50})
+	if a != (Counts{11, 22, 33, 44, 55}) {
 		t.Errorf("Add = %+v", a)
 	}
 }
@@ -143,9 +143,9 @@ func TestEqualAreaEDRAM(t *testing.T) {
 // TestSystemLinearity: Eq. 14 is linear in the counts.
 func TestSystemLinearity(t *testing.T) {
 	f := func(m, b, r, d uint32, k uint8) bool {
-		c := Counts{uint64(m), uint64(b), uint64(r), uint64(d)}
+		c := Counts{uint64(m), uint64(b), uint64(r), uint64(d), uint64(m) / 2}
 		kk := uint64(k%8) + 1
-		scaled := Counts{c.MACs * kk, c.BufferAccesses * kk, c.Refreshes * kk, c.DDRAccesses * kk}
+		scaled := Counts{c.MACs * kk, c.BufferAccesses * kk, c.Refreshes * kk, c.DDRAccesses * kk, c.BufferWrites * kk}
 		lhs := System(scaled, EDRAM).Total()
 		rhs := System(c, EDRAM).Scale(float64(kk)).Total()
 		return math.Abs(lhs-rhs) <= 1e-6*math.Max(lhs, 1)

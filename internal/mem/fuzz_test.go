@@ -1,0 +1,76 @@
+package mem
+
+// Fuzzing for the backend-spec grammar. Specs arrive from CLI flags and
+// untrusted HTTP requests, so ParseSpec must hold its contract on
+// arbitrary bytes: parse or error, never panic, and every accepted spec
+// must round-trip onto a registered backend and one of its real points.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseSpec(f *testing.F) {
+	// Valid shapes.
+	f.Add("edram")
+	f.Add("approx-dram@v0.8")
+	f.Add("reram@fast-write")
+	f.Add("sram@nominal")
+	// Hostile corpus: empties, grammar abuse, case/whitespace traps,
+	// separator floods, length attacks, non-ASCII, and near-misses of
+	// real names.
+	f.Add("")
+	f.Add("@")
+	f.Add("@nominal")
+	f.Add("edram@")
+	f.Add("edram@@nominal")
+	f.Add("edram@nominal@v0.8")
+	f.Add("EDRAM")
+	f.Add(" edram")
+	f.Add("edram ")
+	f.Add("edram@v0.8\n")
+	f.Add("edram\x00")
+	f.Add("édram")
+	f.Add("-edram")
+	f.Add(".edram")
+	f.Add("edram@-v0.8")
+	f.Add("approx_dram")
+	f.Add("approx-dram@V0.8")
+	f.Add(strings.Repeat("a", maxSpecLen+1))
+	f.Add(strings.Repeat("@", maxSpecLen))
+	f.Add("edram@" + strings.Repeat("v", 200))
+	f.Add("no-such-backend@nominal")
+	f.Fuzz(func(t *testing.T, spec string) {
+		b, p, err := ParseSpec(spec)
+		if err != nil {
+			if b != nil || p.Name != "" {
+				t.Fatalf("ParseSpec(%q) returned a backend alongside error %v", spec, err)
+			}
+			return
+		}
+		// Accepted specs must resolve onto registry reality.
+		if b == nil {
+			t.Fatalf("ParseSpec(%q): nil backend without error", spec)
+		}
+		if len(spec) > maxSpecLen {
+			t.Fatalf("ParseSpec accepted %d-byte spec beyond the %d cap", len(spec), maxSpecLen)
+		}
+		reg, ok := Lookup(b.Name())
+		if !ok || reg.Name() != b.Name() {
+			t.Fatalf("ParseSpec(%q) returned unregistered backend %q", spec, b.Name())
+		}
+		got, ok := PointByName(b, p.Name)
+		if !ok || got != p {
+			t.Fatalf("ParseSpec(%q) returned point %q the backend does not list", spec, p.Name)
+		}
+		// The grammar is strict: the accepted spec must be exactly
+		// "name" or "name@point" with no case folding or trimming.
+		want := b.Name()
+		if strings.ContainsRune(spec, '@') {
+			want += "@" + p.Name
+		}
+		if spec != want {
+			t.Fatalf("ParseSpec(%q) normalized silently to %q", spec, want)
+		}
+	})
+}

@@ -151,6 +151,14 @@ type Analysis struct {
 	// pattern's spill/reload penalty when FitsBuffer is false; its Total
 	// is βd.
 	DDRTraffic Storage
+
+	// BufferWrites counts the words written into the on-chip buffer's
+	// cell array: every off-chip fill (inputs, weights, and spilled
+	// partial sums reloaded) plus the core's output stores — for OD's
+	// read-modify-write accumulation, the store half of each pass. It
+	// is the exposure a wear-prone memory technology (ReRAM) ages by;
+	// the Eq. 14 traffic totals above are unaffected.
+	BufferWrites uint64
 }
 
 // Analyze characterizes a layer under a pattern and tiling. Grouped
@@ -377,11 +385,28 @@ func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int
 	}
 	a.FitsBuffer = fits(a.BufferStorage, cfg)
 
+	// Words written into the buffer array: every DDR fill lands in the
+	// buffer (the per-type DDR input/weight terms already carry the
+	// reload multipliers), plus the core's output stores. For ID/WD the
+	// store count is exactly BufferTraffic.Outputs; OD's (2·nN−1) RMW
+	// traffic splits into nN stores and nN−1 reads per output word, and
+	// a spilled partial sum is rewritten into the buffer on each of its
+	// nN−1 reloads.
+	outWrites := a.BufferTraffic.Outputs
+	if k == OD {
+		outWrites = uint64(nN) * uint64(nM*nR*nC) * outTile
+		if !fits(a.BufferStorage, cfg) {
+			outWrites += uint64(nN-1) * dout
+		}
+	}
+	a.BufferWrites = a.DDRTraffic.Inputs + a.DDRTraffic.Weights + outWrites
+
 	// Scale whole-layer traffic totals by the group count; storage and
 	// lifetimes stay per-group (groups run sequentially).
 	if g > 1 {
 		a.BufferTraffic = scaleStorage(a.BufferTraffic, uint64(g))
 		a.DDRTraffic = scaleStorage(a.DDRTraffic, uint64(g))
+		a.BufferWrites *= uint64(g)
 	}
 	return a
 }

@@ -47,6 +47,13 @@ type Design struct {
 	// NaturalTiling restricts scheduling to the accelerator's native
 	// tiling (baseline designs do not explore; only RANA does).
 	NaturalTiling bool
+	// Backend names the memory-technology backend the buffer is priced
+	// through (internal/mem registry); empty selects the technology's
+	// default adapter, reproducing the Table IV points byte for byte.
+	Backend string
+	// OperatingPoint pins one of the backend's operating points; empty
+	// searches every point within the scheduler's error budget.
+	OperatingPoint string
 }
 
 // Interval returns the design's refresh interval under the distribution.
@@ -92,6 +99,15 @@ func (d Design) WithBufferWords(words uint64) Design {
 // Fig. 16 retention-time sweep.
 func (d Design) WithInterval(rt time.Duration) Design {
 	d.RefreshInterval = rt
+	return d
+}
+
+// WithBackend returns a copy priced through a named memory backend at a
+// (possibly empty, i.e. searched) operating point — the axis the
+// (network × backend × operating point) evaluation matrix sweeps.
+func (d Design) WithBackend(backend, point string) Design {
+	d.Backend = backend
+	d.OperatingPoint = point
 	return d
 }
 
@@ -179,6 +195,8 @@ func (p *Platform) EvaluateContext(ctx context.Context, d Design, net models.Net
 		RefreshInterval: d.Interval(p.Dist),
 		Controller:      d.Controller(),
 		NaturalTiling:   d.NaturalTiling,
+		Backend:         d.Backend,
+		OperatingPoint:  d.OperatingPoint,
 	}
 	plan, err := sched.ScheduleContext(ctx, net, cfg, opts)
 	if err != nil {
@@ -260,6 +278,8 @@ func (p *Platform) EvaluateFixedTiling(d Design, net models.Network, t pattern.T
 		RefreshInterval: d.Interval(p.Dist),
 		Controller:      d.Controller(),
 		FixedTiling:     &t,
+		Backend:         d.Backend,
+		OperatingPoint:  d.OperatingPoint,
 	}
 	plan, err := sched.Schedule(net, cfg, opts)
 	if err != nil {

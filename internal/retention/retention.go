@@ -153,6 +153,24 @@ func (d *Distribution) RetentionTime(rate float64) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// Scaled returns a new distribution with every anchor's retention time
+// multiplied by factor, rates unchanged — the first-order model of how
+// reduced supply voltage shifts the whole retention curve left (EDEN,
+// MICRO 2019: cells leak from a lower charge, so every cell's retention
+// shrinks by roughly the same factor while the cell-to-cell variation
+// that shapes the CDF stays). The factor must be positive; scaling can
+// fail if two anchors collapse onto the same quantized time.
+func (d *Distribution) Scaled(factor float64) (*Distribution, error) {
+	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
+		return nil, fmt.Errorf("retention: invalid scale factor %g", factor)
+	}
+	as := make([]Anchor, len(d.anchors))
+	for i, a := range d.anchors {
+		as[i] = Anchor{Time: time.Duration(float64(a.Time) * factor), Rate: a.Rate}
+	}
+	return New(as)
+}
+
 // Anchors returns a copy of the distribution's anchor points, sorted by
 // time. Experiment code uses this to print the Fig. 8 series.
 func (d *Distribution) Anchors() []Anchor {

@@ -153,6 +153,129 @@ func TestAnchorsCopy(t *testing.T) {
 	}
 }
 
+// TestOutOfRangeQueries pins the extrapolation/clamping contract at
+// both ends of the anchor range: below the first anchor FailureRate
+// follows the first segment's log-log slope down (floored at 0) rather
+// than clamping flat, and above the last anchor it saturates at exactly
+// the last rate. RetentionTime mirrors it: rates outside the anchored
+// band clamp to the extreme anchors' times.
+func TestOutOfRangeQueries(t *testing.T) {
+	d := Typical()
+	first, last := d.anchors[0], d.anchors[len(d.anchors)-1]
+
+	// Just below the first anchor: strictly below the first rate but
+	// still positive (the slope extrapolation has not hit the floor).
+	below := d.FailureRate(first.Time / 2)
+	if below <= 0 || below >= first.Rate {
+		t.Errorf("rate just below first anchor = %g, want in (0, %g)", below, first.Rate)
+	}
+	// Far below, the log-log extrapolation keeps shrinking monotonically
+	// (it can never go negative — exp is positive — so the 0 floor only
+	// fires on underflow).
+	far := d.FailureRate(time.Nanosecond)
+	if far <= 0 || far >= below {
+		t.Errorf("rate(1ns) = %g, want in (0, %g)", far, below)
+	}
+	// The first anchor itself is on the extrapolated segment, so the
+	// boundary is continuous.
+	if got := d.FailureRate(first.Time); math.Abs(got-first.Rate)/first.Rate > 1e-9 {
+		t.Errorf("rate at first anchor = %g, want %g", got, first.Rate)
+	}
+	// At and above the last anchor the rate saturates.
+	for _, at := range []time.Duration{last.Time, last.Time + 1, 10 * last.Time} {
+		if got := d.FailureRate(at); got != last.Rate {
+			t.Errorf("rate(%v) = %g, want saturated %g", at, got, last.Rate)
+		}
+	}
+	// RetentionTime clamps on both sides, including exactly at the
+	// extreme rates.
+	if got := d.RetentionTime(first.Rate); got != first.Time {
+		t.Errorf("time at first rate = %v, want %v", got, first.Time)
+	}
+	if got := d.RetentionTime(last.Rate); got != last.Time {
+		t.Errorf("time at last rate = %v, want %v", got, last.Time)
+	}
+	if got := d.RetentionTime(first.Rate / 10); got != first.Time {
+		t.Errorf("time below first rate = %v, want clamp to %v", got, first.Time)
+	}
+	if got := d.RetentionTime(last.Rate * 2); got != last.Time {
+		t.Errorf("time above last rate = %v, want clamp to %v", got, last.Time)
+	}
+}
+
+// TestDuplicateTimeAnchorsRejected: two anchors on the same quantized
+// time are rejected no matter how the rates are arranged — the log-log
+// interpolation would divide by zero on a zero-width segment.
+func TestDuplicateTimeAnchorsRejected(t *testing.T) {
+	cases := [][]Anchor{
+		{{Time: time.Microsecond, Rate: 0.1}, {Time: time.Microsecond, Rate: 0.5}},
+		{{Time: time.Microsecond, Rate: 0.5}, {Time: time.Microsecond, Rate: 0.1}},
+		{{Time: time.Microsecond, Rate: 0.1}, {Time: 2 * time.Microsecond, Rate: 0.2},
+			{Time: 2 * time.Microsecond, Rate: 0.3}},
+	}
+	for i, as := range cases {
+		if _, err := New(as); err == nil {
+			t.Errorf("case %d: duplicate-time anchors accepted", i)
+		}
+	}
+}
+
+// TestScaled covers the reduced-voltage curve shift the approximate
+// DRAM backend rides on: times scale, rates stay, the paper anchors
+// move exactly, and degenerate factors are rejected.
+func TestScaled(t *testing.T) {
+	d := Typical()
+	half, err := d.Scaled(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Anchors()
+	got := half.Anchors()
+	if len(got) != len(want) {
+		t.Fatalf("anchor count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Rate != want[i].Rate {
+			t.Errorf("anchor %d rate changed: %g != %g", i, got[i].Rate, want[i].Rate)
+		}
+		if got[i].Time != time.Duration(float64(want[i].Time)*0.5) {
+			t.Errorf("anchor %d time = %v, want %v halved", i, got[i].Time, want[i].Time)
+		}
+	}
+	// The tolerable point shifts with the curve: at half scale the 1e-5
+	// rate is reached at half the retention time.
+	if rt := half.RetentionTime(TolerableFailureRate); rt != TolerableRetentionTime/2 {
+		t.Errorf("scaled tolerable time = %v, want %v", rt, TolerableRetentionTime/2)
+	}
+	// Identity scale reproduces the curve bit for bit.
+	one, err := d.Scaled(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range one.Anchors() {
+		if a != want[i] {
+			t.Errorf("identity scale moved anchor %d: %+v != %+v", i, a, want[i])
+		}
+	}
+	for _, f := range []float64{0, -1, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, err := d.Scaled(f); err == nil {
+			t.Errorf("Scaled(%g) accepted", f)
+		}
+	}
+	// A factor small enough to quantize two anchors onto the same
+	// nanosecond must surface as an error, not a corrupt distribution.
+	tight, err := New([]Anchor{
+		{Time: 10 * time.Nanosecond, Rate: 0.1},
+		{Time: 11 * time.Nanosecond, Rate: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tight.Scaled(1e-3); err == nil {
+		t.Error("collapsing scale accepted")
+	}
+}
+
 // TestEmpiricalCDFMatchesAnalytic closes the Monte-Carlo loop: the
 // empirical CDF of sampled cell retention times reproduces the analytic
 // distribution at every decade the training method cares about.

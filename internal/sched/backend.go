@@ -1,0 +1,88 @@
+package sched
+
+// Memory-backend resolution: how Options.Backend / Options.OperatingPoint
+// / Options.ErrorBudget map onto the registry (internal/mem) and become
+// the scheduler's operating-point search axis.
+//
+// Resolution rules, shared with the serving layer's request validation:
+//
+//   - An empty backend selects the config's default technology adapter
+//     (mem.DefaultName: "edram" for EDRAM configs, "sram" for SRAM), so
+//     every pre-backend schedule resolves exactly as before.
+//   - A pinned operating point collapses the axis to that single point;
+//     otherwise the backend's whole point ladder is searched.
+//   - The error budget (default: the paper's tolerable 10⁻⁵ failure
+//     rate, Fig. 11) gates which points enter the space — the EDEN
+//     resilience-curve admission: a point whose raw bit-error rate
+//     exceeds what the network was trained to tolerate is not a legal
+//     deployment, no matter how cheap.
+
+import (
+	"fmt"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/mem"
+	"rana/internal/retention"
+)
+
+// effectiveErrorBudget resolves the option (zero → the paper's
+// tolerable failure rate).
+func (o Options) effectiveErrorBudget() float64 {
+	if o.ErrorBudget > 0 {
+		return o.ErrorBudget
+	}
+	return retention.TolerableFailureRate
+}
+
+// ResolveBackend maps the options onto a registered buffer backend and
+// the operating points the search may price, in canonical (ladder)
+// order. A pinned Options.OperatingPoint yields exactly one point; an
+// empty backend yields the config's default technology adapter with its
+// single nominal point — the historical behavior.
+func ResolveBackend(cfg hw.Config, o Options) (mem.Backend, []mem.OperatingPoint, error) {
+	name := o.Backend
+	if name == "" {
+		name = mem.DefaultName(cfg.BufferTech)
+	}
+	b, ok := mem.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("sched: unknown memory backend %q", name)
+	}
+	if b.Role() != mem.RoleBuffer {
+		return nil, nil, fmt.Errorf("sched: backend %q is %s-role, not a buffer", name, b.Role())
+	}
+	budget := o.effectiveErrorBudget()
+	if o.OperatingPoint != "" {
+		p, ok := mem.PointByName(b, o.OperatingPoint)
+		if !ok {
+			return nil, nil, fmt.Errorf("sched: backend %q has no operating point %q", name, o.OperatingPoint)
+		}
+		if p.BitErrorRate > budget {
+			return nil, nil, fmt.Errorf("sched: operating point %s@%s bit-error rate %g exceeds error budget %g",
+				name, p.Name, p.BitErrorRate, budget)
+		}
+		return b, []mem.OperatingPoint{p}, nil
+	}
+	all := b.Points()
+	pts := make([]mem.OperatingPoint, 0, len(all))
+	for _, p := range all {
+		if p.BitErrorRate <= budget {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return nil, nil, fmt.Errorf("sched: backend %q has no operating point within error budget %g", name, budget)
+	}
+	return b, pts, nil
+}
+
+// pointTables projects operating points onto their Eq. 14 pricing
+// tables, index-aligned with the search's point axis.
+func pointTables(pts []mem.OperatingPoint) []energy.Table {
+	ts := make([]energy.Table, len(pts))
+	for i, p := range pts {
+		ts[i] = p.Table()
+	}
+	return ts
+}

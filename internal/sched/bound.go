@@ -62,32 +62,41 @@ type bound struct {
 	g             uint64 // group count scaling sub-layer traffic to the layer
 	macs          uint64 // layer MACs, already group-scaled
 	din, dw, dout uint64 // sub-layer data volumes (words)
+	// tables are the per-operating-point Eq. 14 pricing tables, index-
+	// aligned with the search's point axis. The bound prices buffer
+	// traffic with the point's own access energy (exact, like the
+	// counts) and leaves refresh and wear at their zero lower bounds —
+	// both are non-negative at every point, so admissibility holds
+	// per point by the same argument as before.
+	tables []energy.Table
 }
 
-// newBound builds the lower-bound evaluator for one layer.
-func newBound(l models.ConvLayer, cfg hw.Config) *bound {
+// newBound builds the lower-bound evaluator for one layer across the
+// resolved backend's operating points.
+func newBound(l models.ConvLayer, cfg hw.Config, tables []energy.Table) *bound {
 	e := effectiveLayer(l)
 	g := uint64(1)
 	if l.Groups > 1 {
 		g = uint64(l.Groups)
 	}
 	return &bound{
-		l:    e,
-		cfg:  cfg,
-		g:    g,
-		macs: e.MACs() * g,
-		din:  e.InputWords(),
-		dw:   e.WeightWords(),
-		dout: e.OutputWords(),
+		l:      e,
+		cfg:    cfg,
+		g:      g,
+		macs:   e.MACs() * g,
+		din:    e.InputWords(),
+		dw:     e.WeightWords(),
+		dout:   e.OutputWords(),
+		tables: tables,
 	}
 }
 
 // lower returns an admissible lower bound on the candidate's exact
-// Eq. 14 total energy: +Inf when the candidate's streaming working set
-// cannot fit the buffer (Analyze would report it infeasible). Unknown
-// kinds bound to zero — never pruned, so the exact evaluator still sees
-// (and rejects) them.
-func (b *bound) lower(k pattern.Kind, t pattern.Tiling) float64 {
+// Eq. 14 total energy at operating point pi: +Inf when the candidate's
+// streaming working set cannot fit the buffer (Analyze would report it
+// infeasible). Unknown kinds bound to zero — never pruned, so the exact
+// evaluator still sees (and rejects) them.
+func (b *bound) lower(k pattern.Kind, t pattern.Tiling, pi int) float64 {
 	nM := ceilDiv(b.l.M, t.Tm)
 	nN := ceilDiv(b.l.N, t.Tn)
 	nR := ceilDiv(b.l.R(), t.Tr)
@@ -132,13 +141,30 @@ func (b *bound) lower(k pattern.Kind, t pattern.Tiling) float64 {
 	}
 	ddr := ddrIn + b.dw + b.dout
 
-	// Price through the identical Eq. 14 path as Evaluate so the
-	// admissibility argument holds at the float level.
-	return energy.System(energy.Counts{
+	// Price through the identical Eq. 14 path as Evaluate — against the
+	// operating point's own table — so the admissibility argument holds
+	// at the float level for every backend, not just the paper's. The
+	// zero Refreshes and BufferWrites counts are the refresh/wear lower
+	// bounds.
+	return energy.SystemTable(energy.Counts{
 		MACs:           b.macs,
 		BufferAccesses: buf * b.g,
 		DDRAccesses:    ddr * b.g,
-	}, b.cfg.BufferTech).Total()
+	}, b.tables[pi]).Total()
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// LowerBound exposes the admissible lower bound for one candidate at
+// the options' resolved operating point (the pinned point, or the
+// backend's nominal corner) — the seam the backend-differential oracle
+// (verify.CompareBackends) uses to assert that no chosen plan, at any
+// operating point, reports less energy than the bound admits.
+func LowerBound(l models.ConvLayer, cfg hw.Config, opts Options, k pattern.Kind, t pattern.Tiling) (float64, error) {
+	_, points, err := ResolveBackend(cfg, opts)
+	if err != nil {
+		return 0, err
+	}
+	b := newBound(l, cfg, pointTables(points[:1]))
+	return b.lower(k, t, 0), nil
+}

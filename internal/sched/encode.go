@@ -13,13 +13,20 @@ package sched
 // are intentionally omitted; internal/verify covers them.
 
 import (
+	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/pattern"
 )
 
-// PlanJSON is the serialized view of a whole-network schedule.
+// PlanJSON is the serialized view of a whole-network schedule. Backend
+// and the per-layer operating points are omitted on the default path
+// (default technology adapter, nominal corner), so pre-backend plans —
+// and therefore the committed goldens — encode byte-identically.
 type PlanJSON struct {
-	Network  string      `json:"network"`
+	Network string `json:"network"`
+	// Backend names the memory-technology backend the plan was priced
+	// against; empty/omitted means the config's default adapter.
+	Backend  string      `json:"backend,omitempty"`
 	Layers   []LayerJSON `json:"layers"`
 	MACs     uint64      `json:"macs"`
 	Buffer   uint64      `json:"buffer_accesses"`
@@ -34,16 +41,20 @@ type LayerJSON struct {
 	Name    string         `json:"name"`
 	Pattern string         `json:"pattern"`
 	Tiling  pattern.Tiling `json:"tiling"`
-	Needs   memctrl.Needs  `json:"needs"`
-	Alloc   [3]int         `json:"alloc"`
-	Refresh uint64         `json:"refresh_words"`
-	ExecNs  int64          `json:"exec_ns"`
+	// Point is the chosen memory-backend operating point; omitted at
+	// the nominal corner.
+	Point   string        `json:"op,omitempty"`
+	Needs   memctrl.Needs `json:"needs"`
+	Alloc   [3]int        `json:"alloc"`
+	Refresh uint64        `json:"refresh_words"`
+	ExecNs  int64         `json:"exec_ns"`
 }
 
 // Encode projects a plan onto the wire encoding.
 func Encode(p *Plan) PlanJSON {
 	g := PlanJSON{
 		Network:  p.Network.Name,
+		Backend:  mem.NormalizeName(p.Options.Backend, p.Config.BufferTech),
 		MACs:     p.Totals.MACs,
 		Buffer:   p.Totals.BufferAccesses,
 		Refresh:  p.Totals.Refreshes,
@@ -56,6 +67,7 @@ func Encode(p *Plan) PlanJSON {
 			Name:    p.Network.Layers[i].Name,
 			Pattern: lp.Analysis.Pattern.String(),
 			Tiling:  lp.Analysis.Tiling,
+			Point:   lp.Point,
 			Needs:   lp.Needs,
 			Alloc:   [3]int{lp.Alloc.InputBanks, lp.Alloc.OutputBanks, lp.Alloc.WeightBanks},
 			Refresh: lp.Counts.Refreshes,

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"rana/internal/energy"
 	"rana/internal/hw"
 	"rana/internal/models"
 	"rana/internal/pattern"
@@ -11,5 +12,6 @@ import (
 // lives outside package sched to use internal/verify/gen, which imports
 // sched).
 func LowerBoundForTest(l models.ConvLayer, cfg hw.Config, k pattern.Kind, t pattern.Tiling) float64 {
-	return newBound(l, cfg).lower(k, t)
+	tables := []energy.Table{cfg.BufferTech.Table()}
+	return newBound(l, cfg, tables).lower(k, t, 0)
 }

@@ -118,6 +118,22 @@ func (o Options) signature() string {
 	if o.Search.Resolve() == search.Beam {
 		fmt.Fprintf(&sb, "|beam=%d", search.EffectiveWidth(o.BeamWidth))
 	}
+	// The memory-backend axis. The empty backend spelling is kept
+	// distinct from an explicit default name (normalizing would need
+	// the config, which is a separate key component) — that only costs
+	// a duplicate entry for equivalent spellings, never a wrong hit. A
+	// pinned point is likewise distinct from an unpinned search even
+	// when it is "nominal": pinning collapses the point axis, which on
+	// multi-point backends changes the plan space.
+	if o.Backend != "" {
+		fmt.Fprintf(&sb, "|backend=%s", o.Backend)
+	}
+	if o.OperatingPoint != "" {
+		fmt.Fprintf(&sb, "|op=%s", o.OperatingPoint)
+	}
+	if o.ErrorBudget > 0 {
+		fmt.Fprintf(&sb, "|ebudget=%g", o.ErrorBudget)
+	}
 	return sb.String()
 }
 

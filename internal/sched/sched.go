@@ -17,6 +17,7 @@ import (
 
 	"rana/internal/energy"
 	"rana/internal/hw"
+	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
@@ -73,6 +74,25 @@ type Options struct {
 	// selects search.DefaultBeamWidth. Ignored by other strategies.
 	BeamWidth int
 
+	// Backend names the memory-technology backend (internal/mem
+	// registry) the buffer is priced and refresh-modeled as. Empty
+	// selects the config's default technology adapter ("edram" for
+	// EDRAM configs, "sram" for SRAM), which reproduces the historical
+	// hard-wired behavior byte-for-byte.
+	Backend string
+
+	// OperatingPoint pins the backend to one named operating point
+	// (e.g. "v0.8"). Empty searches the backend's whole point ladder —
+	// for multi-point backends the point becomes a third search axis
+	// next to pattern and tiling.
+	OperatingPoint string
+
+	// ErrorBudget is the maximum raw bit-error rate an operating point
+	// may exhibit and still enter the search space — the EDEN
+	// resilience-curve admission. Zero selects the paper's tolerable
+	// failure rate (10⁻⁵, Fig. 11).
+	ErrorBudget float64
+
 	// Parallelism bounds the worker goroutines each layer's exploration
 	// fans out across its candidate space (search.Options.Parallelism).
 	// Zero selects GOMAXPROCS; 1 forces the sequential reference path.
@@ -127,6 +147,12 @@ func (o Options) Fallback() Options {
 	o.Patterns = []pattern.Kind{pattern.OD, pattern.WD}
 	o.NaturalTiling = true
 	o.FixedTiling = nil
+	// Collapse the operating-point axis: degraded mode prices the
+	// backend's safe datasheet corner only, never the approximate
+	// ladder — one less dimension of work under a tight deadline.
+	if o.OperatingPoint == "" {
+		o.OperatingPoint = mem.Nominal
+	}
 	return o
 }
 
@@ -162,6 +188,18 @@ func (o Options) Validate() error {
 	if o.BeamWidth < 0 {
 		return fmt.Errorf("sched: negative beam width %d", o.BeamWidth)
 	}
+	if o.Backend != "" {
+		b, ok := mem.Lookup(o.Backend)
+		if !ok {
+			return fmt.Errorf("sched: unknown memory backend %q", o.Backend)
+		}
+		if b.Role() != mem.RoleBuffer {
+			return fmt.Errorf("sched: backend %q is %s-role, not a buffer", o.Backend, b.Role())
+		}
+	}
+	if o.ErrorBudget < 0 || o.ErrorBudget > 1 {
+		return fmt.Errorf("sched: error budget %g outside [0, 1]", o.ErrorBudget)
+	}
 	return nil
 }
 
@@ -178,6 +216,11 @@ type LayerPlan struct {
 	Counts energy.Counts
 	// Energy is the layer's estimated system energy breakdown.
 	Energy energy.Breakdown
+	// Point names the memory-backend operating point the layer was
+	// priced at; empty means the backend's nominal corner (the only
+	// possibility on single-point backends, so pre-backend plans carry
+	// the zero value).
+	Point string
 }
 
 // RefreshFlags expands the plan into per-bank refresh flags for a buffer
@@ -365,8 +408,12 @@ func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 // (or the legacy first-feasible loop in NaturalTiling mode) and returns
 // the chosen plan with the engine's work counters.
 func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
+	bk, points, err := ResolveBackend(cfg, opts)
+	if err != nil {
+		return LayerPlan{}, search.Stats{}, err
+	}
 	if opts.NaturalTiling {
-		return naturalSchedule(l, cfg, opts)
+		return naturalSchedule(l, cfg, opts, bk, points[0])
 	}
 	e := effectiveLayer(l)
 	var space search.Space
@@ -380,14 +427,15 @@ func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, s
 			search.Axis(e.C(), cfg.ArrayN),
 		)
 	}
-	b := newBound(l, cfg)
+	b := newBound(l, cfg, pointTables(points))
 	r, err := search.Run(search.Problem[LayerPlan]{
-		Space: space,
-		Kinds: opts.Patterns,
-		Admit: func(t pattern.Tiling) bool { return t.FitsCore(e, cfg) },
-		Bound: b.lower,
-		Evaluate: func(k pattern.Kind, t pattern.Tiling) (search.Outcome[LayerPlan], error) {
-			lp, err := Evaluate(l, k, t, cfg, opts)
+		Space:  space,
+		Kinds:  opts.Patterns,
+		Admit:  func(t pattern.Tiling) bool { return t.FitsCore(e, cfg) },
+		Points: len(points),
+		Bound:  b.lower,
+		Evaluate: func(k pattern.Kind, t pattern.Tiling, pi int) (search.Outcome[LayerPlan], error) {
+			lp, err := evaluatePoint(l, k, t, cfg, opts, bk, points[pi])
 			if err != nil {
 				return search.Outcome[LayerPlan]{}, err
 			}
@@ -412,8 +460,11 @@ func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, s
 // order (OD across every tiling before WD sees any — the Table IV
 // baselines' hardwired behavior), so it cannot go through the
 // tiling-major engine. The tiling space is pattern-independent:
-// enumerated once and core-filtered once, shared across kinds.
-func naturalSchedule(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
+// enumerated once and core-filtered once, shared across kinds. The
+// operating-point axis does not apply: a non-optimizing baseline prices
+// the single resolved point (pinned, or the backend's nominal corner).
+func naturalSchedule(l models.ConvLayer, cfg hw.Config, opts Options,
+	bk mem.Backend, pt mem.OperatingPoint) (LayerPlan, search.Stats, error) {
 	var stats search.Stats
 	e := effectiveLayer(l)
 	tilings := candidateTilings(l, cfg, opts)
@@ -428,7 +479,7 @@ func naturalSchedule(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan
 	for _, k := range opts.Patterns {
 		for _, t := range fit {
 			stats.Candidates++
-			lp, err := Evaluate(l, k, t, cfg, opts)
+			lp, err := evaluatePoint(l, k, t, cfg, opts, bk, pt)
 			if err != nil {
 				return LayerPlan{}, stats, err
 			}
@@ -442,25 +493,44 @@ func naturalSchedule(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan
 }
 
 // Evaluate characterizes one candidate (pattern, tiling) and prices it
-// with the Eq. 14 energy model, including the design's refresh policy.
-// Malformed candidates (invalid layer or tiling, unknown pattern or
-// array mapping) are reported as errors rather than panics; cfg must
-// otherwise be valid (callers validate once at the public entry points).
+// with the Eq. 14 energy model, including the design's refresh policy,
+// at the options' resolved memory backend and operating point (the
+// pinned point, or the backend's nominal corner — the single-point view
+// external checkers and the baseline paths price). Malformed candidates
+// (invalid layer or tiling, unknown pattern or array mapping) are
+// reported as errors rather than panics; cfg must otherwise be valid
+// (callers validate once at the public entry points).
 func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options) (LayerPlan, error) {
+	bk, points, err := ResolveBackend(cfg, opts)
+	if err != nil {
+		return LayerPlan{}, err
+	}
+	return evaluatePoint(l, k, t, cfg, opts, bk, points[0])
+}
+
+// evaluatePoint is Evaluate against one resolved (backend, operating
+// point): the single exact-pricing path every strategy, baseline and
+// point of the search axis goes through.
+func evaluatePoint(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options,
+	bk mem.Backend, pt mem.OperatingPoint) (LayerPlan, error) {
 	a, err := pattern.Analyze(l, k, t, cfg)
 	if err != nil {
 		return LayerPlan{}, err
 	}
-	lp := LayerPlan{Analysis: a}
+	lp := LayerPlan{Analysis: a, Point: mem.NormalizePoint(pt.Name)}
 	lp.Alloc = memctrl.Allocate(a.BufferStorage, cfg.BankWords, cfg.Banks())
 	var refreshes uint64
-	if opts.Controller != nil && cfg.BufferTech == energy.EDRAM {
+	if opts.Controller != nil && bk.Refreshes() {
 		// Refresh decisions keep a retention guard band: data is deemed
 		// refresh-free only when its lifetime clears the interval with
 		// margin, absorbing clock quantization and process variation.
-		guarded := time.Duration(float64(opts.RefreshInterval) * opts.guard())
+		// Reduced-voltage operating points shift the whole retention
+		// curve left (RetentionScale), so the schedule's interval — a
+		// point on that curve — scales identically.
+		interval := scaleInterval(opts.RefreshInterval, pt.RetentionScale)
+		guarded := time.Duration(float64(interval) * opts.guard())
 		lp.Needs = memctrl.NeedsFor(a.Lifetimes, guarded)
-		refreshes = memctrl.RefreshWords(opts.Controller, a.ExecTime, opts.RefreshInterval,
+		refreshes = memctrl.RefreshWords(opts.Controller, a.ExecTime, interval,
 			lp.Alloc, lp.Needs, cfg.Banks(), cfg.BankWords)
 	}
 	lp.Counts = energy.Counts{
@@ -468,9 +538,21 @@ func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Confi
 		BufferAccesses: a.BufferTraffic.Total(),
 		Refreshes:      refreshes,
 		DDRAccesses:    a.DDRTraffic.Total(),
+		BufferWrites:   a.BufferWrites,
 	}
-	lp.Energy = energy.System(lp.Counts, cfg.BufferTech)
+	lp.Energy = energy.SystemTable(lp.Counts, pt.Table())
 	return lp, nil
+}
+
+// scaleInterval scales a refresh interval by an operating point's
+// retention factor. Scale 1 returns the interval untouched — no float
+// round trip — so nominal-point schedules are bit-identical to the
+// pre-backend path.
+func scaleInterval(interval time.Duration, scale float64) time.Duration {
+	if scale == 1 {
+		return interval
+	}
+	return time.Duration(float64(interval) * scale)
 }
 
 // effectiveLayer returns the per-group sub-layer whose dimensions the

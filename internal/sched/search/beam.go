@@ -23,7 +23,10 @@ func worse(a, b scored) bool {
 	if a.c.KindIdx != b.c.KindIdx {
 		return a.c.KindIdx > b.c.KindIdx
 	}
-	return a.c.TilingIdx > b.c.TilingIdx
+	if a.c.TilingIdx != b.c.TilingIdx {
+		return a.c.TilingIdx > b.c.TilingIdx
+	}
+	return a.c.PointIdx > b.c.PointIdx
 }
 
 // beamHeap is a max-heap by worse — the root is the least promising
@@ -52,6 +55,7 @@ func (h *beamHeap) Pop() any          { old := *h; n := len(old); x := old[n-1];
 func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 	var r Result[T]
 	r.Stats.Workers = 1
+	points := p.points()
 	kept := make(beamHeap, 0, width)
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
@@ -64,21 +68,23 @@ func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 		}
 		r.Stats.Admitted++
 		for ki, k := range p.Kinds {
-			r.Stats.Candidates++
-			s := scored{c: Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti}}
-			if p.Bound != nil {
-				r.Stats.Bounded++
-				s.bound = p.Bound(k, t)
-			}
-			switch {
-			case len(kept) < width:
-				heap.Push(&kept, s)
-			case worse(kept[0], s):
-				kept[0] = s
-				heap.Fix(&kept, 0)
-				r.Stats.Pruned++
-			default:
-				r.Stats.Pruned++
+			for pi := 0; pi < points; pi++ {
+				r.Stats.Candidates++
+				s := scored{c: Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi}}
+				if p.Bound != nil {
+					r.Stats.Bounded++
+					s.bound = p.Bound(k, t, pi)
+				}
+				switch {
+				case len(kept) < width:
+					heap.Push(&kept, s)
+				case worse(kept[0], s):
+					kept[0] = s
+					heap.Fix(&kept, 0)
+					r.Stats.Pruned++
+				default:
+					r.Stats.Pruned++
+				}
 			}
 		}
 	}
@@ -131,7 +137,7 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 	}
 	if workers <= 1 {
 		for i, s := range ordered {
-			out, err := p.Evaluate(s.c.Kind, s.c.Tiling)
+			out, err := p.Evaluate(s.c.Kind, s.c.Tiling, s.c.PointIdx)
 			if err != nil {
 				return nil, err
 			}
@@ -165,7 +171,7 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 				if i >= len(ordered) {
 					return
 				}
-				out, err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling)
+				out, err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling, ordered[i].c.PointIdx)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -197,8 +203,8 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 	return outs, nil
 }
 
-// sortCanonical orders survivors by (kind index, tiling index) — the
-// canonical enumeration order ties are defined over. Insertion sort: the
+// sortCanonical orders survivors by (kind index, tiling index, point
+// index) — the canonical enumeration order ties are defined over. Insertion sort: the
 // beam is small and the input nearly unordered heap backing.
 func sortCanonical(xs []scored) {
 	for i := 1; i < len(xs); i++ {
@@ -213,5 +219,8 @@ func canonicalBefore(a, b Candidate) bool {
 	if a.KindIdx != b.KindIdx {
 		return a.KindIdx < b.KindIdx
 	}
-	return a.TilingIdx < b.TilingIdx
+	if a.TilingIdx != b.TilingIdx {
+		return a.TilingIdx < b.TilingIdx
+	}
+	return a.PointIdx < b.PointIdx
 }

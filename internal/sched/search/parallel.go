@@ -137,6 +137,7 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 	defer releaseAdmitted(buf)
 	admitted := *buf
 
+	points := p.points()
 	if workers > len(admitted) {
 		workers = len(admitted)
 	}
@@ -188,37 +189,39 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 				}
 				for _, ta := range admitted[lo:hi] {
 					for ki, k := range p.Kinds {
-						local.Stats.Candidates++
-						if prune {
-							if best := shared.load(); !math.IsInf(best, 1) {
-								local.Stats.Bounded++
-								// Strictly greater only, exactly like the
-								// sequential scan: an exact tie could still
-								// win the deterministic tie-break.
-								if p.Bound(k, ta.t) > best {
-									local.Stats.Pruned++
-									continue
+						for pi := 0; pi < points; pi++ {
+							local.Stats.Candidates++
+							if prune {
+								if best := shared.load(); !math.IsInf(best, 1) {
+									local.Stats.Bounded++
+									// Strictly greater only, exactly like the
+									// sequential scan: an exact tie could still
+									// win the deterministic tie-break.
+									if p.Bound(k, ta.t, pi) > best {
+										local.Stats.Pruned++
+										continue
+									}
 								}
 							}
-						}
-						out, err := p.Evaluate(k, ta.t)
-						if err != nil {
-							if failures[w] == nil {
-								failures[w] = &workerFailure{err: err,
-									c: Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti}}
+							out, err := p.Evaluate(k, ta.t, pi)
+							if err != nil {
+								if failures[w] == nil {
+									failures[w] = &workerFailure{err: err,
+										c: Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi}}
+								}
+								failed.Store(true)
+								return
 							}
-							failed.Store(true)
-							return
+							local.Stats.Evaluated++
+							if !out.Feasible {
+								continue
+							}
+							c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi}
+							if !local.Found || prefer(out.Energy, c, local.Outcome.Energy, local.Candidate) {
+								local.Found, local.Candidate, local.Outcome = true, c, out
+							}
+							shared.tighten(out.Energy)
 						}
-						local.Stats.Evaluated++
-						if !out.Feasible {
-							continue
-						}
-						c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti}
-						if !local.Found || prefer(out.Energy, c, local.Outcome.Energy, local.Candidate) {
-							local.Found, local.Candidate, local.Outcome = true, c, out
-						}
-						shared.tighten(out.Energy)
 					}
 				}
 			}
@@ -268,27 +271,30 @@ func scanSlice[T any](p Problem[T], prune bool, admitted []tilingAt) (Result[T],
 	var r Result[T]
 	r.Stats.Workers = 1
 	prune = prune && p.Bound != nil
+	points := p.points()
 	for _, ta := range admitted {
 		for ki, k := range p.Kinds {
-			r.Stats.Candidates++
-			if prune && r.Found {
-				r.Stats.Bounded++
-				if p.Bound(k, ta.t) > r.Outcome.Energy {
-					r.Stats.Pruned++
+			for pi := 0; pi < points; pi++ {
+				r.Stats.Candidates++
+				if prune && r.Found {
+					r.Stats.Bounded++
+					if p.Bound(k, ta.t, pi) > r.Outcome.Energy {
+						r.Stats.Pruned++
+						continue
+					}
+				}
+				out, err := p.Evaluate(k, ta.t, pi)
+				if err != nil {
+					return Result[T]{}, err
+				}
+				r.Stats.Evaluated++
+				if !out.Feasible {
 					continue
 				}
-			}
-			out, err := p.Evaluate(k, ta.t)
-			if err != nil {
-				return Result[T]{}, err
-			}
-			r.Stats.Evaluated++
-			if !out.Feasible {
-				continue
-			}
-			c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti}
-			if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
-				r.Found, r.Candidate, r.Outcome = true, c, out
+				c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi}
+				if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
+					r.Found, r.Candidate, r.Outcome = true, c, out
+				}
 			}
 		}
 	}

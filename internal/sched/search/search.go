@@ -105,14 +105,17 @@ func EffectiveParallelism(p int) int {
 	return p
 }
 
-// Candidate identifies one (pattern kind, tiling) point of the space.
-// KindIdx and TilingIdx are the enumeration positions the tie-breaking
-// order is defined over.
+// Candidate identifies one (pattern kind, tiling, operating point) cell
+// of the space. KindIdx, TilingIdx and PointIdx are the enumeration
+// positions the tie-breaking order is defined over.
 type Candidate struct {
 	Kind      pattern.Kind
 	KindIdx   int
 	Tiling    pattern.Tiling
 	TilingIdx int
+	// PointIdx indexes the problem's memory-backend operating points;
+	// always 0 when the problem has a single (or no explicit) point.
+	PointIdx int
 }
 
 // Outcome is one candidate priced exactly by the caller's evaluator.
@@ -136,13 +139,28 @@ type Problem[T any] struct {
 	// Admit, when non-nil, prefilters tilings (the core local-storage
 	// constraints) before any kind is considered.
 	Admit func(pattern.Tiling) bool
+	// Points is the memory-backend operating-point axis: each admitted
+	// (kind, tiling) pair is considered at every point index in
+	// [0, Points). Zero (or negative) means a single implicit point —
+	// the historical two-axis space, with identical enumeration and
+	// statistics.
+	Points int
 	// Bound returns an admissible lower bound on Evaluate's Energy for
-	// the candidate: it must never exceed the exact value, and must be
-	// much cheaper to compute. Nil disables pruning (Pruned degenerates
-	// to Exhaustive, Beam keeps arbitrary-but-deterministic candidates).
-	Bound func(pattern.Kind, pattern.Tiling) float64
-	// Evaluate prices one candidate exactly.
-	Evaluate func(pattern.Kind, pattern.Tiling) (Outcome[T], error)
+	// the candidate at one operating point: it must never exceed the
+	// exact value, and must be much cheaper to compute. Nil disables
+	// pruning (Pruned degenerates to Exhaustive, Beam keeps
+	// arbitrary-but-deterministic candidates).
+	Bound func(k pattern.Kind, t pattern.Tiling, point int) float64
+	// Evaluate prices one candidate exactly at one operating point.
+	Evaluate func(k pattern.Kind, t pattern.Tiling, point int) (Outcome[T], error)
+}
+
+// points resolves the operating-point axis extent (zero → one).
+func (p Problem[T]) points() int {
+	if p.Points <= 0 {
+		return 1
+	}
+	return p.Points
 }
 
 // Options tunes one Run.
@@ -228,11 +246,13 @@ func Run[T any](p Problem[T], o Options) (Result[T], error) {
 
 // prefer reports whether candidate c with energy e beats the incumbent
 // (be, bc) in the canonical preference order: lexicographic
-// (energy, kind index, tiling index). This is exactly the argmin the
-// historical pattern-major loop's strict-< rule kept — the earliest
-// candidate in (kind, tiling) enumeration order among the equal-energy
-// minima — so every strategy and any future parallel variant agrees on
-// ties by construction.
+// (energy, kind index, tiling index, point index). This is exactly the
+// argmin the historical pattern-major loop's strict-< rule kept — the
+// earliest candidate in (kind, tiling, point) enumeration order among
+// the equal-energy minima — so every strategy and any future parallel
+// variant agrees on ties by construction. The point index compares
+// last: on single-point problems it never differs, so the historical
+// two-axis tie-break is preserved bit-for-bit.
 func prefer(e float64, c Candidate, be float64, bc Candidate) bool {
 	if e != be {
 		return e < be
@@ -240,14 +260,19 @@ func prefer(e float64, c Candidate, be float64, bc Candidate) bool {
 	if c.KindIdx != bc.KindIdx {
 		return c.KindIdx < bc.KindIdx
 	}
-	return c.TilingIdx < bc.TilingIdx
+	if c.TilingIdx != bc.TilingIdx {
+		return c.TilingIdx < bc.TilingIdx
+	}
+	return c.PointIdx < bc.PointIdx
 }
 
 // scan is the shared exhaustive / branch-and-bound loop: one streaming
-// pass over the tiling space, all pattern kinds priced per tiling.
+// pass over the tiling space, all pattern kinds and operating points
+// priced per tiling.
 func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 	var r Result[T]
 	r.Stats.Workers = 1
+	points := p.points()
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
 		if !ok {
@@ -259,28 +284,30 @@ func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 		}
 		r.Stats.Admitted++
 		for ki, k := range p.Kinds {
-			r.Stats.Candidates++
-			if prune && r.Found {
-				r.Stats.Bounded++
-				// Strictly greater only: a candidate whose bound *equals*
-				// the incumbent's energy could still tie exactly and win
-				// the deterministic tie-break, so it must be priced.
-				if p.Bound(k, t) > r.Outcome.Energy {
-					r.Stats.Pruned++
+			for pi := 0; pi < points; pi++ {
+				r.Stats.Candidates++
+				if prune && r.Found {
+					r.Stats.Bounded++
+					// Strictly greater only: a candidate whose bound *equals*
+					// the incumbent's energy could still tie exactly and win
+					// the deterministic tie-break, so it must be priced.
+					if p.Bound(k, t, pi) > r.Outcome.Energy {
+						r.Stats.Pruned++
+						continue
+					}
+				}
+				out, err := p.Evaluate(k, t, pi)
+				if err != nil {
+					return Result[T]{}, err
+				}
+				r.Stats.Evaluated++
+				if !out.Feasible {
 					continue
 				}
-			}
-			out, err := p.Evaluate(k, t)
-			if err != nil {
-				return Result[T]{}, err
-			}
-			r.Stats.Evaluated++
-			if !out.Feasible {
-				continue
-			}
-			c := Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti}
-			if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
-				r.Found, r.Candidate, r.Outcome = true, c, out
+				c := Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi}
+				if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
+					r.Found, r.Candidate, r.Outcome = true, c, out
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rana/internal/hw"
+	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
@@ -121,8 +122,45 @@ func TestCanonicalKeySeparatesDistinctRequests(t *testing.T) {
 	// The three ops namespace their keys.
 	record("compile", compileKey(models.AlexNet(), ""))
 	record("compile beam", compileKey(models.AlexNet(), search.Beam))
-	record("evaluate", evaluateKey("RANA*(E-5)", models.AlexNet()))
-	record("evaluate other design", evaluateKey("S+ID", models.AlexNet()))
+	record("evaluate", evaluateKey("RANA*(E-5)", models.AlexNet(), "", ""))
+	record("evaluate other design", evaluateKey("S+ID", models.AlexNet(), "", ""))
+
+	// The backend axis forks keys: a non-default backend, a pinned point
+	// and a raised budget are distinct computations.
+	o = defaultOpts()
+	o.Backend = "approx-dram"
+	record("approx backend", scheduleKey(models.AlexNet(), cfg, o))
+	o.OperatingPoint = "v0.8"
+	record("pinned point", scheduleKey(models.AlexNet(), cfg, o))
+	o.OperatingPoint = mem.Nominal
+	record("pinned nominal", scheduleKey(models.AlexNet(), cfg, o))
+	o = defaultOpts()
+	o.Backend = "approx-dram"
+	o.ErrorBudget = 1e-3
+	record("raised budget", scheduleKey(models.AlexNet(), cfg, o))
+	record("evaluate backend", evaluateKey("RANA*(E-5)", models.AlexNet(), "approx-dram", "v0.8"))
+}
+
+func TestBackendKeyNormalization(t *testing.T) {
+	// The explicit default backend spelling must collapse onto the legacy
+	// empty-spelling key — same computation, byte-identical plans — while
+	// pinning the nominal point must NOT collapse onto the unpinned
+	// spelling: on multi-point backends an open axis is a different
+	// search space.
+	cfg := hw.TestAcceleratorEDRAM()
+	legacy := scheduleKey(models.AlexNet(), cfg, defaultOpts())
+	o := defaultOpts()
+	o.Backend = mem.DefaultName(cfg.BufferTech)
+	if got := scheduleKey(models.AlexNet(), cfg, o); got != legacy {
+		t.Error("explicit default backend must share the legacy key")
+	}
+	o = defaultOpts()
+	o.Backend = "approx-dram"
+	open := scheduleKey(models.AlexNet(), cfg, o)
+	o.OperatingPoint = mem.Nominal
+	if got := scheduleKey(models.AlexNet(), cfg, o); got == open {
+		t.Error("pinned nominal point must not share the open-axis key")
+	}
 }
 
 func TestCanonicalKeyIsStable(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"time"
 
+	"rana/internal/mem"
 	"rana/internal/platform"
 	"rana/internal/sched"
 	"rana/internal/sched/search"
@@ -80,6 +81,9 @@ func (s *Server) prepareSchedule(req ScheduleRequest) (*work, error) {
 	}
 	opts, err := resolveOptions(req.Options, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.checkBackendAllowed(mem.NormalizeName(opts.Backend, cfg.BufferTech)); err != nil {
 		return nil, err
 	}
 	// The degradation ladder: an explicit deadline tightens the request
@@ -234,12 +238,14 @@ func (s *Server) handleCompile(ctx context.Context, r *http.Request) (*response,
 	return s.routedCached(ctx, "/v1/compile", raw, forwarded, w.key, false, w.compute)
 }
 
-// EnergyJSON is an energy breakdown on the wire (picojoules).
+// EnergyJSON is an energy breakdown on the wire (picojoules). Wear is
+// omitted when zero so wear-free technologies keep the legacy encoding.
 type EnergyJSON struct {
 	Computing    float64 `json:"computing_pj"`
 	BufferAccess float64 `json:"buffer_access_pj"`
 	Refresh      float64 `json:"refresh_pj"`
 	OffChip      float64 `json:"offchip_pj"`
+	Wear         float64 `json:"wear_pj,omitempty"`
 	Total        float64 `json:"total_pj"`
 }
 
@@ -264,10 +270,25 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 	if err != nil {
 		return nil, err
 	}
-	key := evaluateKey(d.Name, net)
+	// The backend axis of the evaluation matrix. Resolution against the
+	// design's specialized configuration rejects unknown backends and
+	// over-budget points at admission.
+	p := platform.Test()
+	d = d.WithBackend(req.Backend, req.OperatingPoint)
+	cfg := d.Apply(p.Base)
+	if _, _, err := sched.ResolveBackend(cfg, sched.Options{
+		Backend: d.Backend, OperatingPoint: d.OperatingPoint,
+	}); err != nil {
+		return nil, badRequest("invalid backend: %v", err)
+	}
+	normalized := mem.NormalizeName(d.Backend, cfg.BufferTech)
+	if err := s.checkBackendAllowed(normalized); err != nil {
+		return nil, err
+	}
+	key := evaluateKey(d.Name, net, normalized, d.OperatingPoint)
 	raw, forwarded := routeInputs(ctx)
 	return s.routedCached(ctx, "/v1/evaluate", raw, forwarded, key, false, func(ctx context.Context) ([]byte, error) {
-		res, err := platform.Test().EvaluateContext(ctx, d, net)
+		res, err := p.EvaluateContext(ctx, d, net)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
 		}
@@ -280,6 +301,7 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 				BufferAccess: e.BufferAccess,
 				Refresh:      e.Refresh,
 				OffChip:      e.OffChip,
+				Wear:         e.Wear,
 				Total:        e.Total(),
 			},
 			Plan: sched.Encode(res.Plan),
@@ -321,8 +343,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, s.vars.String())
 }
 
+// OperatingPointJSON is one backend operating point in the catalog.
+type OperatingPointJSON struct {
+	Name           string  `json:"name"`
+	AccessPJ       float64 `json:"access_pj"`
+	RefreshPJ      float64 `json:"refresh_pj,omitempty"`
+	WearPJ         float64 `json:"wear_pj,omitempty"`
+	RetentionScale float64 `json:"retention_scale,omitempty"`
+	BitErrorRate   float64 `json:"bit_error_rate,omitempty"`
+	LatencyNS      float64 `json:"latency_ns,omitempty"`
+}
+
+// BackendJSON is one memory backend in the catalog: the third axis of
+// the (network × backend × operating point) evaluation matrix.
+type BackendJSON struct {
+	Name        string               `json:"name"`
+	Description string               `json:"description"`
+	Role        string               `json:"role"`
+	Refreshes   bool                 `json:"refreshes,omitempty"`
+	Points      []OperatingPointJSON `json:"points"`
+}
+
+// catalogBackends projects the registry onto the catalog form, in the
+// registry's sorted order.
+func catalogBackends() []BackendJSON {
+	var out []BackendJSON
+	for _, name := range mem.Names() {
+		bk, _ := mem.Lookup(name)
+		b := BackendJSON{
+			Name:        bk.Name(),
+			Description: bk.Description(),
+			Role:        bk.Role().String(),
+			Refreshes:   bk.Refreshes(),
+		}
+		for _, p := range bk.Points() {
+			b.Points = append(b.Points, OperatingPointJSON{
+				Name:           p.Name,
+				AccessPJ:       p.AccessPJ,
+				RefreshPJ:      p.RefreshPJ,
+				WearPJ:         p.WearPJ,
+				RetentionScale: p.RetentionScale,
+				BitErrorRate:   p.BitErrorRate,
+				LatencyNS:      p.LatencyNS,
+			})
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // handleCatalog lists what the service can schedule: benchmark models,
-// built-in accelerators and Table IV designs.
+// built-in accelerators, Table IV designs, search strategies and the
+// memory-backend registry with every operating point.
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	var designs []string
 	for _, d := range platform.Designs() {
@@ -334,7 +406,19 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		"accelerators":      builtinConfigNames(),
 		"designs":           designs,
 		"search_strategies": searchStrategyNames(),
+		"backends":          catalogBackends(),
 	})
+}
+
+// checkBackendAllowed gates a request's backend against the server's
+// allowlist. The name arrives normalized (mem.NormalizeName), so the
+// default adapter — normalized to "" — always passes: the allowlist
+// narrows the matrix without breaking legacy requests.
+func (s *Server) checkBackendAllowed(normalized string) error {
+	if normalized == "" || s.allowedBackends == nil || s.allowedBackends[normalized] {
+		return nil
+	}
+	return badRequest("backend %q is not enabled on this server", normalized)
 }
 
 // marshalBody renders one response body. Bodies are marshaled exactly

@@ -14,7 +14,9 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"rana/internal/energy"
 	"rana/internal/hw"
+	"rana/internal/mem"
 	"rana/internal/models"
 	"rana/internal/sched"
 	"rana/internal/sched/search"
@@ -68,6 +70,16 @@ type canonicalRequest struct {
 	Search    string `json:"search,omitempty"`
 	BeamWidth int    `json:"beam_width,omitempty"`
 
+	// Backend is the memory-technology backend, normalized: the default
+	// technology adapter's explicit spelling collapses onto the empty
+	// string (and out of the key), so legacy requests and explicit-
+	// default requests share one entry. OperatingPoint stays verbatim —
+	// pinning "nominal" collapses the search axis, which on multi-point
+	// backends is a different computation than leaving it open.
+	Backend        string  `json:"backend,omitempty"`
+	OperatingPoint string  `json:"operating_point,omitempty"`
+	ErrorBudget    float64 `json:"error_budget,omitempty"`
+
 	// Design names a Table IV point (evaluate only).
 	Design string `json:"design,omitempty"`
 }
@@ -98,8 +110,10 @@ func (c *canonicalRequest) canonicalConfig(cfg hw.Config) {
 	c.BankWords = cfg.BankWords
 }
 
-// canonicalOptions fills the options part of the hashing form.
-func (c *canonicalRequest) canonicalOptions(opts sched.Options) {
+// canonicalOptions fills the options part of the hashing form. tech is
+// the resolved configuration's buffer technology, needed to normalize
+// the default backend's explicit spelling away.
+func (c *canonicalRequest) canonicalOptions(opts sched.Options, tech energy.BufferTech) {
 	for _, k := range opts.Patterns {
 		c.Patterns += k.String() + ","
 	}
@@ -117,6 +131,9 @@ func (c *canonicalRequest) canonicalOptions(opts sched.Options) {
 	if opts.Search.Resolve() == search.Beam {
 		c.BeamWidth = search.EffectiveWidth(opts.BeamWidth)
 	}
+	c.Backend = mem.NormalizeName(opts.Backend, tech)
+	c.OperatingPoint = opts.OperatingPoint
+	c.ErrorBudget = opts.ErrorBudget
 }
 
 // key hashes the canonical form.
@@ -139,7 +156,7 @@ func scheduleKey(net models.Network, cfg hw.Config, opts sched.Options) string {
 	c := canonicalRequest{Op: "schedule"}
 	c.canonicalNetwork(net)
 	c.canonicalConfig(cfg)
-	c.canonicalOptions(opts)
+	c.canonicalOptions(opts, cfg.BufferTech)
 	return c.key()
 }
 
@@ -152,7 +169,7 @@ func scheduleDegradedKey(net models.Network, cfg hw.Config, opts sched.Options) 
 	c := canonicalRequest{Op: "schedule-degraded"}
 	c.canonicalNetwork(net)
 	c.canonicalConfig(cfg)
-	c.canonicalOptions(opts)
+	c.canonicalOptions(opts, cfg.BufferTech)
 	return c.key()
 }
 
@@ -166,8 +183,10 @@ func compileKey(net models.Network, strategy search.Strategy) string {
 }
 
 // evaluateKey is the cache key of a resolved /v1/evaluate request.
-func evaluateKey(design string, net models.Network) string {
-	c := canonicalRequest{Op: "evaluate", Design: design}
+// backend arrives already normalized (default adapter → ""), point
+// verbatim, so the legacy (design, network) requests keep their keys.
+func evaluateKey(design string, net models.Network, backend, point string) string {
+	c := canonicalRequest{Op: "evaluate", Design: design, Backend: backend, OperatingPoint: point}
 	c.canonicalNetwork(net)
 	return c.key()
 }

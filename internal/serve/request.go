@@ -106,6 +106,18 @@ type OptionsSpec struct {
 	// cache key: requests differing only here share one entry, and the
 	// response body does not echo it.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Backend names a memory-technology backend from the registry (see
+	// /v1/catalog's "backends"); empty selects the configuration's
+	// default technology adapter.
+	Backend string `json:"backend,omitempty"`
+	// OperatingPoint pins one of the backend's operating points; empty
+	// searches every point within the error budget. Pinning "nominal" is
+	// *not* the same as omitting the field on multi-point backends: it
+	// collapses the search axis to the nominal corner.
+	OperatingPoint string `json:"operating_point,omitempty"`
+	// ErrorBudget caps the bit-error rate of admissible operating
+	// points; zero selects the paper's tolerable 1e-5 failure rate.
+	ErrorBudget float64 `json:"error_budget,omitempty"`
 }
 
 // ScheduleRequest asks for a Stage-2 schedule of one network on one
@@ -142,12 +154,19 @@ type CompileRequest struct {
 }
 
 // EvaluateRequest asks for one Table IV design point priced on one
-// network.
+// network, optionally through a non-default memory backend — the
+// (network × backend × operating point) evaluation matrix.
 type EvaluateRequest struct {
 	// Design is a Table IV name, e.g. "RANA*(E-5)".
 	Design  string       `json:"design"`
 	Model   string       `json:"model,omitempty"`
 	Network *NetworkSpec `json:"network,omitempty"`
+	// Backend names a memory backend from the registry; empty keeps the
+	// design's default technology adapter (the paper's Table IV cell).
+	Backend string `json:"backend,omitempty"`
+	// OperatingPoint pins one of the backend's points; empty searches
+	// every point within the tolerable error budget.
+	OperatingPoint string `json:"operating_point,omitempty"`
 }
 
 // apiError is a client-visible request failure with an HTTP status.
@@ -377,6 +396,15 @@ func resolveOptions(spec *OptionsSpec, cfg hw.Config) (sched.Options, error) {
 		return sched.Options{}, err
 	}
 	opts.Parallelism = spec.Parallelism
+	opts.Backend = spec.Backend
+	opts.OperatingPoint = spec.OperatingPoint
+	opts.ErrorBudget = spec.ErrorBudget
+	// Full backend resolution up front: an unknown backend, an unknown or
+	// over-budget operating point, or a budget excluding every point is a
+	// 400 at admission, not a 422 from deep inside the search.
+	if _, _, err := sched.ResolveBackend(cfg, opts); err != nil {
+		return sched.Options{}, badRequest("invalid options: %v", err)
+	}
 	if err := opts.Validate(); err != nil {
 		return sched.Options{}, badRequest("invalid options: %v", err)
 	}

@@ -134,6 +134,14 @@ type Config struct {
 	// negative disables the batch API.
 	JobCapacity int
 
+	// AllowedBackends, when non-empty, restricts the memory-backend axis
+	// to the listed registry names: a request naming any other backend is
+	// rejected at admission with a 400. An omitted "backend" field — the
+	// configuration's default technology adapter — is always admitted, so
+	// the allowlist can only narrow the matrix, never break legacy
+	// clients. Empty allows every registered backend.
+	AllowedBackends []string
+
 	// Logf receives request logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -206,6 +214,10 @@ type Server struct {
 	// disabled (JobCapacity < 0).
 	jobs *jobTable
 
+	// allowedBackends is the admission set built from
+	// Config.AllowedBackends; nil admits every registered backend.
+	allowedBackends map[string]bool
+
 	// self is this node's ring membership; zero when not sharded.
 	self shard.Node
 
@@ -247,6 +259,12 @@ func New(cfg Config) *Server {
 	s.flights.onDone = s.computationDone
 	if cfg.JobCapacity > 0 {
 		s.jobs = newJobTable(cfg.JobCapacity)
+	}
+	if len(cfg.AllowedBackends) > 0 {
+		s.allowedBackends = make(map[string]bool, len(cfg.AllowedBackends))
+		for _, name := range cfg.AllowedBackends {
+			s.allowedBackends[name] = true
+		}
 	}
 	if cfg.Ring != nil {
 		// A ring without a resolvable self is a programmer error (the CLI

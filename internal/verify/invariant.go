@@ -6,6 +6,7 @@ import (
 
 	"rana/internal/energy"
 	"rana/internal/exec"
+	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/sched"
@@ -44,7 +45,12 @@ func CheckPlan(p *sched.Plan, tol Tolerances) []Violation {
 	cfg := p.Config
 	opts := p.Options
 	banks, bankWords := cfg.Banks(), cfg.BankWords
-	refreshing := opts.Controller != nil && cfg.BufferTech == energy.EDRAM
+	bk, _, err := sched.ResolveBackend(cfg, opts)
+	if err != nil {
+		add("", "backend", "plan options name an unresolvable backend: %v", err)
+		return vs
+	}
+	refreshing := opts.Controller != nil && bk.Refreshes()
 
 	var totals energy.Counts
 	var totalEnergy energy.Breakdown
@@ -69,9 +75,23 @@ func CheckPlan(p *sched.Plan, tol Tolerances) []Violation {
 			add(l.Name, "alloc-within-banks", "allocation %+v exceeds %d banks", lp.Alloc, banks)
 		}
 
+		// The layer's operating point: the empty spelling is the nominal
+		// corner (the wire encoding normalizes it away).
+		pt, ok := mem.PointByName(bk, lp.Point)
+		if !ok {
+			add(l.Name, "operating-point", "plan names unknown point %q on backend %q", lp.Point, bk.Name())
+			continue
+		}
+
 		// Refresh flags vs guarded lifetimes, and the γ re-derivation.
+		// Reduced-voltage points shrink the retention curve, and the
+		// scheduler shrinks the refresh interval with it.
 		if refreshing {
-			guarded := time.Duration(float64(opts.RefreshInterval) * opts.Guard())
+			interval := opts.RefreshInterval
+			if pt.RetentionScale != 1 {
+				interval = time.Duration(float64(interval) * pt.RetentionScale)
+			}
+			guarded := time.Duration(float64(interval) * opts.Guard())
 			for _, c := range []struct {
 				name string
 				life time.Duration
@@ -100,7 +120,7 @@ func CheckPlan(p *sched.Plan, tol Tolerances) []Violation {
 						flagged, bankWords, perPulse)
 				}
 			}
-			want := memctrl.RefreshWords(opts.Controller, a.ExecTime, opts.RefreshInterval,
+			want := memctrl.RefreshWords(opts.Controller, a.ExecTime, interval,
 				lp.Alloc, lp.Needs, banks, bankWords)
 			if lp.Counts.Refreshes != want {
 				add(l.Name, "refresh-count", "counted %d, re-derived %d", lp.Counts.Refreshes, want)
@@ -119,13 +139,17 @@ func CheckPlan(p *sched.Plan, tol Tolerances) []Violation {
 		if lp.Counts.DDRAccesses != a.DDRTraffic.Total() {
 			add(l.Name, "counts-ddr", "counted %d, analysis %d", lp.Counts.DDRAccesses, a.DDRTraffic.Total())
 		}
+		if lp.Counts.BufferWrites != a.BufferWrites {
+			add(l.Name, "counts-buffer-writes", "counted %d, analysis %d", lp.Counts.BufferWrites, a.BufferWrites)
+		}
 
-		// Energy re-prices from the counts with non-negative components.
-		priced := energy.System(lp.Counts, cfg.BufferTech)
+		// Energy re-prices from the counts — against the operating point's
+		// own table — with non-negative components.
+		priced := energy.SystemTable(lp.Counts, pt.Table())
 		if lp.Energy != priced {
 			add(l.Name, "energy-reprice", "stored %+v, re-priced %+v", lp.Energy, priced)
 		}
-		if lp.Energy.Computing < 0 || lp.Energy.BufferAccess < 0 || lp.Energy.Refresh < 0 || lp.Energy.OffChip < 0 {
+		if lp.Energy.Computing < 0 || lp.Energy.BufferAccess < 0 || lp.Energy.Refresh < 0 || lp.Energy.OffChip < 0 || lp.Energy.Wear < 0 {
 			add(l.Name, "energy-nonnegative", "%+v", lp.Energy)
 		}
 
