@@ -7,6 +7,7 @@
 // Usage:
 //
 //	rana-train -samples 500 -constraint 0.95
+//	rana-train -curves              # also emit per-layer resilience curves
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"rana"
 	"rana/internal/retention"
@@ -32,6 +34,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	constraint := fs.Float64("constraint", 0.95, "relative accuracy constraint for the tolerance search")
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	rates := fs.Int("rates", len(training.PaperRates), "how many ladder rates to evaluate (from 1e-5 upward)")
+	curves := fs.Bool("curves", false, "also sweep per-layer resilience curves (failures injected one layer at a time)")
+	trials := fs.Int("trials", 3, "trials to average each resilience-curve point over")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,6 +45,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *rates < 1 || *rates > len(training.PaperRates) {
 		fmt.Fprintf(stderr, "rana-train: -rates must be in [1, %d]\n", len(training.PaperRates))
+		return 2
+	}
+	if *curves && *trials < 1 {
+		fmt.Fprintln(stderr, "rana-train: -trials must be at least 1")
 		return 2
 	}
 
@@ -73,5 +81,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "\nstage 1 decision: tolerable failure rate %.0e -> tolerable retention time %v\n",
 		best, dist.RetentionTime(best))
 	fmt.Fprintf(stdout, "(conventional weakest-cell refresh interval: %v)\n", retention.TypicalRetentionTime)
+
+	if *curves {
+		if err := printCurves(stdout, m, training.PaperRates[:*rates], *trials); err != nil {
+			fmt.Fprintln(stderr, "rana-train:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// printCurves emits the per-layer resilience sweep: the pretrained
+// model's accuracy with failures injected into one layer at a time —
+// the empirical counterpart of the calibrated layer curves the
+// scheduler admits operating points against.
+func printCurves(stdout io.Writer, m *training.Method, ladder []float64, trials int) error {
+	curves, err := m.LayerResilience(ladder, trials)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "\nper-layer resilience curves (%d trials per point):\n", trials)
+	for _, name := range names {
+		fmt.Fprintf(stdout, "layer %s:\n", name)
+		for _, p := range curves[name] {
+			fmt.Fprintf(stdout, "%10.0e %11.1f%% %11.1f%%\n", p.Rate, p.Accuracy*100, p.Relative*100)
+		}
+	}
+	return nil
 }

@@ -21,6 +21,23 @@ func TestTrainSmall(t *testing.T) {
 	}
 }
 
+func TestTrainCurves(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-samples", "120", "-rates", "1", "-constraint", "0.9", "-curves", "-trials", "1"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	s := out.String()
+	for _, want := range []string{"per-layer resilience curves", "layer conv1:", "layer fc:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if code := run([]string{"-samples", "120", "-curves", "-trials", "0"}, &out, &errBuf); code != 2 {
+		t.Errorf("zero trials exit = %d, want 2", code)
+	}
+}
+
 func TestTrainErrors(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run([]string{"-samples", "2"}, &out, &errBuf); code != 2 {

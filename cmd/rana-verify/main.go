@@ -12,6 +12,7 @@
 //	rana-verify -functional 5            # word-accurate cross-checks
 //	rana-verify -search 50               # search-strategy differential sweep
 //	rana-verify -backends                # memory-backend differential sweep
+//	rana-verify -faults                  # fault-injection/error-budget differential sweep
 //	rana-verify -parallel                # parallel/memoized ≡ sequential bytes
 //	rana-verify -nodes URL,URL -reference URL  # fleet nodes ≡ single-node bytes
 //
@@ -28,12 +29,14 @@ import (
 	"strings"
 	"time"
 
+	"rana/internal/fixed"
 	"rana/internal/hw"
 	"rana/internal/mem"
 	"rana/internal/memctrl"
 	"rana/internal/models"
 	"rana/internal/pattern"
 	"rana/internal/sched"
+	"rana/internal/training"
 	"rana/internal/verify"
 	"rana/internal/verify/gen"
 )
@@ -53,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
 	searchN := fs.Int("search", 0, "strategy differential: check pruned ≡ exhaustive on the selected networks plus this many random networks")
 	backends := fs.Bool("backends", false, "backend differential: sweep the memory-backend registry (default ≡ legacy bytes, invariants and bounds at every admissible operating point, functional spot checks)")
+	faults := fs.Bool("faults", false, "fault differential: empirically validate error-budget admission under backend-derived bit flips (per-layer budgets, seeded mask stability, pretrained oracle, negative over-budget check, faulty-storage spot checks)")
 	parallel := fs.Bool("parallel", false, "parallelism differential: check parallel/memoized plans ≡ sequential exhaustive bytes on the selected networks")
 	nodesList := fs.String("nodes", "", "cross-node conformance: comma-separated fleet node URLs; every node must answer the zoo byte-identically to -reference (runs only this sweep)")
 	refURL := fs.String("reference", "", "single-node ranad URL the -nodes sweep compares against")
@@ -162,6 +166,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *backends {
 		n, f := sweepBackends(stdout, stderr, nets, cfg, opts, *seed, tol, *verbose)
+		cases += n
+		failures += f
+	}
+	if *faults {
+		n, f := sweepFaults(stdout, stderr, nets, cfg, opts, *seed, *verbose)
 		cases += n
 		failures += f
 	}
@@ -338,6 +347,66 @@ func sweepBackends(stdout, stderr io.Writer, nets []models.Network, cfg hw.Confi
 			}
 			if verbose {
 				fmt.Fprintf(stdout, "ok   functional %s\n", spec)
+			}
+		}
+	}
+	return cases, failures
+}
+
+// sweepFaults runs the fault-injection differential oracle on every
+// selected network: the per-layer error budgets derived from the
+// calibrated resilience curves must admit exactly the operating points
+// whose bit-error rates clear them, seeded fault-mask derivation must
+// be byte-stable across repeated draws, the pretrained empirical oracle
+// must hold its accuracy constraint at every admitted rate, and the
+// over-budget corner must be refused. A word-accurate spot check then
+// drives every buffer backend's operating points through a faulty
+// storage overlay on a tiny layer. One oracle (one pretraining run) is
+// shared across the zoo.
+func sweepFaults(stdout, stderr io.Writer, nets []models.Network, cfg hw.Config, opts sched.Options, seed uint64, verbose bool) (cases, failures int) {
+	oracle := verify.NewFaultOracle(training.Config{
+		Epochs: 3, LR: 0.02, Momentum: 0.9, Format: fixed.Q88, Seed: 1,
+	}, 160)
+	for _, net := range nets {
+		cases++
+		r, err := verify.CompareFaults(net, cfg, opts, oracle, 0, seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify: faults:", err)
+			failures++
+			continue
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s faults\n%s\n", net.Name, indent(r.String()))
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "ok   %s\n", r)
+		}
+	}
+	// The spot-check rate is demonstrative, far above any admissible
+	// bit-error rate: the point is to land flips and watch the simulator
+	// count them, not to model an admitted corner.
+	const spotRate = 0.05
+	g := gen.New(seed)
+	l := g.TinyLayer()
+	for _, bk := range mem.Buffers() {
+		for _, p := range bk.Points() {
+			spec := bk.Name() + "@" + p.Name
+			cases++
+			r, err := verify.CompareFaultFunctional(spec, l, cfg, spotRate, seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "rana-verify: fault functional:", err)
+				failures++
+				continue
+			}
+			if !r.OK() {
+				failures++
+				fmt.Fprintf(stdout, "FAIL fault functional %s\n%s\n", spec, indent(r.String()))
+				continue
+			}
+			if verbose {
+				fmt.Fprintf(stdout, "ok   fault functional %s\n", spec)
 			}
 		}
 	}

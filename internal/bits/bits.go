@@ -80,6 +80,55 @@ func (in *Injector) CorruptFloats(xs []float64, f fixed.Format) {
 	}
 }
 
+// AllBits selects every bit position of a word for position-restricted
+// corruption; it is the mask meaning "no restriction".
+const AllBits uint16 = 1<<fixed.WordBits - 1
+
+// CorruptWordAt is CorruptWord restricted to the bit positions set in
+// mask: only those bits can fail, each independently at the injector's
+// rate with the same fair-coin replacement. A mask of 0 or AllBits is
+// the unrestricted CorruptWord. The random stream is consumed only for
+// selected positions, so restricting the mask changes which draws
+// happen — restricted and unrestricted injection are distinct streams
+// by design.
+func (in *Injector) CorruptWordAt(w fixed.Word, mask uint16) fixed.Word {
+	if mask == 0 || mask == AllBits {
+		return in.CorruptWord(w)
+	}
+	if in.rate == 0 {
+		return w
+	}
+	b := fixed.Bits(w)
+	for i := 0; i < fixed.WordBits; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if in.rng.Float64() < in.rate {
+			if in.rng.Float64() < 0.5 {
+				b |= 1 << uint(i)
+			} else {
+				b &^= 1 << uint(i)
+			}
+		}
+	}
+	return fixed.FromBits(b)
+}
+
+// CorruptFloatsAt is CorruptFloats restricted to the bit positions set
+// in mask (see CorruptWordAt).
+func (in *Injector) CorruptFloatsAt(xs []float64, f fixed.Format, mask uint16) {
+	if in.rate == 0 {
+		return
+	}
+	if mask == 0 || mask == AllBits {
+		in.CorruptFloats(xs, f)
+		return
+	}
+	for i, x := range xs {
+		xs[i] = f.ToFloat(in.CorruptWordAt(f.FromFloat(x), mask))
+	}
+}
+
 // ExpectedWordErrorRate returns the probability that a 16-bit word is
 // changed by the mask: 1 - (1 - rate/2)^16. Property tests use this to
 // check the injector's empirical behaviour.

@@ -1,0 +1,75 @@
+package bits
+
+import (
+	"testing"
+
+	"rana/internal/fixed"
+)
+
+func TestCorruptWordAtRespectsMask(t *testing.T) {
+	const mask = uint16(0x0f0f)
+	in := NewInjector(1, 5) // every selected bit redrawn
+	for i := 0; i < 200; i++ {
+		w := fixed.Word(i*131 - 9000)
+		got := in.CorruptWordAt(w, mask)
+		if delta := fixed.Bits(got) ^ fixed.Bits(w); delta&^mask != 0 {
+			t.Fatalf("word %v: flip pattern %#x escapes mask %#x", w, delta, mask)
+		}
+	}
+}
+
+func TestCorruptWordAtZeroMaskIsUnrestricted(t *testing.T) {
+	a := NewInjector(0.5, 9)
+	b := NewInjector(0.5, 9)
+	for i := 0; i < 64; i++ {
+		w := fixed.Word(i * 511)
+		if got, want := a.CorruptWordAt(w, 0), b.CorruptWord(w); got != want {
+			t.Fatalf("mask 0: CorruptWordAt %v != CorruptWord %v", got, want)
+		}
+	}
+	a = NewInjector(0.5, 9)
+	b = NewInjector(0.5, 9)
+	for i := 0; i < 64; i++ {
+		w := fixed.Word(i * 511)
+		if got, want := a.CorruptWordAt(w, AllBits), b.CorruptWord(w); got != want {
+			t.Fatalf("AllBits: CorruptWordAt %v != CorruptWord %v", got, want)
+		}
+	}
+}
+
+func TestCorruptWordAtDeterministic(t *testing.T) {
+	run := func(seed uint64) []fixed.Word {
+		in := NewInjector(0.3, seed)
+		out := make([]fixed.Word, 128)
+		for i := range out {
+			out[i] = in.CorruptWordAt(fixed.Word(i*257), 0x8001)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCorruptFloatsAtRateZeroAndMask(t *testing.T) {
+	xs := []float64{1.25, -3.5, 0.125, 100}
+	orig := append([]float64(nil), xs...)
+	NewInjector(0, 1).CorruptFloatsAt(xs, fixed.Q88, 0x00ff)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("rate 0 changed value %d", i)
+		}
+	}
+	// Low-byte-only corruption bounds each delta by 255 quanta.
+	NewInjector(1, 3).CorruptFloatsAt(xs, fixed.Q88, 0x00ff)
+	maxDelta := float64(0x00ff) / fixed.Q88.Scale()
+	for i := range xs {
+		d := xs[i] - fixed.Q88.Quantize(orig[i])
+		if d < -maxDelta || d > maxDelta {
+			t.Fatalf("value %d moved by %g, low-byte bound %g", i, d, maxDelta)
+		}
+	}
+}

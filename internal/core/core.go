@@ -96,6 +96,10 @@ type Output struct {
 	Config hw.Config
 	// DividerRatio programs the controller's clock divider (Fig. 14).
 	DividerRatio uint64
+	// LayerBudgets are Stage 1's per-layer tolerable failure rates from
+	// the calibrated resilience curves; Stage 2 admits operating points
+	// per layer against them.
+	LayerBudgets map[string]float64
 	// Plan is Stage 2's full schedule with energy accounting.
 	Plan *sched.Plan
 	// Layerwise are the per-layer execution configurations.
@@ -136,8 +140,24 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 	}
 	// Stage 1: tolerable failure rate under the accuracy constraint,
 	// converted to a retention time by the platform's distribution.
-	rate := training.TolerableRate(f.AccuracyConstraint, f.Rates)
+	rate, err := training.TolerableRate(f.AccuracyConstraint, f.Rates)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	rt := f.Platform.Dist.RetentionTime(rate)
+
+	// Stage 1, per layer: each layer's own tolerable failure rate from
+	// its calibrated resilience curve. Stage 2's operating-point
+	// admission checks candidate points against these, not just the
+	// scalar decision.
+	names := make([]string, len(net.Layers))
+	for i, l := range net.Layers {
+		names[i] = l.Name
+	}
+	layerBudgets, err := training.LayerTolerableRates(net.Name, names, f.AccuracyConstraint, f.Rates)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	// Stage 2: hybrid-pattern scheduling at the tolerable interval with
 	// the refresh-optimized controller (the full RANA design point). A
@@ -160,6 +180,7 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		Backend:         f.Backend,
 		OperatingPoint:  f.OperatingPoint,
 		ErrorBudget:     f.ErrorBudget,
+		LayerBudgets:    layerBudgets,
 	}
 	plan, stats, err := sched.ExploreNetworkContext(ctx, net, cfg, opts)
 	if err != nil {
@@ -174,6 +195,7 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 	out = &Output{
 		TolerableRate:      rate,
 		TolerableRetention: rt,
+		LayerBudgets:       layerBudgets,
 		Config:             cfg,
 		DividerRatio:       div.Ratio(),
 		Plan:               plan,

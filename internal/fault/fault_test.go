@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"rana/internal/fixed"
+	"rana/internal/retention"
+)
+
+func TestNewMaskDeterministic(t *testing.T) {
+	a, err := New(512, 0.01, 42)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	b, err := New(512, 0.01, 42)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same (words, rate, seed) produced different masks")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same mask, different hash")
+	}
+	c, err := New(512, 0.01, 43)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical non-trivial masks")
+	}
+}
+
+func TestNewMaskBounds(t *testing.T) {
+	m, err := New(256, 0.05, 7)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(m.Flips) == 0 {
+		t.Fatal("rate 0.05 over 4096 bits drew no flips")
+	}
+	prev := Flip{Word: -1}
+	for _, f := range m.Flips {
+		if f.Word < 0 || f.Word >= m.Words {
+			t.Fatalf("flip word %d outside [0, %d)", f.Word, m.Words)
+		}
+		if f.Bit >= fixed.WordBits {
+			t.Fatalf("flip bit %d outside [0, %d)", f.Bit, fixed.WordBits)
+		}
+		if f.Word < prev.Word || (f.Word == prev.Word && f.Bit <= prev.Bit) {
+			t.Fatalf("flips not strictly sorted: %v after %v", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestNewMaskErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		words int
+		rate  float64
+	}{
+		{"negative words", -1, 0.1},
+		{"oversized words", MaxWords + 1, 0.1},
+		{"negative rate", 8, -0.1},
+		{"rate above one", 8, 1.5},
+		{"nan rate", 8, math.NaN()},
+	} {
+		if _, err := New(tc.words, tc.rate, 1); err == nil {
+			t.Errorf("%s: New(%d, %g) succeeded, want error", tc.name, tc.words, tc.rate)
+		}
+	}
+}
+
+func TestMaskZeroRateAndZeroWords(t *testing.T) {
+	for _, tc := range []struct {
+		words int
+		rate  float64
+	}{{100, 0}, {0, 0.5}} {
+		m, err := New(tc.words, tc.rate, 9)
+		if err != nil {
+			t.Fatalf("New(%d, %g): %v", tc.words, tc.rate, err)
+		}
+		if len(m.Flips) != 0 {
+			t.Errorf("New(%d, %g) drew %d flips, want 0", tc.words, tc.rate, len(m.Flips))
+		}
+	}
+}
+
+func TestMaskApply(t *testing.T) {
+	m, err := New(64, 0.08, 11)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ws := make([]fixed.Word, 64)
+	orig := make([]fixed.Word, 64)
+	copy(orig, ws)
+	changed := m.Apply(ws)
+	if changed != len(m.XorWords()) {
+		t.Errorf("Apply changed %d words, mask touches %d", changed, len(m.XorWords()))
+	}
+	for i, x := range m.XorWords() {
+		if got := fixed.Bits(ws[i]) ^ fixed.Bits(orig[i]); got != x {
+			t.Errorf("word %d: xor delta %#x, mask pattern %#x", i, got, x)
+		}
+	}
+	// Applying again restores the original words (XOR involution).
+	m.Apply(ws)
+	for i := range ws {
+		if ws[i] != orig[i] {
+			t.Fatalf("double Apply did not restore word %d", i)
+		}
+	}
+}
+
+func TestMaskApplyShortSlice(t *testing.T) {
+	m, err := New(128, 0.2, 3)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ws := make([]fixed.Word, 16) // shorter than the mask extent
+	changed := m.Apply(ws)
+	inRange := 0
+	for w := range m.XorWords() {
+		if w < len(ws) {
+			inRange++
+		}
+	}
+	if changed != inRange {
+		t.Errorf("Apply on short slice changed %d words, want %d", changed, inRange)
+	}
+}
+
+func TestMaskFlipRateStatistics(t *testing.T) {
+	// 4096 words × 16 bits at flip rate 0.01 ⇒ ~655 expected flips;
+	// accept ±5σ (σ ≈ √(n·p·(1−p)) ≈ 25.5).
+	m, err := New(4096, 0.01, 77)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n := float64(4096 * fixed.WordBits)
+	want := n * 0.01
+	sigma := math.Sqrt(n * 0.01 * 0.99)
+	if got := float64(len(m.Flips)); math.Abs(got-want) > 5*sigma {
+		t.Errorf("drew %g flips, want %g ± %g", got, want, 5*sigma)
+	}
+}
+
+func TestFlipRate(t *testing.T) {
+	if got := FlipRate(1e-5); got != 5e-6 {
+		t.Errorf("FlipRate(1e-5) = %g, want 5e-6", got)
+	}
+}
+
+func TestExposureRate(t *testing.T) {
+	const us = time.Microsecond
+	for _, tc := range []struct {
+		name     string
+		ber      float64
+		lifetime time.Duration
+		interval time.Duration
+		want     float64
+	}{
+		{"zero ber", 0, 100 * us, 50 * us, 0},
+		{"zero lifetime", 1e-5, 0, 50 * us, 0},
+		{"negative lifetime", 1e-5, -us, 50 * us, 0},
+		{"no refresh quotes raw rate", 1e-5, 100 * us, 0, 1e-5},
+		{"one interval quotes raw rate", 1e-5, 50 * us, 50 * us, 1e-5},
+		{"saturating ber", 1, 100 * us, 50 * us, 1},
+	} {
+		if got := ExposureRate(tc.ber, tc.lifetime, tc.interval); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: ExposureRate = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	// Two intervals of residency ≈ doubles a small rate: 1-(1-r)² = 2r-r².
+	got := ExposureRate(1e-5, 100*us, 50*us)
+	want := 2e-5 - 1e-10
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("two-interval exposure = %g, want %g", got, want)
+	}
+	// Monotone in lifetime.
+	if ExposureRate(1e-4, 400*us, 50*us) <= ExposureRate(1e-4, 100*us, 50*us) {
+		t.Error("exposure not monotone in lifetime")
+	}
+	// Always clamped to [0, 1].
+	if r := ExposureRate(0.5, time.Second, time.Nanosecond); r < 0 || r > 1 {
+		t.Errorf("exposure %g outside [0, 1]", r)
+	}
+}
+
+func TestMixSeed(t *testing.T) {
+	a := MixSeed(1, "approx-dram@v0.8/conv1")
+	b := MixSeed(1, "approx-dram@v0.8/conv1")
+	if a != b {
+		t.Fatal("MixSeed not deterministic")
+	}
+	if a == MixSeed(1, "approx-dram@v0.8/conv2") {
+		t.Error("distinct labels collided")
+	}
+	if a == MixSeed(2, "approx-dram@v0.8/conv1") {
+		t.Error("distinct bases collided")
+	}
+}
+
+func TestSampleFailureRateMatchesDistribution(t *testing.T) {
+	dist := retention.Typical()
+	for _, lifetime := range []time.Duration{
+		retention.TypicalRetentionTime,
+		retention.TolerableRetentionTime,
+		8 * time.Millisecond,
+	} {
+		want := dist.FailureRate(lifetime)
+		got := SampleFailureRate(dist, lifetime, 200000, 5)
+		// Monte-Carlo tolerance: 5σ of a binomial proportion plus an
+		// absolute floor for the tiny rates.
+		tol := 5*math.Sqrt(want*(1-want)/200000) + 1e-4
+		if math.Abs(got-want) > tol {
+			t.Errorf("lifetime %v: sampled rate %g, analytic %g (tol %g)", lifetime, got, want, tol)
+		}
+	}
+	if got := SampleFailureRate(dist, time.Millisecond, 0, 1); got != 0 {
+		t.Errorf("n=0 sample rate = %g, want 0", got)
+	}
+}
+
+// flatStorage is a plain word array for exercising the wrapper.
+type flatStorage struct{ ws []fixed.Word }
+
+func (s *flatStorage) Read(addr int, _ time.Duration) fixed.Word     { return s.ws[addr] }
+func (s *flatStorage) Write(addr int, w fixed.Word, _ time.Duration) { s.ws[addr] = w }
+func (s *flatStorage) Words() int                                    { return len(s.ws) }
+
+func TestFaultyStorage(t *testing.T) {
+	inner := &flatStorage{ws: make([]fixed.Word, 32)}
+	for i := range inner.ws {
+		inner.ws[i] = fixed.Word(i)
+	}
+	mask := &Mask{Words: 8, Flips: []Flip{{Word: 2, Bit: 0}, {Word: 2, Bit: 3}, {Word: 5, Bit: 15}}}
+	fs := Wrap(inner, mask, 10) // mask word 0 lands at address 10
+
+	if got := fs.Read(2, 0); got != inner.ws[2] {
+		t.Errorf("unmasked read changed: %v != %v", got, inner.ws[2])
+	}
+	want := fixed.FromBits(fixed.Bits(inner.ws[12]) ^ 0b1001)
+	if got := fs.Read(12, 0); got != want {
+		t.Errorf("masked read = %v, want %v", got, want)
+	}
+	// The flip persists across reads: stuck-cell semantics.
+	if got := fs.Read(12, 0); got != want {
+		t.Errorf("second masked read = %v, want %v", got, want)
+	}
+	if got := fs.Read(15, 0); got != fixed.FromBits(fixed.Bits(inner.ws[15])^(1<<15)) {
+		t.Errorf("high-bit masked read = %v", got)
+	}
+	// Writing through re-arms the same flip for the next read.
+	fs.Write(12, 100, 0)
+	if got := fs.Read(12, 0); got != fixed.FromBits(fixed.Bits(fixed.Word(100))^0b1001) {
+		t.Errorf("read-after-write = %v, want rewritten value with mask", got)
+	}
+	if fs.Injections() != 4 {
+		t.Errorf("Injections = %d, want 4", fs.Injections())
+	}
+	if fs.Words() != 32 {
+		t.Errorf("Words = %d, want 32", fs.Words())
+	}
+}

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rana/internal/fixed"
+)
+
+// FuzzFaultMask feeds hostile shapes at mask generation: whatever the
+// inputs, New must either reject them or produce a mask whose flips are
+// all in range, strictly sorted, and reproducible byte for byte.
+func FuzzFaultMask(f *testing.F) {
+	f.Add(16, 0.01, uint64(1))
+	f.Add(0, 0.0, uint64(0))
+	f.Add(1, 1.0, uint64(42))
+	f.Add(-5, 0.5, uint64(7))
+	f.Add(1<<30, 0.5, uint64(7))
+	f.Add(8, math.NaN(), uint64(3))
+	f.Add(8, math.Inf(1), uint64(3))
+	f.Add(8, -1e-9, uint64(3))
+	f.Fuzz(func(t *testing.T, words int, rate float64, seed uint64) {
+		// Cap fuzz extents well under MaxWords so iterations stay fast;
+		// validation of the real bound is covered by unit tests.
+		if words > 1<<12 {
+			words = (words % (1 << 12)) + 1
+		}
+		m, err := New(words, rate, seed)
+		if err != nil {
+			return
+		}
+		prev := Flip{Word: -1}
+		for _, fl := range m.Flips {
+			if fl.Word < 0 || fl.Word >= m.Words {
+				t.Fatalf("flip word %d outside [0, %d)", fl.Word, m.Words)
+			}
+			if fl.Bit >= fixed.WordBits {
+				t.Fatalf("flip bit %d outside [0, %d)", fl.Bit, fixed.WordBits)
+			}
+			if fl.Word < prev.Word || (fl.Word == prev.Word && fl.Bit <= prev.Bit) {
+				t.Fatalf("flips not strictly sorted: %v after %v", fl, prev)
+			}
+			prev = fl
+		}
+		again, err := New(words, rate, seed)
+		if err != nil {
+			t.Fatalf("second draw failed where first succeeded: %v", err)
+		}
+		if !bytes.Equal(m.Bytes(), again.Bytes()) {
+			t.Fatal("same inputs drew different masks")
+		}
+		// Apply must stay in bounds even on a slice shorter than the
+		// mask extent, and XOR twice must be the identity.
+		short := make([]fixed.Word, words/2)
+		m.Apply(short)
+		m.Apply(short)
+		for i, w := range short {
+			if w != 0 {
+				t.Fatalf("double Apply left word %d = %v", i, w)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"testing"
+
+	"rana/internal/bits"
+	"rana/internal/fixed"
+	"rana/internal/tensor"
+)
+
+// faultNet builds a stack covering every forward path the fault hook
+// touches: conv and dense consume the model, ReLU and max-pool must
+// pass data through untouched.
+func faultNet(seed uint64) *Network {
+	rng := bits.NewSplitMix64(seed)
+	return &Network{Layers: []Layer{
+		NewConv2D("conv", 1, 2, 3, 1, 1, rng),
+		NewReLU("relu"),
+		NewMaxPool2D("pool", 2),
+		NewDense("fc", 2*3*3, 3, rng),
+	}}
+}
+
+func faultInput(seed uint64) *tensor.Tensor {
+	x := tensor.New(1, 6, 6)
+	x.FillRandn(bits.NewSplitMix64(seed), 1)
+	return x
+}
+
+func sameData(a, b *tensor.Tensor) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultModelDeterministic pins the reproducibility contract: the
+// same seed at the same rate yields bit-identical corrupted outputs,
+// and a different seed diverges at a rate this aggressive.
+func TestFaultModelDeterministic(t *testing.T) {
+	x := faultInput(3)
+	run := func(seed uint64) *tensor.Tensor {
+		net := faultNet(1)
+		fault := &FaultModel{Injector: bits.NewInjector(0.2, seed), Format: fixed.Q88}
+		return net.Forward(x, fault)
+	}
+	a, b := run(42), run(42)
+	if !sameData(a, b) {
+		t.Fatal("same seed produced different outputs")
+	}
+	if sameData(a, run(43)) {
+		t.Fatal("different seeds produced identical outputs at rate 0.2")
+	}
+}
+
+// TestFaultModelPositionsDeterministic extends the contract to the
+// bit-position-restricted path.
+func TestFaultModelPositionsDeterministic(t *testing.T) {
+	x := faultInput(5)
+	run := func(seed uint64, positions uint16) *tensor.Tensor {
+		net := faultNet(2)
+		fault := &FaultModel{
+			Injector:  bits.NewInjector(0.5, seed),
+			Format:    fixed.Q88,
+			Positions: positions,
+		}
+		return net.Forward(x, fault)
+	}
+	const lowBits = 0x00ff
+	a, b := run(9, lowBits), run(9, lowBits)
+	if !sameData(a, b) {
+		t.Fatal("same seed with restricted positions produced different outputs")
+	}
+	// Restricting to the low fractional bits must bound the damage:
+	// every corrupted conv input stays within the largest low-byte
+	// perturbation of the quantized value.
+	in := faultInput(5)
+	fault := &FaultModel{Injector: bits.NewInjector(1, 7), Format: fixed.Q88, Positions: lowBits}
+	c := in.Clone()
+	fault.apply(c)
+	maxDelta := float64(0x00ff) / fixed.Q88.Scale()
+	for i := range c.Data {
+		q := fixed.Q88.Quantize(in.Data[i])
+		d := c.Data[i] - q
+		if d < -maxDelta || d > maxDelta {
+			t.Fatalf("low-byte restricted flip moved value by %g (> %g)", d, maxDelta)
+		}
+	}
+}
+
+// TestFaultTransparentLayers pins that ReLU and MaxPool ignore the
+// fault model entirely: an aggressive injector must not change their
+// output given identical inputs.
+func TestFaultTransparentLayers(t *testing.T) {
+	x := faultInput(11)
+	fault := &FaultModel{Injector: bits.NewInjector(0.9, 1), Format: fixed.Q88}
+
+	relu := NewReLU("relu")
+	clean := relu.Forward(x, nil)
+	faulty := NewReLU("relu").Forward(x, fault)
+	if !sameData(clean, faulty) {
+		t.Error("ReLU output changed under fault model")
+	}
+
+	pool := NewMaxPool2D("pool", 2)
+	clean = pool.Forward(x, nil)
+	faulty = NewMaxPool2D("pool", 2).Forward(x, fault)
+	if !sameData(clean, faulty) {
+		t.Error("MaxPool output changed under fault model")
+	}
+
+	avg := NewAvgPool2D("avg", 2)
+	clean = avg.Forward(x, nil)
+	faulty = NewAvgPool2D("avg", 2).Forward(x, fault)
+	if !sameData(clean, faulty) {
+		t.Error("AvgPool output changed under fault model")
+	}
+}
+
+// TestFaultAppliedToConvAndDense pins that the layers with parameters
+// actually consume the fault model: at rate 1 every bit is redrawn, so
+// outputs must diverge from the clean pass, while the stored weights
+// stay untouched (faults corrupt the datapath copy, not the model).
+func TestFaultAppliedToConvAndDense(t *testing.T) {
+	x := faultInput(13)
+	fault := &FaultModel{Injector: bits.NewInjector(1, 3), Format: fixed.Q88}
+
+	conv := NewConv2D("conv", 1, 2, 3, 1, 1, bits.NewSplitMix64(1))
+	wBefore := conv.Weight.W.Clone()
+	clean := conv.Forward(x, nil)
+	faulty := conv.Forward(x, fault)
+	if sameData(clean, faulty) {
+		t.Error("Conv2D output unchanged under rate-1 faults")
+	}
+	if !sameData(wBefore, conv.Weight.W) {
+		t.Error("Conv2D stored weights mutated by fault application")
+	}
+
+	flat := tensor.New(36)
+	copy(flat.Data, x.Data)
+	dense := NewDense("fc", 36, 4, bits.NewSplitMix64(2))
+	wBefore = dense.Weight.W.Clone()
+	clean = dense.Forward(flat, nil)
+	faulty = dense.Forward(flat, fault)
+	if sameData(clean, faulty) {
+		t.Error("Dense output unchanged under rate-1 faults")
+	}
+	if !sameData(wBefore, dense.Weight.W) {
+		t.Error("Dense stored weights mutated by fault application")
+	}
+}
+
+// TestForwardPlan pins per-layer fault routing: a plan keyed on one
+// layer corrupts only that layer, an empty or nil plan matches the
+// clean forward pass bit for bit, and the plan path is deterministic.
+func TestForwardPlan(t *testing.T) {
+	x := faultInput(17)
+	net := faultNet(4)
+	clean := net.Forward(x, nil)
+
+	if got := faultNet(4).ForwardPlan(x, nil); !sameData(clean, got) {
+		t.Fatal("nil plan diverged from clean forward")
+	}
+	if got := faultNet(4).ForwardPlan(x, FaultPlan{}); !sameData(clean, got) {
+		t.Fatal("empty plan diverged from clean forward")
+	}
+
+	mk := func(seed uint64) FaultPlan {
+		return FaultPlan{"conv": {Injector: bits.NewInjector(0.3, seed), Format: fixed.Q88}}
+	}
+	a := faultNet(4).ForwardPlan(x, mk(21))
+	if sameData(clean, a) {
+		t.Fatal("conv-only plan did not perturb the output at rate 0.3")
+	}
+	if b := faultNet(4).ForwardPlan(x, mk(21)); !sameData(a, b) {
+		t.Fatal("same-seed plans diverged")
+	}
+
+	// A plan keyed on a fault-transparent layer is a no-op.
+	transparent := FaultPlan{"pool": {Injector: bits.NewInjector(0.9, 1), Format: fixed.Q88}}
+	if got := faultNet(4).ForwardPlan(x, transparent); !sameData(clean, got) {
+		t.Fatal("plan on fault-transparent layer changed the output")
+	}
+
+	if p := faultNet(4).PredictPlan(x, nil); p != clean.ArgMax() {
+		t.Fatalf("PredictPlan = %d, clean argmax %d", p, clean.ArgMax())
+	}
+}

@@ -31,6 +31,11 @@ type FaultModel struct {
 	// Quantize applies the grid even with a nil injector (fixed-point
 	// pretraining).
 	Quantize bool
+	// Positions restricts corruption to the word-bit positions set in
+	// the mask; 0 (or bits.AllBits) leaves every bit eligible. This is
+	// the bit-position-aware hook the fault-injection engine uses to
+	// model failures confined to specific cell columns.
+	Positions uint16
 }
 
 // apply passes t through the emulated datapath in place.
@@ -39,13 +44,23 @@ func (f *FaultModel) apply(t *tensor.Tensor) {
 		return
 	}
 	if f.Injector != nil && f.Injector.Rate() > 0 {
-		t.Corrupt(f.Injector, f.Format)
+		if f.Positions != 0 && f.Positions != bits.AllBits {
+			t.CorruptAt(f.Injector, f.Format, f.Positions)
+		} else {
+			t.Corrupt(f.Injector, f.Format)
+		}
 		return
 	}
 	if f.Quantize {
 		t.Quantize(f.Format)
 	}
 }
+
+// FaultPlan assigns a fault model per layer name — the per-layer view
+// the scheduler's (backend, operating point) admission produces, where
+// each layer's data may rest in cells with a different effective error
+// rate. Layers absent from the plan run fault-free (nil model).
+type FaultPlan map[string]*FaultModel
 
 // Param is one learnable parameter with its gradient and momentum buffer.
 type Param struct {
@@ -360,6 +375,21 @@ func (n *Network) Forward(x *tensor.Tensor, fault *FaultModel) *tensor.Tensor {
 		x = l.Forward(x, fault)
 	}
 	return x
+}
+
+// ForwardPlan runs the stack with a per-layer fault assignment: each
+// layer sees plan[layer.Name()], or no fault when absent. A nil plan is
+// a fault-free forward pass.
+func (n *Network) ForwardPlan(x *tensor.Tensor, plan FaultPlan) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, plan[l.Name()])
+	}
+	return x
+}
+
+// PredictPlan returns the argmax class under a per-layer fault plan.
+func (n *Network) PredictPlan(x *tensor.Tensor, plan FaultPlan) int {
+	return n.ForwardPlan(x, plan).ArgMax()
 }
 
 // Backward runs the stack in reverse from the loss gradient.

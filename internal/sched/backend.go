@@ -35,12 +35,37 @@ func (o Options) effectiveErrorBudget() float64 {
 	return retention.TolerableFailureRate
 }
 
+// layerBudget resolves the error budget one layer's admission runs
+// against: the uniform budget, tightened by the layer's own tolerable
+// rate from the per-layer resilience curves when one is present.
+// Per-layer budgets only ever tighten — a curve cannot admit a point
+// the uniform budget rejects.
+func (o Options) layerBudget(layer string) float64 {
+	budget := o.effectiveErrorBudget()
+	if lb, ok := o.LayerBudgets[layer]; ok && lb > 0 && lb < budget {
+		return lb
+	}
+	return budget
+}
+
 // ResolveBackend maps the options onto a registered buffer backend and
 // the operating points the search may price, in canonical (ladder)
 // order. A pinned Options.OperatingPoint yields exactly one point; an
 // empty backend yields the config's default technology adapter with its
 // single nominal point — the historical behavior.
 func ResolveBackend(cfg hw.Config, o Options) (mem.Backend, []mem.OperatingPoint, error) {
+	return resolveBackendAt(cfg, o, o.effectiveErrorBudget(), "")
+}
+
+// ResolveBackendForLayer is ResolveBackend under one layer's effective
+// error budget: the uniform budget tightened by Options.LayerBudgets
+// for that layer. With no per-layer budgets it is exactly
+// ResolveBackend.
+func ResolveBackendForLayer(cfg hw.Config, o Options, layer string) (mem.Backend, []mem.OperatingPoint, error) {
+	return resolveBackendAt(cfg, o, o.layerBudget(layer), layer)
+}
+
+func resolveBackendAt(cfg hw.Config, o Options, budget float64, layer string) (mem.Backend, []mem.OperatingPoint, error) {
 	name := o.Backend
 	if name == "" {
 		name = mem.DefaultName(cfg.BufferTech)
@@ -52,15 +77,18 @@ func ResolveBackend(cfg hw.Config, o Options) (mem.Backend, []mem.OperatingPoint
 	if b.Role() != mem.RoleBuffer {
 		return nil, nil, fmt.Errorf("sched: backend %q is %s-role, not a buffer", name, b.Role())
 	}
-	budget := o.effectiveErrorBudget()
+	at := ""
+	if layer != "" {
+		at = fmt.Sprintf(" for layer %q", layer)
+	}
 	if o.OperatingPoint != "" {
 		p, ok := mem.PointByName(b, o.OperatingPoint)
 		if !ok {
 			return nil, nil, fmt.Errorf("sched: backend %q has no operating point %q", name, o.OperatingPoint)
 		}
 		if p.BitErrorRate > budget {
-			return nil, nil, fmt.Errorf("sched: operating point %s@%s bit-error rate %g exceeds error budget %g",
-				name, p.Name, p.BitErrorRate, budget)
+			return nil, nil, fmt.Errorf("sched: operating point %s@%s bit-error rate %g exceeds error budget %g%s",
+				name, p.Name, p.BitErrorRate, budget, at)
 		}
 		return b, []mem.OperatingPoint{p}, nil
 	}
@@ -72,7 +100,7 @@ func ResolveBackend(cfg hw.Config, o Options) (mem.Backend, []mem.OperatingPoint
 		}
 	}
 	if len(pts) == 0 {
-		return nil, nil, fmt.Errorf("sched: backend %q has no operating point within error budget %g", name, budget)
+		return nil, nil, fmt.Errorf("sched: backend %q has no operating point within error budget %g%s", name, budget, at)
 	}
 	return b, pts, nil
 }

@@ -141,11 +141,18 @@ func (o Options) signature() string {
 // cleared (they do not influence exploration), and the options collapse
 // onto the canonical signature shared with the serving cache hashing —
 // resolved strategy spelled out, beam width only under beam, effective
-// guard band, controller by name.
+// guard band, controller by name. Per-layer error budgets are the one
+// place identity does influence exploration, so the layer's *resolved*
+// budget is folded into the signature before the name is cleared; with
+// no per-layer budgets the signature is byte-identical to before.
 func keyFor(l models.ConvLayer, cfg hw.Config, opts Options) memoKey {
+	sig := opts.signature()
+	if len(opts.LayerBudgets) > 0 {
+		sig += fmt.Sprintf("|lbudget=%g", opts.layerBudget(l.Name))
+	}
 	l.Name, l.Stage = "", ""
 	cfg.Name = ""
-	return memoKey{layer: l, cfg: cfg, sig: opts.signature()}
+	return memoKey{layer: l, cfg: cfg, sig: sig}
 }
 
 // explore returns the layer's plan through the memo: a completed entry

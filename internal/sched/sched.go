@@ -10,6 +10,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -92,6 +93,16 @@ type Options struct {
 	// resilience-curve admission. Zero selects the paper's tolerable
 	// failure rate (10⁻⁵, Fig. 11).
 	ErrorBudget float64
+
+	// LayerBudgets tightens the error budget per layer name with the
+	// tolerable failure rates from Stage 1's per-layer resilience curves
+	// (training.LayerTolerableRates): a layer listed here admits only
+	// operating points whose bit-error rate fits its own curve, not just
+	// the uniform budget. Layers absent from the map use ErrorBudget
+	// unchanged; budgets only ever tighten. Excluded from the JSON
+	// projection — the serving layer folds resolved budgets into its
+	// cache key explicitly.
+	LayerBudgets map[string]float64 `json:"-"`
 
 	// Parallelism bounds the worker goroutines each layer's exploration
 	// fans out across its candidate space (search.Options.Parallelism).
@@ -199,6 +210,11 @@ func (o Options) Validate() error {
 	}
 	if o.ErrorBudget < 0 || o.ErrorBudget > 1 {
 		return fmt.Errorf("sched: error budget %g outside [0, 1]", o.ErrorBudget)
+	}
+	for name, lb := range o.LayerBudgets {
+		if math.IsNaN(lb) || lb < 0 || lb > 1 {
+			return fmt.Errorf("sched: layer %q error budget %g outside [0, 1]", name, lb)
+		}
 	}
 	return nil
 }
@@ -408,7 +424,7 @@ func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 // (or the legacy first-feasible loop in NaturalTiling mode) and returns
 // the chosen plan with the engine's work counters.
 func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
-	bk, points, err := ResolveBackend(cfg, opts)
+	bk, points, err := ResolveBackendForLayer(cfg, opts, l.Name)
 	if err != nil {
 		return LayerPlan{}, search.Stats{}, err
 	}
@@ -501,7 +517,7 @@ func naturalSchedule(l models.ConvLayer, cfg hw.Config, opts Options,
 // reported as errors rather than panics; cfg must otherwise be valid
 // (callers validate once at the public entry points).
 func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options) (LayerPlan, error) {
-	bk, points, err := ResolveBackend(cfg, opts)
+	bk, points, err := ResolveBackendForLayer(cfg, opts, l.Name)
 	if err != nil {
 		return LayerPlan{}, err
 	}

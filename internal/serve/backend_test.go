@@ -55,12 +55,21 @@ func TestScheduleBackendOptions(t *testing.T) {
 		}
 	}
 
-	// A raised budget admits the over-budget point.
+	// A raised budget clears the uniform admission check, but the point
+	// still breaks the per-layer budgets — the error-budget rung serves
+	// the nominal corner instead of failing (details in
+	// TestScheduleBudgetFallbackRung).
 	resp = post(t, ts.URL+"/v1/schedule",
 		`{"network": `+tinyNetJSON+`, "options": {"backend": "approx-dram", "operating_point": "v0.7", "error_budget": 0.001}}`)
 	body = readBody(t, resp)
 	if resp.StatusCode != 200 {
 		t.Fatalf("raised budget: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Degraded {
+		t.Error("over-layer-budget pin not degraded to the nominal corner")
 	}
 }
 

@@ -16,9 +16,12 @@ import (
 	"time"
 
 	"rana/internal/mem"
+	"rana/internal/models"
 	"rana/internal/platform"
+	"rana/internal/retention"
 	"rana/internal/sched"
 	"rana/internal/sched/search"
+	"rana/internal/training"
 )
 
 // ScheduleResponse is the /v1/schedule response body.
@@ -51,6 +54,50 @@ type ScheduleResponse struct {
 // hits, misses and dedups.
 const degradedReason = "deadline budget below the full-search threshold; served the uniform fallback schedule"
 
+// budgetFallbackReason marks the error-budget rung of the degradation
+// ladder: the request pinned an operating point that clears the uniform
+// error budget but breaks at least one layer's own calibrated budget,
+// so the nominal corner was substituted. Fixed string for the same
+// byte-identity reason as degradedReason.
+const budgetFallbackReason = "pinned operating point exceeds a per-layer error budget; served the nominal corner"
+
+// admissionConstraint is the relative-accuracy constraint the server
+// derives per-layer error budgets at — the framework's paper-reproducing
+// Stage 1 default.
+const admissionConstraint = 0.995
+
+// layerNames projects a network onto its layer-name list, in layer
+// order — the shape training.LayerTolerableRates keys its budgets by.
+func layerNames(net models.Network) []string {
+	names := make([]string, len(net.Layers))
+	for i, l := range net.Layers {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// anyFaulty reports whether any operating point carries a non-zero raw
+// bit-error rate — the request engaging the approximate axis.
+func anyFaulty(pts []mem.OperatingPoint) bool {
+	for _, p := range pts {
+		if p.BitErrorRate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// planFaulty reports whether a computed plan places any layer's data at
+// a fault-exposed (non-nominal) operating point.
+func planFaulty(plan *sched.Plan) bool {
+	for _, lp := range plan.Layers {
+		if lp.Point != "" && lp.Point != mem.Nominal {
+			return true
+		}
+	}
+	return false
+}
+
 // work is one prepared keyed computation: the canonical cache key, the
 // request's explicit deadline (0 = none), whether the degradation
 // ladder bottomed out, and the computation itself. The sync handlers
@@ -61,7 +108,10 @@ type work struct {
 	key      string
 	deadline time.Duration
 	degraded bool
-	compute  func(ctx context.Context) ([]byte, error)
+	// budgetFallback marks the error-budget rung: a pinned point broke a
+	// per-layer budget and the nominal corner was substituted.
+	budgetFallback bool
+	compute        func(ctx context.Context) ([]byte, error)
 }
 
 // prepareSchedule resolves a ScheduleRequest into its work: validation,
@@ -109,6 +159,33 @@ func (s *Server) prepareSchedule(req ScheduleRequest) (*work, error) {
 			opts.Search = search.Beam
 		}
 	}
+	// Stage 1's per-layer error budgets ride along whenever the request
+	// engages the approximate operating-point axis (a resolved point
+	// with a non-zero bit-error rate): the scheduler then admits points
+	// layer by layer against the calibrated resilience curves. Legacy
+	// requests resolve to nominal-only point sets and keep their exact
+	// options — and canonical cache keys — untouched.
+	if _, pts, rerr := sched.ResolveBackend(cfg, opts); rerr == nil && anyFaulty(pts) {
+		budgets, berr := training.LayerTolerableRates(net.Name, layerNames(net), admissionConstraint, training.PaperRates)
+		if berr != nil {
+			return nil, fmt.Errorf("serve: deriving layer budgets: %w", berr)
+		}
+		opts.LayerBudgets = budgets
+		// The error-budget rung of the ladder: a pinned point that
+		// clears the uniform budget but breaks a layer's own budget is
+		// degraded to the backend's nominal corner, not failed — the
+		// client asked for a plan, and the safe corner is always
+		// admissible.
+		if opts.OperatingPoint != "" && !w.degraded {
+			for _, l := range net.Layers {
+				if _, _, lerr := sched.ResolveBackendForLayer(cfg, opts, l.Name); lerr != nil {
+					w.budgetFallback = true
+					opts.OperatingPoint = mem.Nominal
+					break
+				}
+			}
+		}
+	}
 	// Parallelism and the shared memo ride along *outside* the cache key:
 	// plans are byte-identical at every worker count, so requests
 	// differing only here must share one entry. The ladder composes with
@@ -118,12 +195,16 @@ func (s *Server) prepareSchedule(req ScheduleRequest) (*work, error) {
 		opts.Parallelism = s.cfg.Parallelism
 	}
 	opts.Memo = s.memo
-	if w.degraded {
+	switch {
+	case w.degraded:
 		w.key = scheduleDegradedKey(net, cfg, opts)
-	} else {
+	case w.budgetFallback:
+		w.key = scheduleBudgetFallbackKey(net, cfg, opts)
+	default:
 		w.key = scheduleKey(net, cfg, opts)
 	}
 	degraded := w.degraded
+	budgetFallback := w.budgetFallback
 	w.compute = func(ctx context.Context) ([]byte, error) {
 		s.m.computed(search.EffectiveParallelism(opts.Parallelism))
 		plan, err := s.scheduleFn(ctx, net, cfg, opts)
@@ -140,11 +221,21 @@ func (s *Server) prepareSchedule(req ScheduleRequest) (*work, error) {
 			Controller:        controller,
 			Plan:              sched.Encode(plan),
 		}
-		if degraded {
+		switch {
+		case degraded:
 			resp.Degraded = true
 			resp.DegradedReason = degradedReason
-		} else {
+		case budgetFallback:
+			// The budget rung ran the full search (at the nominal corner),
+			// so Search is still reported alongside the degraded marker.
+			resp.Degraded = true
+			resp.DegradedReason = budgetFallbackReason
 			resp.Search = string(opts.Search.Resolve())
+		default:
+			resp.Search = string(opts.Search.Resolve())
+		}
+		if planFaulty(plan) {
+			s.m.FaultInjections.Add(1)
 		}
 		return marshalBody(resp)
 	}
@@ -169,6 +260,10 @@ func (s *Server) handleSchedule(ctx context.Context, r *http.Request) (*response
 	resp, err := s.routedCached(ctx, "/v1/schedule", raw, forwarded, w.key, false, w.compute)
 	if err == nil && w.degraded {
 		s.m.Degraded.Add(1)
+	}
+	if err == nil && w.budgetFallback {
+		s.m.Degraded.Add(1)
+		s.m.BudgetRejections.Add(1)
 	}
 	return resp, err
 }
@@ -249,12 +344,26 @@ type EnergyJSON struct {
 	Total        float64 `json:"total_pj"`
 }
 
+// ResilienceJSON reports the error-budget frame an evaluation was
+// admitted under: the uniform Stage 1 failure-rate budget, the
+// relative-accuracy constraint the per-layer budgets were derived at,
+// and the budgets themselves. Only attached when the request engages
+// the approximate operating-point axis, so legacy response bodies are
+// byte-identical. encoding/json sorts map keys, so the field is
+// deterministic on the wire.
+type ResilienceJSON struct {
+	ErrorBudget  float64            `json:"error_budget"`
+	Constraint   float64            `json:"constraint"`
+	LayerBudgets map[string]float64 `json:"layer_budgets"`
+}
+
 // EvaluateResponse is the /v1/evaluate response body.
 type EvaluateResponse struct {
-	Design  string         `json:"design"`
-	Network string         `json:"network"`
-	Energy  EnergyJSON     `json:"energy"`
-	Plan    sched.PlanJSON `json:"plan"`
+	Design     string          `json:"design"`
+	Network    string          `json:"network"`
+	Energy     EnergyJSON      `json:"energy"`
+	Plan       sched.PlanJSON  `json:"plan"`
+	Resilience *ResilienceJSON `json:"resilience,omitempty"`
 }
 
 func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response, error) {
@@ -276,14 +385,44 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 	p := platform.Test()
 	d = d.WithBackend(req.Backend, req.OperatingPoint)
 	cfg := d.Apply(p.Base)
-	if _, _, err := sched.ResolveBackend(cfg, sched.Options{
+	_, pts, err := sched.ResolveBackend(cfg, sched.Options{
 		Backend: d.Backend, OperatingPoint: d.OperatingPoint,
-	}); err != nil {
+	})
+	if err != nil {
 		return nil, badRequest("invalid backend: %v", err)
 	}
 	normalized := mem.NormalizeName(d.Backend, cfg.BufferTech)
 	if err := s.checkBackendAllowed(normalized); err != nil {
 		return nil, err
+	}
+	// Requests on the approximate axis are admitted layer by layer
+	// against the calibrated resilience curves, and their responses carry
+	// the error-budget frame. A pinned point that breaks a layer's budget
+	// is a client error here — evaluate has no degradation ladder; the
+	// design names a fixed Table IV configuration.
+	var resilience *ResilienceJSON
+	if anyFaulty(pts) {
+		budgets, berr := training.LayerTolerableRates(net.Name, layerNames(net), admissionConstraint, training.PaperRates)
+		if berr != nil {
+			return nil, fmt.Errorf("serve: deriving layer budgets: %w", berr)
+		}
+		if d.OperatingPoint != "" {
+			gate := sched.Options{
+				Backend: d.Backend, OperatingPoint: d.OperatingPoint,
+				LayerBudgets: budgets,
+			}
+			for _, l := range net.Layers {
+				if _, _, lerr := sched.ResolveBackendForLayer(cfg, gate, l.Name); lerr != nil {
+					s.m.BudgetRejections.Add(1)
+					return nil, badRequest("inadmissible operating point: %v", lerr)
+				}
+			}
+		}
+		resilience = &ResilienceJSON{
+			ErrorBudget:  retention.TolerableFailureRate,
+			Constraint:   admissionConstraint,
+			LayerBudgets: budgets,
+		}
 	}
 	key := evaluateKey(d.Name, net, normalized, d.OperatingPoint)
 	raw, forwarded := routeInputs(ctx)
@@ -291,6 +430,9 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 		res, err := p.EvaluateContext(ctx, d, net)
 		if err != nil {
 			return nil, wrapComputeErr(ctx, err)
+		}
+		if planFaulty(res.Plan) {
+			s.m.FaultInjections.Add(1)
 		}
 		e := res.Energy()
 		return marshalBody(EvaluateResponse{
@@ -304,7 +446,8 @@ func (s *Server) handleEvaluate(ctx context.Context, r *http.Request) (*response
 				Wear:         e.Wear,
 				Total:        e.Total(),
 			},
-			Plan: sched.Encode(res.Plan),
+			Plan:       sched.Encode(res.Plan),
+			Resilience: resilience,
 		})
 	})
 }
@@ -392,9 +535,31 @@ func catalogBackends() []BackendJSON {
 	return out
 }
 
+// catalogResilience advertises the admission frame approximate-axis
+// requests are gated against: the relative-accuracy constraint, the
+// uniform Stage 1 error budget, the failure-rate ladder budgets are
+// searched over, and every benchmark's derived per-layer budgets.
+func catalogResilience() map[string]any {
+	perModel := map[string]map[string]float64{}
+	for _, net := range models.Benchmarks() {
+		budgets, err := training.LayerTolerableRates(net.Name, layerNames(net), admissionConstraint, training.PaperRates)
+		if err != nil {
+			continue // a benchmark without a calibrated curve is simply not listed
+		}
+		perModel[net.Name] = budgets
+	}
+	return map[string]any{
+		"constraint":    admissionConstraint,
+		"error_budget":  retention.TolerableFailureRate,
+		"ladder":        training.PaperRates,
+		"layer_budgets": perModel,
+	}
+}
+
 // handleCatalog lists what the service can schedule: benchmark models,
-// built-in accelerators, Table IV designs, search strategies and the
-// memory-backend registry with every operating point.
+// built-in accelerators, Table IV designs, search strategies, the
+// memory-backend registry with every operating point, and the
+// resilience frame approximate points are admitted under.
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	var designs []string
 	for _, d := range platform.Designs() {
@@ -407,6 +572,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		"designs":           designs,
 		"search_strategies": searchStrategyNames(),
 		"backends":          catalogBackends(),
+		"resilience":        catalogResilience(),
 	})
 }
 

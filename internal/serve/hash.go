@@ -13,6 +13,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"rana/internal/energy"
 	"rana/internal/hw"
@@ -79,6 +80,14 @@ type canonicalRequest struct {
 	Backend        string  `json:"backend,omitempty"`
 	OperatingPoint string  `json:"operating_point,omitempty"`
 	ErrorBudget    float64 `json:"error_budget,omitempty"`
+	// LayerBudgets renders the server-attached per-layer error budgets
+	// as sorted "name=rate" pairs. Today the budgets are a pure function
+	// of fields already in the key (network name, layer list, the fixed
+	// admission constraint), so this is redundancy; it is kept in the
+	// form so a future per-request constraint cannot silently collide
+	// keys. Requests that never engage the approximate axis carry no
+	// budgets and keep the legacy canonical form byte for byte.
+	LayerBudgets string `json:"layer_budgets,omitempty"`
 
 	// Design names a Table IV point (evaluate only).
 	Design string `json:"design,omitempty"`
@@ -134,6 +143,16 @@ func (c *canonicalRequest) canonicalOptions(opts sched.Options, tech energy.Buff
 	c.Backend = mem.NormalizeName(opts.Backend, tech)
 	c.OperatingPoint = opts.OperatingPoint
 	c.ErrorBudget = opts.ErrorBudget
+	if len(opts.LayerBudgets) > 0 {
+		names := make([]string, 0, len(opts.LayerBudgets))
+		for name := range opts.LayerBudgets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c.LayerBudgets += fmt.Sprintf("%s=%g,", name, opts.LayerBudgets[name])
+		}
+	}
 }
 
 // key hashes the canonical form.
@@ -167,6 +186,19 @@ func scheduleKey(net models.Network, cfg hw.Config, opts sched.Options) string {
 // the op string, not just the options, distinguishes the variants.
 func scheduleDegradedKey(net models.Network, cfg hw.Config, opts sched.Options) string {
 	c := canonicalRequest{Op: "schedule-degraded"}
+	c.canonicalNetwork(net)
+	c.canonicalConfig(cfg)
+	c.canonicalOptions(opts, cfg.BufferTech)
+	return c.key()
+}
+
+// scheduleBudgetFallbackKey keys a /v1/schedule response served via the
+// budget-fallback rung: the pinned point broke a per-layer error budget
+// and the nominal corner was substituted. The body carries the degraded
+// marker, so — like the degraded rung — the op string must separate it
+// from a genuine nominal-pinned request's entry.
+func scheduleBudgetFallbackKey(net models.Network, cfg hw.Config, opts sched.Options) string {
+	c := canonicalRequest{Op: "schedule-budget-fallback"}
 	c.canonicalNetwork(net)
 	c.canonicalConfig(cfg)
 	c.canonicalOptions(opts, cfg.BufferTech)

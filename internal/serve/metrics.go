@@ -35,6 +35,10 @@ type metrics struct {
 	BreakerOpenTotal expvar.Int // per-key breaker closed→open transitions
 	BreakerFastFails expvar.Int // requests fast-failed by an open breaker
 
+	// Fault-admission counters.
+	FaultInjections  expvar.Int // computations whose plan places data at a fault-exposed (non-nominal) operating point
+	BudgetRejections expvar.Int // requests rejected or degraded by a per-layer error-budget check
+
 	// Fleet counters.
 	StoreHits       expvar.Int // responses served from the persistent plan store
 	Forwards        expvar.Int // computations forwarded to their ring owner
@@ -124,6 +128,8 @@ func (m *metrics) expvarMap() *expvar.Map {
 	em.Set("degraded", &m.Degraded)
 	em.Set("breaker_open_total", &m.BreakerOpenTotal)
 	em.Set("breaker_fast_fails", &m.BreakerFastFails)
+	em.Set("fault_injections", &m.FaultInjections)
+	em.Set("budget_rejections", &m.BudgetRejections)
 	em.Set("store_hits", &m.StoreHits)
 	em.Set("forwards", &m.Forwards)
 	em.Set("forward_fails", &m.ForwardFails)

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"rana/internal/fault"
+	"rana/internal/fixed"
+	"rana/internal/sram"
+)
+
+// These tests drive RunFunctionalAt through a fault.FaultyStorage overlay
+// on a perfect (SRAM) buffer, so every output delta is attributable to
+// the injected flips alone — the storage-level half of the injection
+// pipeline, checked at known offsets.
+
+// TestFunctionalFaultyOutputFlips: flips overlaid on the output region
+// surface in the read-back exactly as the mask's XOR patterns, and
+// nowhere else.
+func TestFunctionalFaultyOutputFlips(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	buf, err := sram.New(4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	din := int(smallLayer.InputWords())
+	dw := int(smallLayer.WeightWords())
+	dout := int(smallLayer.OutputWords())
+	mask := &fault.Mask{Words: dout, Flips: []fault.Flip{
+		{Word: 3, Bit: 2}, {Word: 3, Bit: 9}, {Word: 17, Bit: 15},
+	}}
+	faulty := fault.Wrap(buf, mask, din+dw)
+	res, err := RunFunctionalAt(smallLayer, fixed.Q88, ins, ws, faulty, nil, 256, 200e6, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WordErrors != 2 {
+		t.Errorf("word errors = %d, want 2 (two distinct masked words)", res.WordErrors)
+	}
+	want := map[int]uint16{3: 1<<2 | 1<<9, 17: 1 << 15}
+	for i, got := range res.Output {
+		if exp := fixed.FromBits(fixed.Bits(res.Reference[i]) ^ want[i]); got != exp {
+			t.Errorf("output[%d] = %#04x, want reference %#04x ^ %#04x",
+				i, fixed.Bits(got), fixed.Bits(res.Reference[i]), want[i])
+		}
+	}
+	if got := faulty.Injections(); got != 2 {
+		t.Errorf("injections = %d, want 2 (outputs are read once, at the end)", got)
+	}
+}
+
+// TestFunctionalFaultyInputEquivalence: a stuck flip on an input word is
+// observationally identical to corrupting that input up front — every
+// read sees the same inverted bits, so the faulty run's output must
+// match a clean run over pre-corrupted inputs, word for word.
+func TestFunctionalFaultyInputEquivalence(t *testing.T) {
+	ins, ws := functionalInputs(t)
+	const word, pattern = 5, uint16(1<<4 | 1<<12)
+	mask := &fault.Mask{Words: len(ins), Flips: []fault.Flip{
+		{Word: word, Bit: 4}, {Word: word, Bit: 12},
+	}}
+
+	buf, err := sram.New(4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := fault.Wrap(buf, mask, 0)
+	res, err := RunFunctionalAt(smallLayer, fixed.Q88, ins, ws, faulty, nil, 256, 200e6, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupted := append([]fixed.Word(nil), ins...)
+	corrupted[word] = fixed.FromBits(fixed.Bits(corrupted[word]) ^ pattern)
+	clean, err := sram.New(4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunFunctionalAt(smallLayer, fixed.Q88, corrupted, ws, clean, nil, 256, 200e6, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.WordErrors != 0 {
+		t.Fatalf("clean pre-corrupted run reported %d word errors", want.WordErrors)
+	}
+	for i := range res.Output {
+		if res.Output[i] != want.Output[i] {
+			t.Fatalf("output[%d] = %#04x, want %#04x (pre-corrupted equivalent)",
+				i, fixed.Bits(res.Output[i]), fixed.Bits(want.Output[i]))
+		}
+	}
+	// The faulty run's reference is still the clean convolution, so its
+	// word-error count is exactly the corrupted-vs-clean output delta.
+	delta := 0
+	for i := range want.Output {
+		if want.Output[i] != res.Reference[i] {
+			delta++
+		}
+	}
+	if res.WordErrors != delta {
+		t.Errorf("word errors = %d, want %d", res.WordErrors, delta)
+	}
+	if delta == 0 {
+		t.Error("test premise broken: input flip perturbed no outputs")
+	}
+}

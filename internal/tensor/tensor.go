@@ -112,6 +112,13 @@ func (t *Tensor) Corrupt(in *bits.Injector, f fixed.Format) {
 	in.CorruptFloats(t.Data, f)
 }
 
+// CorruptAt is Corrupt restricted to the word-bit positions set in mask
+// (0 or bits.AllBits means no restriction) — the position-aware fault
+// hook of the injection engine.
+func (t *Tensor) CorruptAt(in *bits.Injector, f fixed.Format, mask uint16) {
+	in.CorruptFloatsAt(t.Data, f, mask)
+}
+
 // ArgMax returns the flat index of the maximum element.
 func (t *Tensor) ArgMax() int {
 	best, bi := t.Data[0], 0

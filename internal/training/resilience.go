@@ -1,0 +1,188 @@
+package training
+
+import (
+	"math"
+
+	"rana/internal/bits"
+	"rana/internal/dataset"
+	"rana/internal/nn"
+	"rana/internal/retention"
+)
+
+// This file holds the per-layer view of Stage 1: instead of one scalar
+// tolerable failure rate for a whole model, each layer gets its own
+// resilience curve, so the scheduler can admit memory operating points
+// layer by layer (early feature extractors tolerate more noise than the
+// classifier head — the EDEN observation). Two reproductions again:
+// calibrated curves for the ImageNet benchmarks, and an empirical
+// per-layer sweep of the demo CNN via nn.FaultPlan.
+
+// Curve is a logistic resilience curve in u = log10(rate):
+// relative accuracy = 1/(1+exp(K·(u−U0))). Larger U0 tolerates more.
+type Curve struct {
+	U0, K float64
+}
+
+// RelativeAccuracy evaluates the curve at a failure rate.
+func (c Curve) RelativeAccuracy(rate float64) float64 {
+	if rate <= 0 {
+		return 1
+	}
+	u := math.Log10(rate)
+	return 1 / (1 + math.Exp(c.K*(u-c.U0)))
+}
+
+// layerDepthShift is the tolerance spread between a model's first and
+// middle layer (and, negated, middle to last) on the log10(rate) axis:
+// the first layer's curve midpoint sits 0.3 decades above the model
+// curve, the last 0.3 below, interpolated linearly in depth.
+const layerDepthShift = 0.3
+
+// fallbackModel is the curve used for networks without a calibrated
+// entry: the most sensitive benchmark, so admission never over-promises
+// on an unknown model.
+const fallbackModel = "ResNet"
+
+// ModelCurve returns the calibrated whole-model curve, falling back to
+// the most sensitive benchmark for unknown models.
+func ModelCurve(model string) Curve {
+	p, ok := resilienceParams[model]
+	if !ok {
+		p = resilienceParams[fallbackModel]
+	}
+	return Curve{U0: p.u0, K: p.k}
+}
+
+// LayerCurve returns the calibrated resilience curve of layer index (0
+// ≤ index < depth) in a depth-layer model: the model curve with its
+// midpoint shifted by +layerDepthShift·(1 − 2·index/(depth−1)) decades,
+// so early layers tolerate more and the head less. A single-layer model
+// uses the model curve unshifted, as do out-of-range indices.
+func LayerCurve(model string, index, depth int) Curve {
+	c := ModelCurve(model)
+	if depth <= 1 || index < 0 || index >= depth {
+		return c
+	}
+	c.U0 += layerDepthShift * (1 - 2*float64(index)/float64(depth-1))
+	return c
+}
+
+// LayerRelativeAccuracy is the calibrated Fig. 11-style relative
+// accuracy of one layer position at a failure rate.
+func LayerRelativeAccuracy(model string, index, depth int, rate float64) float64 {
+	return LayerCurve(model, index, depth).RelativeAccuracy(rate)
+}
+
+// LayerTolerableRates runs the per-layer Stage 1 decision: for each
+// layer, the highest ladder rate whose calibrated layer curve meets the
+// constraint, with the conventional weakest-cell rate as the fallback
+// when none qualifies. An invalid constraint or ladder yields a
+// *LadderError. Unknown models use the most sensitive benchmark curve.
+func LayerTolerableRates(model string, layers []string, relConstraint float64, ladder []float64) (map[string]float64, error) {
+	if err := checkSearch(relConstraint, ladder); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(layers))
+	for i, name := range layers {
+		c := LayerCurve(model, i, len(layers))
+		best := 0.0
+		for _, rate := range ladder {
+			if c.RelativeAccuracy(rate) >= relConstraint && rate > best {
+				best = rate
+			}
+		}
+		if best == 0 {
+			best = retention.TypicalFailureRate
+		}
+		out[name] = best
+	}
+	return out, nil
+}
+
+// AccuracyPlan evaluates top-1 accuracy under per-layer failure rates:
+// every parameterized layer runs the fixed-point datapath, and layers
+// named in rates with a positive rate also inject bit-level failures.
+// Each sample draws independent error patterns; the injector seeds
+// derive from cfg.Seed in layer order, so the run is deterministic.
+func AccuracyPlan(net *nn.Network, samples []dataset.Sample, cfg Config, rates map[string]float64) float64 {
+	rng := bits.NewSplitMix64(cfg.Seed ^ 0x6163_6375)
+	correct := 0
+	for _, s := range samples {
+		plan := nn.FaultPlan{}
+		for _, l := range net.Layers {
+			if len(l.Params()) == 0 {
+				continue
+			}
+			fm := &nn.FaultModel{Format: cfg.Format, Quantize: true}
+			if r := rates[l.Name()]; r > 0 {
+				fm.Injector = bits.NewInjector(r, rng.Uint64())
+			}
+			plan[l.Name()] = fm
+		}
+		if net.PredictPlan(s.Image, plan) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// AccuracyPlanAvg averages AccuracyPlan over independent error-pattern
+// trials, mirroring AccuracyAvg.
+func AccuracyPlanAvg(net *nn.Network, samples []dataset.Sample, cfg Config, rates map[string]float64, trials int) float64 {
+	if trials <= 1 {
+		return AccuracyPlan(net, samples, cfg, rates)
+	}
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(t)*0x9e37
+		sum += AccuracyPlan(net, samples, c, rates)
+	}
+	return sum / float64(trials)
+}
+
+// EvaluatePretrained returns the pretrained (not retrained) model's
+// test accuracy under a uniform failure rate, averaged over trials —
+// the cheap empirical probe the fault-differential oracle uses: rates
+// the admission path accepts are far below what even the unadapted
+// model tolerates, so no per-rate retraining is needed.
+func (m *Method) EvaluatePretrained(rate float64, trials int) float64 {
+	return AccuracyAvg(m.pretrained, m.test, m.cfg, rate, trials)
+}
+
+// LayerPoint is one empirical sample of a layer's resilience curve:
+// accuracy with failures injected into that layer alone.
+type LayerPoint struct {
+	Rate     float64
+	Accuracy float64
+	// Relative is Accuracy over the clean fixed-point baseline.
+	Relative float64
+}
+
+// LayerResilience sweeps the ladder per parameterized layer of the
+// pretrained demo model, injecting failures into one layer at a time —
+// the empirical counterpart of the calibrated layer curves. An invalid
+// ladder yields a *LadderError.
+func (m *Method) LayerResilience(ladder []float64, trials int) (map[string][]LayerPoint, error) {
+	if err := CheckLadder(ladder); err != nil {
+		return nil, err
+	}
+	out := map[string][]LayerPoint{}
+	for _, l := range m.pretrained.Layers {
+		if len(l.Params()) == 0 {
+			continue
+		}
+		name := l.Name()
+		pts := make([]LayerPoint, 0, len(ladder))
+		for _, rate := range ladder {
+			acc := AccuracyPlanAvg(m.pretrained, m.test, m.cfg, map[string]float64{name: rate}, trials)
+			rel := 0.0
+			if m.baseline > 0 {
+				rel = acc / m.baseline
+			}
+			pts = append(pts, LayerPoint{Rate: rate, Accuracy: acc, Relative: rel})
+		}
+		out[name] = pts
+	}
+	return out, nil
+}

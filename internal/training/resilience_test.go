@@ -1,0 +1,146 @@
+package training
+
+import (
+	"errors"
+	"testing"
+
+	"rana/internal/retention"
+)
+
+func TestLayerCurveOrdering(t *testing.T) {
+	// In a multi-layer model the first layer tolerates the most, the
+	// last the least, and the whole-model curve sits in between.
+	const depth = 5
+	for _, m := range ResilienceModels() {
+		first := LayerCurve(m, 0, depth)
+		mid := LayerCurve(m, depth/2, depth)
+		last := LayerCurve(m, depth-1, depth)
+		if !(first.U0 > mid.U0 && mid.U0 > last.U0) {
+			t.Errorf("%s: U0 not descending with depth: %g %g %g", m, first.U0, mid.U0, last.U0)
+		}
+		if mid.U0 != ModelCurve(m).U0 {
+			t.Errorf("%s: middle layer U0 %g != model U0 %g", m, mid.U0, ModelCurve(m).U0)
+		}
+		for _, rate := range PaperRates {
+			f := LayerRelativeAccuracy(m, 0, depth, rate)
+			l := LayerRelativeAccuracy(m, depth-1, depth, rate)
+			if f < l {
+				t.Errorf("%s rate %g: first layer (%.4f) less tolerant than last (%.4f)", m, rate, f, l)
+			}
+		}
+	}
+}
+
+func TestLayerCurveEdges(t *testing.T) {
+	// Single-layer models and out-of-range indices use the unshifted
+	// model curve.
+	for _, tc := range []struct{ index, depth int }{{0, 1}, {-1, 4}, {4, 4}, {2, 0}} {
+		if got := LayerCurve("VGG", tc.index, tc.depth); got != ModelCurve("VGG") {
+			t.Errorf("LayerCurve(%d, %d) = %+v, want model curve", tc.index, tc.depth, got)
+		}
+	}
+	// Unknown models fall back to the most sensitive benchmark.
+	if ModelCurve("mystery-net") != ModelCurve("ResNet") {
+		t.Error("unknown model did not fall back to the ResNet curve")
+	}
+	// Zero rate is lossless on any curve.
+	if LayerRelativeAccuracy("AlexNet", 0, 3, 0) != 1 {
+		t.Error("zero rate should be lossless")
+	}
+}
+
+func TestLayerTolerableRatesDefaultConstraint(t *testing.T) {
+	// At the default 0.995 constraint every layer of every benchmark
+	// still tolerates 1e-5 — the scalar Stage 1 decision is preserved
+	// per layer, so per-layer admission changes nothing at defaults.
+	names := []string{"l0", "l1", "l2", "l3", "l4"}
+	for _, m := range ResilienceModels() {
+		rates, err := LayerTolerableRates(m, names, 0.995, PaperRates)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(rates) != len(names) {
+			t.Fatalf("%s: %d rates for %d layers", m, len(rates), len(names))
+		}
+		for name, r := range rates {
+			if r < retention.TolerableFailureRate {
+				t.Errorf("%s %s: tolerable rate %g below the scalar decision %g", m, name, r, retention.TolerableFailureRate)
+			}
+		}
+	}
+}
+
+func TestLayerTolerableRatesDifferentiate(t *testing.T) {
+	// At a loose constraint the early layers admit strictly higher
+	// rates than the head.
+	names := []string{"first", "mid", "last"}
+	rates, err := LayerTolerableRates("AlexNet", names, 0.9, PaperRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rates["first"] > rates["last"]) {
+		t.Errorf("first layer rate %g not above last %g", rates["first"], rates["last"])
+	}
+}
+
+func TestLayerTolerableRatesRejectsBadInputs(t *testing.T) {
+	var lerr *LadderError
+	if _, err := LayerTolerableRates("AlexNet", []string{"a"}, 0.9, nil); !errors.As(err, &lerr) {
+		t.Errorf("empty ladder: err = %v, want *LadderError", err)
+	}
+	if _, err := LayerTolerableRates("AlexNet", []string{"a"}, 0, PaperRates); !errors.As(err, &lerr) {
+		t.Errorf("bad constraint: err = %v, want *LadderError", err)
+	}
+}
+
+func TestAccuracyPlanMatchesUniformBaseline(t *testing.T) {
+	// With no injected rates the plan path is the clean fixed-point
+	// datapath — identical accuracy to the scalar path at rate 0.
+	clean := Accuracy(sharedMethod.pretrained, sharedMethod.test, sharedMethod.cfg, 0)
+	plan := AccuracyPlan(sharedMethod.pretrained, sharedMethod.test, sharedMethod.cfg, nil)
+	if clean != plan {
+		t.Errorf("clean plan accuracy %.4f != scalar accuracy %.4f", plan, clean)
+	}
+}
+
+func TestAccuracyPlanDeterministic(t *testing.T) {
+	rates := map[string]float64{"conv1": 1e-2}
+	a := AccuracyPlan(sharedMethod.pretrained, sharedMethod.test, sharedMethod.cfg, rates)
+	b := AccuracyPlan(sharedMethod.pretrained, sharedMethod.test, sharedMethod.cfg, rates)
+	if a != b {
+		t.Errorf("same seed plan accuracy diverged: %.4f vs %.4f", a, b)
+	}
+}
+
+func TestLayerResilience(t *testing.T) {
+	ladder := []float64{1e-5, 1e-1}
+	curves, err := sharedMethod.LayerResilience(ladder, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One curve per parameterized layer of the demo CNN.
+	for _, name := range []string{"conv1", "conv2", "fc"} {
+		pts, ok := curves[name]
+		if !ok {
+			t.Fatalf("no curve for layer %s (got %v)", name, curves)
+		}
+		if len(pts) != len(ladder) {
+			t.Fatalf("%s: %d points for %d rungs", name, len(pts), len(ladder))
+		}
+		// Mild rates are near-lossless; catastrophic rates hurt.
+		if pts[0].Relative < 0.9 {
+			t.Errorf("%s at 1e-5: relative %.3f, want ≈1", name, pts[0].Relative)
+		}
+		if pts[1].Relative >= pts[0].Relative {
+			t.Errorf("%s: relative accuracy not degrading (%.3f → %.3f)", name, pts[0].Relative, pts[1].Relative)
+		}
+	}
+	if len(curves) != 3 {
+		t.Errorf("curves for %d layers, want 3", len(curves))
+	}
+
+	var lerr *LadderError
+	if _, err := sharedMethod.LayerResilience(nil, 1); !errors.As(err, &lerr) {
+		t.Errorf("empty ladder: err = %v, want *LadderError", err)
+	}
+}

@@ -194,14 +194,53 @@ func (m *Method) Run(rate float64) Result {
 	return res
 }
 
+// LadderError reports an unusable tolerance-search input: an empty or
+// unsorted failure-rate ladder, a rate outside (0, 1], or a relative
+// accuracy constraint outside (0, 1]. Callers that used to get a silent
+// rate-0 fallback (or a panic) now see the reason.
+type LadderError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *LadderError) Error() string { return "training: " + e.Reason }
+
+// CheckLadder validates a failure-rate ladder: non-empty, every rate in
+// (0, 1], strictly ascending. Returns a *LadderError describing the
+// first violation.
+func CheckLadder(ladder []float64) error {
+	if len(ladder) == 0 {
+		return &LadderError{Reason: "empty failure-rate ladder"}
+	}
+	for i, r := range ladder {
+		if math.IsNaN(r) || r <= 0 || r > 1 {
+			return &LadderError{Reason: fmt.Sprintf("ladder rate %g at index %d outside (0, 1]", r, i)}
+		}
+		if i > 0 && r <= ladder[i-1] {
+			return &LadderError{Reason: fmt.Sprintf("ladder not strictly ascending: rate %g at index %d after %g", r, i, ladder[i-1])}
+		}
+	}
+	return nil
+}
+
+// checkSearch validates the (constraint, ladder) pair shared by the
+// tolerance searches.
+func checkSearch(relConstraint float64, ladder []float64) error {
+	if math.IsNaN(relConstraint) || relConstraint <= 0 || relConstraint > 1 {
+		return &LadderError{Reason: fmt.Sprintf("relative accuracy constraint %g outside (0, 1]", relConstraint)}
+	}
+	return CheckLadder(ladder)
+}
+
 // ToleranceSearch runs the method over the failure-rate ladder and
 // returns the highest rate whose relative accuracy meets the constraint,
 // together with the tolerable retention time it buys under dist.
 // The ladder is scanned from highest to lowest; if none qualifies, the
-// conventional weakest-cell point is returned.
-func (m *Method) ToleranceSearch(relConstraint float64, ladder []float64, dist *retention.Distribution) (float64, time.Duration, []Result) {
-	if relConstraint <= 0 || relConstraint > 1 {
-		panic(fmt.Sprintf("training: relative accuracy constraint %g outside (0,1]", relConstraint))
+// conventional weakest-cell point is returned. An invalid constraint or
+// ladder yields a *LadderError.
+func (m *Method) ToleranceSearch(relConstraint float64, ladder []float64, dist *retention.Distribution) (float64, time.Duration, []Result, error) {
+	if err := checkSearch(relConstraint, ladder); err != nil {
+		return 0, 0, nil, err
 	}
 	var results []Result
 	bestRate := 0.0
@@ -213,9 +252,9 @@ func (m *Method) ToleranceSearch(relConstraint float64, ladder []float64, dist *
 		}
 	}
 	if bestRate == 0 {
-		return retention.TypicalFailureRate, retention.TypicalRetentionTime, results
+		return retention.TypicalFailureRate, retention.TypicalRetentionTime, results, nil
 	}
-	return bestRate, dist.RetentionTime(bestRate), results
+	return bestRate, dist.RetentionTime(bestRate), results, nil
 }
 
 // clonePretrained deep-copies the pretrained network.
@@ -278,8 +317,13 @@ func RelativeAccuracy(model string, rate float64) (float64, error) {
 
 // TolerableRate returns the highest ladder rate at which every benchmark
 // model keeps relative accuracy ≥ relConstraint — the cross-model Stage 1
-// decision that fixes the fleet-wide refresh interval.
-func TolerableRate(relConstraint float64, ladder []float64) float64 {
+// decision that fixes the fleet-wide refresh interval. An invalid
+// constraint or ladder yields a *LadderError; if no ladder rate
+// qualifies, the conventional weakest-cell rate is returned.
+func TolerableRate(relConstraint float64, ladder []float64) (float64, error) {
+	if err := checkSearch(relConstraint, ladder); err != nil {
+		return 0, err
+	}
 	best := 0.0
 	for _, rate := range ladder {
 		ok := true
@@ -295,7 +339,7 @@ func TolerableRate(relConstraint float64, ladder []float64) float64 {
 		}
 	}
 	if best == 0 {
-		return retention.TypicalFailureRate
+		return retention.TypicalFailureRate, nil
 	}
-	return best
+	return best, nil
 }

@@ -1,6 +1,7 @@
 package training
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -57,7 +58,10 @@ func TestAccuracyDegradesWithRate(t *testing.T) {
 
 func TestToleranceSearch(t *testing.T) {
 	dist := retention.Typical()
-	rate, rt, results := sharedMethod.ToleranceSearch(0.9, []float64{1e-5, 1e-1}, dist)
+	rate, rt, results, err := sharedMethod.ToleranceSearch(0.9, []float64{1e-5, 1e-1}, dist)
+	if err != nil {
+		t.Fatalf("ToleranceSearch: %v", err)
+	}
 	if len(results) != 2 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -69,19 +73,39 @@ func TestToleranceSearch(t *testing.T) {
 		t.Errorf("tolerable retention = %v, want %v", rt, retention.TolerableRetentionTime)
 	}
 	// Impossible constraint falls back to the conventional point.
-	rate, rt, _ = sharedMethod.ToleranceSearch(1.0, []float64{1e-1}, dist)
+	rate, rt, _, err = sharedMethod.ToleranceSearch(1.0, []float64{1e-1}, dist)
+	if err != nil {
+		t.Fatalf("ToleranceSearch fallback: %v", err)
+	}
 	if rate != retention.TypicalFailureRate || rt != retention.TypicalRetentionTime {
 		t.Errorf("fallback = %g/%v", rate, rt)
 	}
 }
 
-func TestToleranceSearchPanicsOnBadConstraint(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+func TestToleranceSearchRejectsBadInputs(t *testing.T) {
+	dist := retention.Typical()
+	for _, tc := range []struct {
+		name       string
+		constraint float64
+		ladder     []float64
+	}{
+		{"zero constraint", 0, PaperRates},
+		{"negative constraint", -0.5, PaperRates},
+		{"constraint above one", 1.5, PaperRates},
+		{"nan constraint", math.NaN(), PaperRates},
+		{"empty ladder", 0.9, nil},
+		{"descending ladder", 0.9, []float64{1e-1, 1e-5}},
+		{"duplicate rung", 0.9, []float64{1e-5, 1e-5}},
+		{"zero rate", 0.9, []float64{0, 1e-5}},
+		{"rate above one", 0.9, []float64{1e-5, 2}},
+		{"nan rate", 0.9, []float64{1e-5, math.NaN()}},
+	} {
+		_, _, _, err := sharedMethod.ToleranceSearch(tc.constraint, tc.ladder, dist)
+		var lerr *LadderError
+		if !errors.As(err, &lerr) {
+			t.Errorf("%s: err = %v, want *LadderError", tc.name, err)
 		}
-	}()
-	sharedMethod.ToleranceSearch(0, nil, retention.Typical())
+	}
 }
 
 func TestCalibratedCurvesMatchFig11Shape(t *testing.T) {
@@ -125,7 +149,10 @@ func TestRelativeAccuracyEdgeCases(t *testing.T) {
 func TestTolerableRate(t *testing.T) {
 	// With the paper's ladder and a tight constraint, Stage 1 lands on
 	// 10⁻⁵ — which buys the 734 µs interval.
-	rate := TolerableRate(0.995, PaperRates)
+	rate, err := TolerableRate(0.995, PaperRates)
+	if err != nil {
+		t.Fatalf("TolerableRate: %v", err)
+	}
 	if rate != 1e-5 {
 		t.Errorf("tolerable rate = %g, want 1e-5", rate)
 	}
@@ -133,12 +160,37 @@ func TestTolerableRate(t *testing.T) {
 		t.Errorf("retention time = %v", rt)
 	}
 	// A loose constraint admits a higher rate.
-	if loose := TolerableRate(0.5, PaperRates); loose <= 1e-5 {
-		t.Errorf("loose constraint rate = %g", loose)
+	if loose, err := TolerableRate(0.5, PaperRates); err != nil || loose <= 1e-5 {
+		t.Errorf("loose constraint rate = %g, %v", loose, err)
 	}
 	// Unsatisfiable: falls back to the conventional point.
-	if fb := TolerableRate(1.0, []float64{1e-1}); fb != retention.TypicalFailureRate {
-		t.Errorf("fallback = %g", fb)
+	if fb, err := TolerableRate(1.0, []float64{1e-1}); err != nil || fb != retention.TypicalFailureRate {
+		t.Errorf("fallback = %g, %v", fb, err)
+	}
+}
+
+func TestTolerableRateRejectsBadInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		constraint float64
+		ladder     []float64
+	}{
+		{"empty ladder", 0.995, nil},
+		{"unsorted ladder", 0.995, []float64{1e-3, 1e-5}},
+		{"constraint out of range", 2, PaperRates},
+		{"rate out of range", 0.995, []float64{-1e-5, 1e-4}},
+	} {
+		rate, err := TolerableRate(tc.constraint, tc.ladder)
+		var lerr *LadderError
+		if !errors.As(err, &lerr) {
+			t.Errorf("%s: err = %v, want *LadderError", tc.name, err)
+		}
+		if rate != 0 {
+			t.Errorf("%s: rate = %g on error, want 0", tc.name, rate)
+		}
+		if err != nil && err.Error() == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
 	}
 }
 

@@ -232,35 +232,10 @@ func CompareBackendFunctional(spec string, l models.ConvLayer, cfg hw.Config, se
 	// conventional rate — the weakest surviving cell of the scaled
 	// retention curve sets the no-error refresh interval, exactly as the
 	// paper's 45 µs does at nominal.
-	var refresher *sim.Refresher
-	var div *memctrl.Divider
 	used := (din + dw + dout + bankWords - 1) / bankWords
-	if bk.Refreshes() {
-		target, ok := buf.(memctrl.BankRefresher)
-		if !ok {
-			return nil, fmt.Errorf("verify: refreshing backend %q built a non-refreshable buffer %T", bk.Name(), buf)
-		}
-		scale := pt.RetentionScale
-		if scale <= 0 {
-			scale = 1
-		}
-		interval := time.Duration(float64(retention.TypicalRetentionTime) * scale)
-		div, err = memctrl.NewDivider(cfg.FrequencyHz, interval)
-		if err != nil {
-			return nil, err
-		}
-		issuer, err := memctrl.NewIssuer(div, banks)
-		if err != nil {
-			return nil, err
-		}
-		flags := make([]bool, banks)
-		for i := 0; i < used; i++ {
-			flags[i] = true
-		}
-		if err := issuer.SetFlags(flags); err != nil {
-			return nil, err
-		}
-		refresher = &sim.Refresher{Issuer: issuer, Target: target}
+	refresher, div, err := pointRefresher(bk, buf, cfg, pt, used)
+	if err != nil {
+		return nil, err
 	}
 
 	g := gen.New(seed)
@@ -295,4 +270,40 @@ func CompareBackendFunctional(spec string, l models.ConvLayer, cfg hw.Config, se
 		r.diverge("backend-functional/word-errors", "reference", spec, 0, res.WordErrors)
 	}
 	return r, nil
+}
+
+// pointRefresher builds the real refresh machinery (divider + issuer
+// with the first used banks flagged) for a refreshing backend's buffer,
+// at the operating point's scaled conventional interval. Non-refreshing
+// backends get (nil, nil, nil).
+func pointRefresher(bk mem.Backend, buf mem.Buffer, cfg hw.Config, pt mem.OperatingPoint, used int) (*sim.Refresher, *memctrl.Divider, error) {
+	if !bk.Refreshes() {
+		return nil, nil, nil
+	}
+	target, ok := buf.(memctrl.BankRefresher)
+	if !ok {
+		return nil, nil, fmt.Errorf("verify: refreshing backend %q built a non-refreshable buffer %T", bk.Name(), buf)
+	}
+	scale := pt.RetentionScale
+	if scale <= 0 {
+		scale = 1
+	}
+	interval := time.Duration(float64(retention.TypicalRetentionTime) * scale)
+	div, err := memctrl.NewDivider(cfg.FrequencyHz, interval)
+	if err != nil {
+		return nil, nil, err
+	}
+	banks := cfg.Banks()
+	issuer, err := memctrl.NewIssuer(div, banks)
+	if err != nil {
+		return nil, nil, err
+	}
+	flags := make([]bool, banks)
+	for i := 0; i < used && i < banks; i++ {
+		flags[i] = true
+	}
+	if err := issuer.SetFlags(flags); err != nil {
+		return nil, nil, err
+	}
+	return &sim.Refresher{Issuer: issuer, Target: target}, div, nil
 }
