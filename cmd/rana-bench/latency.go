@@ -1,0 +1,116 @@
+package main
+
+// The concurrent-load latency section: rana-bench starts an in-process
+// ranad (the same serve.Server the daemon runs) and measures the
+// per-request wall clock of /v1/schedule under concurrent clients. The
+// request mix rotates through the model zoo and periodically opens the
+// traversal/mapping axes, so the server sees the realistic blend of
+// plan-cache hits, full Stage-2 compiles, and enlarged-space compiles
+// that dominate a fleet's tail latency.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rana/internal/models"
+	"rana/internal/serve"
+)
+
+// latencyRequest builds the i-th request body of the mix: models rotate
+// round-robin, and every fourth request compiles with the traversal and
+// mapping axes open (a distinct cache key and a heavier search).
+func latencyRequest(nets []models.Network, i int) string {
+	model := nets[i%len(nets)].Name
+	if i%4 == 3 {
+		return fmt.Sprintf(`{"model": %q, "options": {"traversal": "rtc", "mapping": "all"}}`, model)
+	}
+	return fmt.Sprintf(`{"model": %q}`, model)
+}
+
+// measureLatency fires requests /v1/schedule calls at an in-process
+// ranad from clients concurrent goroutines and summarizes the latency
+// distribution. Retryable shed/breaker responses (429/503) count as
+// errors here rather than being retried: under a fixed concurrent load
+// the tail the snapshot tracks is the server's, not a retry loop's.
+func measureLatency(nets []models.Network, clients, requests int) (*LatencyBench, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("latency: no models selected")
+	}
+	if clients > requests {
+		clients = requests
+	}
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Shutdown(context.Background())
+
+	durations := make([]time.Duration, requests)
+	var errs atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				body := latencyRequest(nets, i)
+				start := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					durations[i] = time.Since(start)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+				durations[i] = time.Since(start)
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(durations, func(a, b int) bool { return durations[a] < durations[b] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &LatencyBench{
+		Clients:  clients,
+		Requests: requests,
+		P50Ms:    ms(percentile(durations, 0.50)),
+		P90Ms:    ms(percentile(durations, 0.90)),
+		P99Ms:    ms(percentile(durations, 0.99)),
+		MaxMs:    ms(durations[len(durations)-1]),
+		Errors:   int(errs.Load()),
+	}, nil
+}
+
+// percentile reads the q-th quantile of a sorted sample using the
+// nearest-rank definition (the standard for latency SLOs: p99 is the
+// smallest observation ≥ 99% of the sample).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

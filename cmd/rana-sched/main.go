@@ -28,6 +28,7 @@ import (
 
 	"rana"
 	"rana/internal/mem"
+	"rana/internal/sched"
 	"rana/internal/sched/search"
 )
 
@@ -46,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strategy := fs.String("search", "", `Stage 2 exploration strategy: "exhaustive", "pruned" or "beam" (default pruned)`)
 	parallelism := fs.Int("parallelism", 0, "per-layer search workers (0 = GOMAXPROCS; plans are identical at every level)")
 	backendSpec := fs.String("backend", "", `memory backend "name" or "name@point" (default: the platform's technology adapter; a bare name searches every point within the error budget)`)
+	traversal := fs.String("traversal", "", `tile-traversal axis spec: "linear", "rtc" or "blocked<n>", comma-separated (default: linear nest only)`)
+	mapping := fs.String("mapping", "", `data-mapping axis spec: "row-major", "interleave" or "all" (default: row-major only)`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,12 +69,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "rana-sched:", err)
 		return 2
 	}
+	if _, err := sched.ParseTraversalSpec(*traversal); err != nil {
+		fmt.Fprintln(stderr, "rana-sched:", err)
+		return 2
+	}
+	if _, err := sched.ParseMappingSpec(*mapping); err != nil {
+		fmt.Fprintln(stderr, "rana-sched:", err)
+		return 2
+	}
 	if *server != "" {
-		if backend != "" && !*asJSON {
-			fmt.Fprintln(stderr, "rana-sched: -backend with -server requires -json (the compile endpoint has no backend axis)")
+		if (backend != "" || *traversal != "" || *mapping != "") && !*asJSON {
+			fmt.Fprintln(stderr, "rana-sched: -backend/-traversal/-mapping with -server require -json (the compile endpoint has no search axes)")
 			return 2
 		}
-		return runRemote(*server, *model, *strategy, backend, point, *parallelism, *export, *asJSON, stdout, stderr)
+		return runRemote(*server, *model, *strategy, backend, point, *traversal, *mapping, *parallelism, *export, *asJSON, stdout, stderr)
 	}
 
 	var net rana.Network
@@ -91,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fw.Parallelism = *parallelism
 	fw.Backend = backend
 	fw.OperatingPoint = point
+	fw.Traversal = *traversal
+	fw.Mapping = *mapping
 	out, err := fw.Compile(net)
 	if err != nil {
 		fmt.Fprintln(stderr, "rana-sched:", err)
@@ -128,9 +141,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if flagged > 0 {
 			refresh = fmt.Sprintf("%d banks", flagged)
 		}
-		fmt.Fprintf(stdout, "%-20s %-4s %-24s %10s %12s %8s\n",
+		// Non-default traversal/mapping cells are annotated at line end;
+		// default-axis runs keep the historical table bytes.
+		axes := ""
+		if lp.Traversal != "" {
+			axes += "  " + lp.Traversal
+		}
+		if lp.Mapping != "" {
+			axes += "  " + lp.Mapping
+		}
+		fmt.Fprintf(stdout, "%-20s %-4s %-24s %10s %12s %8s%s\n",
 			lc.Layer.Name, lc.Pattern, lc.Tiling.String(),
-			lp.Analysis.ExecTime.Round(100), lp.Analysis.Lifetimes.Max().Round(100), refresh)
+			lp.Analysis.ExecTime.Round(100), lp.Analysis.Lifetimes.Max().Round(100), refresh, axes)
 	}
 	fmt.Fprintln(stdout)
 	e := out.Energy

@@ -20,7 +20,7 @@ import (
 // -json prints the plan wire encoding, and the default prints the
 // compile summary numbers (the per-layer table needs the in-process
 // output and is only available locally).
-func runRemote(baseURL, model, strategy, backend, point string, parallelism int, export, asJSON bool, stdout, stderr io.Writer) int {
+func runRemote(baseURL, model, strategy, backend, point, traversal, mapping string, parallelism int, export, asJSON bool, stdout, stderr io.Writer) int {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	rc := &serve.RetryClient{
@@ -47,6 +47,12 @@ func runRemote(baseURL, model, strategy, backend, point string, parallelism int,
 		}
 		if point != "" {
 			options["operating_point"] = point
+		}
+		if traversal != "" {
+			options["traversal"] = traversal
+		}
+		if mapping != "" {
+			options["mapping"] = mapping
 		}
 		if len(options) > 0 {
 			req["options"] = options

@@ -10,6 +10,15 @@
 // The bound address is printed on startup (useful with port 0). On
 // SIGINT/SIGTERM the listener closes immediately, in-flight requests get
 // -drain to finish, and the process exits 0 after a clean drain.
+//
+// /v1/schedule requests open the Stage-2 search axes per request:
+// "options": {"backend": ..., "traversal": "rtc", "mapping": "all"}
+// (ParseTraversalSpec/ParseMappingSpec grammars; invalid specs are a
+// 400). Default-axis requests keep their legacy cache keys — equivalent
+// spellings collapse onto one canonical key — and /v1/catalog lists the
+// traversal ladder and registered mapping policies. The degradation
+// ladder's uniform fallback always pins the default order, so a
+// deadline-squeezed request can never be handed an unverified reorder.
 package main
 
 import (

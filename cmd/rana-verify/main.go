@@ -12,6 +12,7 @@
 //	rana-verify -functional 5            # word-accurate cross-checks
 //	rana-verify -search 50               # search-strategy differential sweep
 //	rana-verify -backends                # memory-backend differential sweep
+//	rana-verify -traversal               # traversal/mapping-axis differential sweep
 //	rana-verify -faults                  # fault-injection/error-budget differential sweep
 //	rana-verify -parallel                # parallel/memoized ≡ sequential bytes
 //	rana-verify -nodes URL,URL -reference URL  # fleet nodes ≡ single-node bytes
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	functional := fs.Int("functional", 0, "number of word-accurate functional cross-checks")
 	searchN := fs.Int("search", 0, "strategy differential: check pruned ≡ exhaustive on the selected networks plus this many random networks")
 	backends := fs.Bool("backends", false, "backend differential: sweep the memory-backend registry (default ≡ legacy bytes, invariants and bounds at every admissible operating point, functional spot checks)")
+	traversal := fs.Bool("traversal", false, "traversal/mapping differential: default axes ≡ legacy bytes, pruned ≡ exhaustive across the RTC and mapping axes, every admitted reorder meets its retention deadlines in the cycle walker")
 	faults := fs.Bool("faults", false, "fault differential: empirically validate error-budget admission under backend-derived bit flips (per-layer budgets, seeded mask stability, pretrained oracle, negative over-budget check, faulty-storage spot checks)")
 	parallel := fs.Bool("parallel", false, "parallelism differential: check parallel/memoized plans ≡ sequential exhaustive bytes on the selected networks")
 	nodesList := fs.String("nodes", "", "cross-node conformance: comma-separated fleet node URLs; every node must answer the zoo byte-identically to -reference (runs only this sweep)")
@@ -166,6 +168,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *backends {
 		n, f := sweepBackends(stdout, stderr, nets, cfg, opts, *seed, tol, *verbose)
+		cases += n
+		failures += f
+	}
+	if *traversal {
+		n, f := sweepTraversal(stdout, stderr, nets, cfg, opts, tol, *verbose)
 		cases += n
 		failures += f
 	}
@@ -348,6 +355,32 @@ func sweepBackends(stdout, stderr io.Writer, nets []models.Network, cfg hw.Confi
 			if verbose {
 				fmt.Fprintf(stdout, "ok   functional %s\n", spec)
 			}
+		}
+	}
+	return cases, failures
+}
+
+// sweepTraversal runs the traversal/mapping-axis differential oracle on
+// every selected network: default-axis plans must be the legacy bytes,
+// the pruned search must reproduce the exhaustive plan across the RTC
+// and mapping axes, the beam must never beat it, and every admitted
+// reorder must meet its retention deadlines in the cycle walker.
+func sweepTraversal(stdout, stderr io.Writer, nets []models.Network, cfg hw.Config, opts sched.Options, tol verify.Tolerances, verbose bool) (cases, failures int) {
+	for _, net := range nets {
+		cases++
+		r, err := verify.CompareTraversal(net, cfg, opts, tol)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify:", err)
+			failures++
+			continue
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s traversal\n%s\n", net.Name, indent(r.String()))
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "ok   %s\n", r)
 		}
 	}
 	return cases, failures

@@ -64,6 +64,13 @@ type Framework struct {
 	// (sched.Options.ErrorBudget); zero selects the paper's tolerable
 	// failure rate.
 	ErrorBudget float64
+	// Traversal opens Stage 2's tile-traversal-order axis
+	// (sched.Options.Traversal, ParseTraversalSpec grammar); empty keeps
+	// the default linear nest only.
+	Traversal string
+	// Mapping opens Stage 2's data-mapping axis (sched.Options.Mapping,
+	// ParseMappingSpec grammar); empty keeps row-major placement only.
+	Mapping string
 }
 
 // New returns a framework on the paper's evaluation platform with the
@@ -180,6 +187,8 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		Backend:         f.Backend,
 		OperatingPoint:  f.OperatingPoint,
 		ErrorBudget:     f.ErrorBudget,
+		Traversal:       f.Traversal,
+		Mapping:         f.Mapping,
 		LayerBudgets:    layerBudgets,
 	}
 	plan, stats, err := sched.ExploreNetworkContext(ctx, net, cfg, opts)

@@ -88,6 +88,67 @@ func (t Tiling) FitsCore(l models.ConvLayer, cfg hw.Config) bool {
 		t.Tm*t.Tn*l.K*l.K <= cfg.LocalWeight
 }
 
+// Traversal selects the tile traversal order of a pattern's memory
+// control loops. The zero value (Linear) is the paper's nest exactly as
+// Fig. 10 writes it. Blocks > 1 requests an RTC-style blocked walk
+// (Refresh Triggered Computation): the 2nd-level loop is partitioned
+// into up to Blocks contiguous stages and each stage is hoisted above
+// the 3rd-level loop, so data staged for a block is consumed before its
+// retention deadline instead of being refreshed. Re-staged data
+// restarts its retention clock, which is why the blocked analysis both
+// shrinks lifetimes and charges the extra off-chip reloads — the two
+// are physically inseparable.
+type Traversal struct {
+	// Blocks is the requested number of 2nd-level loop stages. 0 and 1
+	// both mean the linear nest; values above the loop extent clamp.
+	Blocks int
+}
+
+// Linear is the default traversal: the unmodified Fig. 10 loop nest.
+var Linear = Traversal{}
+
+// IsLinear reports whether the traversal is the unmodified nest.
+func (tr Traversal) IsLinear() bool { return tr.Blocks <= 1 }
+
+// String implements fmt.Stringer.
+func (tr Traversal) String() string {
+	if tr.IsLinear() {
+		return "linear"
+	}
+	return fmt.Sprintf("blocked%d", tr.Blocks)
+}
+
+// Validate checks the traversal is representable.
+func (tr Traversal) Validate() error {
+	if tr.Blocks < 0 {
+		return fmt.Errorf("pattern: negative traversal blocks %d", tr.Blocks)
+	}
+	return nil
+}
+
+// Span splits a 2nd-level loop extent into the traversal's contiguous
+// blocks: blk is the span of every full block (the last may be short)
+// and nBlocks the number of blocks actually realized — which can be
+// fewer than requested (extent 6 at Blocks=4 gives spans of 2, so 3
+// blocks). The analysis and the cycle walker both derive their blocking
+// from this one function so the two can never disagree.
+func (tr Traversal) Span(extent int) (blk, nBlocks int) { return blockSpan(extent, tr.Blocks) }
+
+// blockSpan splits an extent into at most b contiguous blocks of equal
+// span (the last may be short). blk is the span of every full block and
+// nBlocks the number of blocks actually produced — which can be fewer
+// than requested (extent 6 at b=4 gives spans of 2, so 3 blocks).
+func blockSpan(extent, b int) (blk, nBlocks int) {
+	if b > extent {
+		b = extent
+	}
+	if b <= 1 || extent <= 1 {
+		return extent, 1
+	}
+	blk = ceilDiv(extent, b)
+	return blk, ceilDiv(extent, blk)
+}
+
 // Storage is a per-data-type word count (buffer storage or traffic).
 type Storage struct {
 	Inputs, Outputs, Weights uint64
@@ -119,9 +180,10 @@ func (lt Lifetimes) Max() time.Duration {
 // under one pattern and tiling on one accelerator: everything the RANA
 // scheduler's energy model (Eq. 14) and refresh accounting need.
 type Analysis struct {
-	Layer   models.ConvLayer
-	Pattern Kind
-	Tiling  Tiling
+	Layer     models.ConvLayer
+	Pattern   Kind
+	Tiling    Tiling
+	Traversal Traversal
 
 	// MACs is α: the layer's useful multiply-accumulate count.
 	MACs uint64
@@ -170,10 +232,23 @@ type Analysis struct {
 // bodies (via the scheduler behind ranad), so malformed input is a
 // caller problem, not a process-fatal bug.
 func Analyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) (Analysis, error) {
+	return AnalyzeTraversal(l, k, t, cfg, Linear)
+}
+
+// AnalyzeTraversal is Analyze under an explicit traversal order. The
+// linear traversal reproduces Analyze bit for bit; a blocked traversal
+// shrinks the staged data's lifetimes and charges the re-staging DDR
+// traffic (see Traversal). Cycles, buffer storage and feasibility are
+// traversal-invariant: blocking permutes the visit order of the same
+// tile set.
+func AnalyzeTraversal(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, trv Traversal) (Analysis, error) {
 	if err := l.Validate(); err != nil {
 		return Analysis{}, err
 	}
 	if err := t.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	if err := trv.Validate(); err != nil {
 		return Analysis{}, err
 	}
 	switch k {
@@ -188,13 +263,13 @@ func Analyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) (Analysis, err
 	}
 	g := l.Groups
 	if g <= 1 {
-		return analyzeUngrouped(l, k, t, cfg, 1), nil
+		return analyzeUngrouped(l, k, t, cfg, trv, 1), nil
 	}
 	sub := l
 	sub.N /= g
 	sub.M /= g
 	sub.Groups = 1
-	return analyzeUngrouped(sub, k, t, cfg, g), nil
+	return analyzeUngrouped(sub, k, t, cfg, trv, g), nil
 }
 
 // MustAnalyze is Analyze for inputs known valid by construction — tests,
@@ -211,7 +286,7 @@ func MustAnalyze(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config) Analysis {
 // analyzeUngrouped does the real work on an ungrouped (sub-)layer and
 // scales whole-layer totals by the group count g. The reported Layer is
 // the original grouped layer reconstructed.
-func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int) Analysis {
+func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, trv Traversal, g int) Analysis {
 	R, C := l.R(), l.C()
 	nM := ceilDiv(l.M, t.Tm)
 	nN := ceilDiv(l.N, t.Tn)
@@ -259,6 +334,7 @@ func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int
 		Layer:       l,
 		Pattern:     k,
 		Tiling:      t,
+		Traversal:   trv,
 		MACs:        macs,
 		Cycles:      cycles,
 		ExecTime:    cyclesDur(cycles, cfg),
@@ -382,6 +458,55 @@ func analyzeUngrouped(l models.ConvLayer, k Kind, t Tiling, cfg hw.Config, g int
 	default:
 		// Invariant: Analyze validated the kind before dispatching here.
 		panic(fmt.Sprintf("pattern: unknown kind %d", int(k)))
+	}
+
+	// RTC blocked traversal: partition the 2nd-level loop into stages
+	// hoisted above the 3rd-level loop. Staged data is consumed within
+	// its stage — lifetimes shrink from the 3rd-level span to the staged
+	// span — and re-staged data reloads from DDR, which the traffic
+	// terms below charge. Cycles, storage, feasibility and buffer
+	// traffic are conservative and traversal-invariant: the same tiles
+	// are visited, only their order changes. The DDR multipliers use the
+	// realized block count (blockSpan clamps), never the requested one,
+	// so analysis matches the walker's actual refill count.
+	if b := trv.Blocks; b > 1 {
+		switch k {
+		case ID: // blocked nest: RC_blk (3rd), M, RC_in, N
+			blk, nBlocks := blockSpan(nR*nC, b)
+			if nBlocks > 1 {
+				// A block's inputs stay staged across the whole M loop;
+				// each m's weights reload per block.
+				a.Lifetimes.Input = cyclesDur(uint64(nM)*uint64(blk)*t1, cfg)
+				a.Lifetimes.Weight = cyclesDur(uint64(blk)*t1, cfg)
+				// Inputs stage per RC position with halo overlap — an
+				// upper bound on the sum of block footprints, independent
+				// of the block count, and ≥ din.
+				a.DDRTraffic.Inputs = uint64(nR*nC) * uint64(l.N) * uint64(th) * uint64(tl)
+				a.DDRTraffic.Weights = uint64(nBlocks) * dw
+			}
+		case OD: // blocked nest: M_blk (3rd), N, M_in, RC
+			blk, nBlocks := blockSpan(nM, b)
+			if nBlocks > 1 {
+				// An input slab serves one block per pass; outputs of a
+				// block self-refresh every pass over the block and finish
+				// (then ship) when the block's nN passes complete.
+				a.Lifetimes.Input = cyclesDur(uint64(blk)*t1, cfg)
+				if nN > 1 {
+					a.Lifetimes.Output = cyclesDur(uint64(blk)*t1, cfg)
+				}
+				a.DDRTraffic.Inputs = uint64(nBlocks) * din
+			}
+		case WD: // blocked nest: M_blk (3rd), RC, M_in, N
+			blk, nBlocks := blockSpan(nM, b)
+			if nBlocks > 1 {
+				// A block's weights stay staged across the whole RC loop;
+				// an input tile serves only the block's kernels before
+				// re-streaming for the next block.
+				a.Lifetimes.Weight = cyclesDur(uint64(nR*nC)*uint64(blk)*t1, cfg)
+				a.Lifetimes.Input = cyclesDur(uint64(blk)*t1, cfg)
+				a.DDRTraffic.Inputs *= uint64(nBlocks)
+			}
+		}
 	}
 	a.FitsBuffer = fits(a.BufferStorage, cfg)
 

@@ -50,6 +50,7 @@ import (
 	"rana/internal/hw"
 	"rana/internal/models"
 	"rana/internal/pattern"
+	"rana/internal/sched/search"
 )
 
 // bound precomputes the tiling-invariant quantities of one layer's
@@ -62,18 +63,28 @@ type bound struct {
 	g             uint64 // group count scaling sub-layer traffic to the layer
 	macs          uint64 // layer MACs, already group-scaled
 	din, dw, dout uint64 // sub-layer data volumes (words)
-	// tables are the per-operating-point Eq. 14 pricing tables, index-
-	// aligned with the search's point axis. The bound prices buffer
-	// traffic with the point's own access energy (exact, like the
-	// counts) and leaves refresh and wear at their zero lower bounds —
-	// both are non-negative at every point, so admissibility holds
-	// per point by the same argument as before.
+	// tables are the per-(mapping, operating point) Eq. 14 pricing
+	// tables, index-aligned with the search cell as
+	// tables[cell.Map*points+cell.Point]. The bound prices buffer
+	// traffic with the derived table's own access energy (exact, like
+	// the counts) and leaves refresh and wear at their zero lower
+	// bounds — both are non-negative under every mapping scale, so
+	// admissibility holds per cell by the same argument as before.
 	tables []energy.Table
+	points int
+	// travs is the traversal axis, index-aligned with cell.Trav. A
+	// blocked traversal only ever adds DDR reloads and shrinks the
+	// (zero-bounded) refresh term — except blocked ID, whose position-
+	// granular input staging can undercut din on strided layers exactly
+	// like WD's halo stream; lower() takes that min per cell. nil means
+	// a linear-only axis.
+	travs []pattern.Traversal
 }
 
 // newBound builds the lower-bound evaluator for one layer across the
-// resolved backend's operating points.
-func newBound(l models.ConvLayer, cfg hw.Config, tables []energy.Table) *bound {
+// resolved backend's operating points, traversal orders and mapping
+// policies.
+func newBound(l models.ConvLayer, cfg hw.Config, tables []energy.Table, points int, travs []pattern.Traversal) *bound {
 	e := effectiveLayer(l)
 	g := uint64(1)
 	if l.Groups > 1 {
@@ -88,15 +99,18 @@ func newBound(l models.ConvLayer, cfg hw.Config, tables []energy.Table) *bound {
 		dw:     e.WeightWords(),
 		dout:   e.OutputWords(),
 		tables: tables,
+		points: points,
+		travs:  travs,
 	}
 }
 
 // lower returns an admissible lower bound on the candidate's exact
-// Eq. 14 total energy at operating point pi: +Inf when the candidate's
-// streaming working set cannot fit the buffer (Analyze would report it
-// infeasible). Unknown kinds bound to zero — never pruned, so the exact
-// evaluator still sees (and rejects) them.
-func (b *bound) lower(k pattern.Kind, t pattern.Tiling, pi int) float64 {
+// Eq. 14 total energy at the cell's (operating point, traversal,
+// mapping): +Inf when the candidate's streaming working set cannot fit
+// the buffer (Analyze would report it infeasible). Unknown kinds bound
+// to zero — never pruned, so the exact evaluator still sees (and
+// rejects) them.
+func (b *bound) lower(k pattern.Kind, t pattern.Tiling, cell search.Cell) float64 {
 	nM := ceilDiv(b.l.M, t.Tm)
 	nN := ceilDiv(b.l.N, t.Tn)
 	nR := ceilDiv(b.l.R(), t.Tr)
@@ -139,18 +153,25 @@ func (b *bound) lower(k pattern.Kind, t pattern.Tiling, pi int) float64 {
 		haloIn := uint64(nR) * uint64(nC) * uint64(b.l.N) * uint64(th) * uint64(tl)
 		ddrIn = min(ddrIn, haloIn)
 	}
+	if k == pattern.ID && b.travs != nil && !b.travs[cell.Trav].IsLinear() {
+		// Blocked ID stages inputs per RC position with halo overlap —
+		// the same stream shape as WD's, with the same strided-layer
+		// undercut; the min keeps the bound admissible at this cell.
+		haloIn := uint64(nR) * uint64(nC) * uint64(b.l.N) * uint64(th) * uint64(tl)
+		ddrIn = min(ddrIn, haloIn)
+	}
 	ddr := ddrIn + b.dw + b.dout
 
 	// Price through the identical Eq. 14 path as Evaluate — against the
-	// operating point's own table — so the admissibility argument holds
-	// at the float level for every backend, not just the paper's. The
-	// zero Refreshes and BufferWrites counts are the refresh/wear lower
-	// bounds.
+	// cell's own derived (mapping-scaled, per-point) table — so the
+	// admissibility argument holds at the float level for every backend
+	// and mapping, not just the paper's. The zero Refreshes and
+	// BufferWrites counts are the refresh/wear lower bounds.
 	return energy.SystemTable(energy.Counts{
 		MACs:           b.macs,
 		BufferAccesses: buf * b.g,
 		DDRAccesses:    ddr * b.g,
-	}, b.tables[pi]).Total()
+	}, b.tables[cell.Map*b.points+cell.Point]).Total()
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
@@ -165,6 +186,6 @@ func LowerBound(l models.ConvLayer, cfg hw.Config, opts Options, k pattern.Kind,
 	if err != nil {
 		return 0, err
 	}
-	b := newBound(l, cfg, pointTables(points[:1]))
-	return b.lower(k, t, 0), nil
+	b := newBound(l, cfg, pointTables(points[:1]), 1, nil)
+	return b.lower(k, t, search.Cell{}), nil
 }

@@ -43,11 +43,17 @@ type LayerJSON struct {
 	Tiling  pattern.Tiling `json:"tiling"`
 	// Point is the chosen memory-backend operating point; omitted at
 	// the nominal corner.
-	Point   string        `json:"op,omitempty"`
-	Needs   memctrl.Needs `json:"needs"`
-	Alloc   [3]int        `json:"alloc"`
-	Refresh uint64        `json:"refresh_words"`
-	ExecNs  int64         `json:"exec_ns"`
+	Point string `json:"op,omitempty"`
+	// Traversal is the chosen tile traversal order; omitted for the
+	// linear nest. Mapping is the chosen data-mapping policy; omitted
+	// for row-major placement. Defaults omit both, so pre-axis plans —
+	// and the committed goldens — encode byte-identically.
+	Traversal string        `json:"traversal,omitempty"`
+	Mapping   string        `json:"mapping,omitempty"`
+	Needs     memctrl.Needs `json:"needs"`
+	Alloc     [3]int        `json:"alloc"`
+	Refresh   uint64        `json:"refresh_words"`
+	ExecNs    int64         `json:"exec_ns"`
 }
 
 // Encode projects a plan onto the wire encoding.
@@ -64,14 +70,16 @@ func Encode(p *Plan) PlanJSON {
 	}
 	for i, lp := range p.Layers {
 		g.Layers = append(g.Layers, LayerJSON{
-			Name:    p.Network.Layers[i].Name,
-			Pattern: lp.Analysis.Pattern.String(),
-			Tiling:  lp.Analysis.Tiling,
-			Point:   lp.Point,
-			Needs:   lp.Needs,
-			Alloc:   [3]int{lp.Alloc.InputBanks, lp.Alloc.OutputBanks, lp.Alloc.WeightBanks},
-			Refresh: lp.Counts.Refreshes,
-			ExecNs:  lp.Analysis.ExecTime.Nanoseconds(),
+			Name:      p.Network.Layers[i].Name,
+			Pattern:   lp.Analysis.Pattern.String(),
+			Tiling:    lp.Analysis.Tiling,
+			Point:     lp.Point,
+			Traversal: lp.Traversal,
+			Mapping:   lp.Mapping,
+			Needs:     lp.Needs,
+			Alloc:     [3]int{lp.Alloc.InputBanks, lp.Alloc.OutputBanks, lp.Alloc.WeightBanks},
+			Refresh:   lp.Counts.Refreshes,
+			ExecNs:    lp.Analysis.ExecTime.Nanoseconds(),
 		})
 	}
 	return g

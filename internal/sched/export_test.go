@@ -5,6 +5,7 @@ import (
 	"rana/internal/hw"
 	"rana/internal/models"
 	"rana/internal/pattern"
+	"rana/internal/sched/search"
 )
 
 // LowerBoundForTest exposes the branch-and-bound admissible lower bound
@@ -13,5 +14,5 @@ import (
 // sched).
 func LowerBoundForTest(l models.ConvLayer, cfg hw.Config, k pattern.Kind, t pattern.Tiling) float64 {
 	tables := []energy.Table{cfg.BufferTech.Table()}
-	return newBound(l, cfg, tables).lower(k, t, 0)
+	return newBound(l, cfg, tables, 1, nil).lower(k, t, search.Cell{})
 }

@@ -1,0 +1,136 @@
+package sched
+
+// Fuzzing for the traversal/mapping axis-spec grammars. Specs arrive
+// from CLI flags and untrusted HTTP requests (serve's OptionsSpec), so
+// both parsers must hold their contract on arbitrary bytes: parse or
+// error, never panic, default always at axis index 0, no duplicate axis
+// values, and the canonical spelling must be a re-parseable fixed point
+// (the cache-key discipline rests on that).
+
+import (
+	"strings"
+	"testing"
+
+	"rana/internal/pattern"
+)
+
+func FuzzParseTraversalSpec(f *testing.F) {
+	// Valid shapes.
+	f.Add("")
+	f.Add("linear")
+	f.Add("rtc")
+	f.Add("blocked2")
+	f.Add("blocked64")
+	f.Add("rtc,blocked16,linear")
+	// Hostile corpus: grammar abuse, boundary counts, case/whitespace
+	// traps, separator floods, length attacks, non-ASCII.
+	f.Add("blocked1")
+	f.Add("blocked65")
+	f.Add("blocked-2")
+	f.Add("blocked+2")
+	f.Add("blocked2.0")
+	f.Add("blocked02")
+	f.Add("blocked999999999999999999999")
+	f.Add("blocked")
+	f.Add("BLOCKED2")
+	f.Add("LINEAR")
+	f.Add(" rtc ")
+	f.Add("rtc\n")
+	f.Add("rtc\x00")
+	f.Add("rtç")
+	f.Add(",")
+	f.Add(",,,")
+	f.Add(strings.Repeat("rtc,", 200))
+	f.Add(strings.Repeat("b", 4096))
+	f.Fuzz(func(t *testing.T, spec string) {
+		axis, err := ParseTraversalSpec(spec)
+		if err != nil {
+			if axis != nil {
+				t.Fatalf("ParseTraversalSpec(%q) returned an axis alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(axis) == 0 || !axis[0].IsLinear() {
+			t.Fatalf("ParseTraversalSpec(%q): default not at index 0: %v", spec, axis)
+		}
+		seen := map[pattern.Traversal]bool{}
+		for i, tr := range axis {
+			if seen[tr] {
+				t.Fatalf("ParseTraversalSpec(%q): duplicate axis value %v", spec, tr)
+			}
+			seen[tr] = true
+			if i > 0 && (tr.Blocks < 2 || tr.Blocks > MaxTraversalBlocks) {
+				t.Fatalf("ParseTraversalSpec(%q): out-of-range stage count %v", spec, tr)
+			}
+		}
+		canonical, err := CanonicalTraversalSpec(spec)
+		if err != nil {
+			t.Fatalf("CanonicalTraversalSpec(%q) failed on an accepted spec: %v", spec, err)
+		}
+		reparsed, err := ParseTraversalSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical spelling %q of %q does not re-parse: %v", canonical, spec, err)
+		}
+		if len(reparsed) != len(axis) {
+			t.Fatalf("canonical %q re-parses to %v, spec %q parsed to %v", canonical, reparsed, spec, axis)
+		}
+		for i := range axis {
+			if reparsed[i] != axis[i] {
+				t.Fatalf("canonical %q re-parses to %v, spec %q parsed to %v", canonical, reparsed, spec, axis)
+			}
+		}
+		again, err := CanonicalTraversalSpec(canonical)
+		if err != nil || again != canonical {
+			t.Fatalf("canonical spelling %q is not a fixed point: %q, %v", canonical, again, err)
+		}
+	})
+}
+
+func FuzzParseMappingSpec(f *testing.F) {
+	f.Add("")
+	f.Add("row-major")
+	f.Add("interleave")
+	f.Add("all")
+	f.Add("all,interleave,row-major")
+	f.Add("ALL")
+	f.Add("row_major")
+	f.Add("rowmajor")
+	f.Add(" interleave ")
+	f.Add("interleave\x00")
+	f.Add("interléave")
+	f.Add(",")
+	f.Add(strings.Repeat("all,", 200))
+	f.Add(strings.Repeat("m", 4096))
+	f.Fuzz(func(t *testing.T, spec string) {
+		axis, err := ParseMappingSpec(spec)
+		if err != nil {
+			if axis != nil {
+				t.Fatalf("ParseMappingSpec(%q) returned an axis alongside error %v", spec, err)
+			}
+			return
+		}
+		if len(axis) == 0 || !axis[0].IsDefault() {
+			t.Fatalf("ParseMappingSpec(%q): default not at index 0: %v", spec, axis)
+		}
+		seen := map[string]bool{}
+		for _, m := range axis {
+			if seen[m.Name] {
+				t.Fatalf("ParseMappingSpec(%q): duplicate policy %q", spec, m.Name)
+			}
+			seen[m.Name] = true
+			// Accepted policies must resolve onto registry reality.
+			got, ok := MappingByName(m.Name)
+			if !ok || got != m {
+				t.Fatalf("ParseMappingSpec(%q) returned unregistered policy %+v", spec, m)
+			}
+		}
+		canonical, err := CanonicalMappingSpec(spec)
+		if err != nil {
+			t.Fatalf("CanonicalMappingSpec(%q) failed on an accepted spec: %v", spec, err)
+		}
+		again, err := CanonicalMappingSpec(canonical)
+		if err != nil || again != canonical {
+			t.Fatalf("canonical spelling %q is not a fixed point: %q, %v", canonical, again, err)
+		}
+	})
+}

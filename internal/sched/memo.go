@@ -32,11 +32,24 @@ import (
 // shared long-lived memo against hostile shape streams.
 const DefaultMemoCapacity = 4096
 
-// memoKey identifies one exploration problem. All three components are
-// comparable: the layer with identity (Name, Stage) cleared, the config
-// with Name cleared, and the canonical options signature.
+// memoKey identifies one exploration problem. All components are
+// comparable: the layer in canonical shape form (identity cleared,
+// padding collapsed into the derived output geometry), the config with
+// Name cleared, and the canonical options signature.
+//
+// The key is deliberately as coarse as soundness allows and no coarser.
+// Exploration reads the padding only through the derived R()/C(), so
+// distinct (P) spellings with identical derived geometry share an entry
+// (r/c carry the information P held). Coarsening over M — the axis
+// GoogLeNet's near-duplicate inception branches actually differ in —
+// is NOT sound: M reaches the plan through the Tm candidate axis,
+// ceil(M/Tm), the weight/output volumes and the MAC count, so two
+// branches differing only in M pick genuinely different plans and a
+// shared entry would break the hit-patches-identity-only contract
+// (TestMemoNearDuplicateShapesStayDistinct pins this boundary).
 type memoKey struct {
 	layer models.ConvLayer
+	r, c  int
 	cfg   hw.Config
 	sig   string
 }
@@ -134,6 +147,17 @@ func (o Options) signature() string {
 	if o.ErrorBudget > 0 {
 		fmt.Fprintf(&sb, "|ebudget=%g", o.ErrorBudget)
 	}
+	// The traversal and mapping axes, in canonical spelling so
+	// equivalent specs ("", "linear", "linear,linear") collapse onto one
+	// entry; the default-only axes append nothing, keeping legacy
+	// signatures byte-identical. Validate already rejected unparseable
+	// specs, so the canonicalizers cannot fail here.
+	if tr, err := CanonicalTraversalSpec(o.Traversal); err == nil && tr != "" {
+		fmt.Fprintf(&sb, "|traversal=%s", tr)
+	}
+	if mp, err := CanonicalMappingSpec(o.Mapping); err == nil && mp != "" {
+		fmt.Fprintf(&sb, "|mapping=%s", mp)
+	}
 	return sb.String()
 }
 
@@ -150,9 +174,15 @@ func keyFor(l models.ConvLayer, cfg hw.Config, opts Options) memoKey {
 	if len(opts.LayerBudgets) > 0 {
 		sig += fmt.Sprintf("|lbudget=%g", opts.layerBudget(l.Name))
 	}
+	// Canonical shape: padding collapses into the derived output
+	// geometry (exploration never reads P directly), and layer identity
+	// never influences exploration. Analysis.Layer is patched with the
+	// requesting layer on a hit, so the donor's spelling never leaks.
+	r, c := l.R(), l.C()
 	l.Name, l.Stage = "", ""
+	l.P = 0
 	cfg.Name = ""
-	return memoKey{layer: l, cfg: cfg, sig: sig}
+	return memoKey{layer: l, r: r, c: c, cfg: cfg, sig: sig}
 }
 
 // explore returns the layer's plan through the memo: a completed entry

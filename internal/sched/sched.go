@@ -94,6 +94,21 @@ type Options struct {
 	// failure rate (10⁻⁵, Fig. 11).
 	ErrorBudget float64
 
+	// Traversal opens the tile-traversal-order search axis (RTC): a
+	// ParseTraversalSpec grammar string naming the orders explored next
+	// to pattern, tiling, operating point and mapping. Empty (or
+	// "linear") keeps the axis at the paper's loop nest only — the
+	// historical behavior, byte-identical plans. "rtc" searches the
+	// blocked ladder; "blocked<n>" adds one stage count.
+	Traversal string
+
+	// Mapping opens the bank/row data-mapping search axis (PENDRAM): a
+	// ParseMappingSpec grammar string naming the placement policies
+	// explored. Empty (or "row-major") keeps the contiguous default
+	// only; "interleave" adds the row-interleaved policy; "all" searches
+	// every registered policy.
+	Mapping string
+
 	// LayerBudgets tightens the error budget per layer name with the
 	// tolerable failure rates from Stage 1's per-layer resilience curves
 	// (training.LayerTolerableRates): a layer listed here admits only
@@ -164,6 +179,11 @@ func (o Options) Fallback() Options {
 	if o.OperatingPoint == "" {
 		o.OperatingPoint = mem.Nominal
 	}
+	// Collapse the traversal and mapping axes to their defaults (linear
+	// nest, row-major placement) for the same reason: degraded mode
+	// prices one cell per candidate, never a ladder.
+	o.Traversal = ""
+	o.Mapping = ""
 	return o
 }
 
@@ -211,6 +231,12 @@ func (o Options) Validate() error {
 	if o.ErrorBudget < 0 || o.ErrorBudget > 1 {
 		return fmt.Errorf("sched: error budget %g outside [0, 1]", o.ErrorBudget)
 	}
+	if _, err := ParseTraversalSpec(o.Traversal); err != nil {
+		return err
+	}
+	if _, err := ParseMappingSpec(o.Mapping); err != nil {
+		return err
+	}
 	for name, lb := range o.LayerBudgets {
 		if math.IsNaN(lb) || lb < 0 || lb > 1 {
 			return fmt.Errorf("sched: layer %q error budget %g outside [0, 1]", name, lb)
@@ -237,6 +263,13 @@ type LayerPlan struct {
 	// possibility on single-point backends, so pre-backend plans carry
 	// the zero value).
 	Point string
+	// Traversal names the chosen tile traversal order; empty means the
+	// linear nest (the default axis value, so pre-axis plans carry the
+	// zero value). Mirrors Analysis.Traversal in canonical spelling.
+	Traversal string
+	// Mapping names the chosen data-mapping policy; empty means
+	// row-major placement.
+	Mapping string
 }
 
 // RefreshFlags expands the plan into per-bank refresh flags for a buffer
@@ -443,15 +476,28 @@ func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, s
 			search.Axis(e.C(), cfg.ArrayN),
 		)
 	}
-	b := newBound(l, cfg, pointTables(points))
+	// The traversal and mapping axes were validated with the options;
+	// both parsers put the default (linear, row-major) at index 0, so a
+	// default-only axis reproduces the historical candidate stream.
+	travs, err := ParseTraversalSpec(opts.Traversal)
+	if err != nil {
+		return LayerPlan{}, search.Stats{}, err
+	}
+	maps, err := ParseMappingSpec(opts.Mapping)
+	if err != nil {
+		return LayerPlan{}, search.Stats{}, err
+	}
+	b := newBound(l, cfg, mappingTables(pointTables(points), maps), len(points), travs)
 	r, err := search.Run(search.Problem[LayerPlan]{
 		Space:  space,
 		Kinds:  opts.Patterns,
 		Admit:  func(t pattern.Tiling) bool { return t.FitsCore(e, cfg) },
 		Points: len(points),
+		Travs:  len(travs),
+		Maps:   len(maps),
 		Bound:  b.lower,
-		Evaluate: func(k pattern.Kind, t pattern.Tiling, pi int) (search.Outcome[LayerPlan], error) {
-			lp, err := evaluatePoint(l, k, t, cfg, opts, bk, points[pi])
+		Evaluate: func(k pattern.Kind, t pattern.Tiling, cell search.Cell) (search.Outcome[LayerPlan], error) {
+			lp, err := evaluateCell(l, k, t, cfg, opts, bk, points[cell.Point], travs[cell.Trav], maps[cell.Map])
 			if err != nil {
 				return search.Outcome[LayerPlan]{}, err
 			}
@@ -525,15 +571,32 @@ func Evaluate(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Confi
 }
 
 // evaluatePoint is Evaluate against one resolved (backend, operating
-// point): the single exact-pricing path every strategy, baseline and
-// point of the search axis goes through.
+// point) at the default traversal and mapping — the single-cell view
+// the baseline paths and external checkers price.
 func evaluatePoint(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options,
 	bk mem.Backend, pt mem.OperatingPoint) (LayerPlan, error) {
-	a, err := pattern.Analyze(l, k, t, cfg)
+	return evaluateCell(l, k, t, cfg, opts, bk, pt, pattern.Linear, RowMajorMapping)
+}
+
+// evaluateCell characterizes and prices one full search cell — a
+// (pattern, tiling) candidate at one resolved (operating point,
+// traversal order, mapping policy): the single exact-pricing path every
+// strategy, baseline and axis combination goes through. The traversal
+// reshapes the analysis (lifetimes, DDR reloads); the mapping reshapes
+// the pricing table; defaults of both reproduce the pre-axis path bit
+// for bit.
+func evaluateCell(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options,
+	bk mem.Backend, pt mem.OperatingPoint, trv pattern.Traversal, mp MappingPolicy) (LayerPlan, error) {
+	a, err := pattern.AnalyzeTraversal(l, k, t, cfg, trv)
 	if err != nil {
 		return LayerPlan{}, err
 	}
-	lp := LayerPlan{Analysis: a, Point: mem.NormalizePoint(pt.Name)}
+	lp := LayerPlan{
+		Analysis:  a,
+		Point:     mem.NormalizePoint(pt.Name),
+		Traversal: traversalName(trv),
+		Mapping:   mappingName(mp),
+	}
 	lp.Alloc = memctrl.Allocate(a.BufferStorage, cfg.BankWords, cfg.Banks())
 	var refreshes uint64
 	if opts.Controller != nil && bk.Refreshes() {
@@ -556,7 +619,7 @@ func evaluatePoint(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.
 		DDRAccesses:    a.DDRTraffic.Total(),
 		BufferWrites:   a.BufferWrites,
 	}
-	lp.Energy = energy.SystemTable(lp.Counts, pt.Table())
+	lp.Energy = energy.SystemTable(lp.Counts, mp.Apply(pt.Table()))
 	return lp, nil
 }
 

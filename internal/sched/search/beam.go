@@ -26,7 +26,13 @@ func worse(a, b scored) bool {
 	if a.c.TilingIdx != b.c.TilingIdx {
 		return a.c.TilingIdx > b.c.TilingIdx
 	}
-	return a.c.PointIdx > b.c.PointIdx
+	if a.c.PointIdx != b.c.PointIdx {
+		return a.c.PointIdx > b.c.PointIdx
+	}
+	if a.c.TravIdx != b.c.TravIdx {
+		return a.c.TravIdx > b.c.TravIdx
+	}
+	return a.c.MapIdx > b.c.MapIdx
 }
 
 // beamHeap is a max-heap by worse — the root is the least promising
@@ -55,7 +61,7 @@ func (h *beamHeap) Pop() any          { old := *h; n := len(old); x := old[n-1];
 func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 	var r Result[T]
 	r.Stats.Workers = 1
-	points := p.points()
+	points, travs, maps := p.points(), p.travs(), p.maps()
 	kept := make(beamHeap, 0, width)
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
@@ -69,21 +75,25 @@ func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 		r.Stats.Admitted++
 		for ki, k := range p.Kinds {
 			for pi := 0; pi < points; pi++ {
-				r.Stats.Candidates++
-				s := scored{c: Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi}}
-				if p.Bound != nil {
-					r.Stats.Bounded++
-					s.bound = p.Bound(k, t, pi)
-				}
-				switch {
-				case len(kept) < width:
-					heap.Push(&kept, s)
-				case worse(kept[0], s):
-					kept[0] = s
-					heap.Fix(&kept, 0)
-					r.Stats.Pruned++
-				default:
-					r.Stats.Pruned++
+				for tv := 0; tv < travs; tv++ {
+					for mi := 0; mi < maps; mi++ {
+						r.Stats.Candidates++
+						s := scored{c: Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}}
+						if p.Bound != nil {
+							r.Stats.Bounded++
+							s.bound = p.Bound(k, t, s.c.Cell())
+						}
+						switch {
+						case len(kept) < width:
+							heap.Push(&kept, s)
+						case worse(kept[0], s):
+							kept[0] = s
+							heap.Fix(&kept, 0)
+							r.Stats.Pruned++
+						default:
+							r.Stats.Pruned++
+						}
+					}
 				}
 			}
 		}
@@ -137,7 +147,7 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 	}
 	if workers <= 1 {
 		for i, s := range ordered {
-			out, err := p.Evaluate(s.c.Kind, s.c.Tiling, s.c.PointIdx)
+			out, err := p.Evaluate(s.c.Kind, s.c.Tiling, s.c.Cell())
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +181,7 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 				if i >= len(ordered) {
 					return
 				}
-				out, err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling, ordered[i].c.PointIdx)
+				out, err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling, ordered[i].c.Cell())
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -204,8 +214,9 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 }
 
 // sortCanonical orders survivors by (kind index, tiling index, point
-// index) — the canonical enumeration order ties are defined over. Insertion sort: the
-// beam is small and the input nearly unordered heap backing.
+// index, traversal index, mapping index) — the canonical enumeration
+// order ties are defined over. Insertion sort: the beam is small and
+// the input nearly unordered heap backing.
 func sortCanonical(xs []scored) {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && canonicalBefore(xs[j].c, xs[j-1].c); j-- {
@@ -222,5 +233,11 @@ func canonicalBefore(a, b Candidate) bool {
 	if a.TilingIdx != b.TilingIdx {
 		return a.TilingIdx < b.TilingIdx
 	}
-	return a.PointIdx < b.PointIdx
+	if a.PointIdx != b.PointIdx {
+		return a.PointIdx < b.PointIdx
+	}
+	if a.TravIdx != b.TravIdx {
+		return a.TravIdx < b.TravIdx
+	}
+	return a.MapIdx < b.MapIdx
 }

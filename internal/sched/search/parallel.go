@@ -137,7 +137,7 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 	defer releaseAdmitted(buf)
 	admitted := *buf
 
-	points := p.points()
+	points, travs, maps := p.points(), p.travs(), p.maps()
 	if workers > len(admitted) {
 		workers = len(admitted)
 	}
@@ -190,37 +190,42 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 				for _, ta := range admitted[lo:hi] {
 					for ki, k := range p.Kinds {
 						for pi := 0; pi < points; pi++ {
-							local.Stats.Candidates++
-							if prune {
-								if best := shared.load(); !math.IsInf(best, 1) {
-									local.Stats.Bounded++
-									// Strictly greater only, exactly like the
-									// sequential scan: an exact tie could still
-									// win the deterministic tie-break.
-									if p.Bound(k, ta.t, pi) > best {
-										local.Stats.Pruned++
+							for tv := 0; tv < travs; tv++ {
+								for mi := 0; mi < maps; mi++ {
+									local.Stats.Candidates++
+									cell := Cell{Point: pi, Trav: tv, Map: mi}
+									if prune {
+										if best := shared.load(); !math.IsInf(best, 1) {
+											local.Stats.Bounded++
+											// Strictly greater only, exactly like the
+											// sequential scan: an exact tie could still
+											// win the deterministic tie-break.
+											if p.Bound(k, ta.t, cell) > best {
+												local.Stats.Pruned++
+												continue
+											}
+										}
+									}
+									out, err := p.Evaluate(k, ta.t, cell)
+									if err != nil {
+										if failures[w] == nil {
+											failures[w] = &workerFailure{err: err,
+												c: Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}}
+										}
+										failed.Store(true)
+										return
+									}
+									local.Stats.Evaluated++
+									if !out.Feasible {
 										continue
 									}
+									c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}
+									if !local.Found || prefer(out.Energy, c, local.Outcome.Energy, local.Candidate) {
+										local.Found, local.Candidate, local.Outcome = true, c, out
+									}
+									shared.tighten(out.Energy)
 								}
 							}
-							out, err := p.Evaluate(k, ta.t, pi)
-							if err != nil {
-								if failures[w] == nil {
-									failures[w] = &workerFailure{err: err,
-										c: Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi}}
-								}
-								failed.Store(true)
-								return
-							}
-							local.Stats.Evaluated++
-							if !out.Feasible {
-								continue
-							}
-							c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi}
-							if !local.Found || prefer(out.Energy, c, local.Outcome.Energy, local.Candidate) {
-								local.Found, local.Candidate, local.Outcome = true, c, out
-							}
-							shared.tighten(out.Energy)
 						}
 					}
 				}
@@ -271,29 +276,34 @@ func scanSlice[T any](p Problem[T], prune bool, admitted []tilingAt) (Result[T],
 	var r Result[T]
 	r.Stats.Workers = 1
 	prune = prune && p.Bound != nil
-	points := p.points()
+	points, travs, maps := p.points(), p.travs(), p.maps()
 	for _, ta := range admitted {
 		for ki, k := range p.Kinds {
 			for pi := 0; pi < points; pi++ {
-				r.Stats.Candidates++
-				if prune && r.Found {
-					r.Stats.Bounded++
-					if p.Bound(k, ta.t, pi) > r.Outcome.Energy {
-						r.Stats.Pruned++
-						continue
+				for tv := 0; tv < travs; tv++ {
+					for mi := 0; mi < maps; mi++ {
+						r.Stats.Candidates++
+						cell := Cell{Point: pi, Trav: tv, Map: mi}
+						if prune && r.Found {
+							r.Stats.Bounded++
+							if p.Bound(k, ta.t, cell) > r.Outcome.Energy {
+								r.Stats.Pruned++
+								continue
+							}
+						}
+						out, err := p.Evaluate(k, ta.t, cell)
+						if err != nil {
+							return Result[T]{}, err
+						}
+						r.Stats.Evaluated++
+						if !out.Feasible {
+							continue
+						}
+						c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}
+						if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
+							r.Found, r.Candidate, r.Outcome = true, c, out
+						}
 					}
-				}
-				out, err := p.Evaluate(k, ta.t, pi)
-				if err != nil {
-					return Result[T]{}, err
-				}
-				r.Stats.Evaluated++
-				if !out.Feasible {
-					continue
-				}
-				c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi}
-				if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
-					r.Found, r.Candidate, r.Outcome = true, c, out
 				}
 			}
 		}

@@ -146,7 +146,7 @@ func TestParallelRepanicsWorkerPanics(t *testing.T) {
 	p := Problem[string]{
 		Space: NewSlice(tilingsN(64)),
 		Kinds: kinds,
-		Evaluate: func(k pattern.Kind, ti pattern.Tiling, _ int) (Outcome[string], error) {
+		Evaluate: func(k pattern.Kind, ti pattern.Tiling, _ Cell) (Outcome[string], error) {
 			if ti.Tm == 40 {
 				panic("poisoned candidate")
 			}

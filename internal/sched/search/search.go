@@ -18,8 +18,10 @@
 //
 // Every strategy uses one canonical preference order so equal-energy
 // argmins can never silently flip between strategies or refactors:
-// lexicographic (energy, kind index, tiling index) — exactly the
-// pattern-major strict-< first-wins rule of the historical loop.
+// lexicographic (energy, kind index, tiling index, point index,
+// traversal index, mapping index) — exactly the pattern-major strict-<
+// first-wins rule of the historical loop, extended axis by axis so
+// single-valued axes change nothing.
 //
 // Every strategy also runs at any parallelism level with byte-identical
 // results: Options.Parallelism partitions the candidate space across a
@@ -105,9 +107,10 @@ func EffectiveParallelism(p int) int {
 	return p
 }
 
-// Candidate identifies one (pattern kind, tiling, operating point) cell
-// of the space. KindIdx, TilingIdx and PointIdx are the enumeration
-// positions the tie-breaking order is defined over.
+// Candidate identifies one (pattern kind, tiling, operating point,
+// traversal order, data mapping) cell of the space. KindIdx, TilingIdx,
+// PointIdx, TravIdx and MapIdx are the enumeration positions the
+// tie-breaking order is defined over.
 type Candidate struct {
 	Kind      pattern.Kind
 	KindIdx   int
@@ -116,6 +119,28 @@ type Candidate struct {
 	// PointIdx indexes the problem's memory-backend operating points;
 	// always 0 when the problem has a single (or no explicit) point.
 	PointIdx int
+	// TravIdx indexes the problem's traversal orders; always 0 when the
+	// problem has a single (or no explicit) order.
+	TravIdx int
+	// MapIdx indexes the problem's data-mapping policies; always 0 when
+	// the problem has a single (or no explicit) policy.
+	MapIdx int
+}
+
+// Cell projects the candidate onto its value-axis coordinates — the
+// triple Bound and Evaluate are addressed with.
+func (c Candidate) Cell() Cell {
+	return Cell{Point: c.PointIdx, Trav: c.TravIdx, Map: c.MapIdx}
+}
+
+// Cell addresses one position on the per-candidate value axes: the
+// memory-backend operating point, the traversal order and the
+// data-mapping policy. The zero Cell is the historical default (nominal
+// point, linear traversal, row-major mapping).
+type Cell struct {
+	Point int
+	Trav  int
+	Map   int
 }
 
 // Outcome is one candidate priced exactly by the caller's evaluator.
@@ -145,23 +170,41 @@ type Problem[T any] struct {
 	// the historical two-axis space, with identical enumeration and
 	// statistics.
 	Points int
+	// Travs is the traversal-order axis (RTC-style execution
+	// reordering): each admitted (kind, tiling, point) cell is
+	// considered at every traversal index in [0, Travs). Zero (or
+	// negative) means the single implicit linear order.
+	Travs int
+	// Maps is the data-mapping axis (PENDRAM-style bank/row policy):
+	// each cell is considered at every mapping index in [0, Maps). Zero
+	// (or negative) means the single implicit row-major policy.
+	Maps int
 	// Bound returns an admissible lower bound on Evaluate's Energy for
-	// the candidate at one operating point: it must never exceed the
-	// exact value, and must be much cheaper to compute. Nil disables
-	// pruning (Pruned degenerates to Exhaustive, Beam keeps
+	// the candidate at one value cell: it must never exceed the exact
+	// value, and must be much cheaper to compute. Nil disables pruning
+	// (Pruned degenerates to Exhaustive, Beam keeps
 	// arbitrary-but-deterministic candidates).
-	Bound func(k pattern.Kind, t pattern.Tiling, point int) float64
-	// Evaluate prices one candidate exactly at one operating point.
-	Evaluate func(k pattern.Kind, t pattern.Tiling, point int) (Outcome[T], error)
+	Bound func(k pattern.Kind, t pattern.Tiling, cell Cell) float64
+	// Evaluate prices one candidate exactly at one value cell.
+	Evaluate func(k pattern.Kind, t pattern.Tiling, cell Cell) (Outcome[T], error)
+}
+
+// axisExtent resolves one value-axis extent (zero or negative → one).
+func axisExtent(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
 }
 
 // points resolves the operating-point axis extent (zero → one).
-func (p Problem[T]) points() int {
-	if p.Points <= 0 {
-		return 1
-	}
-	return p.Points
-}
+func (p Problem[T]) points() int { return axisExtent(p.Points) }
+
+// travs resolves the traversal-order axis extent (zero → one).
+func (p Problem[T]) travs() int { return axisExtent(p.Travs) }
+
+// maps resolves the data-mapping axis extent (zero → one).
+func (p Problem[T]) maps() int { return axisExtent(p.Maps) }
 
 // Options tunes one Run.
 type Options struct {
@@ -246,13 +289,15 @@ func Run[T any](p Problem[T], o Options) (Result[T], error) {
 
 // prefer reports whether candidate c with energy e beats the incumbent
 // (be, bc) in the canonical preference order: lexicographic
-// (energy, kind index, tiling index, point index). This is exactly the
-// argmin the historical pattern-major loop's strict-< rule kept — the
-// earliest candidate in (kind, tiling, point) enumeration order among
-// the equal-energy minima — so every strategy and any future parallel
-// variant agrees on ties by construction. The point index compares
-// last: on single-point problems it never differs, so the historical
-// two-axis tie-break is preserved bit-for-bit.
+// (energy, kind index, tiling index, point index, traversal index,
+// mapping index). This is exactly the argmin the historical
+// pattern-major loop's strict-< rule kept — the earliest candidate in
+// (kind, tiling, point, traversal, mapping) enumeration order among the
+// equal-energy minima — so every strategy and any future parallel
+// variant agrees on ties by construction. The value-axis indices
+// compare last, newest-axis last of all: on single-valued axes they
+// never differ, so each historical tie-break is preserved bit-for-bit
+// as axes accrete.
 func prefer(e float64, c Candidate, be float64, bc Candidate) bool {
 	if e != be {
 		return e < be
@@ -263,16 +308,22 @@ func prefer(e float64, c Candidate, be float64, bc Candidate) bool {
 	if c.TilingIdx != bc.TilingIdx {
 		return c.TilingIdx < bc.TilingIdx
 	}
-	return c.PointIdx < bc.PointIdx
+	if c.PointIdx != bc.PointIdx {
+		return c.PointIdx < bc.PointIdx
+	}
+	if c.TravIdx != bc.TravIdx {
+		return c.TravIdx < bc.TravIdx
+	}
+	return c.MapIdx < bc.MapIdx
 }
 
 // scan is the shared exhaustive / branch-and-bound loop: one streaming
-// pass over the tiling space, all pattern kinds and operating points
-// priced per tiling.
+// pass over the tiling space, all pattern kinds and value cells
+// (operating point × traversal × mapping) priced per tiling.
 func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 	var r Result[T]
 	r.Stats.Workers = 1
-	points := p.points()
+	points, travs, maps := p.points(), p.travs(), p.maps()
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
 		if !ok {
@@ -285,28 +336,33 @@ func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 		r.Stats.Admitted++
 		for ki, k := range p.Kinds {
 			for pi := 0; pi < points; pi++ {
-				r.Stats.Candidates++
-				if prune && r.Found {
-					r.Stats.Bounded++
-					// Strictly greater only: a candidate whose bound *equals*
-					// the incumbent's energy could still tie exactly and win
-					// the deterministic tie-break, so it must be priced.
-					if p.Bound(k, t, pi) > r.Outcome.Energy {
-						r.Stats.Pruned++
-						continue
+				for tv := 0; tv < travs; tv++ {
+					for mi := 0; mi < maps; mi++ {
+						r.Stats.Candidates++
+						cell := Cell{Point: pi, Trav: tv, Map: mi}
+						if prune && r.Found {
+							r.Stats.Bounded++
+							// Strictly greater only: a candidate whose bound *equals*
+							// the incumbent's energy could still tie exactly and win
+							// the deterministic tie-break, so it must be priced.
+							if p.Bound(k, t, cell) > r.Outcome.Energy {
+								r.Stats.Pruned++
+								continue
+							}
+						}
+						out, err := p.Evaluate(k, t, cell)
+						if err != nil {
+							return Result[T]{}, err
+						}
+						r.Stats.Evaluated++
+						if !out.Feasible {
+							continue
+						}
+						c := Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}
+						if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
+							r.Found, r.Candidate, r.Outcome = true, c, out
+						}
 					}
-				}
-				out, err := p.Evaluate(k, t, pi)
-				if err != nil {
-					return Result[T]{}, err
-				}
-				r.Stats.Evaluated++
-				if !out.Feasible {
-					continue
-				}
-				c := Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi}
-				if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
-					r.Found, r.Candidate, r.Outcome = true, c, out
 				}
 			}
 		}

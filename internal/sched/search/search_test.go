@@ -115,8 +115,8 @@ func synthetic(tilings []pattern.Tiling, kinds []pattern.Kind, table map[string]
 	return Problem[string]{
 		Space: NewSlice(tilings),
 		Kinds: kinds,
-		Bound: func(k pattern.Kind, t pattern.Tiling, _ int) float64 { return table[key(k, t)].bound },
-		Evaluate: func(k pattern.Kind, t pattern.Tiling, _ int) (Outcome[string], error) {
+		Bound: func(k pattern.Kind, t pattern.Tiling, _ Cell) float64 { return table[key(k, t)].bound },
+		Evaluate: func(k pattern.Kind, t pattern.Tiling, _ Cell) (Outcome[string], error) {
 			id := key(k, t)
 			e, ok := table[id]
 			if !ok {

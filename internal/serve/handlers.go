@@ -535,6 +535,49 @@ func catalogBackends() []BackendJSON {
 	return out
 }
 
+// MappingJSON is one data-mapping policy in the catalog: the row/bank
+// placement axis of the search space, with the energy scales its cost
+// model applies to the buffer's operating-point table.
+type MappingJSON struct {
+	Name         string  `json:"name"`
+	AccessScale  float64 `json:"access_scale"`
+	RefreshScale float64 `json:"refresh_scale"`
+}
+
+// catalogMappings projects the registered mapping policies onto the
+// catalog form, default first.
+func catalogMappings() []MappingJSON {
+	var out []MappingJSON
+	for _, m := range sched.MappingPolicies() {
+		out = append(out, MappingJSON{
+			Name:         m.Name,
+			AccessScale:  m.AccessScale,
+			RefreshScale: m.RefreshScale,
+		})
+	}
+	return out
+}
+
+// catalogTraversals advertises the traversal-axis grammar: the default
+// spelling, what the "rtc" alias expands to, and the blocked stage-count
+// range the spec accepts.
+func catalogTraversals() map[string]any {
+	var ladder []string
+	if axis, err := sched.ParseTraversalSpec("rtc"); err == nil {
+		for _, tr := range axis[1:] {
+			ladder = append(ladder, tr.String())
+		}
+	}
+	return map[string]any{
+		"default":    sched.DefaultTraversalName,
+		"rtc_ladder": ladder,
+		"blocked_range": map[string]int{
+			"min": 2,
+			"max": sched.MaxTraversalBlocks,
+		},
+	}
+}
+
 // catalogResilience advertises the admission frame approximate-axis
 // requests are gated against: the relative-accuracy constraint, the
 // uniform Stage 1 error budget, the failure-rate ladder budgets are
@@ -572,6 +615,8 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		"designs":           designs,
 		"search_strategies": searchStrategyNames(),
 		"backends":          catalogBackends(),
+		"traversals":        catalogTraversals(),
+		"mappings":          catalogMappings(),
 		"resilience":        catalogResilience(),
 	})
 }

@@ -80,6 +80,13 @@ type canonicalRequest struct {
 	Backend        string  `json:"backend,omitempty"`
 	OperatingPoint string  `json:"operating_point,omitempty"`
 	ErrorBudget    float64 `json:"error_budget,omitempty"`
+	// Traversal and Mapping are the canonical axis spellings
+	// (sched.CanonicalTraversalSpec / CanonicalMappingSpec): the parsed
+	// axis minus the implicit leading default. Default-only spellings
+	// ("", "linear", "row-major", "linear,linear") normalize to the empty
+	// string and out of the key, so legacy requests keep their entries.
+	Traversal string `json:"traversal,omitempty"`
+	MapPolicy string `json:"map_policy,omitempty"`
 	// LayerBudgets renders the server-attached per-layer error budgets
 	// as sorted "name=rate" pairs. Today the budgets are a pure function
 	// of fields already in the key (network name, layer list, the fixed
@@ -143,6 +150,19 @@ func (c *canonicalRequest) canonicalOptions(opts sched.Options, tech energy.Buff
 	c.Backend = mem.NormalizeName(opts.Backend, tech)
 	c.OperatingPoint = opts.OperatingPoint
 	c.ErrorBudget = opts.ErrorBudget
+	// Options are resolved (validated) before hashing, so the canonical
+	// spellings cannot fail here; the error branches keep the raw spec in
+	// the key, which is safe (never a wrong collision, only a missed one).
+	if tr, err := sched.CanonicalTraversalSpec(opts.Traversal); err == nil {
+		c.Traversal = tr
+	} else {
+		c.Traversal = opts.Traversal
+	}
+	if mp, err := sched.CanonicalMappingSpec(opts.Mapping); err == nil {
+		c.MapPolicy = mp
+	} else {
+		c.MapPolicy = opts.Mapping
+	}
 	if len(opts.LayerBudgets) > 0 {
 		names := make([]string, 0, len(opts.LayerBudgets))
 		for name := range opts.LayerBudgets {

@@ -118,6 +118,14 @@ type OptionsSpec struct {
 	// ErrorBudget caps the bit-error rate of admissible operating
 	// points; zero selects the paper's tolerable 1e-5 failure rate.
 	ErrorBudget float64 `json:"error_budget,omitempty"`
+	// Traversal opens the tile-traversal-order search axis
+	// (sched.ParseTraversalSpec grammar: "linear", "rtc", "blocked<n>",
+	// comma-separated); empty keeps the default linear nest only.
+	Traversal string `json:"traversal,omitempty"`
+	// Mapping opens the data-mapping search axis (sched.ParseMappingSpec
+	// grammar: "row-major", "interleave", "all"); empty keeps row-major
+	// placement only.
+	Mapping string `json:"mapping,omitempty"`
 }
 
 // ScheduleRequest asks for a Stage-2 schedule of one network on one
@@ -399,6 +407,16 @@ func resolveOptions(spec *OptionsSpec, cfg hw.Config) (sched.Options, error) {
 	opts.Backend = spec.Backend
 	opts.OperatingPoint = spec.OperatingPoint
 	opts.ErrorBudget = spec.ErrorBudget
+	opts.Traversal = spec.Traversal
+	opts.Mapping = spec.Mapping
+	// Axis specs are validated eagerly for a precise 400; Validate would
+	// catch them too, but wrapped as a generic option error.
+	if _, err := sched.ParseTraversalSpec(spec.Traversal); err != nil {
+		return sched.Options{}, badRequest("invalid traversal: %v", err)
+	}
+	if _, err := sched.ParseMappingSpec(spec.Mapping); err != nil {
+		return sched.Options{}, badRequest("invalid mapping: %v", err)
+	}
 	// Full backend resolution up front: an unknown backend, an unknown or
 	// over-budget operating point, or a budget excluding every point is a
 	// 400 at admission, not a 422 from deep inside the search.

@@ -72,6 +72,45 @@ func Walk(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config) T
 	return tr
 }
 
+// WalkTraversal is Walk under an explicit traversal order. The linear
+// traversal reproduces Walk bit for bit; a blocked traversal walks the
+// RTC nest — the 2nd-level loop partitioned into contiguous stages
+// hoisted above the 3rd-level loop — and its folded residency maxima
+// are the empirical check on pattern.AnalyzeTraversal's shrunk
+// lifetimes.
+func WalkTraversal(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, trv pattern.Traversal) Trace {
+	if trv.IsLinear() {
+		return Walk(l, k, t, cfg)
+	}
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	if err := trv.Validate(); err != nil {
+		panic(err)
+	}
+	g := l.Groups
+	sub := l
+	if g > 1 {
+		sub.N /= g
+		sub.M /= g
+		sub.Groups = 1
+	} else {
+		g = 1
+	}
+	tr := Trace{Layer: l, Pattern: k, Tiling: t}
+	var sc odScratch
+	var clock uint64
+	for i := 0; i < g; i++ {
+		clock = walkGroupBlocked(&tr, sub, k, t, cfg, trv, clock, &sc)
+	}
+	tr.Cycles = clock
+	tr.ExecTime = cyclesDur(clock, cfg)
+	return tr
+}
+
 // WalkWithTrace runs Walk while recording every buffer access burst into
 // a memory-access trace (§III-A's "memory access tracing"). The trace
 // carries the accelerator clock so downstream analyses can convert
@@ -245,6 +284,118 @@ func walkGroup(tr *Trace, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, 
 			foldMax(&lt.Input, clock-posStart, cfg)
 		}
 		foldMax(&lt.Weight, clock-start, cfg)
+
+	default:
+		panic(fmt.Sprintf("sim: unknown pattern %v", k))
+	}
+	return clock
+}
+
+// walkGroupBlocked walks one ungrouped (sub-)layer under an RTC blocked
+// traversal. The visited tile multiset is identical to walkGroup's —
+// only the order changes — so cycle totals and buffer traffic match the
+// linear walk exactly; what moves are the residency windows, which the
+// folds below close at stage boundaries. Delegates to walkGroup when the
+// blocking collapses (extent too small to split).
+func walkGroupBlocked(tr *Trace, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, trv pattern.Traversal, clock uint64, sc *odScratch) uint64 {
+	R, C := l.R(), l.C()
+	nM := ceilDiv(l.M, t.Tm)
+	nN := ceilDiv(l.N, t.Tn)
+	nRC := ceilDiv(R, t.Tr) * ceilDiv(C, t.Tc)
+	perTile := perTileCycles(l, t, cfg)
+
+	inTile := uint64(t.Tn) * uint64(t.Th(l)) * uint64(t.Tl(l))
+	wTile := uint64(t.Tm) * uint64(t.Tn) * uint64(l.K) * uint64(l.K)
+	outTile := uint64(t.Tm) * uint64(t.Tr) * uint64(t.Tc)
+	lt := &tr.Lifetimes
+
+	switch k {
+	case pattern.ID: // blocked nest: RC_blk (3rd), M, RC_in, N
+		blk, nBlocks := trv.Span(nRC)
+		if nBlocks <= 1 {
+			return walkGroup(tr, l, k, t, cfg, clock, nil, sc)
+		}
+		for b0 := 0; b0 < nRC; b0 += blk {
+			b1 := b0 + blk
+			if b1 > nRC {
+				b1 = nRC
+			}
+			blockStart := clock // this block's inputs staged now
+			for m := 0; m < nM; m++ {
+				wStart := clock // this m-group's weights re-staged per block
+				for rc := b0; rc < b1; rc++ {
+					for n := 0; n < nN; n++ {
+						tr.BufferTraffic.Inputs += inTile
+						tr.BufferTraffic.Weights += wTile
+						clock += perTile
+					}
+					tr.BufferTraffic.Outputs += outTile
+				}
+				foldMax(&lt.Weight, clock-wStart, cfg)
+			}
+			foldMax(&lt.Input, clock-blockStart, cfg)
+		}
+		// Output lifetime stays 0: accumulation happens in the PEs.
+
+	case pattern.OD: // blocked nest: M_blk (3rd), N, M_in, RC
+		blk, nBlocks := trv.Span(nM)
+		if nBlocks <= 1 {
+			return walkGroup(tr, l, k, t, cfg, clock, nil, sc)
+		}
+		lastTouch, touched := sc.ensure(nM * nRC)
+		for m0 := 0; m0 < nM; m0 += blk {
+			m1 := m0 + blk
+			if m1 > nM {
+				m1 = nM
+			}
+			for n := 0; n < nN; n++ {
+				slabStart := clock // this n-slab serves only this block
+				for m := m0; m < m1; m++ {
+					tr.BufferTraffic.Weights += wTile
+					for rc := 0; rc < nRC; rc++ {
+						tr.BufferTraffic.Inputs += inTile
+						clock += perTile
+						region := m*nRC + rc
+						if touched[region] {
+							tr.BufferTraffic.Outputs += 2 * outTile
+							foldMax(&lt.Output, clock-lastTouch[region], cfg)
+						} else {
+							tr.BufferTraffic.Outputs += outTile
+							touched[region] = true
+						}
+						lastTouch[region] = clock
+					}
+				}
+				foldMax(&lt.Input, clock-slabStart, cfg)
+			}
+		}
+		foldMax(&lt.Weight, uint64(nRC)*perTile, cfg)
+
+	case pattern.WD: // blocked nest: M_blk (3rd), RC, M_in, N
+		blk, nBlocks := trv.Span(nM)
+		if nBlocks <= 1 {
+			return walkGroup(tr, l, k, t, cfg, clock, nil, sc)
+		}
+		for m0 := 0; m0 < nM; m0 += blk {
+			m1 := m0 + blk
+			if m1 > nM {
+				m1 = nM
+			}
+			blockStart := clock // this block's weights staged now
+			for rc := 0; rc < nRC; rc++ {
+				posStart := clock
+				for m := m0; m < m1; m++ {
+					for n := 0; n < nN; n++ {
+						tr.BufferTraffic.Inputs += inTile
+						tr.BufferTraffic.Weights += wTile
+						clock += perTile
+					}
+					tr.BufferTraffic.Outputs += outTile
+				}
+				foldMax(&lt.Input, clock-posStart, cfg)
+			}
+			foldMax(&lt.Weight, clock-blockStart, cfg)
+		}
 
 	default:
 		panic(fmt.Sprintf("sim: unknown pattern %v", k))

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rana/internal/hw"
+	"rana/internal/models"
+	"rana/internal/pattern"
+)
+
+// TestWalkTraversalLinearIdentical pins the byte-identity contract: the
+// linear traversal (zero value and Blocks=1 alike) must reproduce Walk
+// exactly, field for field.
+func TestWalkTraversalLinearIdentical(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	for _, net := range models.Benchmarks() {
+		for _, l := range net.Layers {
+			ti := pattern.Tiling{
+				Tm: minI(16, l.M), Tn: minI(16, l.N/groups(l)),
+				Tr: 1, Tc: minI(16, l.C()),
+			}
+			for _, k := range pattern.Kinds {
+				ref := Walk(l, k, ti, cfg)
+				for _, trv := range []pattern.Traversal{{}, {Blocks: 1}} {
+					if got := WalkTraversal(l, k, ti, cfg, trv); got != ref {
+						t.Fatalf("%s/%s %v %v: linear traversal diverged: %+v vs %+v",
+							net.Name, l.Name, k, trv, got, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedWalkerMatchesClosedForm cross-validates the blocked walker
+// against pattern.AnalyzeTraversal on every benchmark layer: a blocked
+// traversal must keep cycles and buffer traffic exactly (same tile
+// multiset, different order) while its folded residency maxima equal
+// the analytical blocked lifetimes.
+func TestBlockedWalkerMatchesClosedForm(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	for _, net := range models.Benchmarks() {
+		for _, l := range net.Layers {
+			ti := pattern.Tiling{
+				Tm: minI(16, l.M), Tn: minI(16, l.N/groups(l)),
+				Tr: 1, Tc: minI(16, l.C()),
+			}
+			for _, k := range pattern.Kinds {
+				lin := Walk(l, k, ti, cfg)
+				for _, blocks := range []int{2, 3, 4, 8} {
+					trv := pattern.Traversal{Blocks: blocks}
+					a, err := pattern.AnalyzeTraversal(l, k, ti, cfg, trv)
+					if err != nil {
+						t.Fatal(err)
+					}
+					w := WalkTraversal(l, k, ti, cfg, trv)
+					if a.Cycles != w.Cycles {
+						t.Errorf("%s/%s %v b=%d: cycles %d vs walker %d",
+							net.Name, l.Name, k, blocks, a.Cycles, w.Cycles)
+					}
+					if w.Cycles != lin.Cycles || w.BufferTraffic != lin.BufferTraffic {
+						t.Errorf("%s/%s %v b=%d: blocked walk moved totals: %+v vs linear %+v",
+							net.Name, l.Name, k, blocks, w.BufferTraffic, lin.BufferTraffic)
+					}
+					if !closeDur(a.Lifetimes.Input, w.Lifetimes.Input) ||
+						!closeDur(a.Lifetimes.Output, w.Lifetimes.Output) ||
+						!closeDur(a.Lifetimes.Weight, w.Lifetimes.Weight) {
+						t.Errorf("%s/%s %v b=%d: lifetimes %+v vs walker %+v",
+							net.Name, l.Name, k, blocks, a.Lifetimes, w.Lifetimes)
+					}
+					// Blocking may only shrink residency, never stretch it.
+					if w.Lifetimes.Input > lin.Lifetimes.Input ||
+						w.Lifetimes.Output > lin.Lifetimes.Output ||
+						w.Lifetimes.Weight > lin.Lifetimes.Weight {
+						t.Errorf("%s/%s %v b=%d: blocked lifetimes grew: %+v vs linear %+v",
+							net.Name, l.Name, k, blocks, w.Lifetimes, lin.Lifetimes)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedWalkShrinksLifetimes pins the RTC effect itself on a layer
+// where blocking genuinely splits the 2nd-level loop: the staged data
+// type's folded span must shrink strictly, by exactly the realized
+// block-count factor.
+func TestBlockedWalkShrinksLifetimes(t *testing.T) {
+	cfg := hw.TestAcceleratorEDRAM()
+	l := models.ConvLayer{Name: "shrink", N: 32, M: 64, H: 16, L: 16, K: 3, S: 1, P: 1}
+	ti := pattern.Tiling{Tm: 16, Tn: 16, Tr: 4, Tc: 4}
+	trv := pattern.Traversal{Blocks: 2} // nM = 4, nRC = 16: both split cleanly in half
+
+	for _, k := range pattern.Kinds {
+		lin := Walk(l, k, ti, cfg)
+		blk := WalkTraversal(l, k, ti, cfg, trv)
+		var linStaged, blkStaged = lin.Lifetimes, blk.Lifetimes
+		switch k {
+		case pattern.ID:
+			// Inputs staged per RC block: whole-layer residency halves.
+			if blkStaged.Input*2 != linStaged.Input {
+				t.Errorf("ID: input lifetime %v, want half of %v", blkStaged.Input, linStaged.Input)
+			}
+			if blkStaged.Weight*2 != linStaged.Weight {
+				t.Errorf("ID: weight lifetime %v, want half of %v", blkStaged.Weight, linStaged.Weight)
+			}
+		case pattern.OD:
+			// Input slabs and output self-refresh gaps span one M block.
+			if blkStaged.Input*2 != linStaged.Input {
+				t.Errorf("OD: input lifetime %v, want half of %v", blkStaged.Input, linStaged.Input)
+			}
+			if blkStaged.Output*2 != linStaged.Output {
+				t.Errorf("OD: output gap %v, want half of %v", blkStaged.Output, linStaged.Output)
+			}
+			if blkStaged.Weight != linStaged.Weight {
+				t.Errorf("OD: weight lifetime moved: %v vs %v", blkStaged.Weight, linStaged.Weight)
+			}
+		case pattern.WD:
+			// Weights staged per M block: whole-layer residency halves.
+			if blkStaged.Weight*2 != linStaged.Weight {
+				t.Errorf("WD: weight lifetime %v, want half of %v", blkStaged.Weight, linStaged.Weight)
+			}
+			if blkStaged.Input*2 != linStaged.Input {
+				t.Errorf("WD: input lifetime %v, want half of %v", blkStaged.Input, linStaged.Input)
+			}
+		}
+	}
+}
+
+// TestBlockedWalkerMatchesClosedFormRandom fuzzes layer shapes, tilings
+// and block counts through the blocked walker / blocked analysis pair,
+// including degenerate blockings that clamp back to linear.
+func TestBlockedWalkerMatchesClosedFormRandom(t *testing.T) {
+	cfg := hw.TestAccelerator()
+	f := func(n8, m8, hw8, k2, tm3, tn3, tr2, tc3, b4 uint8) bool {
+		l := models.ConvLayer{
+			Name: "f",
+			N:    int(n8%24) + 1,
+			M:    int(m8%24) + 1,
+			H:    int(hw8%14) + 5,
+			L:    int(hw8%14) + 5,
+			K:    []int{1, 3, 5}[k2%3],
+			S:    1,
+		}
+		l.P = l.K / 2
+		if l.Validate() != nil {
+			return true
+		}
+		ti := pattern.Tiling{
+			Tm: 1 << (tm3 % 4), Tn: 1 << (tn3 % 4),
+			Tr: int(tr2%3) + 1, Tc: 1 << (tc3 % 4),
+		}
+		trv := pattern.Traversal{Blocks: int(b4 % 9)}
+		for _, k := range pattern.Kinds {
+			a, err := pattern.AnalyzeTraversal(l, k, ti, cfg, trv)
+			if err != nil {
+				return false
+			}
+			w := WalkTraversal(l, k, ti, cfg, trv)
+			lin := Walk(l, k, ti, cfg)
+			if a.Cycles != w.Cycles || w.BufferTraffic != lin.BufferTraffic {
+				return false
+			}
+			if !closeDur(a.Lifetimes.Input, w.Lifetimes.Input) ||
+				!closeDur(a.Lifetimes.Output, w.Lifetimes.Output) ||
+				!closeDur(a.Lifetimes.Weight, w.Lifetimes.Weight) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

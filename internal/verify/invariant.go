@@ -143,9 +143,29 @@ func CheckPlan(p *sched.Plan, tol Tolerances) []Violation {
 			add(l.Name, "counts-buffer-writes", "counted %d, analysis %d", lp.Counts.BufferWrites, a.BufferWrites)
 		}
 
+		// The layer's data mapping: the empty spelling is the row-major
+		// identity (normalized away on the wire), anything else must name
+		// a registered policy — its scales enter the re-price below.
+		mp, ok := sched.MappingByName(lp.Mapping)
+		if !ok {
+			add(l.Name, "mapping-policy", "plan names unknown mapping %q", lp.Mapping)
+			continue
+		}
+		// The plan's traversal spelling must agree with the analysis it
+		// carries: the analysis is what the lifetimes (and therefore the
+		// refresh decisions above) were derived from.
+		wantTrav := ""
+		if !a.Traversal.IsLinear() {
+			wantTrav = a.Traversal.String()
+		}
+		if lp.Traversal != wantTrav {
+			add(l.Name, "traversal-consistent", "plan says %q, analysis ran %q", lp.Traversal, a.Traversal)
+		}
+
 		// Energy re-prices from the counts — against the operating point's
-		// own table — with non-negative components.
-		priced := energy.SystemTable(lp.Counts, pt.Table())
+		// own table under the layer's mapping policy — with non-negative
+		// components.
+		priced := energy.SystemTable(lp.Counts, mp.Apply(pt.Table()))
 		if lp.Energy != priced {
 			add(l.Name, "energy-reprice", "stored %+v, re-priced %+v", lp.Energy, priced)
 		}
