@@ -11,6 +11,9 @@
 //	rana-bench -iters 5 -o bench.json  # more samples, custom path
 //	rana-bench -models AlexNet,ResNet  # subset of the zoo
 //	rana-bench -backends approx-dram,reram@fast-write  # backend cells
+//	rana-bench -o /tmp/b.json -regress BENCH_sched.json -axes=false
+//	                                   # CI regression gate: hard-fail on
+//	                                   # allocs/op growth, warn on ns/op
 //
 // Each snapshot entry is keyed by (network, strategy, backend): the
 // default-adapter cell is always measured so trajectories stay
@@ -63,7 +66,14 @@ type Run struct {
 	MemoHits    int     `json:"memo_hits"`
 	MemoMisses  int     `json:"memo_misses"`
 	MemoHitRate float64 `json:"memo_hit_rate"`
-	Workers     int     `json:"workers"`
+	// The prefix-sum memo's per-compile effectiveness: how much bound
+	// pricing work near-duplicate shapes (GoogLeNet's inception branches)
+	// reused below the whole-layer memo. Zero on the baseline run, which
+	// disables incremental pricing.
+	PrefixHits    uint64  `json:"prefix_hits"`
+	PrefixMisses  uint64  `json:"prefix_misses"`
+	PrefixHitRate float64 `json:"prefix_hit_rate"`
+	Workers       int     `json:"workers"`
 }
 
 // NetBench is one (network, strategy, backend) cell: the model's
@@ -138,6 +148,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	backendsFlag := fs.String("backends", "", `comma-separated memory backend specs ("name" or "name@point") measured per model; empty means the default technology adapter only`)
 	latClients := fs.Int("latency-clients", 8, "concurrent clients in the ranad latency section (0 skips it)")
 	latRequests := fs.Int("latency-requests", 200, "total /v1/schedule requests in the ranad latency section")
+	axes := fs.Bool("axes", true, "measure the traversal/mapping axis sweep section")
+	regress := fs.String("regress", "", "path to a prior snapshot: hard-fail when any cell's allocs/op exceed the prior value by more than 25%+32, warn when ns/op more than doubles")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -165,35 +177,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, net := range nets {
 		for _, spec := range backends {
+			// The baseline is the historical stateless path: sequential,
+			// no memo, no incremental bound pricing.
 			base := benchOpts(spec)
 			base.Parallelism = 1
 			base.DisableMemo = true
+			base.DisableIncremental = true
 			opt := benchOpts(spec)
 			opt.Parallelism = *parallelism
-			// The warm run shares one memo across compiles: measure's
-			// untimed warmup primes it, so every timed iteration sees the
-			// previous compile's layer-shape entries.
+			// The warm run shares one memo (and one prefix memo) across
+			// compiles: measure's untimed warmup primes them, so every
+			// timed iteration sees the previous compile's entries — the
+			// fleet steady state, which must be allocation-free.
 			warm := benchOpts(spec)
 			warm.Parallelism = *parallelism
 			warm.Memo = sched.NewMemo(0)
+			warm.Prefix = sched.NewPrefixMemo(0)
 
-			baseline, err := measure(net, cfg, base, *iters)
+			runs, err := measureAll(net, cfg, []sched.Options{base, opt, warm}, *iters)
 			if err != nil {
 				fmt.Fprintln(stderr, "rana-bench:", err)
 				return 1
 			}
+			baseline, optimized, warmed := runs[0], runs[1], runs[2]
 			baseline.Strategy = "sequential"
-			optimized, err := measure(net, cfg, opt, *iters)
-			if err != nil {
-				fmt.Fprintln(stderr, "rana-bench:", err)
-				return 1
-			}
 			optimized.Strategy = "parallel-memoized"
-			warmed, err := measure(net, cfg, warm, *iters)
-			if err != nil {
-				fmt.Fprintln(stderr, "rana-bench:", err)
-				return 1
-			}
 			warmed.Strategy = "parallel-memoized-warm"
 			nb := NetBench{
 				Model:     net.Name,
@@ -211,11 +219,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if spec != "" {
 				label += "/" + spec
 			}
-			fmt.Fprintf(stdout, "%-24s %3d layers: baseline %8.2fms, optimized %8.2fms (%.2fx, memo %d/%d hits, warm %.0f%%, %d evals)\n",
+			fmt.Fprintf(stdout, "%-24s %3d layers: baseline %8.2fms, optimized %8.2fms (%.2fx, memo %d/%d hits, prefix %.0f%%, warm %.0f%% @%d allocs, %d evals)\n",
 				label, nb.Layers,
 				float64(baseline.NsPerOp)/1e6, float64(optimized.NsPerOp)/1e6,
 				nb.SpeedupX, optimized.MemoHits, optimized.MemoHits+optimized.MemoMisses,
-				100*warmed.MemoHitRate, optimized.Evaluated)
+				100*optimized.PrefixHitRate, 100*warmed.MemoHitRate, warmed.AllocsPerOp,
+				optimized.Evaluated)
 		}
 	}
 
@@ -224,7 +233,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// and the linear nest wins everywhere; at the conventional 45µs
 	// interval consume-before-deadline reordering beats refreshing —
 	// that contrast is the Stage-2 story the numbers have to tell.
-	for _, net := range nets {
+	// -axes=false skips it (the CI regression gate only compares the
+	// throughput cells).
+	axesNets := nets
+	if !*axes {
+		axesNets = nil
+	}
+	for _, net := range axesNets {
 		for _, sc := range []struct {
 			name     string
 			interval time.Duration
@@ -265,7 +280,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	if *regress != "" {
+		fails, err := checkRegression(stdout, *regress, &snap)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-bench:", err)
+			return 1
+		}
+		if fails > 0 {
+			fmt.Fprintf(stderr, "rana-bench: %d allocation regression(s) against %s\n", fails, *regress)
+			return 1
+		}
+		fmt.Fprintf(stdout, "no allocation regressions against %s\n", *regress)
+	}
 	return 0
+}
+
+// checkRegression compares the fresh snapshot's throughput cells against
+// a committed prior one. Allocation counts are deterministic, so growth
+// beyond slack (25% + 32 allocs, absorbing measurement jitter from the
+// MemStats-delta estimator) is a hard failure; wall-clock is noisy on
+// shared CI machines, so ns/op regressions only warn. Cells present on
+// one side only (new model, new backend) are skipped — trajectories are
+// compared where both snapshots measured the same thing.
+func checkRegression(stdout io.Writer, path string, snap *Snapshot) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("reading prior snapshot: %w", err)
+	}
+	var prior Snapshot
+	if err := json.Unmarshal(raw, &prior); err != nil {
+		return 0, fmt.Errorf("decoding prior snapshot %s: %w", path, err)
+	}
+	old := make(map[string]NetBench, len(prior.Networks))
+	for _, nb := range prior.Networks {
+		old[nb.Model+"\x00"+nb.Backend] = nb
+	}
+	fails := 0
+	for _, nb := range snap.Networks {
+		p, ok := old[nb.Model+"\x00"+nb.Backend]
+		if !ok {
+			continue
+		}
+		cell := nb.Model
+		if nb.Backend != "" {
+			cell += "/" + nb.Backend
+		}
+		for _, c := range []struct {
+			kind     string
+			old, new Run
+		}{
+			{"baseline", p.Baseline, nb.Baseline},
+			{"optimized", p.Optimized, nb.Optimized},
+			{"warm", p.Warm, nb.Warm},
+		} {
+			if limit := c.old.AllocsPerOp + c.old.AllocsPerOp/4 + 32; c.new.AllocsPerOp > limit {
+				fmt.Fprintf(stdout, "FAIL %s/%s: allocs/op %d -> %d (limit %d)\n",
+					cell, c.kind, c.old.AllocsPerOp, c.new.AllocsPerOp, limit)
+				fails++
+			}
+			if c.old.NsPerOp > 0 && c.new.NsPerOp > 2*c.old.NsPerOp {
+				fmt.Fprintf(stdout, "warn %s/%s: ns/op %d -> %d (>2x, not failing: wall-clock is noisy)\n",
+					cell, c.kind, c.old.NsPerOp, c.new.NsPerOp)
+			}
+		}
+	}
+	return fails, nil
 }
 
 // benchOpts is the measured design point: the full RANA option set the
@@ -355,46 +434,81 @@ func selectBackends(flagVal string) ([]string, error) {
 	return out, nil
 }
 
-// measure compiles net iters times under opts and keeps the fastest
-// wall-clock sample (minimum is the standard noise-resistant estimator
-// for a deterministic workload); allocation numbers are averaged across
-// the iterations via MemStats deltas. One untimed warmup run absorbs
-// first-touch effects.
-func measure(net models.Network, cfg hw.Config, opts sched.Options, iters int) (Run, error) {
+// measureAll compiles net iters times under each of the given option
+// sets, interleaving the variants round-robin so slow machine drift
+// (frequency scaling, noisy neighbors) hits every variant equally and
+// the baseline/optimized *ratio* stays trustworthy even when absolute
+// wall-clock is noisy. Per variant the fastest sample is kept (minimum
+// is the standard noise-resistant estimator for a deterministic
+// workload) and allocations are averaged via per-iteration MemStats
+// deltas taken outside the timed window. One untimed warmup run per
+// variant absorbs first-touch effects (and primes any shared memo), and
+// every iteration compiles into the same reused Plan
+// (sched.ExploreNetworkInto) — the fleet steady state, where a
+// warm-memo compile allocates nothing at all.
+func measureAll(net models.Network, cfg hw.Config, variants []sched.Options, iters int) ([]Run, error) {
 	ctx := context.Background()
-	if _, _, err := sched.ExploreNetworkContext(ctx, net, cfg, opts); err != nil {
-		return Run{}, fmt.Errorf("%s: %w", net.Name, err)
+	plans := make([]*sched.Plan, len(variants))
+	best := make([]time.Duration, len(variants))
+	stats := make([]sched.NetworkStats, len(variants))
+	mallocs := make([]uint64, len(variants))
+	bytes := make([]uint64, len(variants))
+	for j, opts := range variants {
+		plans[j] = &sched.Plan{}
+		best[j] = -1
+		if _, err := sched.ExploreNetworkInto(ctx, net, cfg, opts, plans[j]); err != nil {
+			return nil, fmt.Errorf("%s: %w", net.Name, err)
+		}
 	}
-	var r Run
-	var ms0, ms1 runtime.MemStats
 	runtime.GC()
-	runtime.ReadMemStats(&ms0)
-	best := time.Duration(-1)
-	var stats sched.NetworkStats
+	// The forced GC demotes sync.Pool contents to victim caches; the
+	// first compile after it pays a handful of refill allocations that
+	// belong to the measurement harness, not the variant. One more
+	// untimed pass re-primes the pools so the counted loop starts clean.
+	for j, opts := range variants {
+		if _, err := sched.ExploreNetworkInto(ctx, net, cfg, opts, plans[j]); err != nil {
+			return nil, fmt.Errorf("%s: %w", net.Name, err)
+		}
+	}
+	var ms0, ms1 runtime.MemStats
 	for i := 0; i < iters; i++ {
-		start := time.Now()
-		_, st, err := sched.ExploreNetworkContext(ctx, net, cfg, opts)
-		elapsed := time.Since(start)
-		if err != nil {
-			return Run{}, fmt.Errorf("%s: %w", net.Name, err)
+		for j, opts := range variants {
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			st, err := sched.ExploreNetworkInto(ctx, net, cfg, opts, plans[j])
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", net.Name, err)
+			}
+			runtime.ReadMemStats(&ms1)
+			if best[j] < 0 || elapsed < best[j] {
+				best[j] = elapsed
+			}
+			mallocs[j] += ms1.Mallocs - ms0.Mallocs
+			bytes[j] += ms1.TotalAlloc - ms0.TotalAlloc
+			stats[j] = st
 		}
-		if best < 0 || elapsed < best {
-			best = elapsed
+	}
+	runs := make([]Run, len(variants))
+	for j := range variants {
+		r := &runs[j]
+		r.NsPerOp = best[j].Nanoseconds()
+		r.AllocsPerOp = mallocs[j] / uint64(iters)
+		r.BytesPerOp = bytes[j] / uint64(iters)
+		r.Evaluated = stats[j].Search.Evaluated
+		r.MemoHits = stats[j].MemoHits
+		r.MemoMisses = stats[j].MemoMisses
+		if n := stats[j].MemoHits + stats[j].MemoMisses; n > 0 {
+			r.MemoHitRate = float64(stats[j].MemoHits) / float64(n)
 		}
-		stats = st
+		r.PrefixHits = stats[j].PrefixHits
+		r.PrefixMisses = stats[j].PrefixMisses
+		if n := stats[j].PrefixHits + stats[j].PrefixMisses; n > 0 {
+			r.PrefixHitRate = float64(stats[j].PrefixHits) / float64(n)
+		}
+		r.Workers = search.EffectiveParallelism(variants[j].Parallelism)
 	}
-	runtime.ReadMemStats(&ms1)
-	r.NsPerOp = best.Nanoseconds()
-	r.AllocsPerOp = (ms1.Mallocs - ms0.Mallocs) / uint64(iters)
-	r.BytesPerOp = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(iters)
-	r.Evaluated = stats.Search.Evaluated
-	r.MemoHits = stats.MemoHits
-	r.MemoMisses = stats.MemoMisses
-	if n := stats.MemoHits + stats.MemoMisses; n > 0 {
-		r.MemoHitRate = float64(stats.MemoHits) / float64(n)
-	}
-	r.Workers = search.EffectiveParallelism(opts.Parallelism)
-	return r, nil
+	return runs, nil
 }
 
 // selectModels resolves the -models flag against the zoo.

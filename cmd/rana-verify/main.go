@@ -15,6 +15,7 @@
 //	rana-verify -traversal               # traversal/mapping-axis differential sweep
 //	rana-verify -faults                  # fault-injection/error-budget differential sweep
 //	rana-verify -parallel                # parallel/memoized ≡ sequential bytes
+//	rana-verify -incremental             # incremental bound pricing ≡ stateless bytes + work
 //	rana-verify -nodes URL,URL -reference URL  # fleet nodes ≡ single-node bytes
 //
 // The first divergence is reported with a minimized reproducer and the
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traversal := fs.Bool("traversal", false, "traversal/mapping differential: default axes ≡ legacy bytes, pruned ≡ exhaustive across the RTC and mapping axes, every admitted reorder meets its retention deadlines in the cycle walker")
 	faults := fs.Bool("faults", false, "fault differential: empirically validate error-budget admission under backend-derived bit flips (per-layer budgets, seeded mask stability, pretrained oracle, negative over-budget check, faulty-storage spot checks)")
 	parallel := fs.Bool("parallel", false, "parallelism differential: check parallel/memoized plans ≡ sequential exhaustive bytes on the selected networks")
+	incremental := fs.Bool("incremental", false, "incremental-pricing differential: check plans and per-layer work accounting are identical with incremental bound pricing on and off")
 	nodesList := fs.String("nodes", "", "cross-node conformance: comma-separated fleet node URLs; every node must answer the zoo byte-identically to -reference (runs only this sweep)")
 	refURL := fs.String("reference", "", "single-node ranad URL the -nodes sweep compares against")
 	verbose := fs.Bool("v", false, "report every case, not just failures")
@@ -163,6 +165,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel {
 		n, f := sweepParallelism(stdout, stderr, nets, cfg, opts, *verbose)
+		cases += n
+		failures += f
+	}
+	if *incremental {
+		n, f := sweepIncremental(stdout, stderr, nets, cfg, opts, *verbose)
 		cases += n
 		failures += f
 	}
@@ -303,6 +310,31 @@ func sweepParallelism(stdout, stderr io.Writer, nets []models.Network, cfg hw.Co
 		if !r.OK() {
 			failures++
 			fmt.Fprintf(stdout, "FAIL %s parallelism\n%s\n", net.Name, indent(r.String()))
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "ok   %s\n", r)
+		}
+	}
+	return cases, failures
+}
+
+// sweepIncremental runs the incremental-pricing differential oracle:
+// pruned and beam schedules with the incremental bound evaluator must
+// reproduce the stateless-bound plans byte-for-byte (sequential and
+// parallel), with identical per-layer work accounting.
+func sweepIncremental(stdout, stderr io.Writer, nets []models.Network, cfg hw.Config, opts sched.Options, verbose bool) (cases, failures int) {
+	for _, net := range nets {
+		cases++
+		r, err := verify.CompareIncremental(net, cfg, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "rana-verify:", err)
+			failures++
+			continue
+		}
+		if !r.OK() {
+			failures++
+			fmt.Fprintf(stdout, "FAIL %s incremental pricing\n%s\n", net.Name, indent(r.String()))
 			continue
 		}
 		if verbose {

@@ -53,6 +53,11 @@ type Framework struct {
 	// compiles (sched.Options.Memo). Nil keeps the default per-compile
 	// memo; ranad installs a server-wide memo here.
 	Memo *sched.Memo
+	// Prefix, when non-nil, shares bound prefix sums across compiles
+	// (sched.Options.Prefix). Nil keeps the default per-compile prefix
+	// memo; ranad installs a server-wide one here. Like Memo it never
+	// changes plan bytes — only how much pricing work is recomputed.
+	Prefix *sched.PrefixMemo
 	// Backend names the memory-technology backend Stage 2 prices buffers
 	// with (sched.Options.Backend); empty selects the platform's default
 	// technology adapter — the historical hard-wired path, byte for byte.
@@ -184,6 +189,7 @@ func (f *Framework) CompileContext(ctx context.Context, net models.Network) (out
 		BeamWidth:       f.BeamWidth,
 		Parallelism:     f.Parallelism,
 		Memo:            f.Memo,
+		Prefix:          f.Prefix,
 		Backend:         f.Backend,
 		OperatingPoint:  f.OperatingPoint,
 		ErrorBudget:     f.ErrorBudget,

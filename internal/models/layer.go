@@ -102,20 +102,23 @@ type Network struct {
 	Layers []ConvLayer
 }
 
-// Validate checks every layer shape.
+// Validate checks every layer shape. Duplicate names are detected with
+// a quadratic scan rather than a map: networks have dozens of layers at
+// most, and Validate sits on the scheduler's steady-state compile path,
+// which must not allocate.
 func (n Network) Validate() error {
 	if len(n.Layers) == 0 {
 		return fmt.Errorf("models: network %q has no layers", n.Name)
 	}
-	seen := make(map[string]bool, len(n.Layers))
-	for _, l := range n.Layers {
+	for i, l := range n.Layers {
 		if err := l.Validate(); err != nil {
 			return fmt.Errorf("models: network %q: %w", n.Name, err)
 		}
-		if seen[l.Name] {
-			return fmt.Errorf("models: network %q has duplicate layer name %q", n.Name, l.Name)
+		for j := 0; j < i; j++ {
+			if n.Layers[j].Name == l.Name {
+				return fmt.Errorf("models: network %q has duplicate layer name %q", n.Name, l.Name)
+			}
 		}
-		seen[l.Name] = true
 	}
 	return nil
 }

@@ -66,6 +66,14 @@ func ResolveBackendForLayer(cfg hw.Config, o Options, layer string) (mem.Backend
 }
 
 func resolveBackendAt(cfg hw.Config, o Options, budget float64, layer string) (mem.Backend, []mem.OperatingPoint, error) {
+	return appendBackendPoints(nil, cfg, o, budget, layer)
+}
+
+// appendBackendPoints is resolveBackendAt appending the admitted points
+// into dst (typically a reused scratch slice), so the steady-state
+// compile path resolves its backend without allocating. The error
+// suffix naming the layer is built lazily — only error paths pay for it.
+func appendBackendPoints(dst []mem.OperatingPoint, cfg hw.Config, o Options, budget float64, layer string) (mem.Backend, []mem.OperatingPoint, error) {
 	name := o.Backend
 	if name == "" {
 		name = mem.DefaultName(cfg.BufferTech)
@@ -77,10 +85,6 @@ func resolveBackendAt(cfg hw.Config, o Options, budget float64, layer string) (m
 	if b.Role() != mem.RoleBuffer {
 		return nil, nil, fmt.Errorf("sched: backend %q is %s-role, not a buffer", name, b.Role())
 	}
-	at := ""
-	if layer != "" {
-		at = fmt.Sprintf(" for layer %q", layer)
-	}
 	if o.OperatingPoint != "" {
 		p, ok := mem.PointByName(b, o.OperatingPoint)
 		if !ok {
@@ -88,29 +92,41 @@ func resolveBackendAt(cfg hw.Config, o Options, budget float64, layer string) (m
 		}
 		if p.BitErrorRate > budget {
 			return nil, nil, fmt.Errorf("sched: operating point %s@%s bit-error rate %g exceeds error budget %g%s",
-				name, p.Name, p.BitErrorRate, budget, at)
+				name, p.Name, p.BitErrorRate, budget, atLayer(layer))
 		}
-		return b, []mem.OperatingPoint{p}, nil
+		return b, append(dst, p), nil
 	}
-	all := b.Points()
-	pts := make([]mem.OperatingPoint, 0, len(all))
-	for _, p := range all {
+	start := len(dst)
+	for _, p := range b.Points() {
 		if p.BitErrorRate <= budget {
-			pts = append(pts, p)
+			dst = append(dst, p)
 		}
 	}
-	if len(pts) == 0 {
-		return nil, nil, fmt.Errorf("sched: backend %q has no operating point within error budget %g%s", name, budget, at)
+	if len(dst) == start {
+		return nil, nil, fmt.Errorf("sched: backend %q has no operating point within error budget %g%s", name, budget, atLayer(layer))
 	}
-	return b, pts, nil
+	return b, dst, nil
+}
+
+// atLayer is the " for layer %q" error suffix, empty for network-level
+// resolution.
+func atLayer(layer string) string {
+	if layer == "" {
+		return ""
+	}
+	return fmt.Sprintf(" for layer %q", layer)
 }
 
 // pointTables projects operating points onto their Eq. 14 pricing
 // tables, index-aligned with the search's point axis.
 func pointTables(pts []mem.OperatingPoint) []energy.Table {
-	ts := make([]energy.Table, len(pts))
-	for i, p := range pts {
-		ts[i] = p.Table()
+	return appendPointTables(nil, pts)
+}
+
+// appendPointTables is pointTables into a reused scratch slice.
+func appendPointTables(dst []energy.Table, pts []mem.OperatingPoint) []energy.Table {
+	for _, p := range pts {
+		dst = append(dst, p.Table())
 	}
-	return ts
+	return dst
 }

@@ -45,6 +45,7 @@ package sched
 
 import (
 	"math"
+	"sync"
 
 	"rana/internal/energy"
 	"rana/internal/hw"
@@ -62,7 +63,9 @@ type bound struct {
 	cfg           hw.Config
 	g             uint64 // group count scaling sub-layer traffic to the layer
 	macs          uint64 // layer MACs, already group-scaled
-	din, dw, dout uint64 // sub-layer data volumes (words)
+	r, c          int     // derived output geometry, hoisted for the pricer
+	macE          float64 // float64(macs)·MACpJ — the bound's constant Eq. 14 term
+	din, dw, dout uint64  // sub-layer data volumes (words)
 	// tables are the per-(mapping, operating point) Eq. 14 pricing
 	// tables, index-aligned with the search cell as
 	// tables[cell.Map*points+cell.Point]. The bound prices buffer
@@ -85,16 +88,25 @@ type bound struct {
 // resolved backend's operating points, traversal orders and mapping
 // policies.
 func newBound(l models.ConvLayer, cfg hw.Config, tables []energy.Table, points int, travs []pattern.Traversal) *bound {
+	b := &bound{}
+	b.init(l, cfg, tables, points, travs)
+	return b
+}
+
+// init rebuilds the evaluator in place — newBound for a pooled bound.
+func (b *bound) init(l models.ConvLayer, cfg hw.Config, tables []energy.Table, points int, travs []pattern.Traversal) {
 	e := effectiveLayer(l)
 	g := uint64(1)
 	if l.Groups > 1 {
 		g = uint64(l.Groups)
 	}
-	return &bound{
+	*b = bound{
 		l:      e,
 		cfg:    cfg,
 		g:      g,
 		macs:   e.MACs() * g,
+		r:      e.R(),
+		c:      e.C(),
 		din:    e.InputWords(),
 		dw:     e.WeightWords(),
 		dout:   e.OutputWords(),
@@ -102,6 +114,7 @@ func newBound(l models.ConvLayer, cfg hw.Config, tables []energy.Table, points i
 		points: points,
 		travs:  travs,
 	}
+	b.macE = float64(b.macs) * energy.MACpJ
 }
 
 // lower returns an admissible lower bound on the candidate's exact
@@ -175,6 +188,231 @@ func (b *bound) lower(k pattern.Kind, t pattern.Tiling, cell search.Cell) float6
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ---------------------------------------------------------------------------
+// Incremental pricing.
+//
+// lower() above re-derives every partial term per call, even though the
+// canonical enumeration order (tiling-major, kind/point/traversal/
+// mapping inner) repeats most of them across neighboring candidates. A
+// pricingCtx is the stateful variant one scan goroutine leases through
+// search.Problem.NewPricer: it factors the arithmetic into
+//
+//   - tilingTerms — kind-independent, invalidated when the scanned
+//     tiling changes;
+//   - prefixSums — per (kind, Tm, Tn), invalidated only when that
+//     prefix coordinate changes (and shareable across layers through a
+//     PrefixMemo, since they never read M or the tiling tail);
+//   - kindState — the per-(kind, tiling) feasibility/traffic products,
+//     rebuilt from the two caches above;
+//
+// and prices the final cell through the identical energy.SystemTable
+// call as lower(). Every cached quantity is an exactly-reused uint64 —
+// no float enters a cache — so Lower is bit-identical to lower() by
+// construction at any call order; TestIncrementalBoundBitIdentical pins
+// this in canonical and randomized orders, which is what keeps
+// pruned ≡ exhaustive untouched when the incremental path is on.
+// ---------------------------------------------------------------------------
+
+// kindSlots bounds the per-kind cache array of a pricing context. The
+// known kinds (ID, OD, WD) index it directly; anything else takes the
+// unknown-kind fast path (bound zero, exactly like lower()).
+const kindSlots = 3
+
+// prefixSums are the bound partial terms that depend only on the
+// layer's (N, K, H, L) sub-shape and the candidate's (kind, Tm, Tn)
+// prefix — never on M, the output geometry, the (Tr, Tc) tail, the
+// accelerator config or the pricing tables. That independence is what
+// makes them shareable across layers and compiles through a PrefixMemo:
+// near-duplicate inception branches differing only in M miss the
+// whole-layer memo but share every prefix entry.
+type prefixSums struct {
+	// nN is ceil(N/Tn), the input-channel tile count.
+	nN int
+	// wTile is Tm·Tn·K², the per-tile weight transfer size.
+	wTile uint64
+	// ws is the kind's prefix-level working-set component: N·Tm·K² for
+	// ID, Tn·H·L for OD, zero for WD (whose input set depends on the
+	// tiling tail and lives in tilingTerms instead).
+	ws uint64
+}
+
+// prefixSums computes the (kind, Tm, Tn) partial terms from scratch —
+// the reference a PrefixMemo caches.
+func (b *bound) prefixSums(k pattern.Kind, tm, tn int) prefixSums {
+	s := prefixSums{
+		nN:    ceilDiv(b.l.N, tn),
+		wTile: uint64(tm) * uint64(tn) * uint64(b.l.K) * uint64(b.l.K),
+	}
+	switch k {
+	case pattern.ID:
+		s.ws = uint64(b.l.N) * uint64(tm) * uint64(b.l.K) * uint64(b.l.K)
+	case pattern.OD:
+		s.ws = uint64(tn) * uint64(b.l.H) * uint64(b.l.L)
+	}
+	return s
+}
+
+// tilingTerms are the kind-independent per-tiling partial terms — the
+// remainder of lower()'s arithmetic below the (Tm, Tn) prefix.
+type tilingTerms struct {
+	nM, nR, nC int
+	inTile     uint64 // Tn·th·tl — per-tile input transfer
+	outTile    uint64 // Tm·Tr·Tc — per-tile output transfer
+	outTraffic uint64 // nM·nR·nC·outTile
+	inWS       uint64 // N·th·tl — WD's resident input working set
+	haloIn     uint64 // nR·nC·N·th·tl — the halo-overlapped input stream
+}
+
+// kindState caches one kind's per-tiling products plus its current
+// (Tm, Tn) prefix sums.
+type kindState struct {
+	ktValid  bool
+	feasible bool
+	bufG     uint64 // buffer traffic × group count
+	ddrG     uint64 // compulsory DDR minimum × group count (linear cells)
+	ddrBlkG  uint64 // ID under a blocked traversal; == ddrG otherwise
+	pkValid  bool
+	ptm, ptn int
+	pk       prefixSums
+}
+
+// pricingCtx is one scan goroutine's incremental bound evaluator. Not
+// safe for concurrent use — each worker leases its own via
+// search.Problem.NewPricer and returns it with Release.
+type pricingCtx struct {
+	b      *bound
+	prefix *PrefixMemo
+	t      pattern.Tiling
+	tValid bool
+	tt     tilingTerms
+	kinds  [kindSlots]kindState
+}
+
+// pricerPool recycles pricing contexts across scans and layers.
+var pricerPool = sync.Pool{New: func() any { return new(pricingCtx) }}
+
+// acquirePricer leases a pricing context bound to b (and, optionally, a
+// shared prefix memo) from the pool, with every cache invalidated.
+func acquirePricer(b *bound, prefix *PrefixMemo) *pricingCtx {
+	pc := pricerPool.Get().(*pricingCtx)
+	pc.b, pc.prefix = b, prefix
+	pc.tValid = false
+	for i := range pc.kinds {
+		pc.kinds[i].ktValid = false
+		pc.kinds[i].pkValid = false
+	}
+	return pc
+}
+
+// Release implements search.Pricer: the context returns to the pool and
+// must not be used again.
+func (pc *pricingCtx) Release() {
+	pc.b, pc.prefix = nil, nil
+	pricerPool.Put(pc)
+}
+
+// Lower implements search.Pricer — bit-identical to (*bound).lower at
+// every cell, in any call order.
+func (pc *pricingCtx) Lower(k pattern.Kind, t pattern.Tiling, cell search.Cell) float64 {
+	ki := int(k)
+	if ki < 0 || ki >= kindSlots {
+		// Unknown kinds bound to zero, exactly like lower(): never
+		// pruned, so the exact evaluator still sees (and rejects) them.
+		return 0
+	}
+	if !pc.tValid || t != pc.t {
+		pc.rebuildTiling(t)
+	}
+	ks := &pc.kinds[ki]
+	if !ks.ktValid {
+		pc.rebuildKind(k, ks, t)
+	}
+	if !ks.feasible {
+		return math.Inf(1)
+	}
+	ddr := ks.ddrG
+	if k == pattern.ID && pc.b.travs != nil && !pc.b.travs[cell.Trav].IsLinear() {
+		ddr = ks.ddrBlkG
+	}
+	// Scalar form of the reference's SystemTable(...).Total() — the hot
+	// multiply-add without the Counts/Breakdown round trip. Bit-identical:
+	// Total() sums (((Computing+BufferAccess)+Refresh)+OffChip)+Wear
+	// left to right, the bound's Refresh and Wear counts are zero, their
+	// products with the finite non-negative table entries are exactly +0,
+	// and x+(+0) == x under IEEE round-to-nearest, so this expression is
+	// the same sum with the +0 terms elided. macE caches the constant
+	// float64(macs)·MACpJ product per layer (same operands, same bits).
+	return (pc.b.macE + float64(ks.bufG)*pc.b.tables[cell.Map*pc.b.points+cell.Point].AccessPJ) +
+		float64(ddr)*energy.DDRAccessPJ
+}
+
+// rebuildTiling refreshes the kind-independent terms for a new tiling
+// and invalidates the per-kind products (but not the prefix sums, which
+// survive until their own (Tm, Tn) coordinate moves).
+func (pc *pricingCtx) rebuildTiling(t pattern.Tiling) {
+	b, tt := pc.b, &pc.tt
+	tt.nM = ceilDiv(b.l.M, t.Tm)
+	tt.nR = ceilDiv(b.r, t.Tr)
+	tt.nC = ceilDiv(b.c, t.Tc)
+	// Inlined Tiling.Th/Tl ((Tr−1)·S+K, (Tc−1)·S+K): the method forms
+	// take the ConvLayer by value, and that copy was a visible slice of
+	// cold-compile profiles at one call per scanned tiling.
+	th, tl := (t.Tr-1)*b.l.S+b.l.K, (t.Tc-1)*b.l.S+b.l.K
+	tt.inTile = uint64(t.Tn) * uint64(th) * uint64(tl)
+	tt.outTile = uint64(t.Tm) * uint64(t.Tr) * uint64(t.Tc)
+	tt.outTraffic = uint64(tt.nM) * uint64(tt.nR) * uint64(tt.nC) * tt.outTile
+	tt.inWS = uint64(b.l.N) * uint64(th) * uint64(tl)
+	tt.haloIn = uint64(tt.nR) * uint64(tt.nC) * tt.inWS
+	pc.t, pc.tValid = t, true
+	for i := range pc.kinds {
+		pc.kinds[i].ktValid = false
+	}
+}
+
+// rebuildKind refreshes one kind's per-tiling products from the cached
+// tiling terms and (Tm, Tn) prefix sums, refetching the latter only when
+// the prefix coordinate changed.
+func (pc *pricingCtx) rebuildKind(k pattern.Kind, ks *kindState, t pattern.Tiling) {
+	b, tt := pc.b, &pc.tt
+	if !ks.pkValid || ks.ptm != t.Tm || ks.ptn != t.Tn {
+		if pc.prefix != nil {
+			ks.pk = pc.prefix.lookup(b, k, t.Tm, t.Tn)
+		} else {
+			ks.pk = b.prefixSums(k, t.Tm, t.Tn)
+		}
+		ks.ptm, ks.ptn, ks.pkValid = t.Tm, t.Tn, true
+	}
+	pk := &ks.pk
+	tiles := uint64(tt.nM) * uint64(pk.nN) * uint64(tt.nR) * uint64(tt.nC)
+	var ws, buf uint64
+	switch k {
+	case pattern.ID:
+		ws = pk.ws + tt.outTile
+		buf = tiles*tt.inTile + tiles*pk.wTile + tt.outTraffic
+	case pattern.WD:
+		ws = tt.inWS + tt.outTile + pk.wTile
+		buf = tiles*tt.inTile + tiles*pk.wTile + tt.outTraffic
+	case pattern.OD:
+		ws = pk.ws + pk.wTile + tt.outTile
+		buf = tiles*tt.inTile + uint64(pk.nN)*uint64(tt.nM)*pk.wTile + uint64(2*pk.nN-1)*tt.outTraffic
+	}
+	ks.ktValid = true
+	ks.feasible = ws <= b.cfg.BufferWords
+	if !ks.feasible {
+		return
+	}
+	ddrIn := b.din
+	if k == pattern.WD {
+		ddrIn = min(ddrIn, tt.haloIn)
+	}
+	ks.bufG = buf * b.g
+	ks.ddrG = (ddrIn + b.dw + b.dout) * b.g
+	ks.ddrBlkG = ks.ddrG
+	if k == pattern.ID {
+		ks.ddrBlkG = (min(b.din, tt.haloIn) + b.dw + b.dout) * b.g
+	}
+}
 
 // LowerBound exposes the admissible lower bound for one candidate at
 // the options' resolved operating point (the pinned point, or the

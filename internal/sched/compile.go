@@ -1,0 +1,456 @@
+package sched
+
+// The zero-allocation compile path. ExploreNetworkInto is
+// ExploreNetworkContext writing into a caller-owned Plan, with every
+// piece of per-compile scratch leased from sync.Pools:
+//
+//   - a compileState arena holds the per-layer result/err/key slices,
+//     the memo-signature build buffer and its interned string;
+//   - an exploreState arena (one per exploring goroutine) holds the
+//     candidate axis scratch, the streaming tiling space, the pooled
+//     bound evaluator, the backend point/table scratch and the four
+//     search closures, all created once and re-pointed per layer;
+//   - the implicit per-compile Memo and PrefixMemo are pooled too, and
+//     reset on release so per-compile hit rates stay honest.
+//
+// Ownership: a leased arena belongs to exactly one compile (one
+// goroutine for exploreState) from Get to Put; nothing borrowed from an
+// arena may outlive the compile — results are *copied* into the Plan,
+// never aliased. The AllocsPerRun gates in alloc_test.go pin the two
+// steady states this buys: a warm-memo compile and the steady-state
+// explore loop both run allocation-free.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"rana/internal/energy"
+	"rana/internal/hw"
+	"rana/internal/mem"
+	"rana/internal/models"
+	"rana/internal/pattern"
+	"rana/internal/sched/search"
+)
+
+// compileEnv is the per-compile exploration environment resolved once
+// from the options: the parsed traversal and mapping axes, and the
+// prefix memo incremental pricing shares across the compile's layers.
+type compileEnv struct {
+	travs  []pattern.Traversal
+	maps   []MappingPolicy
+	prefix *PrefixMemo
+}
+
+// The shared default axes the empty specs resolve to. Read-only by
+// contract: env consumers only ever index them.
+var (
+	defaultTraversalAxis = []pattern.Traversal{pattern.Linear}
+	defaultMappingAxis   = []MappingPolicy{RowMajorMapping}
+)
+
+// envFor parses the options' traversal and mapping specs once per
+// compile. Both parsers put the default at index 0, so a default-only
+// axis reproduces the historical candidate stream; the empty specs
+// resolve to shared singleton axes without parsing at all.
+func envFor(opts Options) (compileEnv, error) {
+	env := compileEnv{travs: defaultTraversalAxis, maps: defaultMappingAxis}
+	if opts.Traversal != "" {
+		travs, err := ParseTraversalSpec(opts.Traversal)
+		if err != nil {
+			return env, err
+		}
+		env.travs = travs
+	}
+	if opts.Mapping != "" {
+		maps, err := ParseMappingSpec(opts.Mapping)
+		if err != nil {
+			return env, err
+		}
+		env.maps = maps
+	}
+	return env, nil
+}
+
+// exploreState is one exploring goroutine's reusable scratch arena. The
+// four search closures are created once per state and read the current
+// layer through the state fields, so re-pointing the state at a new
+// layer costs no closure allocations.
+type exploreState struct {
+	l    models.ConvLayer
+	e    models.ConvLayer
+	cfg  hw.Config
+	opts Options
+	env  compileEnv
+	bk   mem.Backend
+
+	points   []mem.OperatingPoint
+	ptTables []energy.Table
+	tables   []energy.Table
+	axes     []int
+	fixed    [1]pattern.Tiling
+	product  search.Product
+	slice    search.Slice
+	b        bound
+
+	admit     func(pattern.Tiling) bool
+	boundFn   func(pattern.Kind, pattern.Tiling, search.Cell) float64
+	newPricer func() search.Pricer
+	evaluate  func(pattern.Kind, pattern.Tiling, search.Cell, *search.Outcome[LayerPlan]) error
+}
+
+func newExploreState() *exploreState {
+	s := &exploreState{}
+	s.admit = func(t pattern.Tiling) bool { return t.FitsCore(s.e, s.cfg) }
+	s.boundFn = s.b.lower
+	s.newPricer = func() search.Pricer { return acquirePricer(&s.b, s.env.prefix) }
+	s.evaluate = func(k pattern.Kind, t pattern.Tiling, cell search.Cell, out *search.Outcome[LayerPlan]) error {
+		if err := evaluateCellInto(&out.Value, s.l, k, t, s.cfg, s.opts, s.bk,
+			s.points[cell.Point], s.env.travs[cell.Trav], s.env.maps[cell.Map]); err != nil {
+			return err
+		}
+		out.Feasible = out.Value.Analysis.Feasible
+		out.Energy = out.Value.Energy.Total()
+		return nil
+	}
+	return s
+}
+
+var exploreStatePool = sync.Pool{New: func() any { return newExploreState() }}
+
+// outcomePool backs the search engine's per-goroutine scratch Outcome
+// (Problem.NewOutcome): the scratch crosses the Evaluate indirection,
+// so the engine cannot keep it on the stack, and pooling the buffer is
+// what keeps the per-scan lease off the steady-state allocation count.
+var outcomePool = sync.Pool{New: func() any { return new(search.Outcome[LayerPlan]) }}
+
+func getOutcome() *search.Outcome[LayerPlan]  { return outcomePool.Get().(*search.Outcome[LayerPlan]) }
+func putOutcome(o *search.Outcome[LayerPlan]) { outcomePool.Put(o) }
+
+// release drops the per-layer references (so a pooled state cannot
+// pin a network's layers or a caller's options alive) and returns the
+// state; the scratch slices keep their capacity.
+func (s *exploreState) release() {
+	s.l, s.e = models.ConvLayer{}, models.ConvLayer{}
+	s.opts = Options{}
+	s.env = compileEnv{}
+	s.bk = nil
+	exploreStatePool.Put(s)
+}
+
+// exploreLayerEnv runs one layer's exploration against a resolved
+// compile environment, leasing the goroutine's scratch arena from the
+// pool. This is the single exploration path: exploreLayer resolves a
+// standalone environment and lands here.
+func exploreLayerEnv(l models.ConvLayer, cfg hw.Config, opts Options, env compileEnv) (LayerPlan, search.Stats, error) {
+	s := exploreStatePool.Get().(*exploreState)
+	defer s.release()
+	return s.explore(l, cfg, opts, env)
+}
+
+func (s *exploreState) explore(l models.ConvLayer, cfg hw.Config, opts Options, env compileEnv) (LayerPlan, search.Stats, error) {
+	var err error
+	s.bk, s.points, err = appendBackendPoints(s.points[:0], cfg, opts, opts.layerBudget(l.Name), l.Name)
+	if err != nil {
+		return LayerPlan{}, search.Stats{}, err
+	}
+	if opts.NaturalTiling {
+		return naturalSchedule(l, cfg, opts, s.bk, s.points[0])
+	}
+	s.l, s.cfg, s.opts, s.env = l, cfg, opts, env
+	s.e = effectiveLayer(l)
+	var space search.Space
+	if opts.FixedTiling != nil {
+		s.fixed[0] = *opts.FixedTiling
+		s.slice.Init(s.fixed[:])
+		space = &s.slice
+	} else {
+		// All four axes share one scratch slice; the boundaries are
+		// recorded first and sub-sliced only after the final append, so
+		// growth reallocations cannot leave a stale sub-slice behind.
+		a := search.AppendAxis(s.axes[:0], s.e.M, cfg.ArrayM)
+		m1 := len(a)
+		a = search.AppendAxis(a, s.e.N, cfg.ArrayN)
+		n1 := len(a)
+		a = search.AppendAxis(a, s.e.R(), cfg.ArrayM)
+		r1 := len(a)
+		a = search.AppendAxis(a, s.e.C(), cfg.ArrayN)
+		s.axes = a
+		s.product.Init(a[:m1], a[m1:n1], a[n1:r1], a[r1:])
+		space = &s.product
+	}
+	s.ptTables = appendPointTables(s.ptTables[:0], s.points)
+	s.tables = appendMappingTables(s.tables[:0], s.ptTables, env.maps)
+	s.b.init(l, cfg, s.tables, len(s.points), env.travs)
+	prob := search.Problem[LayerPlan]{
+		Space:       space,
+		Kinds:       opts.Patterns,
+		Admit:       s.admit,
+		Points:      len(s.points),
+		Travs:       len(env.travs),
+		Maps:        len(env.maps),
+		Bound:       s.boundFn,
+		Evaluate:    s.evaluate,
+		NewOutcome:  getOutcome,
+		FreeOutcome: putOutcome,
+	}
+	if !opts.DisableIncremental {
+		prob.NewPricer = s.newPricer
+	}
+	r, err := search.Run(prob, search.Options{Strategy: opts.Search, BeamWidth: opts.BeamWidth, Parallelism: opts.Parallelism})
+	if err != nil {
+		return LayerPlan{}, r.Stats, err
+	}
+	if !r.Found {
+		return LayerPlan{}, r.Stats, fmt.Errorf("no feasible tiling for layer %q", l.Name)
+	}
+	return r.Outcome.Value, r.Stats, nil
+}
+
+// compileState is one compile's arena: the per-layer slices, the miss
+// work list and the signature build buffer with its interned string.
+type compileState struct {
+	plans  []LayerPlan
+	stats  []search.Stats
+	hits   []bool
+	keys   []memoKey
+	errs   []error
+	miss   []int
+	sigBuf []byte
+	sig    string
+}
+
+var compileStatePool = sync.Pool{New: func() any { return new(compileState) }}
+
+// grow sizes the per-layer slices to n layers, clearing reused storage.
+func (cs *compileState) grow(n int) {
+	if cap(cs.plans) < n {
+		cs.plans = make([]LayerPlan, n)
+		cs.stats = make([]search.Stats, n)
+		cs.hits = make([]bool, n)
+		cs.keys = make([]memoKey, n)
+		cs.errs = make([]error, n)
+	}
+	cs.plans = cs.plans[:n]
+	clear(cs.plans)
+	cs.stats = cs.stats[:n]
+	clear(cs.stats)
+	cs.hits = cs.hits[:n]
+	clear(cs.hits)
+	cs.keys = cs.keys[:n]
+	cs.errs = cs.errs[:n]
+	clear(cs.errs)
+	cs.miss = cs.miss[:0]
+}
+
+// internSignature rebuilds the options signature into the reused buffer
+// and re-interns the string only when the bytes changed — the common
+// case (same options compile after compile) costs zero allocations.
+func (cs *compileState) internSignature(opts Options) string {
+	cs.sigBuf = opts.appendSignature(cs.sigBuf[:0])
+	if string(cs.sigBuf) != cs.sig {
+		cs.sig = string(cs.sigBuf)
+	}
+	return cs.sig
+}
+
+// runLayer explores one layer (through the memo when present) into the
+// arena's slot i, converting panics into structured per-layer errors so
+// long-lived callers (ranad) survive poisoned inputs.
+func (cs *compileState) runLayer(i int, l models.ConvLayer, cfg hw.Config, opts Options, memo *Memo, env compileEnv) {
+	defer cs.recoverLayer(i)
+	if memo != nil {
+		cs.plans[i], cs.stats[i], cs.hits[i], cs.errs[i] = memo.exploreEnv(cs.keys[i], l, cfg, opts, env)
+	} else {
+		cs.plans[i], cs.stats[i], cs.errs[i] = exploreLayerEnv(l, cfg, opts, env)
+	}
+}
+
+// drainParallel fans the miss list across a bounded worker pool sharing
+// an atomic cursor. Workers claim indices until the list is exhausted or
+// the context cancels; the canceled claim records ctx.Err() on its layer
+// so the caller's error sweep reports how far the schedule got.
+func (cs *compileState) drainParallel(ctx context.Context, net models.Network, cfg hw.Config,
+	opts Options, memo *Memo, env compileEnv, workers int) {
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(cursor.Add(1)) - 1
+				if idx >= len(cs.miss) {
+					return
+				}
+				i := cs.miss[idx]
+				if err := ctx.Err(); err != nil {
+					cs.errs[i] = err
+					return
+				}
+				cs.runLayer(i, net.Layers[i], cfg, opts, memo, env)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (cs *compileState) recoverLayer(i int) {
+	if r := recover(); r != nil {
+		cs.errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// releaseCompile returns the compile's leased arenas. Top-level (not a
+// closure) so the deferred call in ExploreNetworkInto stays open-coded
+// and allocation-free.
+func releaseCompile(cs *compileState, memo *Memo, pooledMemo bool, prefix *PrefixMemo, pooledPrefix bool) {
+	compileStatePool.Put(cs)
+	if pooledMemo {
+		putCompileMemo(memo)
+	}
+	if pooledPrefix {
+		putCompilePrefix(prefix)
+	}
+}
+
+// ExploreNetworkInto is ExploreNetworkContext writing the schedule into
+// a caller-owned Plan (whose Layers slice is reused when its capacity
+// allows) instead of allocating a fresh one — the steady-state entry
+// point for callers compiling in a loop. p's previous contents are
+// fully overwritten; on error p is left in an unspecified state.
+//
+// The compile runs in two phases: a sequential peek pass serves every
+// layer whose shape the memo already holds (the warm path — no
+// goroutines, no closures, no allocations), then the misses drain
+// through a bounded worker pool (inline on this goroutine when one
+// worker suffices, which keeps the single-threaded explore loop
+// allocation-free too).
+func ExploreNetworkInto(ctx context.Context, net models.Network, cfg hw.Config, opts Options, p *Plan) (NetworkStats, error) {
+	var ns NetworkStats
+	if err := net.Validate(); err != nil {
+		return ns, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return ns, err
+	}
+	if err := opts.Validate(); err != nil {
+		return ns, err
+	}
+	env, err := envFor(opts)
+	if err != nil {
+		return ns, err
+	}
+	// Incremental pricing shares prefix sums across the compile's layers
+	// through a prefix memo: the caller's shared one, or a pooled
+	// per-compile one. Disabled pricing needs neither — the stateless
+	// bound never looks prefixes up.
+	prefix, pooledPrefix := opts.Prefix, false
+	if prefix == nil && !opts.DisableIncremental {
+		prefix, pooledPrefix = getCompilePrefix(), true
+	}
+	if !opts.DisableIncremental {
+		env.prefix = prefix
+	}
+	// Default-on per-compile memo: repeated shapes inside one network
+	// (ResNet bottlenecks, inception branches) schedule once. Shared
+	// cross-compile memos are opt-in via Options.Memo.
+	memo, pooledMemo := opts.Memo, false
+	if memo == nil && !opts.DisableMemo {
+		memo, pooledMemo = getCompileMemo(), true
+	}
+	cs := compileStatePool.Get().(*compileState)
+	defer releaseCompile(cs, memo, pooledMemo, prefix, pooledPrefix)
+
+	n := len(net.Layers)
+	cs.grow(n)
+	var prefixBase PrefixStats
+	if prefix != nil {
+		prefixBase = prefix.Stats()
+	}
+
+	// Phase 1: the peek pass. Keys are built once and kept for the miss
+	// drain; completed memo entries are served inline.
+	if memo != nil {
+		sig := cs.internSignature(opts)
+		for i, l := range net.Layers {
+			cs.keys[i] = keyWithSig(l, cfg, opts, sig)
+			if lp, ok := memo.peek(cs.keys[i], l); ok {
+				cs.plans[i], cs.hits[i] = lp, true
+			} else {
+				cs.miss = append(cs.miss, i)
+			}
+		}
+	} else {
+		for i := range net.Layers {
+			cs.miss = append(cs.miss, i)
+		}
+	}
+
+	// Phase 2: drain the misses. Layers are independent optimization
+	// problems (Fig. 13 schedules them one by one); a canceled context
+	// stops admitting work, already-claimed layers finish (one layer's
+	// exploration is short), and the error reports how far the schedule
+	// got.
+	if workers := min(runtime.GOMAXPROCS(0), len(cs.miss)); workers <= 1 {
+		for _, i := range cs.miss {
+			if err := ctx.Err(); err != nil {
+				cs.errs[i] = err
+				break
+			}
+			cs.runLayer(i, net.Layers[i], cfg, opts, memo, env)
+		}
+	} else {
+		// Kept out of line so the worker closure's captures only escape
+		// to the heap when the parallel path actually runs — the
+		// sequential path above stays allocation-free.
+		cs.drainParallel(ctx, net, cfg, opts, memo, env, workers)
+	}
+	for i, err := range cs.errs {
+		if err != nil {
+			if ctx.Err() != nil && err == ctx.Err() {
+				return ns, fmt.Errorf("sched: %s: canceled at layer %d/%d (%s): %w",
+					net.Name, i+1, n, net.Layers[i].Name, err)
+			}
+			return ns, fmt.Errorf("sched: %s/%s: %w", net.Name, net.Layers[i].Name, err)
+		}
+	}
+
+	// Assembly: copy the arena's results into the caller's plan and
+	// aggregate in layer order.
+	p.Network, p.Config, p.Options = net, cfg, opts
+	p.Layers = p.Layers[:0]
+	p.Totals = energy.Counts{}
+	p.Energy = energy.Breakdown{}
+	p.ExecTime = 0
+	for i, lp := range cs.plans {
+		p.Layers = append(p.Layers, lp)
+		p.Totals.Add(lp.Counts)
+		p.Energy.Add(lp.Energy)
+		p.ExecTime += lp.Analysis.ExecTime
+		if cs.hits[i] {
+			ns.MemoHits++
+		} else {
+			// With no memo at all there are no misses to report — only
+			// the search work itself.
+			if memo != nil {
+				ns.MemoMisses++
+			}
+			ns.Search.Add(cs.stats[i])
+		}
+	}
+	if prefix != nil {
+		st := prefix.Stats()
+		ns.PrefixHits = st.Hits - prefixBase.Hits
+		ns.PrefixMisses = st.Misses - prefixBase.Misses
+	}
+	if opts.Check != nil {
+		if err := opts.Check(p); err != nil {
+			return ns, fmt.Errorf("sched: plan check: %w", err)
+		}
+	}
+	return ns, nil
+}

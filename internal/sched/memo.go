@@ -17,8 +17,10 @@ package sched
 // layer.
 
 import (
-	"fmt"
-	"strings"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"strconv"
 	"sync"
 
 	"rana/internal/hw"
@@ -32,34 +34,37 @@ import (
 // shared long-lived memo against hostile shape streams.
 const DefaultMemoCapacity = 4096
 
-// memoKey identifies one exploration problem. All components are
-// comparable: the layer in canonical shape form (identity cleared,
-// padding collapsed into the derived output geometry), the config with
-// Name cleared, and the canonical options signature.
+// memoKey identifies one exploration problem: the SHA-256 digest of the
+// canonical (layer shape, derived output geometry, config, options
+// signature, resolved layer budget) tuple. A digest rather than the
+// struct itself because the struct form exceeds the runtime's 128-byte
+// inline-key limit, and an indirect map key heap-copies on every insert
+// — one allocation per distinct shape per compile, which is exactly
+// what the pooled compile path exists to avoid. 32 bytes store inline,
+// and a SHA-256 collision between two real scheduling problems is not a
+// realistic failure mode.
 //
-// The key is deliberately as coarse as soundness allows and no coarser.
-// Exploration reads the padding only through the derived R()/C(), so
-// distinct (P) spellings with identical derived geometry share an entry
-// (r/c carry the information P held). Coarsening over M — the axis
-// GoogLeNet's near-duplicate inception branches actually differ in —
-// is NOT sound: M reaches the plan through the Tm candidate axis,
-// ceil(M/Tm), the weight/output volumes and the MAC count, so two
+// The keyed tuple is deliberately as coarse as soundness allows and no
+// coarser. Exploration reads the padding only through the derived
+// R()/C(), so distinct (P) spellings with identical derived geometry
+// share an entry (r/c carry the information P held). Coarsening over M
+// — the axis GoogLeNet's near-duplicate inception branches actually
+// differ in — is NOT sound: M reaches the plan through the Tm candidate
+// axis, ceil(M/Tm), the weight/output volumes and the MAC count, so two
 // branches differing only in M pick genuinely different plans and a
 // shared entry would break the hit-patches-identity-only contract
-// (TestMemoNearDuplicateShapesStayDistinct pins this boundary).
-type memoKey struct {
-	layer models.ConvLayer
-	r, c  int
-	cfg   hw.Config
-	sig   string
-}
+// (TestMemoNearDuplicateShapesStayDistinct pins this boundary; the
+// sound way to profit from those branches is the bound-level PrefixMemo
+// in prefix.go).
+type memoKey [sha256.Size]byte
 
-// memoEntry is one in-flight or completed exploration. done is closed
-// when the owner finishes; ok reports whether lp/stats are valid.
-// Failed entries are removed from the table before done closes, so
+// memoEntry is one in-flight or completed exploration. The owner holds
+// wg at one until it finishes; ok (written and read under the memo's
+// mutex, or after wg.Wait) reports whether lp/stats are valid. Failed
+// entries are removed from the table before the owner releases wg, so
 // waiters observing ok == false recompute individually.
 type memoEntry struct {
-	done  chan struct{}
+	wg    sync.WaitGroup
 	lp    LayerPlan
 	stats search.Stats
 	ok    bool
@@ -71,6 +76,7 @@ type memoEntry struct {
 type Memo struct {
 	mu      sync.Mutex
 	entries map[memoKey]*memoEntry
+	free    []*memoEntry // retired entries awaiting reuse (pooled memos)
 	cap     int
 	hits    uint64
 	misses  uint64
@@ -107,29 +113,50 @@ func (m *Memo) Stats() MemoStats {
 // resolution rules as the serving cache hashing (resolved strategy
 // spelled out, beam width only under beam, effective guard band,
 // controller by name) so equivalent spellings collapse onto one entry.
-// Parallelism, Memo, DisableMemo and Check are deliberately absent:
-// none of them changes a layer's resulting plan bytes.
+// Parallelism, Memo, Prefix, DisableMemo, DisableIncremental and Check
+// are deliberately absent: none of them changes a layer's resulting
+// plan bytes.
 func (o Options) signature() string {
-	var sb strings.Builder
+	return string(o.appendSignature(nil))
+}
+
+// appendSignature is signature writing into dst — the allocation-free
+// form the compile path builds its (interned) signature with. One
+// strconv.Append* call per component; %g floats spell identically to
+// the historical fmt.Fprintf form (both emit the shortest round-trip
+// representation).
+func (o Options) appendSignature(dst []byte) []byte {
 	for _, k := range o.Patterns {
-		sb.WriteString(k.String())
-		sb.WriteByte(',')
+		dst = append(dst, k.String()...)
+		dst = append(dst, ',')
 	}
-	fmt.Fprintf(&sb, "|refresh=%d", int64(o.RefreshInterval))
+	dst = append(dst, "|refresh="...)
+	dst = strconv.AppendInt(dst, int64(o.RefreshInterval), 10)
 	if o.Controller != nil {
-		fmt.Fprintf(&sb, "|ctrl=%s", o.Controller.Name())
+		dst = append(dst, "|ctrl="...)
+		dst = append(dst, o.Controller.Name()...)
 	}
 	if o.NaturalTiling {
-		sb.WriteString("|natural")
+		dst = append(dst, "|natural"...)
 	}
-	fmt.Fprintf(&sb, "|guard=%g", o.Guard())
+	dst = append(dst, "|guard="...)
+	dst = strconv.AppendFloat(dst, o.Guard(), 'g', -1, 64)
 	if o.FixedTiling != nil {
 		t := *o.FixedTiling
-		fmt.Fprintf(&sb, "|fixed=%d,%d,%d,%d", t.Tm, t.Tn, t.Tr, t.Tc)
+		dst = append(dst, "|fixed="...)
+		dst = strconv.AppendInt(dst, int64(t.Tm), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(t.Tn), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(t.Tr), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(t.Tc), 10)
 	}
-	fmt.Fprintf(&sb, "|search=%s", o.Search.Resolve())
+	dst = append(dst, "|search="...)
+	dst = append(dst, string(o.Search.Resolve())...)
 	if o.Search.Resolve() == search.Beam {
-		fmt.Fprintf(&sb, "|beam=%d", search.EffectiveWidth(o.BeamWidth))
+		dst = append(dst, "|beam="...)
+		dst = strconv.AppendInt(dst, int64(search.EffectiveWidth(o.BeamWidth)), 10)
 	}
 	// The memory-backend axis. The empty backend spelling is kept
 	// distinct from an explicit default name (normalizing would need
@@ -139,50 +166,177 @@ func (o Options) signature() string {
 	// when it is "nominal": pinning collapses the point axis, which on
 	// multi-point backends changes the plan space.
 	if o.Backend != "" {
-		fmt.Fprintf(&sb, "|backend=%s", o.Backend)
+		dst = append(dst, "|backend="...)
+		dst = append(dst, o.Backend...)
 	}
 	if o.OperatingPoint != "" {
-		fmt.Fprintf(&sb, "|op=%s", o.OperatingPoint)
+		dst = append(dst, "|op="...)
+		dst = append(dst, o.OperatingPoint...)
 	}
 	if o.ErrorBudget > 0 {
-		fmt.Fprintf(&sb, "|ebudget=%g", o.ErrorBudget)
+		dst = append(dst, "|ebudget="...)
+		dst = strconv.AppendFloat(dst, o.ErrorBudget, 'g', -1, 64)
 	}
 	// The traversal and mapping axes, in canonical spelling so
 	// equivalent specs ("", "linear", "linear,linear") collapse onto one
 	// entry; the default-only axes append nothing, keeping legacy
-	// signatures byte-identical. Validate already rejected unparseable
-	// specs, so the canonicalizers cannot fail here.
-	if tr, err := CanonicalTraversalSpec(o.Traversal); err == nil && tr != "" {
-		fmt.Fprintf(&sb, "|traversal=%s", tr)
+	// signatures byte-identical (and the empty-spec fast path
+	// allocation-free). Validate already rejected unparseable specs, so
+	// the canonicalizers cannot fail here.
+	if o.Traversal != "" {
+		if tr, err := CanonicalTraversalSpec(o.Traversal); err == nil && tr != "" {
+			dst = append(dst, "|traversal="...)
+			dst = append(dst, tr...)
+		}
 	}
-	if mp, err := CanonicalMappingSpec(o.Mapping); err == nil && mp != "" {
-		fmt.Fprintf(&sb, "|mapping=%s", mp)
+	if o.Mapping != "" {
+		if mp, err := CanonicalMappingSpec(o.Mapping); err == nil && mp != "" {
+			dst = append(dst, "|mapping="...)
+			dst = append(dst, mp...)
+		}
 	}
-	return sb.String()
+	return dst
 }
 
 // keyFor builds the memo key: layer identity and config name are
 // cleared (they do not influence exploration), and the options collapse
 // onto the canonical signature shared with the serving cache hashing —
 // resolved strategy spelled out, beam width only under beam, effective
-// guard band, controller by name. Per-layer error budgets are the one
-// place identity does influence exploration, so the layer's *resolved*
-// budget is folded into the signature before the name is cleared; with
-// no per-layer budgets the signature is byte-identical to before.
+// guard band, controller by name.
 func keyFor(l models.ConvLayer, cfg hw.Config, opts Options) memoKey {
-	sig := opts.signature()
-	if len(opts.LayerBudgets) > 0 {
-		sig += fmt.Sprintf("|lbudget=%g", opts.layerBudget(l.Name))
+	return keyWithSig(l, cfg, opts, opts.signature())
+}
+
+// keyWithSig is keyFor against a precomputed signature — the compile
+// path builds the signature once per network, not once per layer.
+// Per-layer error budgets are the one place identity does influence
+// exploration, so the layer's *resolved* budget is folded into the
+// digest; with no per-layer budgets a zero budget word with a cleared
+// presence flag keeps legacy problems distinct from budgeted ones.
+//
+// The encoding is injective: every component is a fixed-width word
+// except the signature, which comes last — so no two distinct tuples
+// serialize to the same bytes. Layer identity (Name, Stage) and
+// cfg.Name never influence exploration and are excluded; padding
+// collapses into the derived output geometry (exploration never reads
+// P directly). Every semantic field of models.ConvLayer and hw.Config
+// must appear here — TestMemoKeyCoversAllFields pins the field counts
+// so adding a struct field without extending the encoding fails loudly.
+func keyWithSig(l models.ConvLayer, cfg hw.Config, opts Options, sig string) memoKey {
+	var scratch [352]byte
+	b := scratch[:0]
+	// Layer canonical shape + derived output geometry.
+	for _, v := range [...]uint64{
+		uint64(l.N), uint64(l.H), uint64(l.L), uint64(l.M),
+		uint64(l.K), uint64(l.S), uint64(l.Groups),
+		uint64(l.R()), uint64(l.C()),
+	} {
+		b = binary.LittleEndian.AppendUint64(b, v)
 	}
-	// Canonical shape: padding collapses into the derived output
-	// geometry (exploration never reads P directly), and layer identity
-	// never influences exploration. Analysis.Layer is patched with the
-	// requesting layer on a hit, so the donor's spelling never leaks.
-	r, c := l.R(), l.C()
-	l.Name, l.Stage = "", ""
-	l.P = 0
-	cfg.Name = ""
-	return memoKey{layer: l, r: r, c: c, cfg: cfg, sig: sig}
+	// Accelerator configuration, Name excluded.
+	for _, v := range [...]uint64{
+		uint64(cfg.ArrayM), uint64(cfg.ArrayN), uint64(cfg.Mapping),
+		math.Float64bits(cfg.FrequencyHz),
+		uint64(cfg.LocalInput), uint64(cfg.LocalOutput), uint64(cfg.LocalWeight),
+		cfg.BufferWords, uint64(cfg.BufferTech), uint64(cfg.BankWords),
+	} {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	// Resolved per-layer budget: presence flag + value, fixed width.
+	if len(opts.LayerBudgets) > 0 {
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(opts.layerBudget(l.Name)))
+	} else {
+		b = append(b, 0)
+		b = binary.LittleEndian.AppendUint64(b, 0)
+	}
+	b = append(b, sig...)
+	return sha256.Sum256(b)
+}
+
+// peek returns the completed entry for key, patched to l's identity,
+// without blocking: in-flight entries and misses return false and the
+// caller takes the exploring path (explore/exploreEnv), which waits on
+// in-flight owners and keeps the hit accounting there. This is the
+// warm compile path's allocation-free fast lane — no goroutine, no
+// closure, no channel.
+func (m *Memo) peek(key memoKey, l models.ConvLayer) (LayerPlan, bool) {
+	if m == nil {
+		return LayerPlan{}, false
+	}
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok || !e.ok {
+		m.mu.Unlock()
+		return LayerPlan{}, false
+	}
+	m.hits++
+	lp := e.lp
+	m.mu.Unlock()
+	lp.Analysis.Layer = l
+	return lp, true
+}
+
+// memoMode classifies one acquire: served from an entry, saturated, or
+// owned (the caller must explore and publish through fill/fillEnv).
+type memoMode int
+
+const (
+	memoWait memoMode = iota // wait on the returned entry
+	memoFull                 // table saturated: explore without recording
+	memoOwn                  // caller owns the returned entry
+)
+
+// acquire looks the key up and either returns an existing entry to wait
+// on (counted as a hit), reports saturation, or installs a fresh owned
+// entry (counted as a miss).
+func (m *Memo) acquire(key memoKey) (*memoEntry, memoMode) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return e, memoWait
+	}
+	if len(m.entries) >= m.cap {
+		// Full: explore without recording. No counter bump — the
+		// table is saturated, hit/miss ratios stop being meaningful.
+		m.mu.Unlock()
+		return nil, memoFull
+	}
+	e := m.newEntry()
+	e.wg.Add(1)
+	m.entries[key] = e
+	m.misses++
+	m.mu.Unlock()
+	return e, memoOwn
+}
+
+// newEntry takes an entry off the free list (or allocates). Caller
+// holds m.mu.
+func (m *Memo) newEntry() *memoEntry {
+	if n := len(m.free); n > 0 {
+		e := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		*e = memoEntry{}
+		return e
+	}
+	return &memoEntry{}
+}
+
+// await blocks on an in-flight (or completed) entry and returns the
+// patched plan. ok == false means the owner failed and withdrew the
+// entry — the caller recomputes individually, so one layer's error
+// (whose message names that layer) never smears across same-shaped
+// layers.
+func (e *memoEntry) await(l models.ConvLayer) (LayerPlan, search.Stats, bool) {
+	e.wg.Wait()
+	if !e.ok {
+		return LayerPlan{}, search.Stats{}, false
+	}
+	lp := e.lp
+	lp.Analysis.Layer = l
+	return lp, e.stats, true
 }
 
 // explore returns the layer's plan through the memo: a completed entry
@@ -196,56 +350,117 @@ func (m *Memo) explore(l models.ConvLayer, cfg hw.Config, opts Options,
 		return lp, stats, false, err
 	}
 	key := keyFor(l, cfg, opts)
-	m.mu.Lock()
-	if e, ok := m.entries[key]; ok {
-		m.hits++
-		m.mu.Unlock()
-		<-e.done
-		if !e.ok {
-			// The owner failed after we were counted as a hit; its
-			// entry is gone. Recompute without the memo — caching the
-			// failure would smear one layer's error (whose message
-			// names that layer) across every same-shaped layer.
-			lp, stats, err := compute()
-			return lp, stats, false, err
+	e, mode := m.acquire(key)
+	switch mode {
+	case memoWait:
+		if lp, stats, ok := e.await(l); ok {
+			return lp, stats, true, nil
 		}
-		lp := e.lp
-		lp.Analysis.Layer = l
-		return lp, e.stats, true, nil
-	}
-	if len(m.entries) >= m.cap {
-		// Full: explore without recording. No counter bump — the
-		// table is saturated, hit/miss ratios stop being meaningful.
-		m.mu.Unlock()
-		lp, stats, err := compute()
+	case memoOwn:
+		lp, stats, err := m.fill(key, e, compute)
 		return lp, stats, false, err
 	}
-	e := &memoEntry{done: make(chan struct{})}
-	m.entries[key] = e
-	m.misses++
-	m.mu.Unlock()
+	lp, stats, err := compute()
+	return lp, stats, false, err
+}
 
-	lp, stats, err := m.fill(key, e, compute)
+// exploreEnv is explore on the compile path: the key is prebuilt, and a
+// miss explores through the per-compile environment directly — no
+// compute closure, which is what keeps the cold optimized path's
+// allocations below the baseline's.
+func (m *Memo) exploreEnv(key memoKey, l models.ConvLayer, cfg hw.Config, opts Options,
+	env compileEnv) (LayerPlan, search.Stats, bool, error) {
+	if m == nil {
+		lp, stats, err := exploreLayerEnv(l, cfg, opts, env)
+		return lp, stats, false, err
+	}
+	e, mode := m.acquire(key)
+	switch mode {
+	case memoWait:
+		if lp, stats, ok := e.await(l); ok {
+			return lp, stats, true, nil
+		}
+	case memoOwn:
+		lp, stats, err := m.fillEnv(key, e, l, cfg, opts, env)
+		return lp, stats, false, err
+	}
+	lp, stats, err := exploreLayerEnv(l, cfg, opts, env)
 	return lp, stats, false, err
 }
 
 // fill runs the owner's exploration and publishes (or withdraws) the
 // entry. The deferred cleanup also fires on panic, so a poisoned
-// candidate cannot leave same-shaped waiters blocked forever.
+// candidate cannot leave same-shaped waiters blocked forever. Results
+// are published under m.mu so peek can read completed entries without
+// waiting.
 func (m *Memo) fill(key memoKey, e *memoEntry,
 	compute func() (LayerPlan, search.Stats, error)) (lp LayerPlan, stats search.Stats, err error) {
-	defer func() {
-		if !e.ok {
-			m.mu.Lock()
-			delete(m.entries, key)
-			m.mu.Unlock()
-		}
-		close(e.done)
-	}()
+	defer m.finish(key, e)
 	lp, stats, err = compute()
 	if err != nil {
 		return lp, stats, err
 	}
-	e.lp, e.stats, e.ok = lp, stats, true
+	m.publish(e, lp, stats)
 	return lp, stats, nil
+}
+
+// fillEnv is fill exploring through the compile environment.
+func (m *Memo) fillEnv(key memoKey, e *memoEntry, l models.ConvLayer, cfg hw.Config,
+	opts Options, env compileEnv) (lp LayerPlan, stats search.Stats, err error) {
+	defer m.finish(key, e)
+	lp, stats, err = exploreLayerEnv(l, cfg, opts, env)
+	if err != nil {
+		return lp, stats, err
+	}
+	m.publish(e, lp, stats)
+	return lp, stats, nil
+}
+
+// publish marks the entry complete under m.mu (peek's visibility).
+func (m *Memo) publish(e *memoEntry, lp LayerPlan, stats search.Stats) {
+	m.mu.Lock()
+	e.lp, e.stats, e.ok = lp, stats, true
+	m.mu.Unlock()
+}
+
+// finish withdraws a failed entry and releases its waiters.
+func (m *Memo) finish(key memoKey, e *memoEntry) {
+	m.mu.Lock()
+	if !e.ok {
+		delete(m.entries, key)
+	}
+	m.mu.Unlock()
+	e.wg.Done()
+}
+
+// resetForReuse retires every entry to the free list and zeroes the
+// counters — what returns a pooled per-compile memo to its cold state.
+// Only sound once no goroutine still references the entries (the
+// compile that leased the memo has fully finished). The table is
+// emptied with clear(), not per-key delete: delete leaves tombstones
+// behind and the next compile's inserts then allocate rehashing around
+// them, while clear resets the buckets in place and keeps the refill
+// allocation-free.
+func (m *Memo) resetForReuse() {
+	m.mu.Lock()
+	for _, e := range m.entries {
+		m.free = append(m.free, e)
+	}
+	clear(m.entries)
+	m.hits, m.misses = 0, 0
+	m.mu.Unlock()
+}
+
+// compileMemoPool recycles the implicit per-compile memos so the
+// steady-state compile path allocates neither the memo, its map buckets
+// nor its entries. Entries are retired on release — per-compile means
+// per-compile: cold hit rates must not be inflated by a previous
+// compile's entries.
+var compileMemoPool = sync.Pool{New: func() any { return NewMemo(0) }}
+
+func getCompileMemo() *Memo { return compileMemoPool.Get().(*Memo) }
+
+func putCompileMemo(m *Memo) {
+	m.resetForReuse()
+	compileMemoPool.Put(m)
 }

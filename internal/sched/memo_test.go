@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -228,5 +229,19 @@ func TestMemoSignatureSeparatesPlanRelevantOptions(t *testing.T) {
 	d.NaturalTiling = true
 	if a.signature() == d.signature() {
 		t.Fatal("natural tiling missing from the memo signature")
+	}
+}
+
+// TestMemoKeyCoversAllFields is the tripwire for keyWithSig's injective
+// encoding: the digest serializes every semantic field of
+// models.ConvLayer and hw.Config by hand, so adding a field to either
+// struct without extending the encoding would silently alias distinct
+// problems. Bump the counts here only together with keyWithSig.
+func TestMemoKeyCoversAllFields(t *testing.T) {
+	if got, want := reflect.TypeOf(models.ConvLayer{}).NumField(), 10; got != want {
+		t.Errorf("models.ConvLayer has %d fields, keyWithSig encodes for %d — extend the digest encoding", got, want)
+	}
+	if got, want := reflect.TypeOf(hw.Config{}).NumField(), 11; got != want {
+		t.Errorf("hw.Config has %d fields, keyWithSig encodes for %d — extend the digest encoding", got, want)
 	}
 }

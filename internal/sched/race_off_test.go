@@ -1,0 +1,7 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation gates skip themselves when it does.
+const raceEnabled = false

@@ -11,9 +11,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"runtime/debug"
-	"sync"
 	"time"
 
 	"rana/internal/energy"
@@ -139,6 +136,20 @@ type Options struct {
 	// against un-memoized exploration.
 	DisableMemo bool
 
+	// Prefix, when non-nil, shares bound prefix-sum computations
+	// (see PrefixMemo) across compiles — ranad installs one server-wide
+	// next to its shared Memo. When nil, the network entry points lease
+	// a pooled per-compile prefix memo unless DisableIncremental is set.
+	Prefix *PrefixMemo `json:"-"`
+
+	// DisableIncremental turns off incremental bound pricing (the
+	// per-goroutine pricing contexts and the prefix memo), forcing every
+	// lower-bound computation through the stateless reference evaluator.
+	// Plans are bit-identical either way — this is the baseline the
+	// incremental-pricing oracle (verify.CompareIncremental) and the
+	// benchmark harness compare against, not a semantic knob.
+	DisableIncremental bool
+
 	// Check, when non-nil, is invoked on the assembled plan before
 	// Schedule returns — the seam the verification harness
 	// (internal/verify) uses to enforce plan invariants at schedule time.
@@ -231,11 +242,17 @@ func (o Options) Validate() error {
 	if o.ErrorBudget < 0 || o.ErrorBudget > 1 {
 		return fmt.Errorf("sched: error budget %g outside [0, 1]", o.ErrorBudget)
 	}
-	if _, err := ParseTraversalSpec(o.Traversal); err != nil {
-		return err
+	// Empty specs are the always-valid defaults; skipping the parse
+	// keeps repeated validation (once per compile) allocation-free.
+	if o.Traversal != "" {
+		if _, err := ParseTraversalSpec(o.Traversal); err != nil {
+			return err
+		}
 	}
-	if _, err := ParseMappingSpec(o.Mapping); err != nil {
-		return err
+	if o.Mapping != "" {
+		if _, err := ParseMappingSpec(o.Mapping); err != nil {
+			return err
+		}
 	}
 	for name, lb := range o.LayerBudgets {
 		if math.IsNaN(lb) || lb < 0 || lb > 1 {
@@ -330,98 +347,23 @@ type NetworkStats struct {
 	// MemoMisses counts layers that had to explore. Hits + Misses equals
 	// the layer count unless the memo was nil, disabled or saturated.
 	MemoMisses int
+	// PrefixHits and PrefixMisses count the bound prefix-sum lookups the
+	// compile's exploration served from (respectively computed into) the
+	// prefix memo. Zero when incremental pricing is disabled. With a
+	// shared Options.Prefix the counts are deltas over the shared
+	// counters and may include a concurrent compile's lookups.
+	PrefixHits   uint64
+	PrefixMisses uint64
 }
 
 // ExploreNetworkContext is ScheduleContext with the aggregate work
 // accounting exposed: summed search counters plus memo effectiveness.
 // The benchmark harness and ranad's /metrics consume the stats.
 func ExploreNetworkContext(ctx context.Context, net models.Network, cfg hw.Config, opts Options) (*Plan, NetworkStats, error) {
-	var ns NetworkStats
-	if err := net.Validate(); err != nil {
+	p := &Plan{}
+	ns, err := ExploreNetworkInto(ctx, net, cfg, opts, p)
+	if err != nil {
 		return nil, ns, err
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, ns, err
-	}
-	if err := opts.Validate(); err != nil {
-		return nil, ns, err
-	}
-	memo := opts.Memo
-	if memo == nil && !opts.DisableMemo {
-		// Default-on per-compile memo: repeated shapes inside one network
-		// (ResNet bottlenecks, inception branches) schedule once. Shared
-		// cross-compile memos are opt-in via Options.Memo.
-		memo = NewMemo(0)
-	}
-	p := &Plan{Network: net, Config: cfg, Options: opts}
-	// Layers are independent optimization problems (Fig. 13 schedules
-	// them one by one); explore them in parallel and aggregate in order.
-	plans := make([]LayerPlan, len(net.Layers))
-	stats := make([]search.Stats, len(net.Layers))
-	hits := make([]bool, len(net.Layers))
-	errs := make([]error, len(net.Layers))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-launch:
-	for i, l := range net.Layers {
-		// Cancellation is checked between layer launches: a canceled
-		// context stops admitting work, already-running layers finish
-		// (one layer's exploration is short), and the error reports how
-		// far the schedule got.
-		select {
-		case <-ctx.Done():
-			errs[i] = ctx.Err()
-			break launch
-		case sem <- struct{}{}:
-		}
-		wg.Add(1)
-		go func(i int, l models.ConvLayer) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			// A panic inside a worker goroutine would kill the whole
-			// process — no caller-side recover can catch it. Convert it
-			// into a structured per-layer error instead so long-lived
-			// callers (ranad) survive poisoned inputs.
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
-				}
-			}()
-			// opts was validated once above; skip the per-layer re-check.
-			plans[i], stats[i], hits[i], errs[i] = memo.explore(l, cfg, opts,
-				func() (LayerPlan, search.Stats, error) { return exploreLayer(l, cfg, opts) })
-		}(i, l)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			if ctx.Err() != nil && err == ctx.Err() {
-				return nil, ns, fmt.Errorf("sched: %s: canceled at layer %d/%d (%s): %w",
-					net.Name, i+1, len(net.Layers), net.Layers[i].Name, err)
-			}
-			return nil, ns, fmt.Errorf("sched: %s/%s: %w", net.Name, net.Layers[i].Name, err)
-		}
-	}
-	for i, lp := range plans {
-		p.Layers = append(p.Layers, lp)
-		p.Totals.Add(lp.Counts)
-		p.Energy.Add(lp.Energy)
-		p.ExecTime += lp.Analysis.ExecTime
-		if hits[i] {
-			ns.MemoHits++
-		} else {
-			// With no memo at all there are no misses to report — only
-			// the search work itself.
-			if memo != nil {
-				ns.MemoMisses++
-			}
-			ns.Search.Add(stats[i])
-		}
-	}
-	if opts.Check != nil {
-		if err := opts.Check(p); err != nil {
-			return nil, ns, fmt.Errorf("sched: plan check: %w", err)
-		}
 	}
 	return p, ns, nil
 }
@@ -455,66 +397,14 @@ func scheduleLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, 
 
 // exploreLayer runs one layer's exploration through the search engine
 // (or the legacy first-feasible loop in NaturalTiling mode) and returns
-// the chosen plan with the engine's work counters.
+// the chosen plan with the engine's work counters. The network compile
+// path resolves the environment once and calls exploreLayerEnv directly.
 func exploreLayer(l models.ConvLayer, cfg hw.Config, opts Options) (LayerPlan, search.Stats, error) {
-	bk, points, err := ResolveBackendForLayer(cfg, opts, l.Name)
+	env, err := envFor(opts)
 	if err != nil {
 		return LayerPlan{}, search.Stats{}, err
 	}
-	if opts.NaturalTiling {
-		return naturalSchedule(l, cfg, opts, bk, points[0])
-	}
-	e := effectiveLayer(l)
-	var space search.Space
-	if opts.FixedTiling != nil {
-		space = search.NewSlice([]pattern.Tiling{*opts.FixedTiling})
-	} else {
-		space = search.NewProduct(
-			search.Axis(e.M, cfg.ArrayM),
-			search.Axis(e.N, cfg.ArrayN),
-			search.Axis(e.R(), cfg.ArrayM),
-			search.Axis(e.C(), cfg.ArrayN),
-		)
-	}
-	// The traversal and mapping axes were validated with the options;
-	// both parsers put the default (linear, row-major) at index 0, so a
-	// default-only axis reproduces the historical candidate stream.
-	travs, err := ParseTraversalSpec(opts.Traversal)
-	if err != nil {
-		return LayerPlan{}, search.Stats{}, err
-	}
-	maps, err := ParseMappingSpec(opts.Mapping)
-	if err != nil {
-		return LayerPlan{}, search.Stats{}, err
-	}
-	b := newBound(l, cfg, mappingTables(pointTables(points), maps), len(points), travs)
-	r, err := search.Run(search.Problem[LayerPlan]{
-		Space:  space,
-		Kinds:  opts.Patterns,
-		Admit:  func(t pattern.Tiling) bool { return t.FitsCore(e, cfg) },
-		Points: len(points),
-		Travs:  len(travs),
-		Maps:   len(maps),
-		Bound:  b.lower,
-		Evaluate: func(k pattern.Kind, t pattern.Tiling, cell search.Cell) (search.Outcome[LayerPlan], error) {
-			lp, err := evaluateCell(l, k, t, cfg, opts, bk, points[cell.Point], travs[cell.Trav], maps[cell.Map])
-			if err != nil {
-				return search.Outcome[LayerPlan]{}, err
-			}
-			return search.Outcome[LayerPlan]{
-				Feasible: lp.Analysis.Feasible,
-				Energy:   lp.Energy.Total(),
-				Value:    lp,
-			}, nil
-		},
-	}, search.Options{Strategy: opts.Search, BeamWidth: opts.BeamWidth, Parallelism: opts.Parallelism})
-	if err != nil {
-		return LayerPlan{}, r.Stats, err
-	}
-	if !r.Found {
-		return LayerPlan{}, r.Stats, fmt.Errorf("no feasible tiling for layer %q", l.Name)
-	}
-	return r.Outcome.Value, r.Stats, nil
+	return exploreLayerEnv(l, cfg, opts, env)
 }
 
 // naturalSchedule is the baseline path: it does not optimize, it takes
@@ -587,17 +477,32 @@ func evaluatePoint(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.
 // for bit.
 func evaluateCell(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options,
 	bk mem.Backend, pt mem.OperatingPoint, trv pattern.Traversal, mp MappingPolicy) (LayerPlan, error) {
-	a, err := pattern.AnalyzeTraversal(l, k, t, cfg, trv)
-	if err != nil {
+	var lp LayerPlan
+	if err := evaluateCellInto(&lp, l, k, t, cfg, opts, bk, pt, trv, mp); err != nil {
 		return LayerPlan{}, err
 	}
-	lp := LayerPlan{
-		Analysis:  a,
-		Point:     mem.NormalizePoint(pt.Name),
-		Traversal: traversalName(trv),
-		Mapping:   mappingName(mp),
+	return lp, nil
+}
+
+// evaluateCellInto is evaluateCell writing into a caller-owned plan —
+// the form the search engine's scratch-Outcome contract needs on the
+// hot path, where returning the several-hundred-byte LayerPlan by
+// value dominated cold-compile profiles. Every LayerPlan field is
+// overwritten (Needs explicitly, since the refresh branch may not run),
+// so a reused *lp never leaks a previous candidate's state; on an error
+// *lp is unspecified.
+func evaluateCellInto(lp *LayerPlan, l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.Config, opts Options,
+	bk mem.Backend, pt mem.OperatingPoint, trv pattern.Traversal, mp MappingPolicy) error {
+	a, err := pattern.AnalyzeTraversal(l, k, t, cfg, trv)
+	if err != nil {
+		return err
 	}
+	lp.Analysis = a
+	lp.Point = mem.NormalizePoint(pt.Name)
+	lp.Traversal = traversalName(trv)
+	lp.Mapping = mappingName(mp)
 	lp.Alloc = memctrl.Allocate(a.BufferStorage, cfg.BankWords, cfg.Banks())
+	lp.Needs = memctrl.Needs{}
 	var refreshes uint64
 	if opts.Controller != nil && bk.Refreshes() {
 		// Refresh decisions keep a retention guard band: data is deemed
@@ -620,7 +525,7 @@ func evaluateCell(l models.ConvLayer, k pattern.Kind, t pattern.Tiling, cfg hw.C
 		BufferWrites:   a.BufferWrites,
 	}
 	lp.Energy = energy.SystemTable(lp.Counts, mp.Apply(pt.Table()))
-	return lp, nil
+	return nil
 }
 
 // scaleInterval scales a refresh interval by an operating point's

@@ -62,6 +62,13 @@ func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 	var r Result[T]
 	r.Stats.Workers = 1
 	points, travs, maps := p.points(), p.travs(), p.maps()
+	// The bounding pass is sequential, so one pricing context covers it;
+	// the feasibility-fallback rescan below acquires its own.
+	var pricer Pricer
+	if p.Bound != nil && p.NewPricer != nil {
+		pricer = p.NewPricer()
+		defer pricer.Release()
+	}
 	kept := make(beamHeap, 0, width)
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
@@ -81,7 +88,11 @@ func beam[T any](p Problem[T], width, workers int) (Result[T], error) {
 						s := scored{c: Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}}
 						if p.Bound != nil {
 							r.Stats.Bounded++
-							s.bound = p.Bound(k, t, s.c.Cell())
+							if pricer != nil {
+								s.bound = pricer.Lower(k, t, s.c.Cell())
+							} else {
+								s.bound = p.Bound(k, t, s.c.Cell())
+							}
 						}
 						switch {
 						case len(kept) < width:
@@ -147,12 +158,10 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 	}
 	if workers <= 1 {
 		for i, s := range ordered {
-			out, err := p.Evaluate(s.c.Kind, s.c.Tiling, s.c.Cell())
-			if err != nil {
+			if err := p.Evaluate(s.c.Kind, s.c.Tiling, s.c.Cell(), &outs[i]); err != nil {
 				return nil, err
 			}
 			stats.Evaluated++
-			outs[i] = out
 		}
 		return outs, nil
 	}
@@ -181,13 +190,11 @@ func priceOrdered[T any](p Problem[T], ordered []scored, workers int, stats *Sta
 				if i >= len(ordered) {
 					return
 				}
-				out, err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling, ordered[i].c.Cell())
-				if err != nil {
+				if err := p.Evaluate(ordered[i].c.Kind, ordered[i].c.Tiling, ordered[i].c.Cell(), &outs[i]); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
-				outs[i] = out
 			}
 		}(w)
 	}

@@ -177,7 +177,17 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 					failed.Store(true)
 				}
 			}()
+			// Each worker owns its own incremental pricing context: the
+			// per-axis caches are scan-local state, so sharing one across
+			// goroutines would race and (worse) thrash invalidation.
+			var pricer Pricer
+			if prune && p.NewPricer != nil {
+				pricer = p.NewPricer()
+				defer pricer.Release()
+			}
 			local := &locals[w]
+			out := p.newOutcome()
+			defer p.freeOutcome(out)
 			for !failed.Load() {
 				lo := int(cursor.Add(int64(batch))) - batch
 				if lo >= len(admitted) {
@@ -200,14 +210,19 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 											// Strictly greater only, exactly like the
 											// sequential scan: an exact tie could still
 											// win the deterministic tie-break.
-											if p.Bound(k, ta.t, cell) > best {
+											var lb float64
+											if pricer != nil {
+												lb = pricer.Lower(k, ta.t, cell)
+											} else {
+												lb = p.Bound(k, ta.t, cell)
+											}
+											if lb > best {
 												local.Stats.Pruned++
 												continue
 											}
 										}
 									}
-									out, err := p.Evaluate(k, ta.t, cell)
-									if err != nil {
+									if err := p.Evaluate(k, ta.t, cell, out); err != nil {
 										if failures[w] == nil {
 											failures[w] = &workerFailure{err: err,
 												c: Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}}
@@ -221,7 +236,7 @@ func scanParallel[T any](p Problem[T], prune bool, workers int) (Result[T], erro
 									}
 									c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}
 									if !local.Found || prefer(out.Energy, c, local.Outcome.Energy, local.Candidate) {
-										local.Found, local.Candidate, local.Outcome = true, c, out
+										local.Found, local.Candidate, local.Outcome = true, c, *out
 									}
 									shared.tighten(out.Energy)
 								}
@@ -277,6 +292,13 @@ func scanSlice[T any](p Problem[T], prune bool, admitted []tilingAt) (Result[T],
 	r.Stats.Workers = 1
 	prune = prune && p.Bound != nil
 	points, travs, maps := p.points(), p.travs(), p.maps()
+	var pricer Pricer
+	if prune && p.NewPricer != nil {
+		pricer = p.NewPricer()
+		defer pricer.Release()
+	}
+	out := p.newOutcome()
+	defer p.freeOutcome(out)
 	for _, ta := range admitted {
 		for ki, k := range p.Kinds {
 			for pi := 0; pi < points; pi++ {
@@ -286,13 +308,18 @@ func scanSlice[T any](p Problem[T], prune bool, admitted []tilingAt) (Result[T],
 						cell := Cell{Point: pi, Trav: tv, Map: mi}
 						if prune && r.Found {
 							r.Stats.Bounded++
-							if p.Bound(k, ta.t, cell) > r.Outcome.Energy {
+							var lb float64
+							if pricer != nil {
+								lb = pricer.Lower(k, ta.t, cell)
+							} else {
+								lb = p.Bound(k, ta.t, cell)
+							}
+							if lb > r.Outcome.Energy {
 								r.Stats.Pruned++
 								continue
 							}
 						}
-						out, err := p.Evaluate(k, ta.t, cell)
-						if err != nil {
+						if err := p.Evaluate(k, ta.t, cell, out); err != nil {
 							return Result[T]{}, err
 						}
 						r.Stats.Evaluated++
@@ -301,7 +328,7 @@ func scanSlice[T any](p Problem[T], prune bool, admitted []tilingAt) (Result[T],
 						}
 						c := Candidate{Kind: k, KindIdx: ki, Tiling: ta.t, TilingIdx: ta.ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}
 						if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
-							r.Found, r.Candidate, r.Outcome = true, c, out
+							r.Found, r.Candidate, r.Outcome = true, c, *out
 						}
 					}
 				}

@@ -146,11 +146,12 @@ func TestParallelRepanicsWorkerPanics(t *testing.T) {
 	p := Problem[string]{
 		Space: NewSlice(tilingsN(64)),
 		Kinds: kinds,
-		Evaluate: func(k pattern.Kind, ti pattern.Tiling, _ Cell) (Outcome[string], error) {
+		Evaluate: func(k pattern.Kind, ti pattern.Tiling, _ Cell, out *Outcome[string]) error {
 			if ti.Tm == 40 {
 				panic("poisoned candidate")
 			}
-			return Outcome[string]{Feasible: true, Energy: float64(ti.Tm)}, nil
+			*out = Outcome[string]{Feasible: true, Energy: float64(ti.Tm)}
+			return nil
 		},
 	}
 	defer func() {

@@ -143,6 +143,21 @@ type Cell struct {
 	Map   int
 }
 
+// Pricer is a stateful per-goroutine bound evaluator: an incremental
+// pricing context that caches per-axis partial terms across the
+// candidates one scan goroutine streams, invalidating only what the
+// changed coordinate touches. Lower must return *exactly* the value the
+// problem's stateless Bound would return for the same candidate — bit
+// for bit, at any call order — so pruning decisions (and therefore
+// plans and work accounting) cannot depend on whether the incremental
+// or the stateless evaluator ran. Release hands the context back to its
+// owner's pool; the strategy calls it when the goroutine's scan ends
+// and never touches the pricer again.
+type Pricer interface {
+	Lower(k pattern.Kind, t pattern.Tiling, cell Cell) float64
+	Release()
+}
+
 // Outcome is one candidate priced exactly by the caller's evaluator.
 type Outcome[T any] struct {
 	// Feasible reports whether the candidate can execute at all;
@@ -185,8 +200,31 @@ type Problem[T any] struct {
 	// (Pruned degenerates to Exhaustive, Beam keeps
 	// arbitrary-but-deterministic candidates).
 	Bound func(k pattern.Kind, t pattern.Tiling, cell Cell) float64
-	// Evaluate prices one candidate exactly at one value cell.
-	Evaluate func(k pattern.Kind, t pattern.Tiling, cell Cell) (Outcome[T], error)
+	// NewPricer, when non-nil, supplies a fresh incremental bound
+	// evaluator per scan goroutine, used in Bound's place wherever a
+	// bound is computed. Lower must be bit-identical to Bound (see
+	// Pricer); Bound stays the pruning gate and the stateless reference,
+	// so NewPricer without Bound is ignored.
+	NewPricer func() Pricer
+	// Evaluate prices one candidate exactly at one value cell, writing
+	// the result into *out. The engine reuses one scratch Outcome per
+	// scan goroutine, so on a nil error Evaluate must overwrite every
+	// Outcome field rather than assume zeroed input; on an error *out is
+	// unspecified and never read. The out-parameter form exists because
+	// T is the scheduler's several-hundred-byte LayerPlan: returning it
+	// by value put a duffcopy on every exact evaluation, the single
+	// hottest instruction in a cold compile.
+	Evaluate func(k pattern.Kind, t pattern.Tiling, cell Cell, out *Outcome[T]) error
+	// NewOutcome / FreeOutcome, when non-nil, lease the per-goroutine
+	// scratch Outcome the engine passes to Evaluate. The engine cannot
+	// stack-allocate that scratch — its address crosses the Evaluate
+	// indirection, so escape analysis heap-allocates it once per scan —
+	// and a caller-pooled buffer is what keeps steady-state compiles
+	// allocation-free. Nil falls back to a plain allocation per scan
+	// goroutine. FreeOutcome is called exactly once per NewOutcome
+	// lease, after the goroutine's last read of the buffer.
+	NewOutcome  func() *Outcome[T]
+	FreeOutcome func(*Outcome[T])
 }
 
 // axisExtent resolves one value-axis extent (zero or negative → one).
@@ -195,6 +233,21 @@ func axisExtent(n int) int {
 		return 1
 	}
 	return n
+}
+
+// newOutcome leases one scan goroutine's scratch Outcome (see
+// NewOutcome); freeOutcome returns it.
+func (p Problem[T]) newOutcome() *Outcome[T] {
+	if p.NewOutcome != nil {
+		return p.NewOutcome()
+	}
+	return new(Outcome[T])
+}
+
+func (p Problem[T]) freeOutcome(o *Outcome[T]) {
+	if p.FreeOutcome != nil {
+		p.FreeOutcome(o)
+	}
 }
 
 // points resolves the operating-point axis extent (zero → one).
@@ -324,6 +377,13 @@ func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 	var r Result[T]
 	r.Stats.Workers = 1
 	points, travs, maps := p.points(), p.travs(), p.maps()
+	var pricer Pricer
+	if prune && p.Bound != nil && p.NewPricer != nil {
+		pricer = p.NewPricer()
+		defer pricer.Release()
+	}
+	out := p.newOutcome()
+	defer p.freeOutcome(out)
 	for ti := 0; ; ti++ {
 		t, ok := p.Space.Next()
 		if !ok {
@@ -345,13 +405,18 @@ func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 							// Strictly greater only: a candidate whose bound *equals*
 							// the incumbent's energy could still tie exactly and win
 							// the deterministic tie-break, so it must be priced.
-							if p.Bound(k, t, cell) > r.Outcome.Energy {
+							var lb float64
+							if pricer != nil {
+								lb = pricer.Lower(k, t, cell)
+							} else {
+								lb = p.Bound(k, t, cell)
+							}
+							if lb > r.Outcome.Energy {
 								r.Stats.Pruned++
 								continue
 							}
 						}
-						out, err := p.Evaluate(k, t, cell)
-						if err != nil {
+						if err := p.Evaluate(k, t, cell, out); err != nil {
 							return Result[T]{}, err
 						}
 						r.Stats.Evaluated++
@@ -360,7 +425,7 @@ func scan[T any](p Problem[T], prune bool) (Result[T], error) {
 						}
 						c := Candidate{Kind: k, KindIdx: ki, Tiling: t, TilingIdx: ti, PointIdx: pi, TravIdx: tv, MapIdx: mi}
 						if !r.Found || prefer(out.Energy, c, r.Outcome.Energy, r.Candidate) {
-							r.Found, r.Candidate, r.Outcome = true, c, out
+							r.Found, r.Candidate, r.Outcome = true, c, *out
 						}
 					}
 				}

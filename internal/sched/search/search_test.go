@@ -116,16 +116,17 @@ func synthetic(tilings []pattern.Tiling, kinds []pattern.Kind, table map[string]
 		Space: NewSlice(tilings),
 		Kinds: kinds,
 		Bound: func(k pattern.Kind, t pattern.Tiling, _ Cell) float64 { return table[key(k, t)].bound },
-		Evaluate: func(k pattern.Kind, t pattern.Tiling, _ Cell) (Outcome[string], error) {
+		Evaluate: func(k pattern.Kind, t pattern.Tiling, _ Cell, out *Outcome[string]) error {
 			id := key(k, t)
 			e, ok := table[id]
 			if !ok {
-				return Outcome[string]{}, errors.New("no entry for " + id)
+				return errors.New("no entry for " + id)
 			}
 			if evaluated != nil {
 				*evaluated = append(*evaluated, id)
 			}
-			return Outcome[string]{Feasible: e.feasible, Energy: e.energy, Value: id}, nil
+			*out = Outcome[string]{Feasible: e.feasible, Energy: e.energy, Value: id}
+			return nil
 		},
 	}
 }

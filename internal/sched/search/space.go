@@ -1,8 +1,6 @@
 package search
 
 import (
-	"sort"
-
 	"rana/internal/pattern"
 )
 
@@ -19,20 +17,40 @@ type Space interface {
 // Axis returns the candidate tile sizes along one axis of extent dim,
 // ascending: powers of two up to dim, the PE-array width, and dim
 // itself.
-func Axis(dim, array int) []int {
-	set := map[int]bool{dim: true}
+func Axis(dim, array int) []int { return AppendAxis(nil, dim, array) }
+
+// AppendAxis is Axis writing into dst (which may be a reused scratch
+// slice), so steady-state space construction allocates nothing once the
+// scratch has grown to size. The output is identical to Axis: the
+// sorted deduplicated union of the powers of two below dim, the array
+// width (when it fits), and dim itself.
+func AppendAxis(dst []int, dim, array int) []int {
+	start := len(dst)
+	// Powers of two below dim arrive already ascending and distinct.
 	for v := 1; v < dim; v *= 2 {
-		set[v] = true
+		dst = append(dst, v)
 	}
+	dst = insertSorted(dst, start, dim)
 	if array <= dim {
-		set[array] = true
+		dst = insertSorted(dst, start, array)
 	}
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
+	return dst
+}
+
+// insertSorted inserts v into the ascending run dst[start:], keeping it
+// sorted and deduplicated.
+func insertSorted(dst []int, start, v int) []int {
+	i := start
+	for i < len(dst) && dst[i] < v {
+		i++
 	}
-	sort.Ints(out)
-	return out
+	if i < len(dst) && dst[i] == v {
+		return dst
+	}
+	dst = append(dst, 0)
+	copy(dst[i+1:], dst[i:])
+	dst[i] = v
+	return dst
 }
 
 // Product streams the ⟨Tm, Tn, Tr, Tc⟩ cross product of four per-axis
@@ -46,6 +64,13 @@ type Product struct {
 // NewProduct returns the cross-product space of the four axis lists.
 func NewProduct(tms, tns, trs, tcs []int) *Product {
 	return &Product{tms: tms, tns: tns, trs: trs, tcs: tcs}
+}
+
+// Init re-points an existing (typically pooled) Product at new axis
+// lists and rewinds it — NewProduct without the allocation.
+func (p *Product) Init(tms, tns, trs, tcs []int) {
+	p.tms, p.tns, p.trs, p.tcs = tms, tns, trs, tcs
+	p.Reset()
 }
 
 // Size implements Space.
@@ -87,6 +112,13 @@ type Slice struct {
 
 // NewSlice returns a Space streaming ts in order.
 func NewSlice(ts []pattern.Tiling) *Slice { return &Slice{ts: ts} }
+
+// Init re-points an existing (typically pooled) Slice at a new tiling
+// list and rewinds it — NewSlice without the allocation.
+func (s *Slice) Init(ts []pattern.Tiling) {
+	s.ts = ts
+	s.Reset()
+}
 
 // Size implements Space.
 func (s *Slice) Size() int { return len(s.ts) }

@@ -252,11 +252,15 @@ func mappingName(m MappingPolicy) string {
 // bound and the exact evaluator price through the same derived table,
 // which is what keeps the admissibility argument intact per cell.
 func mappingTables(points []energy.Table, maps []MappingPolicy) []energy.Table {
-	out := make([]energy.Table, 0, len(points)*len(maps))
+	return appendMappingTables(make([]energy.Table, 0, len(points)*len(maps)), points, maps)
+}
+
+// appendMappingTables is mappingTables into a reused scratch slice.
+func appendMappingTables(dst []energy.Table, points []energy.Table, maps []MappingPolicy) []energy.Table {
 	for _, m := range maps {
 		for _, t := range points {
-			out = append(out, m.Apply(t))
+			dst = append(dst, m.Apply(t))
 		}
 	}
-	return out
+	return dst
 }

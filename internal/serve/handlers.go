@@ -195,6 +195,7 @@ func (s *Server) prepareSchedule(req ScheduleRequest) (*work, error) {
 		opts.Parallelism = s.cfg.Parallelism
 	}
 	opts.Memo = s.memo
+	opts.Prefix = s.prefix
 	switch {
 	case w.degraded:
 		w.key = scheduleDegradedKey(net, cfg, opts)

@@ -104,7 +104,9 @@ type Config struct {
 	// MemoEntries bounds the server-wide layer-shape memo shared across
 	// every schedule and compile computation (sched.Memo). Zero selects
 	// sched.DefaultMemoCapacity; negative disables the shared memo
-	// (each compile still keeps its private per-compile memo).
+	// (each compile still keeps its private per-compile memo). The same
+	// knob gates the server-wide bound prefix-sum memo
+	// (sched.PrefixMemo, default capacity) shared the same way.
 	MemoEntries int
 
 	// Chaos, when non-nil, injects faults into the computation path
@@ -210,6 +212,11 @@ type Server struct {
 	// every schedule and compile computation; nil when disabled.
 	memo *sched.Memo
 
+	// prefix is the server-wide bound prefix-sum memo (sched.PrefixMemo),
+	// shared the same way and gated by the same MemoEntries knob; nil
+	// when the shared caches are disabled.
+	prefix *sched.PrefixMemo
+
 	// jobs is the async batch job table; nil when the batch API is
 	// disabled (JobCapacity < 0).
 	jobs *jobTable
@@ -243,6 +250,7 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MemoEntries >= 0 {
 		s.memo = sched.NewMemo(cfg.MemoEntries)
+		s.prefix = sched.NewPrefixMemo(0)
 	}
 	s.scheduleFn = sched.ScheduleContext
 	s.compileFn = func(ctx context.Context, net models.Network, strategy search.Strategy, parallelism int) (*core.Output, error) {
@@ -250,6 +258,7 @@ func New(cfg Config) *Server {
 		f.Search = strategy
 		f.Parallelism = parallelism
 		f.Memo = s.memo
+		f.Prefix = s.prefix
 		return f.CompileContext(ctx, net)
 	}
 	if cfg.BreakerThreshold > 0 {
@@ -317,6 +326,11 @@ func New(cfg Config) *Server {
 		vars.Set("memo_hits", expvar.Func(func() any { return s.memo.Stats().Hits }))
 		vars.Set("memo_misses", expvar.Func(func() any { return s.memo.Stats().Misses }))
 		vars.Set("memo_entries", expvar.Func(func() any { return s.memo.Stats().Entries }))
+	}
+	if s.prefix != nil {
+		vars.Set("memo_prefix_hits", expvar.Func(func() any { return s.prefix.Stats().Hits }))
+		vars.Set("memo_prefix_misses", expvar.Func(func() any { return s.prefix.Stats().Misses }))
+		vars.Set("memo_prefix_entries", expvar.Func(func() any { return s.prefix.Stats().Entries }))
 	}
 	s.vars = vars
 	s.httpSrv = &http.Server{
